@@ -1,0 +1,87 @@
+"""A-batch ablation: WriteBatch / AsynchronousWriteBatch vs naive stores.
+
+The paper motivates batching (section II-D): datasets hold millions of
+small products, so per-item RPCs dominate.  This bench stores the same
+set of products three ways and compares both time and RPC count.
+"""
+
+import pytest
+
+from repro.hepnos import AsynchronousWriteBatch, WriteBatch
+from repro.serial import serializable
+
+N_EVENTS = 300
+
+
+@serializable("bench.Quant")
+class Quant:
+    def __init__(self, value=0.0):
+        self.value = value
+
+    def serialize(self, ar):
+        self.value = ar.io(self.value)
+
+
+@pytest.fixture()
+def subrun(datastore):
+    ds = datastore.create_dataset("bench/batching")
+    counter = {"n": 0}
+
+    def fresh():
+        counter["n"] += 1
+        return ds.create_run(counter["n"]).create_subrun(0)
+
+    return fresh
+
+
+def store_unbatched(datastore, subrun):
+    for i in range(N_EVENTS):
+        event = subrun.create_event(i)
+        event.store(Quant(float(i)), label="q")
+
+
+def store_batched(datastore, subrun):
+    with WriteBatch(datastore) as batch:
+        for i in range(N_EVENTS):
+            event = subrun.create_event(i, batch=batch)
+            event.store(Quant(float(i)), label="q", batch=batch)
+
+
+def store_async(datastore, subrun):
+    with AsynchronousWriteBatch(datastore, flush_threshold=128) as batch:
+        for i in range(N_EVENTS):
+            event = subrun.create_event(i, batch=batch)
+            event.store(Quant(float(i)), label="q", batch=batch)
+
+
+@pytest.mark.parametrize("mode", ["unbatched", "writebatch", "async"])
+def test_store_products(benchmark, datastore, fabric, subrun, mode):
+    fn = {"unbatched": store_unbatched, "writebatch": store_batched,
+          "async": store_async}[mode]
+
+    def run():
+        fn(datastore, subrun())
+
+    fabric.stats.reset()
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    rpcs_per_item = fabric.stats.rpc_count / (3 * 2 * N_EVENTS)
+    print(f"\n[{mode}] RPCs per stored item: {rpcs_per_item:.3f}")
+    if mode == "unbatched":
+        assert rpcs_per_item > 0.9  # ~1 RPC per item
+    else:
+        assert rpcs_per_item < 0.2  # batched into few RPCs
+
+
+def test_rpc_reduction_factor(benchmark, datastore, fabric, subrun):
+    """Headline ablation number: RPC count, batched vs not."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    fabric.stats.reset()
+    store_unbatched(datastore, subrun())
+    unbatched_rpcs = fabric.stats.rpc_count
+    fabric.stats.reset()
+    store_batched(datastore, subrun())
+    batched_rpcs = fabric.stats.rpc_count
+    factor = unbatched_rpcs / max(batched_rpcs, 1)
+    print(f"\nRPC reduction from WriteBatch: {unbatched_rpcs} -> "
+          f"{batched_rpcs} ({factor:.0f}x fewer)")
+    assert factor > 10

@@ -1,0 +1,85 @@
+"""A-ingest ablation: DataLoader (HDF2HEPnOS) throughput.
+
+Ingest is the only HEPnOS workflow step whose parallelism is bounded by
+the file count (paper section III-B).  Measures single-rank ingest rate
+and the effect of splitting the file list over ranks.
+"""
+
+import pytest
+
+from repro.hepnos import DataLoader
+from repro.minimpi import mpirun
+from repro.nova import GeneratorConfig, generate_file_set
+
+CONFIG = GeneratorConfig(events_per_subrun=16, subruns_per_run=4)
+
+
+@pytest.fixture(scope="module")
+def file_set(tmp_path_factory):
+    return generate_file_set(
+        str(tmp_path_factory.mktemp("ingest-files")), num_files=8,
+        mean_events_per_file=24, config=CONFIG,
+    )
+
+
+def test_single_file_ingest(benchmark, datastore, file_set):
+    counter = {"n": 0}
+
+    def run():
+        counter["n"] += 1
+        loader = DataLoader(datastore, f"bench/ingest-{counter['n']}")
+        return loader.ingest_file(file_set.paths[0])
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    print(f"\nper-file: {stats.events_created} events, "
+          f"{stats.rows} slices, {stats.products_stored} products")
+
+
+@pytest.mark.parametrize("ranks", [1, 2, 4])
+def test_parallel_ingest(benchmark, datastore, file_set, ranks):
+    counter = {"n": 0}
+
+    def run():
+        counter["n"] += 1
+        loader = DataLoader(datastore,
+                            f"bench/par-ingest-{ranks}-{counter['n']}")
+        if ranks == 1:
+            return loader.ingest(file_set.paths)
+        return mpirun(lambda comm: loader.ingest(file_set.paths, comm=comm),
+                      ranks, timeout=300.0)[0]
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.files == file_set.num_files
+    assert stats.events_created == file_set.total_events
+    print(f"\n[ranks={ranks}] ingested {stats.files} files / "
+          f"{stats.events_created} events")
+
+
+class TestIngestScalingSim:
+    """Simulator: ingest scales with nodes only until the file count
+    (and the largest file) binds -- paper section III-B's claim."""
+
+    def test_ingest_file_bound(self, benchmark):
+        from repro.perf import IngestModel, LARGE
+
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        model = IngestModel()
+        dataset = LARGE.scaled(1 / 4)  # the 1929-file base sample
+        t8 = model.simulate(8, dataset).throughput
+        t32 = model.simulate(32, dataset).throughput
+        t128 = model.simulate(128, dataset).throughput
+        print(f"\ningest events/s: 8 nodes {t8:,.0f}, 32 nodes {t32:,.0f}, "
+              f"128 nodes {t128:,.0f}")
+        assert t32 > 2 * t8          # scales while files are plentiful
+        assert t128 < 1.1 * t32      # file-bound past that
+
+    def test_lsm_ingest_slower_than_mem(self, benchmark):
+        from repro.perf import IngestModel, LARGE
+
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        model = IngestModel()
+        dataset = LARGE.scaled(1 / 8)
+        mem = model.simulate(16, dataset, backend="map").wall_seconds
+        lsm = model.simulate(16, dataset, backend="lsm").wall_seconds
+        print(f"\ningest wall: mem {mem:.1f}s vs lsm {lsm:.1f}s")
+        assert lsm >= mem

@@ -1,0 +1,78 @@
+"""A-rescale ablation: storage rescaling cost and minimality.
+
+The paper cites Pufferscale [27]: rescaling "could further improve
+HEPnOS's potential by allowing users to add and remove storage
+resources while HEP applications are using it."  Measures migration
+throughput and verifies the consistent-hashing minimal-move property.
+"""
+
+import pytest
+
+from repro.bedrock import BedrockServer, default_hepnos_config
+from repro.hepnos import WriteBatch
+from repro.rescale import add_server, execute_rescale, plan_rescale
+from repro.serial import serializable
+
+
+@serializable("benchr.Payload")
+class Payload:
+    def __init__(self, data=b""):
+        self.data = data
+
+    def serialize(self, ar):
+        self.data = ar.io(self.data)
+
+
+def populate(datastore, tag, events=200):
+    ds = datastore.create_dataset(f"bench/rescale-{tag}")
+    with WriteBatch(datastore) as batch:
+        subrun = ds.create_run(1, batch=batch).create_subrun(1, batch=batch)
+        for e in range(events):
+            event = subrun.create_event(e, batch=batch)
+            event.store(Payload(b"x" * 200), label="p", batch=batch)
+
+
+def extra_server(fabric, index):
+    return BedrockServer(fabric, default_hepnos_config(
+        f"sm://resize{index}/hepnos", num_providers=4,
+        event_databases=4, product_databases=4,
+        run_databases=2, subrun_databases=2,
+    ))
+
+
+def test_plan_cost(benchmark, fabric, datastore):
+    populate(datastore, "plan")
+    joined = add_server(datastore.connection, extra_server(fabric, 0))
+    plan = benchmark(plan_rescale, datastore, joined)
+    assert plan.keys_to_move + plan.keys_stayed > 0
+
+
+def test_migration_throughput(benchmark, fabric, datastore):
+    populate(datastore, "exec", events=300)
+    counter = {"i": 0}
+
+    def grow_once():
+        counter["i"] += 1
+        joined = add_server(datastore.connection,
+                            extra_server(fabric, counter["i"]))
+        plan = plan_rescale(datastore, joined)
+        stats = execute_rescale(datastore, plan)
+        return stats
+
+    stats = benchmark.pedantic(grow_once, rounds=2, iterations=1)
+    print(f"\nlast grow: moved {stats.keys_moved} keys "
+          f"({stats.bytes_moved} B), {stats.moved_fraction:.1%} of data")
+
+
+def test_minimal_movement_property(benchmark, fabric, datastore):
+    """Adding 1/(n+1) of capacity should move roughly that fraction."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    populate(datastore, "minimal", events=400)
+    joined = add_server(datastore.connection, extra_server(fabric, 90))
+    plan = plan_rescale(datastore, joined)
+    total = plan.keys_to_move + plan.keys_stayed
+    fraction = plan.keys_to_move / total
+    # 2 old nodes + 1 new node of equal capacity: expect ~1/3 moved;
+    # placement granularity is the parent group, so allow a wide band.
+    print(f"\nmoved fraction: {fraction:.1%} (ideal ~33%)")
+    assert 0.05 < fraction < 0.65

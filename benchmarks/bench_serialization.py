@@ -1,0 +1,53 @@
+"""Microbenchmark: the Boost-style serialization archives.
+
+Products are serialized C++ objects in the paper; serialization cost
+sits on both the store and load paths, so its rate matters to every
+other number here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nova.datamodel import SliceData
+from repro.nova.generator import BEAM, NovaGenerator
+from repro.serial import dumps, loads
+
+
+@pytest.fixture(scope="module")
+def slices():
+    generator = NovaGenerator(BEAM)
+    out = []
+    for e in range(64):
+        out.extend(generator.slices_for_event(1000, 0, e))
+    return out
+
+
+def test_dump_slice_vector(benchmark, slices):
+    blob = benchmark(dumps, slices)
+    assert len(blob) > 1000
+
+
+def test_load_slice_vector(benchmark, slices):
+    blob = dumps(slices)
+    out = benchmark(loads, blob)
+    assert len(out) == len(slices)
+    assert isinstance(out[0], SliceData)
+
+
+def test_roundtrip_numpy_array(benchmark):
+    arr = np.arange(100_000, dtype=np.float32)
+
+    def roundtrip():
+        return loads(dumps(arr))
+
+    out = benchmark(roundtrip)
+    assert np.array_equal(out, arr)
+
+
+def test_roundtrip_nested_dict(benchmark):
+    value = {f"k{i}": [i, float(i), f"v{i}"] for i in range(200)}
+
+    def roundtrip():
+        return loads(dumps(value))
+
+    assert benchmark(roundtrip) == value

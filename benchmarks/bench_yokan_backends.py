@@ -1,0 +1,129 @@
+"""A-backend ablation: Yokan storage backends head-to-head.
+
+Measures put / get / ordered-scan rates of the in-memory map, the LSM
+tree (RocksDB stand-in), and the copy-on-write B+tree (BerkeleyDB
+stand-in) -- the backend choice behind Figure 2's mem-vs-RocksDB pair.
+"""
+
+import pytest
+
+from repro.yokan import BTreeBackend, LSMBackend, MemoryBackend
+
+N_ITEMS = 2000
+
+
+def make_backend(kind: str, tmp_path):
+    if kind == "map":
+        return MemoryBackend()
+    if kind == "lsm":
+        return LSMBackend(str(tmp_path / "lsm"), memtable_bytes=1 << 20)
+    return BTreeBackend(str(tmp_path / "bt"), order=64, commit_every=64)
+
+
+def fill(backend, n=N_ITEMS):
+    for i in range(n):
+        backend.put(f"key-{i:08d}".encode(), b"v" * 100)
+    return backend
+
+
+@pytest.mark.parametrize("kind", ["map", "lsm", "btree"])
+def test_put_rate(benchmark, kind, tmp_path):
+    backend = make_backend(kind, tmp_path)
+    counter = {"i": 0}
+
+    def put_one():
+        i = counter["i"]
+        counter["i"] += 1
+        backend.put(f"key-{i:012d}".encode(), b"v" * 100)
+
+    benchmark(put_one)
+    backend.close()
+
+
+@pytest.mark.parametrize("kind", ["map", "lsm", "btree"])
+def test_get_rate(benchmark, kind, tmp_path):
+    backend = fill(make_backend(kind, tmp_path))
+    if kind == "lsm":
+        backend.flush_memtable()  # measure the SSTable read path
+    counter = {"i": 0}
+
+    def get_one():
+        i = counter["i"] % N_ITEMS
+        counter["i"] += 1
+        return backend.get(f"key-{i:08d}".encode())
+
+    benchmark(get_one)
+    backend.close()
+
+
+@pytest.mark.parametrize("kind", ["map", "lsm", "btree"])
+def test_ordered_scan(benchmark, kind, tmp_path):
+    backend = fill(make_backend(kind, tmp_path))
+
+    def scan_all():
+        return sum(1 for _ in backend.scan())
+
+    count = benchmark(scan_all)
+    assert count == N_ITEMS
+    backend.close()
+
+
+@pytest.mark.parametrize("kind", ["map", "lsm", "btree"])
+def test_prefix_listing(benchmark, kind, tmp_path):
+    """The container-iteration primitive HEPnOS uses."""
+    backend = make_backend(kind, tmp_path)
+    for subrun in range(10):
+        for event in range(200):
+            backend.put(f"sr{subrun:02d}/ev{event:06d}".encode(), b"")
+
+    def list_one_subrun():
+        return backend.list_keys(prefix=b"sr05/")
+
+    keys = benchmark(list_one_subrun)
+    assert len(keys) == 200
+    backend.close()
+
+
+class TestCompactionAblation:
+    """LSM compaction-trigger sweep: fewer tables -> faster reads,
+    more rewrite (write amplification) -- the RocksDB trade-off behind
+    the paper's backend choice."""
+
+    @pytest.mark.parametrize("trigger", [2, 8, 32])
+    def test_compaction_trigger(self, benchmark, tmp_path, trigger):
+        db = LSMBackend(str(tmp_path / f"lsm{trigger}"),
+                        memtable_bytes=4096, compaction_trigger=trigger)
+        for i in range(3000):
+            db.put(f"key-{i % 500:06d}-{i}".encode(), b"v" * 64)
+        counter = {"i": 0}
+
+        def read_one():
+            i = counter["i"] % 3000
+            counter["i"] += 1
+            return db.get(f"key-{i % 500:06d}-{i}".encode())
+
+        benchmark(read_one)
+        print(f"\n[trigger={trigger}] sstables={len(db._sstables)} "
+              f"write_amp={db.stats.write_amplification:.1f} "
+              f"compactions={db.stats.compactions}")
+        db.close()
+
+    def test_write_amp_vs_read_path(self, benchmark, tmp_path):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        results = {}
+        for trigger in (2, 32):
+            db = LSMBackend(str(tmp_path / f"wa{trigger}"),
+                            memtable_bytes=4096,
+                            compaction_trigger=trigger)
+            for i in range(2000):
+                db.put(f"{i:08d}".encode(), b"v" * 64)
+            results[trigger] = (db.stats.write_amplification,
+                                len(db._sstables))
+            db.close()
+        amp_eager, tables_eager = results[2]
+        amp_lazy, tables_lazy = results[32]
+        print(f"\neager (trigger=2): write_amp={amp_eager:.1f}, "
+              f"tables={tables_eager}; lazy (trigger=32): "
+              f"write_amp={amp_lazy:.1f}, tables={tables_lazy}")
+        assert amp_eager > amp_lazy      # eager compaction rewrites more
+        assert tables_eager < tables_lazy  # ...but keeps fewer tables

@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Figure benches print the regenerated table rows and assert the paper's
+qualitative shape claims.  Set ``REPRO_BENCH_REPEATS`` to change the
+per-point repeat count (default 2).
+"""
+
+import os
+
+import pytest
+
+from repro.bedrock import BedrockServer, default_hepnos_config
+from repro.hepnos import DataStore
+from repro.mercury import Fabric
+
+
+def bench_repeats() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
+
+
+@pytest.fixture()
+def fabric():
+    return Fabric(threaded=True)
+
+
+@pytest.fixture()
+def service(fabric):
+    servers = []
+    for i in range(2):
+        servers.append(BedrockServer(fabric, default_hepnos_config(
+            f"sm://node{i}/hepnos", num_providers=4,
+            event_databases=4, product_databases=4,
+            run_databases=2, subrun_databases=2, dataset_databases=1,
+        )))
+    fabric.runtime.start()
+    yield servers
+    fabric.runtime.shutdown()
+
+
+@pytest.fixture()
+def datastore(fabric, service):
+    return DataStore.connect(fabric, service)

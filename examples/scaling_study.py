@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Regenerate the paper's scaling figures on the platform simulator.
+
+Prints the data series behind Figure 2 (strong scaling, 17.44M-event
+sample) and Figure 3 (throughput vs dataset size at 128 nodes), plus
+the shape checks encoding the paper's claims.
+
+Run:  python examples/scaling_study.py [--quick]
+"""
+
+import argparse
+
+from repro.perf import (
+    LARGE,
+    check_figure2_shape,
+    check_figure3_shape,
+    format_records,
+    run_dataset_sweep,
+    run_strong_scaling,
+    run_weak_scaling,
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="1/8-scale dataset, single repeats")
+    parser.add_argument("--repeats", type=int, default=2)
+    args = parser.parse_args()
+
+    dataset = LARGE.scaled(1 / 8) if args.quick else LARGE
+    repeats = 1 if args.quick else args.repeats
+
+    print("== Figure 2: strong scaling "
+          f"({dataset.total_events:,} events, {dataset.num_files} files) ==")
+    fig2 = run_strong_scaling(dataset=dataset, repeats=repeats)
+    print(format_records(fig2))
+    if not args.quick:
+        print("\nshape checks (paper's claims):")
+        for name, value in check_figure2_shape(fig2).items():
+            print(f"  {name}: {value}")
+
+    print("\n== Figure 3: dataset-size sweep at 128 nodes ==")
+    fig3 = run_dataset_sweep(nodes=128, repeats=repeats)
+    print(format_records(fig3, group_by_dataset=True))
+    print("\nshape checks:")
+    for name, value in check_figure3_shape(fig3).items():
+        print(f"  {name}: {value}")
+
+    print("\n== Weak scaling (fixed events per node) ==")
+    weak = run_weak_scaling()
+    print(format_records(weak))
+
+
+if __name__ == "__main__":
+    main()

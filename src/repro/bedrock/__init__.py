@@ -1,0 +1,18 @@
+"""Bedrock: JSON-configured bootstrapping of Mochi services.
+
+Bedrock reads a JSON description of a service process -- its Mercury
+address, Argobots pools and execution streams, and the providers to
+instantiate with their database lists -- and spins everything up
+(paper section II-B).  The high degree of configurability this gives is
+what allowed the authors to tune HEPnOS per use-case.
+"""
+
+from repro.bedrock.config import validate_config, default_hepnos_config
+from repro.bedrock.server import BedrockServer, deploy_service_group
+
+__all__ = [
+    "validate_config",
+    "default_hepnos_config",
+    "BedrockServer",
+    "deploy_service_group",
+]

@@ -1,0 +1,81 @@
+"""BedrockServer: instantiate a configured service process."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Union
+
+from repro.errors import ConfigError
+from repro.margo import MargoInstance
+from repro.mercury import Fabric
+from repro.yokan import YokanProvider
+from repro.yokan.backend import open_backend
+from repro.bedrock.config import validate_config
+
+
+class BedrockServer:
+    """One service process built from a Bedrock configuration.
+
+    Exposes the Margo instance, the provider objects, and a directory of
+    which provider serves which database -- the piece of information
+    HEPnOS clients need to route container keys.
+    """
+
+    def __init__(self, fabric: Fabric, config: Union[str, dict]):
+        self.config = validate_config(config)
+        margo_config = self.config["margo"]
+        self.margo = MargoInstance(
+            fabric,
+            margo_config["mercury"]["address"],
+            argobots_config=margo_config.get("argobots"),
+        )
+        self.providers: dict[int, YokanProvider] = {}
+        #: database name -> (provider_id,) routing directory.
+        self.database_directory: dict[str, int] = {}
+        for spec in self.config.get("providers", []):
+            databases = {}
+            for db_spec in spec.get("config", {}).get("databases", []):
+                backend = open_backend(
+                    db_spec.get("type", "map"), **db_spec.get("config", {})
+                )
+                databases[db_spec["name"]] = backend
+            pool_name = spec.get("pool")
+            pool = self.margo.pool(pool_name) if pool_name else None
+            provider = YokanProvider(
+                self.margo.engine,
+                provider_id=spec["provider_id"],
+                pool=pool,
+                databases=databases,
+            )
+            self.providers[spec["provider_id"]] = provider
+            for db_name in databases:
+                self.database_directory[db_name] = spec["provider_id"]
+
+    @property
+    def address(self):
+        return self.margo.address
+
+    def databases(self) -> list[str]:
+        return sorted(self.database_directory)
+
+    def describe(self) -> str:
+        """The effective configuration as JSON (bedrock's query API)."""
+        return json.dumps(self.config, indent=2)
+
+    def shutdown(self) -> None:
+        for provider in self.providers.values():
+            provider.close()
+        self.margo.finalize()
+
+
+def deploy_service_group(fabric: Fabric, configs: Iterable[Union[str, dict]]
+                         ) -> list[BedrockServer]:
+    """Start several Bedrock servers (one per config) on one fabric.
+
+    This stands in for launching ``bedrock`` on every service node of
+    the allocation; the paper deploys one server node per 8 nodes.
+    """
+    servers = [BedrockServer(fabric, config) for config in configs]
+    if not servers:
+        raise ConfigError("a service group needs at least one server")
+    return servers

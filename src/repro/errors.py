@@ -1,0 +1,81 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every layer raises a subclass of :class:`ReproError` so that callers can
+catch failures from the whole stack with a single ``except`` clause while
+still being able to discriminate the failing layer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent service configuration was supplied."""
+
+
+class SerializationError(ReproError):
+    """A value could not be serialized or deserialized."""
+
+
+class RPCError(ReproError):
+    """A remote procedure call failed."""
+
+
+class NoSuchRPCError(RPCError):
+    """The target engine has no RPC registered under the requested name."""
+
+
+class AddressError(RPCError):
+    """An address could not be parsed or resolved."""
+
+
+class NetworkFailure(RPCError):
+    """The (simulated) fabric dropped the request.
+
+    The paper reports run crashes caused by oversaturation of the Aries
+    NIC injection bandwidth; the simulated fabric raises this error under
+    the same condition when failure injection is enabled.
+    """
+
+
+class YokanError(ReproError):
+    """A key-value database operation failed."""
+
+
+class KeyNotFound(YokanError):
+    """The requested key does not exist in the database."""
+
+
+class DatabaseClosed(YokanError):
+    """The database was used after being closed."""
+
+
+class CorruptionError(YokanError):
+    """On-disk data failed checksum or format validation."""
+
+
+class HEPnOSError(ReproError):
+    """An error in the HEPnOS data-model layer."""
+
+
+class ContainerNotFound(HEPnOSError):
+    """A dataset, run, subrun, or event does not exist."""
+
+
+class ProductNotFound(HEPnOSError):
+    """A product (label, type) pair does not exist in its container."""
+
+
+class MPIError(ReproError):
+    """An error in the in-process MPI substrate."""
+
+
+class HDF5LiteError(ReproError):
+    """An error reading or writing an hdf5lite file."""
+
+
+class SimulationError(ReproError):
+    """An error in the discrete-event simulation engine."""

@@ -1,0 +1,55 @@
+"""A miniature HEP event-processing framework (the paper's future work).
+
+Paper section VI: "Each HEP experiment uses a framework for
+constructing its complicated event simulation and event processing
+workflows.  The designs of these frameworks['] interfaces to their I/O
+layers will need to change in many cases to take full advantage of a
+distributed data store."  This package is that adaptation, demonstrated:
+an art-style modular framework whose *physics code is identical* under
+file-based and HEPnOS-based I/O -- only the source/sink changes.
+
+- modules: :class:`Producer` (adds products), :class:`Filter`
+  (accepts/rejects events), :class:`Analyzer` (observes);
+- :class:`EventContext` mediates product access and records provenance;
+- sources: :class:`FileSource` (sequential file scan) and
+  :class:`HEPnOSSource` (prefetched store iteration, optionally
+  MPI-parallel through the ParallelEventProcessor);
+- sinks: :class:`HEPnOSSink` (batched product writes) and
+  :class:`MemorySink` (collect in memory);
+- :class:`Pipeline` wires them together and reports per-module
+  statistics.
+"""
+
+from repro.framework.modules import (
+    Analyzer,
+    EventContext,
+    Filter,
+    Module,
+    Producer,
+)
+from repro.framework.pipeline import (
+    ModuleReport,
+    Pipeline,
+    PipelineReport,
+)
+from repro.framework.io import (
+    FileSource,
+    HEPnOSSink,
+    HEPnOSSource,
+    MemorySink,
+)
+
+__all__ = [
+    "Module",
+    "Producer",
+    "Filter",
+    "Analyzer",
+    "EventContext",
+    "Pipeline",
+    "ModuleReport",
+    "PipelineReport",
+    "FileSource",
+    "HEPnOSSource",
+    "HEPnOSSink",
+    "MemorySink",
+]

@@ -1,0 +1,147 @@
+"""Framework I/O: event sources and product sinks.
+
+The physics modules never see which source/sink is configured -- that
+is the interface boundary the paper says frameworks must introduce to
+benefit from a data service.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.errors import ProductNotFound
+from repro.framework.modules import EventContext
+from repro.hepnos.product import product_type_name, vector_of
+from repro.hepnos.write_batch import WriteBatch
+from repro.nova.files import iter_file_events
+from repro.nova.generator import table_to_slices
+
+
+class FileSource:
+    """Sequential scan over CAF-like files (the grid paradigm).
+
+    Each file event yields its ``rec.slc`` rows as ``SliceData``
+    objects under the standard product spec (``vector<nova.SliceData>``,
+    label ``""`` by default).
+    """
+
+    def __init__(self, paths: Sequence[str], label: str = ""):
+        self.paths = list(paths)
+        self.label = label
+
+    def events(self) -> Iterator[EventContext]:
+        from repro.nova.datamodel import SliceData
+
+        type_name = product_type_name(vector_of(SliceData))
+        for path in self.paths:
+            for triple, rows in iter_file_events(path):
+                slices = table_to_slices(rows)
+
+                def loader(tname, label, _slices=slices):
+                    if tname == type_name and label == self.label:
+                        return _slices
+                    return None
+
+                yield EventContext(triple, loader=loader)
+
+
+class HEPnOSSource:
+    """Prefetched iteration over a HEPnOS dataset.
+
+    ``products`` lists (type, label) pairs to gang-load; with ``comm``
+    the iteration is driven by the ParallelEventProcessor (collective
+    over the communicator), otherwise it is sequential.
+    """
+
+    def __init__(self, datastore, dataset_path: str,
+                 products: Sequence[Tuple[object, str]] = (),
+                 comm=None, input_batch_size: int = 1024,
+                 dispatch_batch_size: int = 64):
+        self.datastore = datastore
+        self.dataset_path = dataset_path
+        self.products = list(products)
+        self.comm = comm
+        self.input_batch_size = input_batch_size
+        self.dispatch_batch_size = dispatch_batch_size
+
+    def _context_for(self, stub) -> EventContext:
+        def loader(tname, label):
+            try:
+                return stub.load(tname, label=label)
+            except ProductNotFound:
+                return None
+
+        return EventContext(stub.triple(), loader=loader)
+
+    def events(self) -> Iterator[EventContext]:
+        """Sequential iteration (ignores ``comm``)."""
+        from repro.hepnos.parallel_event_processor import (
+            ParallelEventProcessor,
+        )
+
+        pep = ParallelEventProcessor(
+            self.datastore, comm=None,
+            input_batch_size=self.input_batch_size,
+            products=self.products,
+        )
+        dataset = self.datastore[self.dataset_path]
+        for batch in pep._load_batches(pep._all_subruns(dataset)):
+            for stub in batch:
+                yield self._context_for(stub)
+
+    def process_parallel(self, handle) -> object:
+        """Collective mode: invoke ``handle(EventContext)`` on each
+        event via the PEP; returns this rank's PEPStatistics."""
+        from repro.hepnos.parallel_event_processor import (
+            ParallelEventProcessor,
+        )
+
+        pep = ParallelEventProcessor(
+            self.datastore, comm=self.comm,
+            input_batch_size=self.input_batch_size,
+            dispatch_batch_size=self.dispatch_batch_size,
+            products=self.products,
+        )
+        dataset = self.datastore[self.dataset_path]
+        return pep.process(dataset, lambda stub: handle(self._context_for(stub)))
+
+
+class HEPnOSSink:
+    """Persists produced products next to their event (batched)."""
+
+    def __init__(self, datastore, dataset_path: str,
+                 flush_threshold: int = 1024):
+        self.datastore = datastore
+        self.dataset = datastore[dataset_path]
+        self.batch = WriteBatch(datastore, flush_threshold=flush_threshold)
+        self.products_written = 0
+
+    def write(self, event: EventContext) -> None:
+        from repro.hepnos import keys as hkeys
+
+        run_key = hkeys.run_key(self.dataset.uuid, event.run)
+        subrun_key = hkeys.subrun_key(run_key, event.subrun)
+        event_key = hkeys.event_key(subrun_key, event.event)
+        for (tname, label), obj in event.produced.items():
+            self.datastore.store_product(
+                event_key, obj, label=label, type_name=tname,
+                batch=self.batch,
+            )
+            self.products_written += 1
+
+    def close(self) -> None:
+        self.batch.close()
+
+
+class MemorySink:
+    """Collects produced products in memory (tests and small jobs)."""
+
+    def __init__(self):
+        self.records: dict[tuple, dict] = {}
+
+    def write(self, event: EventContext) -> None:
+        if event.produced:
+            self.records[event.triple] = event.produced
+
+    def close(self) -> None:
+        pass

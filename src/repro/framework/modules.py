@@ -1,0 +1,123 @@
+"""Module types and the per-event context."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional
+
+from repro.errors import HEPnOSError, ProductNotFound
+from repro.hepnos.product import product_type_name
+
+
+class EventContext:
+    """One event as seen by modules.
+
+    Products come from two layers: those delivered by the source
+    (already stored) and those produced by upstream modules in this very
+    event (in-memory, not yet persisted).  ``get`` checks the in-memory
+    layer first, so a producer's output is immediately visible
+    downstream -- without any intermediate file (the copy-forward
+    elimination, now at framework level).
+    """
+
+    def __init__(self, triple: tuple, loader=None):
+        self._triple = triple
+        self._loader = loader  # fn(type_name, label) -> object | None
+        self._produced: dict[tuple, Any] = {}
+        #: (type_name, label) -> module label that produced it
+        self.provenance: dict[tuple, str] = {}
+        self._current_module: Optional[str] = None
+
+    @property
+    def triple(self) -> tuple:
+        return self._triple
+
+    @property
+    def run(self) -> int:
+        return self._triple[0]
+
+    @property
+    def subrun(self) -> int:
+        return self._triple[1]
+
+    @property
+    def event(self) -> int:
+        return self._triple[2]
+
+    # -- product access ---------------------------------------------------
+
+    def get(self, product_type, label: str = ""):
+        spec = (product_type_name(product_type), label)
+        if spec in self._produced:
+            return self._produced[spec]
+        if self._loader is not None:
+            value = self._loader(spec[0], label)
+            if value is not None:
+                return value
+        raise ProductNotFound(
+            f"event {self._triple}: no product type={spec[0]!r} "
+            f"label={label!r}"
+        )
+
+    def has(self, product_type, label: str = "") -> bool:
+        spec = (product_type_name(product_type), label)
+        if spec in self._produced:
+            return True
+        if self._loader is not None:
+            return self._loader(spec[0], label) is not None
+        return False
+
+    def put(self, obj, label: str = "", type_name=None) -> None:
+        """Record a new product (visible downstream; persisted by the sink)."""
+        spec = (product_type_name(type_name if type_name is not None else obj),
+                label)
+        if spec in self._produced:
+            raise HEPnOSError(
+                f"module {self._current_module!r} overwrites product "
+                f"{spec} already produced by "
+                f"{self.provenance.get(spec)!r}"
+            )
+        self._produced[spec] = obj
+        self.provenance[spec] = self._current_module or "?"
+
+    @property
+    def produced(self) -> dict:
+        """The in-memory products of this event (spec -> object)."""
+        return dict(self._produced)
+
+
+class Module(abc.ABC):
+    """Base class: every module has a label and lifecycle hooks."""
+
+    def __init__(self, label: Optional[str] = None):
+        self.label = label or type(self).__name__
+
+    def begin_job(self) -> None:
+        """Called once before the first event."""
+
+    def end_job(self) -> None:
+        """Called once after the last event."""
+
+
+class Producer(Module):
+    """Adds products to events."""
+
+    @abc.abstractmethod
+    def produce(self, event: EventContext) -> None:
+        """Compute and ``event.put`` new products."""
+
+
+class Filter(Module):
+    """Decides whether an event continues down the path."""
+
+    @abc.abstractmethod
+    def filter(self, event: EventContext) -> bool:
+        """True = keep the event; False = skip remaining modules."""
+
+
+class Analyzer(Module):
+    """Observes events (fills histograms, accumulates results)."""
+
+    @abc.abstractmethod
+    def analyze(self, event: EventContext) -> None:
+        """Inspect the event; must not add products."""

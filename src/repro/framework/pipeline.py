@@ -1,0 +1,146 @@
+"""The pipeline: ordered modules between a source and a sink."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import HEPnOSError
+from repro.framework.modules import Analyzer, EventContext, Filter, Module, Producer
+
+
+@dataclass
+class ModuleReport:
+    label: str
+    kind: str
+    events_seen: int = 0
+    events_passed: int = 0
+    products_put: int = 0
+    seconds: float = 0.0
+
+    @property
+    def pass_fraction(self) -> float:
+        return self.events_passed / self.events_seen if self.events_seen else 0.0
+
+
+@dataclass
+class PipelineReport:
+    modules: list = field(default_factory=list)
+    events_read: int = 0
+    events_completed: int = 0
+    seconds: float = 0.0
+
+    def module(self, label: str) -> ModuleReport:
+        for report in self.modules:
+            if report.label == label:
+                return report
+        raise KeyError(label)
+
+    def summary(self) -> str:
+        lines = [
+            f"{'module':<20} {'kind':<9} {'seen':>7} {'passed':>7} "
+            f"{'put':>5} {'time[s]':>8}"
+        ]
+        for r in self.modules:
+            lines.append(
+                f"{r.label:<20} {r.kind:<9} {r.events_seen:>7} "
+                f"{r.events_passed:>7} {r.products_put:>5} {r.seconds:>8.3f}"
+            )
+        lines.append(
+            f"events: {self.events_read} read, "
+            f"{self.events_completed} completed the path"
+        )
+        return "\n".join(lines)
+
+
+class Pipeline:
+    """Runs events from a source through modules into a sink.
+
+    Semantics follow art: modules execute in order; a False filter
+    result ends the event's path (later modules never see it, and the
+    sink persists nothing for it -- rejected events produce no output).
+    """
+
+    def __init__(self, modules: Sequence[Module], sink=None):
+        if not modules:
+            raise HEPnOSError("pipeline needs at least one module")
+        labels = [m.label for m in modules]
+        if len(set(labels)) != len(labels):
+            raise HEPnOSError(f"duplicate module labels: {labels}")
+        self.modules = list(modules)
+        self.sink = sink
+        self.reports = [
+            ModuleReport(m.label, self._kind(m)) for m in self.modules
+        ]
+
+    @staticmethod
+    def _kind(module: Module) -> str:
+        if isinstance(module, Producer):
+            return "producer"
+        if isinstance(module, Filter):
+            return "filter"
+        if isinstance(module, Analyzer):
+            return "analyzer"
+        raise HEPnOSError(
+            f"{module.label}: modules must be Producer, Filter, or Analyzer"
+        )
+
+    # -- event processing --------------------------------------------------
+
+    def _process_one(self, event: EventContext) -> bool:
+        """Run one event through the module path; True if it survived."""
+        for module, report in zip(self.modules, self.reports):
+            report.events_seen += 1
+            event._current_module = module.label
+            before = len(event.produced)
+            start = time.monotonic()
+            if isinstance(module, Producer):
+                module.produce(event)
+                passed = True
+            elif isinstance(module, Filter):
+                passed = bool(module.filter(event))
+            else:
+                module.analyze(event)
+                passed = True
+            report.seconds += time.monotonic() - start
+            report.products_put += len(event.produced) - before
+            if passed:
+                report.events_passed += 1
+            else:
+                return False
+        return True
+
+    def run(self, source, comm=None) -> PipelineReport:
+        """Process every event of ``source``.
+
+        With ``comm`` (size > 1) and a source providing
+        ``process_parallel``, events are distributed across ranks; the
+        report then covers this rank's share.
+        """
+        report = PipelineReport(modules=self.reports)
+        for module in self.modules:
+            module.begin_job()
+        start = time.monotonic()
+
+        def handle(event: EventContext) -> None:
+            report.events_read += 1
+            if self._process_one(event):
+                report.events_completed += 1
+                if self.sink is not None:
+                    self.sink.write(event)
+
+        if comm is not None and comm.size > 1 and hasattr(source,
+                                                          "process_parallel"):
+            source.comm = comm
+            source.process_parallel(handle)
+        else:
+            for event in source.events():
+                handle(event)
+
+        for module in self.modules:
+            module.end_job()
+        if self.sink is not None:
+            self.sink.close()
+        report.seconds = time.monotonic() - start
+        return report

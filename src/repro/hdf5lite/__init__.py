@@ -1,0 +1,17 @@
+"""hdf5lite: a minimal hierarchical columnar file format.
+
+The NOvA inputs to HEPnOS are HDF5 files: a hierarchy of groups where
+leaf groups are named after the C++ class they store and contain a set
+of equal-length 1-D tables -- ``run``, ``subrun``, ``event``, plus one
+table per member variable (paper section IV-B).  HDF5 itself is not
+available offline, so this package implements the subset the ingest
+path needs:
+
+- nested named groups with string/number attributes;
+- n-dimensional NumPy datasets with lazy (offset-based) reads;
+- a structure walk used by the HDF2HEPnOS schema-discovery tool.
+"""
+
+from repro.hdf5lite.format import H5LiteFile, Group, DatasetInfo
+
+__all__ = ["H5LiteFile", "Group", "DatasetInfo"]

@@ -1,0 +1,321 @@
+"""On-disk format and object model for hdf5lite files.
+
+Layout::
+
+    [8B magic "H5LITE01"][blob section ...][TOC JSON][8B TOC length]
+
+Dataset contents live in the blob section; the table of contents at the
+end records the group tree, attributes, and per-dataset (dtype, shape,
+offset, nbytes, crc32).  Datasets are read lazily by offset so scanning
+a file's *structure* (what HDF2HEPnOS does) costs one TOC read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from repro.errors import HDF5LiteError
+
+_MAGIC = b"H5LITE01"
+_TAIL = struct.Struct("<Q")
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """TOC record for one dataset."""
+
+    name: str
+    dtype: str
+    shape: tuple
+    offset: int
+    nbytes: int          # stored (possibly compressed) size
+    crc: int
+    compression: Optional[str] = None
+
+    @property
+    def length(self) -> int:
+        return self.shape[0] if self.shape else 1
+
+
+class Group:
+    """A node in the file's namespace; may hold datasets and subgroups."""
+
+    def __init__(self, file: "H5LiteFile", path: str):
+        self._file = file
+        self.path = path
+        self.attrs: dict = {}
+        self._children: dict[str, "Group"] = {}
+        self._datasets: dict[str, Union[np.ndarray, DatasetInfo]] = {}
+        self._compression: dict[str, str] = {}
+
+    @property
+    def name(self) -> str:
+        return self.path.rsplit("/", 1)[-1] if self.path else ""
+
+    # -- structure ---------------------------------------------------------
+
+    def create_group(self, name: str) -> "Group":
+        self._file._check_writable()
+        if not name or "/" in name:
+            # Nested creation: create each component.
+            group = self
+            for part in filter(None, name.split("/")):
+                group = group.create_group(part)
+            if group is self:
+                raise HDF5LiteError(f"invalid group name {name!r}")
+            return group
+        if name in self._children:
+            return self._children[name]
+        if name in self._datasets:
+            raise HDF5LiteError(f"{name!r} already names a dataset")
+        child = Group(self._file, f"{self.path}/{name}" if self.path else name)
+        self._children[name] = child
+        return child
+
+    def create_dataset(self, name: str, data: np.ndarray,
+                       compression: Optional[str] = None) -> None:
+        """Add a dataset; ``compression="zlib"`` deflates the payload."""
+        self._file._check_writable()
+        if not name or "/" in name:
+            raise HDF5LiteError(f"invalid dataset name {name!r}")
+        if name in self._datasets or name in self._children:
+            raise HDF5LiteError(f"{name!r} already exists in {self.path!r}")
+        if compression not in (None, "zlib"):
+            raise HDF5LiteError(f"unknown compression {compression!r}")
+        arr = np.asarray(data)
+        if arr.dtype.hasobject:
+            raise HDF5LiteError("object-dtype datasets are not supported")
+        self._datasets[name] = np.ascontiguousarray(arr)
+        if compression:
+            self._compression[name] = compression
+
+    # -- access --------------------------------------------------------------
+
+    def groups(self) -> list[str]:
+        return sorted(self._children)
+
+    def datasets(self) -> list[str]:
+        return sorted(self._datasets)
+
+    def group(self, name: str) -> "Group":
+        node = self
+        for part in filter(None, name.split("/")):
+            try:
+                node = node._children[part]
+            except KeyError:
+                raise HDF5LiteError(
+                    f"no group {part!r} under {node.path!r}"
+                ) from None
+        return node
+
+    def dataset_info(self, name: str) -> DatasetInfo:
+        entry = self._datasets.get(name)
+        if entry is None:
+            raise HDF5LiteError(f"no dataset {name!r} under {self.path!r}")
+        if isinstance(entry, DatasetInfo):
+            return entry
+        return DatasetInfo(name, entry.dtype.str, entry.shape, -1,
+                           entry.nbytes, 0,
+                           compression=self._compression.get(name))
+
+    def read(self, name: str) -> np.ndarray:
+        """Load a dataset's contents (lazy file read in read mode)."""
+        entry = self._datasets.get(name)
+        if entry is None:
+            raise HDF5LiteError(f"no dataset {name!r} under {self.path!r}")
+        if isinstance(entry, np.ndarray):
+            return entry
+        return self._file._read_blob(entry)
+
+    def __getitem__(self, path: str) -> Union["Group", np.ndarray]:
+        """Path access: a trailing component naming a dataset reads it."""
+        parts = [p for p in path.split("/") if p]
+        node = self
+        for i, part in enumerate(parts):
+            if part in node._children:
+                node = node._children[part]
+            elif part in node._datasets and i == len(parts) - 1:
+                return node.read(part)
+            else:
+                raise HDF5LiteError(f"no such path {path!r}")
+        return node
+
+    def __contains__(self, path: str) -> bool:
+        try:
+            self[path]
+            return True
+        except HDF5LiteError:
+            return False
+
+    def walk(self) -> Iterator["Group"]:
+        """Depth-first iteration over this group and all descendants."""
+        yield self
+        for name in sorted(self._children):
+            yield from self._children[name].walk()
+
+    def is_leaf_table(self) -> bool:
+        """Whether this group looks like an HDF5 'class table' leaf.
+
+        Leaf groups have no subgroups and at least one dataset; all
+        datasets must share their leading dimension.
+        """
+        if self._children or not self._datasets:
+            return False
+        lengths = {self.dataset_info(n).length for n in self._datasets}
+        return len(lengths) == 1
+
+    # -- TOC (de)serialization ----------------------------------------------
+
+    def _to_toc(self, blobs: list) -> dict:
+        datasets = {}
+        for name, entry in self._datasets.items():
+            if isinstance(entry, DatasetInfo):
+                raise HDF5LiteError("cannot rewrite a read-mode group")
+            raw = entry.tobytes()
+            compression = self._compression.get(name)
+            payload = zlib.compress(raw) if compression == "zlib" else raw
+            offset = sum(len(b) for b in blobs) + len(_MAGIC)
+            blobs.append(payload)
+            datasets[name] = {
+                "dtype": entry.dtype.str,
+                "shape": list(entry.shape),
+                "offset": offset,
+                "nbytes": len(payload),
+                "crc": zlib.crc32(payload),
+                "comp": compression,
+            }
+        return {
+            "attrs": self.attrs,
+            "datasets": datasets,
+            "children": {
+                name: child._to_toc(blobs)
+                for name, child in self._children.items()
+            },
+        }
+
+    def _from_toc(self, toc: dict) -> None:
+        self.attrs = dict(toc.get("attrs", {}))
+        for name, meta in toc.get("datasets", {}).items():
+            self._datasets[name] = DatasetInfo(
+                name=name,
+                dtype=meta["dtype"],
+                shape=tuple(meta["shape"]),
+                offset=meta["offset"],
+                nbytes=meta["nbytes"],
+                crc=meta["crc"],
+                compression=meta.get("comp"),
+            )
+        for name, child_toc in toc.get("children", {}).items():
+            child = Group(self._file, f"{self.path}/{name}" if self.path else name)
+            child._from_toc(child_toc)
+            self._children[name] = child
+
+
+class H5LiteFile:
+    """A file handle; use :meth:`create` or :meth:`open`."""
+
+    def __init__(self, path: str, mode: str):
+        if mode not in ("r", "w"):
+            raise HDF5LiteError(f"bad mode {mode!r}")
+        self.path = path
+        self.mode = mode
+        self.root = Group(self, "")
+        self._closed = False
+        if mode == "r":
+            self._load_toc()
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str) -> "H5LiteFile":
+        return cls(path, "w")
+
+    @classmethod
+    def open(cls, path: str) -> "H5LiteFile":
+        return cls(path, "r")
+
+    # -- context manager --------------------------------------------------------
+
+    def __enter__(self) -> "H5LiteFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self.mode == "w":
+            self._write_out()
+        self._closed = True
+
+    # -- delegation to root --------------------------------------------------
+
+    def create_group(self, name: str) -> Group:
+        return self.root.create_group(name)
+
+    def __getitem__(self, path: str):
+        return self.root[path]
+
+    def __contains__(self, path: str) -> bool:
+        return path in self.root
+
+    def walk(self) -> Iterator[Group]:
+        return self.root.walk()
+
+    # -- io ---------------------------------------------------------------
+
+    def _check_writable(self) -> None:
+        if self.mode != "w":
+            raise HDF5LiteError("file is read-only")
+        if self._closed:
+            raise HDF5LiteError("file is closed")
+
+    def _write_out(self) -> None:
+        blobs: list[np.ndarray] = []
+        toc = self.root._to_toc(blobs)
+        payload = json.dumps(toc).encode()
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as f:
+            f.write(_MAGIC)
+            for blob in blobs:
+                f.write(blob)
+            f.write(payload)
+            f.write(_TAIL.pack(len(payload)))
+        os.replace(tmp, self.path)
+
+    def _load_toc(self) -> None:
+        try:
+            with open(self.path, "rb") as f:
+                magic = f.read(len(_MAGIC))
+                if magic != _MAGIC:
+                    raise HDF5LiteError(f"{self.path}: not an hdf5lite file")
+                f.seek(-_TAIL.size, os.SEEK_END)
+                end = f.tell()
+                (toc_len,) = _TAIL.unpack(f.read(_TAIL.size))
+                if toc_len > end:
+                    raise HDF5LiteError(f"{self.path}: corrupt TOC length")
+                f.seek(end - toc_len)
+                toc = json.loads(f.read(toc_len).decode())
+        except OSError as exc:
+            raise HDF5LiteError(f"cannot open {self.path}: {exc}") from None
+        self.root._from_toc(toc)
+
+    def _read_blob(self, info: DatasetInfo) -> np.ndarray:
+        with open(self.path, "rb") as f:
+            f.seek(info.offset)
+            raw = f.read(info.nbytes)
+        if len(raw) != info.nbytes:
+            raise HDF5LiteError(f"{self.path}: truncated dataset {info.name!r}")
+        if zlib.crc32(raw) != info.crc:
+            raise HDF5LiteError(f"{self.path}: checksum mismatch in {info.name!r}")
+        if info.compression == "zlib":
+            raw = zlib.decompress(raw)
+        return np.frombuffer(raw, dtype=np.dtype(info.dtype)).reshape(info.shape).copy()

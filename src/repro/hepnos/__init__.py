@@ -1,0 +1,75 @@
+"""HEPnOS: the High Energy Physics new Object Store (the paper's system).
+
+HEPnOS organizes data the way HEP scientists do (paper section II-A):
+
+- **datasets** are named containers, nested like folders;
+- **runs**, **subruns** and **events** are numbered containers
+  (runs in datasets, subruns in runs, events in subruns);
+- any run/subrun/event holds zero or more **products**: serialized
+  objects identified by a *label* and a *type*.
+
+Usage mirrors the paper's Listing 1::
+
+    datastore = DataStore.connect(fabric, connection)
+    ds = datastore.create_dataset("fermilab/nova")
+    run = ds.create_run(43)
+    subrun = run.create_subrun(56)
+    event = subrun.create_event(25)
+    event.store(particles, label="tracker")
+    loaded = event.load(vector_of(Particle), label="tracker")
+    for subrun in run:
+        print(subrun.number)
+
+Performance features (section II-D): :class:`WriteBatch` and
+:class:`AsynchronousWriteBatch` group updates per target database;
+:class:`Prefetcher` streams container iteration; and
+:class:`ParallelEventProcessor` gives a group of MPI ranks
+load-balanced parallel iteration over a dataset's events.
+"""
+
+from repro.hepnos.connection import (
+    ConnectionInfo,
+    DbTarget,
+    connection_from_servers,
+)
+from repro.hepnos.datastore import DataStore
+from repro.hepnos.containers import DataSet, Run, SubRun, Event
+from repro.hepnos.product import ProductID, product_type_name, vector_of
+from repro.hepnos.write_batch import WriteBatch, AsynchronousWriteBatch
+from repro.hepnos.prefetcher import Prefetcher
+from repro.hepnos.parallel_event_processor import (
+    ParallelEventProcessor,
+    PEPStatistics,
+)
+from repro.hepnos.loader import (
+    DataLoader,
+    discover_schema,
+    generate_class_code,
+    build_product_class,
+)
+from repro.hepnos.exporter import DatasetExporter, ExportStats
+
+__all__ = [
+    "ConnectionInfo",
+    "DbTarget",
+    "connection_from_servers",
+    "DataStore",
+    "DataSet",
+    "Run",
+    "SubRun",
+    "Event",
+    "ProductID",
+    "product_type_name",
+    "vector_of",
+    "WriteBatch",
+    "AsynchronousWriteBatch",
+    "Prefetcher",
+    "ParallelEventProcessor",
+    "PEPStatistics",
+    "DataLoader",
+    "DatasetExporter",
+    "ExportStats",
+    "discover_schema",
+    "generate_class_code",
+    "build_product_class",
+]

@@ -1,0 +1,98 @@
+"""Connection information: which databases exist where.
+
+A HEPnOS client connects with a description of the deployed service --
+the analogue of the ``config.json`` passed to ``DataStore::connect`` in
+the paper's Listing 1.  It lists, per container kind, the ordered set
+of database targets (server address, provider id, database name).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from repro.errors import ConfigError
+
+#: Container kinds, in hierarchy order.
+KINDS = ("datasets", "runs", "subruns", "events", "products")
+
+
+@dataclass(frozen=True, order=True)
+class DbTarget:
+    """One database instance reachable through the service."""
+
+    address: str
+    provider_id: int
+    name: str
+
+
+class ConnectionInfo:
+    """Ordered database targets for each container kind.
+
+    The *order* of targets is part of the contract: placement maps a
+    hash to an index into these lists, so every client must see the
+    same ordering.  Targets are therefore sorted canonically.
+    """
+
+    def __init__(self, targets: dict[str, Iterable[DbTarget]]):
+        self.targets: dict[str, tuple[DbTarget, ...]] = {}
+        for kind in KINDS:
+            kind_targets = tuple(sorted(targets.get(kind, ())))
+            if not kind_targets:
+                raise ConfigError(f"connection has no {kind!r} databases")
+            self.targets[kind] = kind_targets
+        unknown = set(targets) - set(KINDS)
+        if unknown:
+            raise ConfigError(f"unknown database kinds: {sorted(unknown)}")
+
+    def __getitem__(self, kind: str) -> tuple[DbTarget, ...]:
+        try:
+            return self.targets[kind]
+        except KeyError:
+            raise ConfigError(f"unknown container kind {kind!r}") from None
+
+    def counts(self) -> dict[str, int]:
+        return {kind: len(targets) for kind, targets in self.targets.items()}
+
+    # -- (de)serialization ------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            kind: [[t.address, t.provider_id, t.name] for t in targets]
+            for kind, targets in self.targets.items()
+        }, indent=2)
+
+    @classmethod
+    def from_json(cls, text: Union[str, dict]) -> "ConnectionInfo":
+        raw = json.loads(text) if isinstance(text, str) else text
+        if not isinstance(raw, dict):
+            raise ConfigError("connection JSON must be an object")
+        targets: dict[str, list[DbTarget]] = {}
+        for kind, entries in raw.items():
+            targets[kind] = [
+                DbTarget(address=e[0], provider_id=int(e[1]), name=e[2])
+                for e in entries
+            ]
+        return cls(targets)
+
+
+def connection_from_servers(servers) -> ConnectionInfo:
+    """Build connection info from deployed :class:`BedrockServer` objects.
+
+    Databases are classified by name prefix (``events-3`` -> kind
+    ``events``), the convention used by
+    :func:`repro.bedrock.default_hepnos_config`.
+    """
+    targets: dict[str, list[DbTarget]] = {kind: [] for kind in KINDS}
+    for server in servers:
+        for db_name, provider_id in server.database_directory.items():
+            kind = db_name.rsplit("-", 1)[0]
+            if kind not in KINDS:
+                raise ConfigError(
+                    f"database {db_name!r} does not map to a container kind"
+                )
+            targets[kind].append(
+                DbTarget(str(server.address), provider_id, db_name)
+            )
+    return ConnectionInfo(targets)

@@ -1,0 +1,263 @@
+"""The DataStore: a client's entry point into a HEPnOS service."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional, Union
+
+from repro.errors import ContainerNotFound, HEPnOSError, ProductNotFound, KeyNotFound
+from repro.hepnos import keys
+from repro.hepnos.connection import ConnectionInfo, DbTarget, connection_from_servers
+from repro.hepnos.placement import ParentHashPlacement
+from repro.hepnos.product import product_type_name
+from repro.mercury import Engine, Fabric
+from repro.serial import dumps, loads
+from repro.yokan import DatabaseHandle, YokanClient
+
+_client_counter = itertools.count()
+
+
+class DataStore:
+    """Client-side handle to the whole HEPnOS service.
+
+    Obtain one with :meth:`connect`, then navigate with
+    ``datastore["path/to/dataset"]`` exactly as in the paper's
+    Listing 1.
+    """
+
+    def __init__(self, fabric: Fabric, connection: ConnectionInfo,
+                 client_address: Optional[str] = None, placement=None):
+        self.fabric = fabric
+        self.connection = connection
+        if client_address is None:
+            client_address = f"sm://hepnos-client/{next(_client_counter)}"
+        self.engine = Engine(fabric, client_address)
+        self._client = YokanClient(self.engine)
+        self.placement = placement or ParentHashPlacement(connection)
+        self._handles: dict[DbTarget, DatabaseHandle] = {}
+        self._uuid_cache: dict[str, bytes] = {}
+
+    @classmethod
+    def connect(cls, fabric: Fabric, connection,
+                client_address: Optional[str] = None) -> "DataStore":
+        """Connect using a :class:`ConnectionInfo`, JSON text, or a list
+        of deployed :class:`~repro.bedrock.BedrockServer` objects."""
+        if isinstance(connection, ConnectionInfo):
+            info = connection
+        elif isinstance(connection, (str, dict)):
+            info = ConnectionInfo.from_json(connection)
+        else:
+            info = connection_from_servers(connection)
+        return cls(fabric, info, client_address=client_address)
+
+    # -- database access ------------------------------------------------------
+
+    def _handle(self, target: DbTarget) -> DatabaseHandle:
+        handle = self._handles.get(target)
+        if handle is None:
+            handle = self._client.database_handle(
+                target.address, target.provider_id, target.name
+            )
+            self._handles[target] = handle
+        return handle
+
+    def _db(self, kind: str, parent_key: bytes) -> DatabaseHandle:
+        return self._handle(self.placement.database_for(kind, parent_key))
+
+    def target_for(self, kind: str, parent_key: bytes) -> DbTarget:
+        return self.placement.database_for(kind, parent_key)
+
+    def handle_for_target(self, target: DbTarget) -> DatabaseHandle:
+        return self._handle(target)
+
+    # -- datasets ---------------------------------------------------------
+
+    def create_dataset(self, path: str) -> "DataSet":
+        """Create a dataset (and any missing ancestors); idempotent."""
+        from repro.hepnos.containers import DataSet
+
+        path = keys.normalize_path(path)
+        parts = path.split("/")
+        current = ""
+        uuid = b""
+        for part in parts:
+            child = f"{current}/{part}" if current else part
+            uuid = self._get_or_create_dataset_entry(current, child)
+            current = child
+        return DataSet(self, path, uuid)
+
+    def _get_or_create_dataset_entry(self, parent: str, path: str) -> bytes:
+        cached = self._uuid_cache.get(path)
+        if cached is not None:
+            return cached
+        db = self._db("datasets", parent.encode("utf-8"))
+        key = keys.dataset_key(path)
+        try:
+            uuid = db.get(key)
+        except KeyNotFound:
+            # Deterministic identity: concurrent creators of the same
+            # path write the same value, so this needs no atomicity.
+            uuid = keys.new_dataset_uuid(path)
+            db.put(key, uuid)
+        self._uuid_cache[path] = uuid
+        return uuid
+
+    def dataset_uuid(self, path: str) -> bytes:
+        """Resolve a dataset path to its UUID (raises if absent)."""
+        path = keys.normalize_path(path)
+        cached = self._uuid_cache.get(path)
+        if cached is not None:
+            return cached
+        db = self._db("datasets", keys.parent_path(path).encode("utf-8"))
+        try:
+            uuid = db.get(keys.dataset_key(path))
+        except KeyNotFound:
+            raise ContainerNotFound(f"no dataset {path!r}") from None
+        self._uuid_cache[path] = uuid
+        return uuid
+
+    def exists_dataset(self, path: str) -> bool:
+        try:
+            self.dataset_uuid(path)
+            return True
+        except ContainerNotFound:
+            return False
+
+    def __getitem__(self, path: str) -> "DataSet":
+        from repro.hepnos.containers import DataSet
+
+        path = keys.normalize_path(path)
+        return DataSet(self, path, self.dataset_uuid(path))
+
+    def __contains__(self, path: str) -> bool:
+        return self.exists_dataset(path)
+
+    def datasets(self) -> Iterator["DataSet"]:
+        """Iterate the root-level datasets."""
+        return self.child_datasets("")
+
+    def child_datasets(self, parent: str) -> Iterator["DataSet"]:
+        """Iterate the datasets directly inside ``parent`` ('' = root)."""
+        from repro.hepnos.containers import DataSet
+
+        if parent:
+            parent = keys.normalize_path(parent)
+        db = self._db("datasets", parent.encode("utf-8"))
+        prefix = (parent + "/").encode("utf-8") if parent else b""
+        for key in db.iter_keys(prefix=prefix):
+            path = key.decode("utf-8")
+            tail = path[len(parent) + 1 :] if parent else path
+            if "/" in tail:
+                # A deeper descendant that happens to share this database.
+                continue
+            yield DataSet(self, path, self.dataset_uuid(path))
+
+    # -- numbered containers ------------------------------------------------
+
+    def create_container(self, kind: str, parent_key: bytes, key: bytes,
+                         batch=None) -> None:
+        """Insert a container key (empty value: presence == existence)."""
+        if batch is not None:
+            batch.append(self.target_for(kind, parent_key), key, b"")
+        else:
+            self._db(kind, parent_key).put(key, b"")
+
+    def container_exists(self, kind: str, parent_key: bytes, key: bytes) -> bool:
+        return self._db(kind, parent_key).exists(key)
+
+    def list_child_keys(self, kind: str, parent_key: bytes,
+                        start_after: bytes = b"", limit: int = 0,
+                        page: int = 4096) -> Iterator[bytes]:
+        """Ordered child keys of ``parent_key`` in one database."""
+        db = self._db(kind, parent_key)
+        produced = 0
+        cursor = start_after
+        while True:
+            want = page if not limit else min(page, limit - produced)
+            keys_page = db.list_keys(prefix=parent_key, start_after=cursor,
+                                     limit=want)
+            if not keys_page:
+                return
+            for key in keys_page:
+                yield key
+                produced += 1
+                if limit and produced >= limit:
+                    return
+            cursor = keys_page[-1]
+
+    # -- products ---------------------------------------------------------
+
+    def store_product(self, container_key: bytes, obj, label: str = "",
+                      type_name=None, batch=None) -> bytes:
+        """Serialize and store a product; returns its database key."""
+        tname = product_type_name(type_name if type_name is not None else obj)
+        key = keys.product_key(container_key, label, tname)
+        value = dumps(obj)
+        if batch is not None:
+            batch.append(self.placement.product_database_for(container_key),
+                         key, value)
+        else:
+            self._product_db(container_key).put(key, value)
+        return key
+
+    def load_product(self, container_key: bytes, product_type, label: str = ""):
+        """Load one product; raises :class:`ProductNotFound` if absent."""
+        tname = product_type_name(product_type)
+        key = keys.product_key(container_key, label, tname)
+        try:
+            value = self._product_db(container_key).get(key)
+        except KeyNotFound:
+            raise ProductNotFound(
+                f"no product label={label!r} type={tname!r} in container"
+            ) from None
+        return loads(value)
+
+    def load_products_bulk(self, container_keys, product_type, label: str = ""):
+        """Batched product load for many containers (one RPC per database).
+
+        Returns a list aligned with ``container_keys``; missing products
+        are ``None``.  This is the fast path the ParallelEventProcessor
+        readers use for prefetching.
+        """
+        container_keys = list(container_keys)
+        tname = product_type_name(product_type)
+        by_target: dict[DbTarget, list[tuple[int, bytes]]] = {}
+        for i, ckey in enumerate(container_keys):
+            target = self.placement.product_database_for(ckey)
+            pkey = keys.product_key(ckey, label, tname)
+            by_target.setdefault(target, []).append((i, pkey))
+        out = [None] * len(container_keys)
+        for target, entries in by_target.items():
+            handle = self._handle(target)
+            values = handle.get_multi([pkey for _, pkey in entries])
+            for (i, _), value in zip(entries, values):
+                out[i] = loads(value) if value is not None else None
+        return out
+
+    def product_exists(self, container_key: bytes, product_type,
+                       label: str = "") -> bool:
+        tname = product_type_name(product_type)
+        key = keys.product_key(container_key, label, tname)
+        return self._product_db(container_key).exists(key)
+
+    def _product_db(self, container_key: bytes) -> DatabaseHandle:
+        return self._handle(self.placement.product_database_for(container_key))
+
+    # -- misc ---------------------------------------------------------------
+
+    def adopt(self, connection: ConnectionInfo) -> None:
+        """Switch to a new service layout (after a rescale migration).
+
+        Replaces the placement function and drops cached handles; the
+        UUID cache survives (dataset identities are layout-independent).
+        """
+        self.connection = connection
+        self.placement = ParentHashPlacement(connection)
+        self._handles.clear()
+
+    def shutdown(self) -> None:
+        self.engine.finalize()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = self.connection.counts()
+        return f"DataStore({counts})"

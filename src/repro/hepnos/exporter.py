@@ -1,0 +1,112 @@
+"""HEPnOS2HDF: export a dataset's products back to columnar files.
+
+The inverse of the DataLoader: walks a dataset, loads every event's
+``vector<Class>`` product for the requested classes, and writes the
+rows back into hdf5lite class tables (``run``/``subrun``/``event`` id
+columns plus one column per member).  This is how results leave the
+service for archival at the end of a campaign.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import HEPnOSError
+from repro.hdf5lite import H5LiteFile
+from repro.hepnos.product import vector_of
+from repro.serial import registered_type
+
+
+@dataclass
+class ExportStats:
+    events: int = 0
+    tables: int = 0
+    rows: int = 0
+
+
+def _column_dtype(value) -> np.dtype:
+    if isinstance(value, bool):
+        return np.dtype("|b1")
+    if isinstance(value, int):
+        return np.dtype("<i8")
+    if isinstance(value, float):
+        return np.dtype("<f8")
+    raise HEPnOSError(
+        f"cannot export field value of type {type(value).__name__}"
+    )
+
+
+class DatasetExporter:
+    """Exports one dataset's products for a set of registered classes."""
+
+    def __init__(self, datastore, dataset_path: str, label: str = ""):
+        self.datastore = datastore
+        self.dataset = datastore[dataset_path]
+        self.label = label
+
+    def export(self, path: str, class_names: Sequence[str],
+               compression: Optional[str] = None,
+               events=None) -> ExportStats:
+        """Write one hdf5lite file with a class table per name.
+
+        ``events`` optionally restricts the export (an iterable of
+        Event objects); default is every event of the dataset.
+        """
+        if not class_names:
+            raise HEPnOSError("no classes requested")
+        stats = ExportStats()
+        classes = {name: registered_type(name) for name in class_names}
+        columns: dict[str, dict[str, list]] = {
+            name: {"run": [], "subrun": [], "evt": []}
+            for name in class_names
+        }
+        field_names: dict[str, list[str]] = {}
+        for name, cls in classes.items():
+            if dataclasses.is_dataclass(cls):
+                field_names[name] = [f.name for f in dataclasses.fields(cls)]
+            else:
+                field_names[name] = None  # discovered from first instance
+
+        event_iter = events if events is not None else self.dataset.events()
+        for event in event_iter:
+            stats.events += 1
+            run, subrun, evt = event.triple()
+            for name, cls in classes.items():
+                try:
+                    products = event.load(vector_of(cls), label=self.label)
+                except Exception:
+                    continue
+                table = columns[name]
+                if field_names[name] is None and products:
+                    field_names[name] = sorted(vars(products[0]))
+                for product in products:
+                    table["run"].append(run)
+                    table["subrun"].append(subrun)
+                    table["evt"].append(evt)
+                    for field in field_names[name]:
+                        table.setdefault(field, []).append(
+                            getattr(product, field)
+                        )
+                    stats.rows += 1
+
+        with H5LiteFile.create(path) as f:
+            for name, table in columns.items():
+                if not table["run"]:
+                    continue
+                stats.tables += 1
+                group = f.create_group(name.replace(".", "/"))
+                group.attrs["class"] = name
+                for column, values in table.items():
+                    if column in ("run", "subrun", "evt"):
+                        arr = np.asarray(values, dtype=np.int64)
+                    else:
+                        arr = np.asarray(
+                            values, dtype=_column_dtype(values[0])
+                        )
+                    group.create_dataset(column, arr,
+                                         compression=compression)
+        return stats

@@ -1,0 +1,312 @@
+"""HDF2HEPnOS: schema discovery, class generation, and bulk ingest.
+
+The paper's HDF2HEPnOS tool (section IV-B) analyzes the structure of an
+HDF5 file, deduces each stored class and its member variables, and
+generates code to load instances from HDF5 into HEPnOS.  Input files
+contain leaf groups -- one per C++ class -- holding equal-length 1-D
+tables: ``run``, ``subrun``, ``event`` (the identifiers) plus one table
+per member variable.
+
+Here:
+
+- :func:`discover_schema` walks an hdf5lite file and returns one
+  :class:`TableSchema` per class table;
+- :func:`generate_class_code` emits the Python source of the product
+  class (the analogue of the generated C++ header);
+- :func:`build_product_class` creates and registers the class at
+  runtime;
+- :class:`DataLoader` ingests files into a dataset, event-granular,
+  using write batches; with a communicator it splits the file list
+  across ranks -- the only HEPnOS workflow step whose parallelism is
+  bounded by the number of files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import keyword
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import HEPnOSError
+from repro.hdf5lite import H5LiteFile
+from repro.hepnos.product import vector_of
+from repro.hepnos.write_batch import WriteBatch
+from repro.serial import register_type
+
+#: Recognized spellings of the identifier columns.
+_ID_COLUMNS = {
+    "run": ("run",),
+    "subrun": ("subrun", "subRun"),
+    "event": ("event", "evt", "cycle_evt"),
+}
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """The discovered schema of one class table."""
+
+    class_name: str           # e.g. "rec.slc"
+    group_path: str           # path of the leaf group inside the file
+    id_columns: dict          # logical name -> actual column name
+    value_columns: tuple      # ((name, dtype_str), ...)
+    length: int               # number of rows
+
+    @property
+    def python_class_name(self) -> str:
+        """A valid Python identifier for the generated class."""
+        name = "".join(
+            part.capitalize() for part in self.class_name.replace(".", "_").split("_")
+        )
+        return name or "Anonymous"
+
+
+def _find_id_columns(names: Sequence[str]) -> Optional[dict]:
+    found = {}
+    for logical, spellings in _ID_COLUMNS.items():
+        for spelling in spellings:
+            if spelling in names:
+                found[logical] = spelling
+                break
+        else:
+            return None
+    return found
+
+
+def discover_schema(h5file: H5LiteFile) -> list[TableSchema]:
+    """All class tables in the file, sorted by group path."""
+    schemas = []
+    for group in h5file.walk():
+        if not group.is_leaf_table():
+            continue
+        names = group.datasets()
+        ids = _find_id_columns(names)
+        if ids is None:
+            continue
+        id_names = set(ids.values())
+        value_columns = tuple(
+            (name, group.dataset_info(name).dtype)
+            for name in names
+            if name not in id_names
+        )
+        class_name = group.attrs.get("class", group.path.replace("/", "."))
+        schemas.append(TableSchema(
+            class_name=class_name,
+            group_path=group.path,
+            id_columns=ids,
+            value_columns=value_columns,
+            length=group.dataset_info(names[0]).length,
+        ))
+    return sorted(schemas, key=lambda s: s.group_path)
+
+
+def _python_field_name(column: str) -> str:
+    name = column.replace(".", "_").replace("-", "_")
+    if not name.isidentifier() or keyword.iskeyword(name):
+        name = "f_" + "".join(c if c.isalnum() else "_" for c in column)
+    return name
+
+
+def _python_type_for(dtype_str: str) -> type:
+    kind = np.dtype(dtype_str).kind
+    if kind == "f":
+        return float
+    if kind in ("i", "u"):
+        return int
+    if kind == "b":
+        return bool
+    raise HEPnOSError(f"unsupported column dtype {dtype_str!r}")
+
+
+def generate_class_code(schema: TableSchema) -> str:
+    """Python source for the product class (the generated-C++ analogue)."""
+    lines = [
+        "import dataclasses",
+        "",
+        "from repro.serial import register_type",
+        "",
+        "",
+        "@dataclasses.dataclass",
+        f"class {schema.python_class_name}:",
+        f'    """Generated from table {schema.group_path!r}."""',
+        "",
+    ]
+    if not schema.value_columns:
+        lines.append("    pass")
+    for column, dtype_str in schema.value_columns:
+        ptype = _python_type_for(dtype_str)
+        default = {float: "0.0", int: "0", bool: "False"}[ptype]
+        lines.append(
+            f"    {_python_field_name(column)}: {ptype.__name__} = {default}"
+        )
+    lines += [
+        "",
+        "",
+        f"register_type({schema.python_class_name}, {schema.class_name!r})",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def build_product_class(schema: TableSchema) -> type:
+    """Create and register the product class for ``schema`` at runtime."""
+    fields = []
+    for column, dtype_str in schema.value_columns:
+        ptype = _python_type_for(dtype_str)
+        default = {float: 0.0, int: 0, bool: False}[ptype]
+        fields.append((_python_field_name(column), ptype,
+                       dataclasses.field(default=default)))
+    cls = dataclasses.make_dataclass(schema.python_class_name, fields)
+    register_type(cls, schema.class_name)
+    return cls
+
+
+@dataclass
+class IngestStats:
+    """What one ingest call accomplished."""
+
+    files: int = 0
+    tables: int = 0
+    rows: int = 0
+    events_created: int = 0
+    products_stored: int = 0
+
+    def merge(self, other: "IngestStats") -> "IngestStats":
+        self.files += other.files
+        self.tables += other.tables
+        self.rows += other.rows
+        self.events_created += other.events_created
+        self.products_stored += other.products_stored
+        return self
+
+
+class DataLoader:
+    """Ingests hdf5lite files into a HEPnOS dataset.
+
+    Each class table contributes, per (run, subrun, event) triple, one
+    product of type ``vector<Class>`` containing that event's rows,
+    stored under ``label``.  Containers are created on demand.
+    """
+
+    def __init__(self, datastore, dataset_path: str, label: str = "",
+                 flush_threshold: int = 4096):
+        self.datastore = datastore
+        self.dataset = datastore.create_dataset(dataset_path)
+        self.label = label
+        self.flush_threshold = flush_threshold
+        self._classes: dict[str, type] = {}
+
+    def _class_for(self, schema: TableSchema) -> type:
+        cls = self._classes.get(schema.class_name)
+        if cls is None:
+            from repro.serial.archive import _BY_NAME
+
+            cls = _BY_NAME.get(schema.class_name)
+            if cls is None:
+                cls = build_product_class(schema)
+            self._classes[schema.class_name] = cls
+        return cls
+
+    # -- single-file ingest ------------------------------------------------------
+
+    def ingest_file(self, path: str, batch: Optional[WriteBatch] = None) -> IngestStats:
+        stats = IngestStats(files=1)
+        own_batch = batch is None
+        if own_batch:
+            batch = WriteBatch(self.datastore,
+                               flush_threshold=self.flush_threshold)
+        with H5LiteFile.open(path) as h5:
+            schemas = discover_schema(h5)
+            if not schemas:
+                raise HEPnOSError(f"{path}: no class tables found")
+            created: set[tuple] = set()
+            for schema in schemas:
+                stats.tables += 1
+                self._ingest_table(h5, schema, batch, created, stats)
+        if own_batch:
+            batch.close()
+        return stats
+
+    def _ingest_table(self, h5: H5LiteFile, schema: TableSchema,
+                      batch: WriteBatch, created: set, stats: IngestStats) -> None:
+        group = h5.root.group(schema.group_path)
+        runs = group.read(schema.id_columns["run"]).astype(np.int64)
+        subruns = group.read(schema.id_columns["subrun"]).astype(np.int64)
+        events = group.read(schema.id_columns["event"]).astype(np.int64)
+        columns = {
+            name: group.read(name) for name, _ in schema.value_columns
+        }
+        cls = self._class_for(schema)
+        field_names = [
+            _python_field_name(name) for name, _ in schema.value_columns
+        ]
+        n = len(runs)
+        stats.rows += n
+        if n == 0:
+            return
+        # Group rows by (run, subrun, event) with one argsort.
+        order = np.lexsort((events, subruns, runs))
+        sorted_ids = np.stack([runs[order], subruns[order], events[order]])
+        boundaries = np.nonzero(np.any(np.diff(sorted_ids, axis=1) != 0, axis=0))[0] + 1
+        groups = np.split(order, boundaries)
+        for rows in groups:
+            r = int(runs[rows[0]])
+            s = int(subruns[rows[0]])
+            e = int(events[rows[0]])
+            event = self._ensure_event(r, s, e, batch, created, stats)
+            products = [
+                cls(**{
+                    fname: columns[cname][idx].item()
+                    for fname, (cname, _) in zip(field_names, schema.value_columns)
+                })
+                for idx in rows
+            ]
+            event.store(products, label=self.label,
+                        type_name=vector_of(cls), batch=batch)
+            stats.products_stored += 1
+
+    def _ensure_event(self, r: int, s: int, e: int, batch: WriteBatch,
+                      created: set, stats: IngestStats):
+        from repro.hepnos.containers import Event, Run, SubRun
+        from repro.hepnos import keys as hkeys
+
+        if ("r", r) not in created:
+            self.dataset.create_run(r, batch=batch)
+            created.add(("r", r))
+        run = Run(self.datastore, self.dataset, r,
+                  hkeys.run_key(self.dataset.uuid, r))
+        if ("s", r, s) not in created:
+            run.create_subrun(s, batch=batch)
+            created.add(("s", r, s))
+        subrun = SubRun(self.datastore, run, s, hkeys.subrun_key(run.key, s))
+        if ("e", r, s, e) not in created:
+            subrun.create_event(e, batch=batch)
+            created.add(("e", r, s, e))
+            stats.events_created += 1
+        return Event(self.datastore, subrun, e, hkeys.event_key(subrun.key, e))
+
+    # -- parallel ingest ---------------------------------------------------------
+
+    def ingest(self, paths: Sequence[str], comm=None) -> IngestStats:
+        """Ingest many files; with a communicator, ranks split the list.
+
+        Returns the global statistics on every rank (allreduced).
+        """
+        local = IngestStats()
+        if comm is None:
+            my_paths = list(paths)
+        else:
+            my_paths = [p for i, p in enumerate(paths)
+                        if i % comm.size == comm.rank]
+        for path in my_paths:
+            local.merge(self.ingest_file(path))
+        if comm is None:
+            return local
+        totals = comm.allreduce(
+            (local.files, local.tables, local.rows,
+             local.events_created, local.products_stored),
+            op=lambda a, b: tuple(x + y for x, y in zip(a, b)),
+        )
+        return IngestStats(*totals)

@@ -1,0 +1,382 @@
+"""ParallelEventProcessor: load-balanced parallel event iteration.
+
+The PEP (paper section II-D) lets a group of MPI ranks iterate the
+events of a dataset cooperatively:
+
+- a subset of ranks become **readers** (typically as many readers as
+  event databases).  Each reader owns a disjoint set of event databases
+  and streams their events in *input batches* (default 16384 events --
+  few RPCs, large transfers), prefetching requested products with
+  batched ``get_multi`` calls;
+- readers chop input batches into *dispatch batches* (default 64
+  events -- fine-grained load balancing) and serve them to worker ranks
+  on demand through a pull protocol;
+- every event is delivered exactly once; workers invoke the
+  user-supplied callable on each event.
+
+With one rank (or ``comm=None``) the PEP degrades to sequential
+prefetched iteration, which is also the mode ingest validation uses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.errors import HEPnOSError, ProductNotFound
+from repro.hepnos import keys as hkeys
+from repro.hepnos.connection import DbTarget
+from repro.hepnos.product import product_type_name
+
+_TAG_REQUEST = 101
+_TAG_REPLY = 102
+
+
+@dataclass
+class PEPStatistics:
+    """Per-rank accounting for one PEP run."""
+
+    rank: int = 0
+    role: str = "worker"
+    events_processed: int = 0
+    batches_received: int = 0
+    events_loaded: int = 0
+    load_seconds: float = 0.0
+    processing_seconds: float = 0.0
+    waiting_seconds: float = 0.0
+    total_seconds: float = 0.0
+    #: reader only: events served per worker rank
+    served: dict = field(default_factory=dict)
+
+    @staticmethod
+    def aggregate(stats_list: "list[PEPStatistics]") -> dict:
+        """Summarize a run's per-rank statistics (the offline analysis
+        of the per-rank timestamp files the paper describes)."""
+        workers = [s for s in stats_list if s.role in ("worker", "sequential")]
+        readers = [s for s in stats_list if s.role == "reader"]
+        events = [w.events_processed for w in workers]
+        mean_events = sum(events) / len(events) if events else 0.0
+        return {
+            "ranks": len(stats_list),
+            "readers": len(readers),
+            "workers": len(workers),
+            "events_processed": sum(events),
+            "events_loaded": sum(r.events_loaded for r in readers),
+            "worker_imbalance": (
+                max(events) / mean_events if mean_events else 1.0
+            ),
+            "total_seconds": max(
+                (s.total_seconds for s in stats_list), default=0.0
+            ),
+            "processing_seconds": sum(w.processing_seconds for w in workers),
+            "waiting_seconds": sum(w.waiting_seconds for w in workers),
+        }
+
+
+class _EventStub:
+    """A shipped event: identity plus prefetched products.
+
+    Presented to the user callable; ``load`` first serves prefetched
+    products and falls back to the datastore otherwise.
+    """
+
+    __slots__ = ("datastore", "key", "_triple", "_products")
+
+    def __init__(self, datastore, key: bytes, triple: Tuple[int, int, int],
+                 products: dict):
+        self.datastore = datastore
+        self.key = key
+        self._triple = triple
+        self._products = products
+
+    @property
+    def number(self) -> int:
+        return self._triple[2]
+
+    @property
+    def run_number(self) -> int:
+        return self._triple[0]
+
+    @property
+    def subrun_number(self) -> int:
+        return self._triple[1]
+
+    def triple(self) -> Tuple[int, int, int]:
+        return self._triple
+
+    def load(self, product_type, label: str = ""):
+        spec = (product_type_name(product_type), label)
+        if spec in self._products:
+            value = self._products[spec]
+            if value is None:
+                raise ProductNotFound(
+                    f"no product label={label!r} type={spec[0]!r} "
+                    f"in event {self._triple}"
+                )
+            return value
+        return self.datastore.load_product(self.key, product_type, label=label)
+
+
+class ParallelEventProcessor:
+    """Parallel, load-balanced ``for each event`` over a dataset."""
+
+    def __init__(self, datastore, comm=None,
+                 input_batch_size: int = 16384,
+                 dispatch_batch_size: int = 64,
+                 products: Sequence[Tuple[object, str]] = (),
+                 num_readers: Optional[int] = None,
+                 queue_depth: int = 8,
+                 worker_pipeline: int = 1):
+        if input_batch_size <= 0 or dispatch_batch_size <= 0:
+            raise HEPnOSError("batch sizes must be positive")
+        if worker_pipeline <= 0:
+            raise HEPnOSError("worker_pipeline must be positive")
+        self.datastore = datastore
+        self.comm = comm
+        self.input_batch_size = input_batch_size
+        # A dispatch batch never exceeds one input batch.
+        self.dispatch_batch_size = min(dispatch_batch_size, input_batch_size)
+        self.products = [
+            (product_type_name(ptype), label) for ptype, label in products
+        ]
+        self.num_readers = num_readers
+        self.queue_depth = queue_depth
+        #: how many requests a worker keeps in flight (to distinct
+        #: readers); > 1 overlaps processing with the next fetch
+        self.worker_pipeline = worker_pipeline
+
+    # -- public API --------------------------------------------------------
+
+    def process(self, dataset, fn: Callable) -> PEPStatistics:
+        """Invoke ``fn(event)`` for every event of ``dataset``.
+
+        Collective over the communicator: every rank must call it.
+        Returns this rank's statistics.
+        """
+        start = time.monotonic()
+        if self.comm is None or self.comm.size == 1:
+            stats = self._process_sequential(dataset, fn)
+        else:
+            stats = self._process_parallel(dataset, fn)
+        stats.total_seconds = time.monotonic() - start
+        return stats
+
+    # -- sequential fallback ------------------------------------------------
+
+    def _process_sequential(self, dataset, fn: Callable) -> PEPStatistics:
+        stats = PEPStatistics(rank=0, role="sequential")
+        for batch in self._load_batches(self._all_subruns(dataset)):
+            for stub in batch:
+                t0 = time.monotonic()
+                fn(stub)
+                stats.processing_seconds += time.monotonic() - t0
+                stats.events_processed += 1
+        return stats
+
+    # -- shared loading machinery ----------------------------------------------
+
+    def _all_subruns(self, dataset):
+        return [subrun for run in dataset for subrun in run]
+
+    def _subruns_by_event_db(self, dataset) -> dict[DbTarget, list]:
+        """Group the dataset's subruns by the event database holding
+        their events (placement hashes the subrun key)."""
+        groups: dict[DbTarget, list] = {}
+        for subrun in self._all_subruns(dataset):
+            target = self.datastore.target_for("events", subrun.key)
+            groups.setdefault(target, []).append(subrun)
+        return groups
+
+    def _load_batches(self, subruns):
+        """Yield lists of :class:`_EventStub` of up to input_batch_size.
+
+        One ``list_keys`` page + one ``get_multi`` per product spec per
+        batch: the few-RPCs/large-payload pattern from the paper.
+        """
+        for subrun in subruns:
+            cursor = b""
+            while True:
+                page = list(self.datastore.list_child_keys(
+                    "events", subrun.key, start_after=cursor,
+                    limit=self.input_batch_size,
+                ))
+                if not page:
+                    break
+                cursor = page[-1]
+                yield self._materialize(subrun, page)
+                if len(page) < self.input_batch_size:
+                    break
+
+    def _materialize(self, subrun, event_keys: list[bytes]) -> list[_EventStub]:
+        prefetched: dict[tuple[str, str], list] = {}
+        for tname, label in self.products:
+            prefetched[(tname, label)] = self.datastore.load_products_bulk(
+                event_keys, tname, label=label
+            )
+        run_number = subrun.run.number
+        subrun_number = subrun.number
+        stubs = []
+        for i, key in enumerate(event_keys):
+            products = {spec: prefetched[spec][i] for spec in prefetched}
+            stubs.append(_EventStub(
+                self.datastore, key,
+                (run_number, subrun_number, hkeys.child_number(key)),
+                products,
+            ))
+        return stubs
+
+    # -- parallel mode ---------------------------------------------------------
+
+    def _roles(self, dataset):
+        """Decide reader ranks and the per-reader subrun assignment."""
+        groups = self._subruns_by_event_db(dataset)
+        size = self.comm.size
+        if self.num_readers:
+            wanted = self.num_readers
+        else:
+            # Paper default: one reader per event database -- but never
+            # starve the workers when the rank count is small.
+            wanted = min(len(groups), max(1, size // 4))
+        num_readers = max(1, min(wanted, size - 1, max(len(groups), 1)))
+        # Deterministic assignment: sort db groups, round-robin to readers.
+        assignments: list[list] = [[] for _ in range(num_readers)]
+        for i, target in enumerate(sorted(groups)):
+            assignments[i % num_readers].extend(groups[target])
+        return num_readers, assignments
+
+    def _process_parallel(self, dataset, fn: Callable) -> PEPStatistics:
+        comm = self.comm
+        num_readers, assignments = self._roles(dataset)
+        rank = comm.rank
+        try:
+            if rank < num_readers:
+                stats = self._run_reader(assignments[rank],
+                                         num_workers=comm.size - num_readers)
+            else:
+                stats = self._run_worker(fn, readers=list(range(num_readers)))
+            stats.rank = rank
+            return stats
+        finally:
+            # Keep the exit collective even on failure so surviving ranks
+            # do not hang in recv.
+            comm.barrier()
+
+    def _run_reader(self, subruns, num_workers: int) -> PEPStatistics:
+        stats = PEPStatistics(role="reader")
+        comm = self.comm
+        queue: deque = deque()
+        lock = threading.Lock()
+        ready = threading.Condition(lock)
+        state = {"done": False, "error": None}
+        max_queued = max(
+            1, self.queue_depth * self.input_batch_size // self.dispatch_batch_size
+        )
+
+        def loader() -> None:
+            try:
+                iterator = self._load_batches(subruns)
+                while True:
+                    t0 = time.monotonic()
+                    batch = next(iterator, None)
+                    stats.load_seconds += time.monotonic() - t0
+                    if batch is None:
+                        break
+                    stats.events_loaded += len(batch)
+                    for i in range(0, len(batch), self.dispatch_batch_size):
+                        chunk = batch[i : i + self.dispatch_batch_size]
+                        with ready:
+                            while len(queue) >= max_queued:
+                                ready.wait()
+                            queue.append(chunk)
+                            ready.notify_all()
+            except BaseException as exc:  # noqa: BLE001 - forwarded to workers
+                state["error"] = exc
+            finally:
+                with ready:
+                    state["done"] = True
+                    ready.notify_all()
+
+        thread = threading.Thread(target=loader, daemon=True,
+                                  name=f"pep-loader-{comm.rank}")
+        thread.start()
+
+        dones_sent = 0
+        while dones_sent < num_workers:
+            worker, _src, _tag = None, None, None
+            payload, src, _ = comm.recv_with_status(tag=_TAG_REQUEST,
+                                                    timeout=None)
+            worker = src
+            with ready:
+                while not queue and not state["done"]:
+                    ready.wait()
+                chunk = queue.popleft() if queue else None
+                ready.notify_all()
+            if state["error"] is not None:
+                comm.send(("error", repr(state["error"])), dest=worker,
+                          tag=_TAG_REPLY)
+                dones_sent += 1
+                continue
+            if chunk is None:
+                comm.send(("done", None), dest=worker, tag=_TAG_REPLY)
+                dones_sent += 1
+            else:
+                comm.send(("batch", chunk), dest=worker, tag=_TAG_REPLY)
+                stats.served[worker] = stats.served.get(worker, 0) + len(chunk)
+        thread.join()
+        if state["error"] is not None:
+            raise HEPnOSError(f"PEP reader failed: {state['error']!r}")
+        return stats
+
+    def _run_worker(self, fn: Callable,
+                    readers: list[int]) -> PEPStatistics:
+        stats = PEPStatistics(role="worker")
+        comm = self.comm
+        active = set(readers)
+        outstanding: set[int] = set()
+        errors: list[str] = []
+        rr = comm.rank % max(len(readers), 1)
+        order = readers[rr:] + readers[:rr]  # stagger first contacts
+        depth = self.worker_pipeline
+
+        def top_up() -> None:
+            """Keep up to ``depth`` requests in flight, one per reader."""
+            for reader in order:
+                if len(outstanding) >= depth:
+                    return
+                if reader in active and reader not in outstanding:
+                    comm.send(None, dest=reader, tag=_TAG_REQUEST)
+                    outstanding.add(reader)
+
+        top_up()
+        while outstanding:
+            t0 = time.monotonic()
+            (kind, payload), src, _ = comm.recv_with_status(
+                tag=_TAG_REPLY, timeout=None
+            )
+            stats.waiting_seconds += time.monotonic() - t0
+            outstanding.discard(src)
+            if kind == "done":
+                active.discard(src)
+            elif kind == "error":
+                # Keep draining the other readers so they terminate,
+                # then report the failure.
+                errors.append(payload)
+                active.discard(src)
+            else:
+                # Request the next batch BEFORE processing this one so
+                # the fetch overlaps the compute (pipeline > 1 also
+                # spreads the in-flight requests over readers).
+                top_up()
+                stats.batches_received += 1
+                t1 = time.monotonic()
+                for stub in payload:
+                    fn(stub)
+                    stats.events_processed += 1
+                stats.processing_seconds += time.monotonic() - t1
+            top_up()
+        if errors:
+            raise HEPnOSError(f"PEP reader reported: {errors[0]}")
+        return stats

@@ -1,0 +1,72 @@
+"""Placement: which database holds a key (paper section II-C3).
+
+HEPnOS places a container key by consistent-hashing its **parent's**
+key, so that (1) all direct children of a container live in a single
+database and (2) iterating them uses one database's ordered iterator
+instead of interrogating every server and merging.  Products are placed
+by the hash of their parent container key, so all products of one event
+can be read in a batch from one database.
+
+:class:`FullKeyPlacement` implements the rejected alternative --
+consistent hashing of the *full* key -- and exists for the A-place
+ablation benchmark: listing a container's children under it requires
+querying every database.
+"""
+
+from __future__ import annotations
+
+from repro.hepnos.connection import ConnectionInfo, DbTarget
+from repro.utils import ConsistentHashRing
+
+
+class ParentHashPlacement:
+    """The paper's strategy: place children by the parent's key."""
+
+    name = "parent-hash"
+
+    def __init__(self, connection: ConnectionInfo, vnodes: int = 64):
+        self._rings: dict[str, ConsistentHashRing] = {}
+        self._targets = connection.targets
+        for kind, targets in connection.targets.items():
+            # Ring points hash the target identities (address, provider,
+            # name), NOT list positions: adding or removing a database
+            # then relocates only its consistent-hashing share of keys
+            # (the property storage rescaling relies on).
+            self._rings[kind] = ConsistentHashRing(targets, vnodes=vnodes)
+
+    def database_for(self, kind: str, parent_key: bytes) -> DbTarget:
+        """The single database holding all children of ``parent_key``."""
+        return self._rings[kind].locate(parent_key)
+
+    def databases_for_listing(self, kind: str, parent_key: bytes
+                              ) -> list[DbTarget]:
+        """Databases to interrogate when listing children: exactly one."""
+        return [self.database_for(kind, parent_key)]
+
+    def product_database_for(self, container_key: bytes) -> DbTarget:
+        """Products are placed by their container's key."""
+        return self.database_for("products", container_key)
+
+
+class FullKeyPlacement:
+    """The rejected alternative: place every key by its own hash.
+
+    Point lookups still hit one database, but listing a container's
+    children requires querying all databases and merging (the cost the
+    paper's design avoids).
+    """
+
+    name = "full-key"
+
+    def __init__(self, connection: ConnectionInfo, vnodes: int = 64):
+        self._rings: dict[str, ConsistentHashRing] = {}
+        self._targets = connection.targets
+        for kind, targets in connection.targets.items():
+            self._rings[kind] = ConsistentHashRing(targets, vnodes=vnodes)
+
+    def database_for_key(self, kind: str, key: bytes) -> DbTarget:
+        return self._rings[kind].locate(key)
+
+    def databases_for_listing(self, kind: str, parent_key: bytes
+                              ) -> list[DbTarget]:
+        return list(self._targets[kind])

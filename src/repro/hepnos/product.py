@@ -1,0 +1,93 @@
+"""Products: serialized objects identified by (container, label, type)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.errors import HEPnOSError
+from repro.serial import type_name as _serial_type_name
+
+
+class _VectorType:
+    """Marker for ``std::vector<T>``-style product types.
+
+    Created by :func:`vector_of`; compares and hashes by element type
+    so it can be used as a lookup key.
+    """
+
+    __slots__ = ("element_type",)
+
+    def __init__(self, element_type: type):
+        self.element_type = element_type
+
+    @property
+    def name(self) -> str:
+        return f"vector<{_serial_type_name(self.element_type)}>"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, _VectorType)
+            and other.element_type is self.element_type
+        )
+
+    def __hash__(self) -> int:
+        return hash(("vector", self.element_type))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"vector_of({self.element_type.__qualname__})"
+
+
+def vector_of(element_type: type) -> _VectorType:
+    """The product type of a homogeneous list of ``element_type``.
+
+    The paper stores ``std::vector<Particle>``; in Python a ``list`` of
+    ``Particle`` is stored under the type name ``vector<Particle>``.
+    """
+    return _VectorType(element_type)
+
+
+def product_type_name(obj_or_type: Any) -> str:
+    """The type-name component of a product key.
+
+    Accepts a value (type inferred; lists map to ``vector<T>``), a
+    class, a :func:`vector_of` marker, or a literal string.
+    """
+    if isinstance(obj_or_type, str):
+        if not obj_or_type:
+            raise HEPnOSError("empty product type name")
+        return obj_or_type
+    if isinstance(obj_or_type, _VectorType):
+        return obj_or_type.name
+    if isinstance(obj_or_type, type):
+        return _serial_type_name(obj_or_type)
+    if isinstance(obj_or_type, list):
+        if not obj_or_type:
+            raise HEPnOSError(
+                "cannot infer the element type of an empty list; pass "
+                "type_name=vector_of(T) explicitly"
+            )
+        first = type(obj_or_type[0])
+        if any(type(item) is not first for item in obj_or_type):
+            raise HEPnOSError("heterogeneous lists are not products")
+        return _VectorType(first).name
+    return _serial_type_name(obj_or_type)
+
+
+@dataclass(frozen=True, order=True)
+class ProductID:
+    """A fully-qualified product reference.
+
+    ``container_key`` is the owning run/subrun/event key; combined with
+    the label and type it is exactly the database key of the product.
+    """
+
+    container_key: bytes
+    label: str
+    type_name: str
+
+    @property
+    def key(self) -> bytes:
+        from repro.hepnos.keys import product_key
+
+        return product_key(self.container_key, self.label, self.type_name)

@@ -1,0 +1,12 @@
+"""Margo: binds Mercury RPC to Argobots resources.
+
+In Mochi, Margo wraps Mercury's callback-driven API into a blocking
+model where each RPC handler runs as an Argobots ULT in a configurable
+pool.  Here the Mercury reproduction is ULT-native already, so Margo's
+remaining job is resource wiring: creating the pools and execution
+streams described by a configuration and handing them to providers.
+"""
+
+from repro.margo.instance import MargoInstance
+
+__all__ = ["MargoInstance"]

@@ -1,0 +1,35 @@
+"""An RPC engine modeled on Mercury.
+
+Mercury provides remote procedure calls plus *bulk* handles for
+RDMA-style transfers of large or batched payloads (paper section II-B:
+"Yokan provides access to key-value pairs through RPC (for single small
+objects) and RDMA (for large objects or batches of multiple objects)").
+
+This reproduction keeps Mercury's shape:
+
+- an :class:`Engine` per service process, identified by an
+  :class:`Address`;
+- named RPCs registered with handlers that run as Argobots ULTs in a
+  designated pool (the Margo model);
+- :class:`Bulk` handles exposing local memory for remote read/write;
+- a :class:`Fabric` connecting engines, with pluggable accounting and
+  fault models (the simulated analogue of libfabric/uGNI on Aries).
+"""
+
+from repro.mercury.address import Address
+from repro.mercury.fabric import Fabric, FabricStats, FaultModel, InjectionFaultModel
+from repro.mercury.engine import Engine, Handle, RPCRequest
+from repro.mercury.bulk import Bulk, BulkOp
+
+__all__ = [
+    "Address",
+    "Fabric",
+    "FabricStats",
+    "FaultModel",
+    "InjectionFaultModel",
+    "Engine",
+    "Handle",
+    "RPCRequest",
+    "Bulk",
+    "BulkOp",
+]

@@ -1,0 +1,240 @@
+"""Mercury engines, RPC handles, and request contexts."""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable, Optional, Union
+
+from repro.argobots import Eventual, Pool, unwrap_wait_result
+from repro.errors import NoSuchRPCError, RPCError
+from repro.mercury.address import Address
+from repro.mercury.bulk import Bulk, BulkOp
+from repro.mercury.fabric import Fabric
+
+
+class RPCRequest:
+    """The server-side view of an in-flight RPC.
+
+    Handlers receive one of these; they read :attr:`payload`, may
+    perform bulk transfers against client-exposed regions, and complete
+    the call either by calling :meth:`respond` or simply by returning a
+    ``bytes`` value (auto-respond).
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, fabric: Fabric, origin: Address, target: Address,
+                 rpc_name: str, provider_id: int, payload: bytes):
+        self.request_id = next(RPCRequest._ids)
+        self.fabric = fabric
+        self.origin = origin
+        self.target = target
+        self.rpc_name = rpc_name
+        self.provider_id = provider_id
+        self.payload = payload
+        self.response = Eventual()
+        self._responded = threading.Event()
+
+    @property
+    def responded(self) -> bool:
+        return self._responded.is_set()
+
+    def respond(self, payload: bytes = b"") -> None:
+        """Send the response back to the caller."""
+        if not isinstance(payload, (bytes, bytearray)):
+            raise TypeError("responses must be bytes")
+        if self._responded.is_set():
+            raise RPCError(f"rpc {self.rpc_name!r} already responded")
+        payload = bytes(payload)
+        # The fault model may drop the response; check before committing so
+        # the failure can still be delivered through fail().
+        self.fabric.check_send(self.target, self.origin, len(payload))
+        self._responded.set()
+        self.fabric.stats.record_response(len(payload))
+        self.response.set(payload)
+
+    def fail(self, exc: BaseException) -> None:
+        """Propagate a handler failure to the caller."""
+        if self._responded.is_set():
+            return
+        self._responded.set()
+        self.response.set_exception(exc)
+
+    # -- bulk transfers -----------------------------------------------------
+
+    def bulk_transfer(self, op: BulkOp, remote_bulk: Bulk, local_bulk: Bulk,
+                      remote_offset: int = 0, local_offset: int = 0,
+                      size: Optional[int] = None) -> int:
+        """RDMA-style transfer between a remote region and a local one.
+
+        ``op`` is from this (server) side's perspective: ``PULL`` reads
+        the remote region into the local one, ``PUSH`` writes the local
+        region into the remote one.  Returns the number of bytes moved.
+        """
+        if size is None:
+            size = min(len(remote_bulk) - remote_offset,
+                       len(local_bulk) - local_offset)
+        if size < 0:
+            raise ValueError("negative transfer size")
+        if op is BulkOp.PULL:
+            if not remote_bulk.readable:
+                raise RPCError("remote bulk region is not readable")
+            self.fabric.check_send(remote_bulk.owner_address, self.target, size)
+            data = remote_bulk.read(remote_offset, size)
+            local_bulk.write(data, local_offset)
+        elif op is BulkOp.PUSH:
+            if not remote_bulk.writable:
+                raise RPCError("remote bulk region is not writable")
+            self.fabric.check_send(self.target, remote_bulk.owner_address, size)
+            data = local_bulk.read(local_offset, size)
+            remote_bulk.write(data, remote_offset)
+        else:  # pragma: no cover - enum exhausted
+            raise ValueError(f"unknown bulk op {op!r}")
+        self.fabric.stats.record_bulk(self.target, remote_bulk.owner_address, size)
+        return size
+
+
+class Handle:
+    """A client-side handle for one (target address, RPC name) pair."""
+
+    def __init__(self, engine: "Engine", target: Address, rpc_name: str):
+        self.engine = engine
+        self.target = target
+        self.rpc_name = rpc_name
+
+    def forward(self, payload: bytes = b"", provider_id: int = 0) -> bytes:
+        """Send the RPC and wait for the response (blocking)."""
+        eventual = self.iforward(payload, provider_id)
+        return self.engine.fabric.wait(eventual)
+
+    def iforward(self, payload: bytes = b"", provider_id: int = 0) -> Eventual:
+        """Send the RPC; return an eventual resolving to the response.
+
+        From inside a ULT, suspend with::
+
+            resp = unwrap_wait_result((yield handle.iforward(data).wait()))
+        """
+        return self.engine._forward(self.target, self.rpc_name, provider_id,
+                                    bytes(payload))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Handle({self.rpc_name!r} -> {self.target})"
+
+
+HandlerFn = Callable[[RPCRequest], Union[bytes, None]]
+
+
+class Engine:
+    """A Mercury engine: an addressable endpoint with registered RPCs.
+
+    Each engine gets a pool and an execution stream in the fabric's
+    shared runtime; RPC registrations may override the pool per handler
+    (how Margo maps providers to Argobots resources).
+    """
+
+    def __init__(self, fabric: Fabric, address: Union[str, Address],
+                 pool: Optional[Pool] = None):
+        self.fabric = fabric
+        self.address = Address.parse(address) if isinstance(address, str) else address
+        runtime = fabric.runtime
+        if pool is None:
+            pool = runtime.create_pool(f"{self.address}:pool")
+            runtime.create_xstream(f"{self.address}:es", [pool])
+        self.pool = pool
+        self._registry: dict[tuple[str, int], tuple[HandlerFn, Pool]] = {}
+        self._finalized = False
+        fabric.register_engine(self)
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, rpc_name: str, handler: Optional[HandlerFn] = None,
+                 provider_id: int = 0, pool: Optional[Pool] = None) -> None:
+        """Register ``handler`` for ``rpc_name`` at ``provider_id``.
+
+        A ``None`` handler registers the name client-side only (Mercury
+        requires registration on both sides; we keep that requirement
+        relaxed: lookups happen at the target).
+        """
+        if handler is None:
+            return
+        key = (rpc_name, provider_id)
+        if key in self._registry:
+            raise RPCError(
+                f"rpc {rpc_name!r} provider {provider_id} already registered"
+            )
+        self._registry[key] = (handler, pool if pool is not None else self.pool)
+
+    def registered(self, rpc_name: str, provider_id: int = 0) -> bool:
+        return (rpc_name, provider_id) in self._registry
+
+    # -- client side --------------------------------------------------------
+
+    def create_handle(self, target: Union[str, Address], rpc_name: str) -> Handle:
+        address = Address.parse(target) if isinstance(target, str) else target
+        return Handle(self, address, rpc_name)
+
+    def lookup(self, target: Union[str, Address]) -> Address:
+        """Resolve and validate a peer address."""
+        return self.fabric.lookup(target).address
+
+    def expose(self, buffer: bytearray, mode: str = Bulk.READ_WRITE) -> Bulk:
+        """Register local memory for remote bulk access."""
+        return Bulk(self.address, buffer, mode)
+
+    # -- delivery --------------------------------------------------------
+
+    def _forward(self, target: Address, rpc_name: str, provider_id: int,
+                 payload: bytes) -> Eventual:
+        self.fabric.check_send(self.address, target, len(payload))
+        self.fabric.stats.record_rpc(self.address, target, len(payload))
+        remote = self.fabric.lookup(target)
+        return remote._deliver(self.address, rpc_name, provider_id, payload)
+
+    def _deliver(self, origin: Address, rpc_name: str, provider_id: int,
+                 payload: bytes) -> Eventual:
+        request = RPCRequest(self.fabric, origin, self.address, rpc_name,
+                             provider_id, payload)
+        entry = self._registry.get((rpc_name, provider_id))
+        if entry is None:
+            request.fail(NoSuchRPCError(
+                f"{self.address} has no rpc {rpc_name!r} for provider "
+                f"{provider_id}"
+            ))
+            return request.response
+        handler, pool = entry
+
+        def on_done(ult) -> None:
+            if request.responded:
+                return
+            if ult.exception is not None:
+                request.fail(RPCError(
+                    f"handler for {rpc_name!r} raised: {ult.exception!r}"
+                ))
+                return
+            result = ult._value
+            if isinstance(result, (bytes, bytearray)):
+                try:
+                    request.respond(bytes(result))
+                except Exception as exc:  # fault model may drop the response
+                    request.fail(exc)
+            else:
+                request.fail(RPCError(
+                    f"handler for {rpc_name!r} completed without responding"
+                ))
+
+        ult = self.fabric.runtime.spawn(
+            handler, request, pool=pool,
+            name=f"{self.address}:{rpc_name}#{request.request_id}",
+        )
+        ult.add_done_callback(on_done)
+        return request.response
+
+    def finalize(self) -> None:
+        """Detach from the fabric (no new RPCs will be delivered)."""
+        if not self._finalized:
+            self._finalized = True
+            self.fabric.deregister_engine(self)
+
+
+__all__ = ["Engine", "Handle", "RPCRequest", "unwrap_wait_result"]

@@ -1,0 +1,200 @@
+"""The fabric: the namespace and transport connecting Mercury engines.
+
+A :class:`Fabric` owns one Argobots :class:`~repro.argobots.Runtime`
+shared by every engine attached to it (one "simulated world").  RPC
+delivery pushes a handler ULT onto the target engine's pool; the caller
+then drives the shared runtime until its response is ready (inline
+mode) or blocks on an event (threaded mode).
+
+The fabric is also where transport behaviour is modeled:
+
+- :class:`FabricStats` counts RPCs and bytes by kind (eager RPC traffic
+  vs bulk/RDMA traffic), which the performance model and the batching
+  ablation read;
+- a :class:`FaultModel` may drop messages.  The paper reports crashes
+  caused by oversaturating the Aries NIC injection bandwidth;
+  :class:`InjectionFaultModel` reproduces that failure mode for the
+  failure-injection tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.argobots import Runtime
+from repro.errors import AddressError, NetworkFailure, ReproError
+from repro.mercury.address import Address
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mercury.engine import Engine
+
+
+@dataclass
+class FabricStats:
+    """Cumulative traffic counters, updated on every delivery."""
+
+    rpc_count: int = 0
+    rpc_bytes: int = 0
+    response_bytes: int = 0
+    bulk_transfers: int = 0
+    bulk_bytes: int = 0
+    dropped: int = 0
+    per_pair: dict = field(default_factory=lambda: defaultdict(int))
+
+    def record_rpc(self, src: Address, dst: Address, nbytes: int) -> None:
+        self.rpc_count += 1
+        self.rpc_bytes += nbytes
+        self.per_pair[(src.node, dst.node)] += nbytes
+
+    def record_response(self, nbytes: int) -> None:
+        self.response_bytes += nbytes
+
+    def record_bulk(self, src: Address, dst: Address, nbytes: int) -> None:
+        self.bulk_transfers += 1
+        self.bulk_bytes += nbytes
+        self.per_pair[(src.node, dst.node)] += nbytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.rpc_bytes + self.response_bytes + self.bulk_bytes
+
+    def reset(self) -> None:
+        self.rpc_count = 0
+        self.rpc_bytes = 0
+        self.response_bytes = 0
+        self.bulk_transfers = 0
+        self.bulk_bytes = 0
+        self.dropped = 0
+        self.per_pair.clear()
+
+
+class FaultModel:
+    """Decides whether a message is dropped; default never drops."""
+
+    def should_drop(self, src: Address, dst: Address, nbytes: int) -> bool:
+        return False
+
+
+class InjectionFaultModel(FaultModel):
+    """Drop traffic when a node's instantaneous injection rate is exceeded.
+
+    Models the Aries NIC failure mode from the paper (section IV-E,
+    footnote 7): bursts exceeding the per-node injection budget within a
+    sliding window cause the transfer to fail.
+    """
+
+    def __init__(self, bytes_per_window: int, window_seconds: float = 0.1,
+                 clock=time.monotonic):
+        if bytes_per_window <= 0:
+            raise ValueError("bytes_per_window must be positive")
+        self.bytes_per_window = bytes_per_window
+        self.window_seconds = window_seconds
+        self._clock = clock
+        self._windows: dict[str, tuple[float, int]] = {}
+        self._lock = threading.Lock()
+
+    def should_drop(self, src: Address, dst: Address, nbytes: int) -> bool:
+        now = self._clock()
+        with self._lock:
+            start, used = self._windows.get(src.node, (now, 0))
+            if now - start > self.window_seconds:
+                start, used = now, 0
+            used += nbytes
+            self._windows[src.node] = (start, used)
+            return used > self.bytes_per_window
+
+
+class Fabric:
+    """Connects engines; owns the shared ULT runtime.
+
+    ``threaded=False`` (default) gives the deterministic inline
+    scheduler; ``threaded=True`` runs each engine's xstreams on OS
+    threads, which the multi-threaded MPI client workflows use.
+    """
+
+    def __init__(self, protocol: str = "sm", threaded: bool = False,
+                 fault_model: Optional[FaultModel] = None):
+        self.protocol = protocol
+        self.runtime = Runtime(threaded=threaded)
+        self.stats = FabricStats()
+        self.fault_model = fault_model or FaultModel()
+        self._engines: dict[Address, "Engine"] = {}
+        self._lock = threading.Lock()
+        # Serializes inline progress when several OS threads (MPI ranks)
+        # wait on responses concurrently.
+        self._progress_lock = threading.Lock()
+
+    # -- membership --------------------------------------------------------
+
+    def register_engine(self, engine: "Engine") -> None:
+        with self._lock:
+            if engine.address in self._engines:
+                raise AddressError(f"address {engine.address} already in use")
+            self._engines[engine.address] = engine
+
+    def deregister_engine(self, engine: "Engine") -> None:
+        with self._lock:
+            self._engines.pop(engine.address, None)
+
+    def lookup(self, address) -> "Engine":
+        if isinstance(address, str):
+            address = Address.parse(address)
+        with self._lock:
+            try:
+                return self._engines[address]
+            except KeyError:
+                raise AddressError(f"no engine at {address}") from None
+
+    @property
+    def addresses(self) -> list[Address]:
+        with self._lock:
+            return sorted(self._engines)
+
+    # -- transport ---------------------------------------------------------
+
+    def check_send(self, src: Address, dst: Address, nbytes: int) -> None:
+        """Account for a message and apply the fault model."""
+        if self.fault_model.should_drop(src, dst, nbytes):
+            self.stats.dropped += 1
+            raise NetworkFailure(
+                f"fabric dropped {nbytes}B {src} -> {dst} "
+                "(injection bandwidth oversaturated)"
+            )
+
+    # -- progress ---------------------------------------------------------
+
+    def wait(self, eventual, spin_budget: int = 2_000_000):
+        """Drive progress until ``eventual`` is ready; return its value.
+
+        In threaded mode the xstream threads make progress, so this just
+        blocks.  In inline mode the calling thread becomes the scheduler;
+        multiple concurrent callers take turns under a progress lock.
+        """
+        if self.runtime.threaded:
+            return eventual.get(self.runtime)
+        spins = 0
+        while not eventual.is_ready:
+            with self._progress_lock:
+                if eventual.is_ready:
+                    break
+                progressed = self.runtime.progress_once()
+            if not progressed:
+                # Another thread may be about to publish work; give it a
+                # moment before declaring deadlock.
+                spins += 1
+                if spins > spin_budget:
+                    raise ReproError(
+                        "fabric idle while waiting for a response (deadlock?)"
+                    )
+                if spins % 1000 == 0:
+                    time.sleep(0.0001)
+        return eventual._unwrap()
+
+    def flush(self) -> None:
+        """Run the inline scheduler until every pool is drained."""
+        if not self.runtime.threaded:
+            self.runtime.run_until_idle()

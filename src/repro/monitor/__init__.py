@@ -1,0 +1,40 @@
+"""Monitoring and performance diagnostics (the SymbioMon stand-in).
+
+The paper (section V) credits a composable monitoring service [5] with
+diagnosing early HEPnOS performance problems, which led to the batching
+and parallel-event-processing optimizations.  This package provides the
+same capability for this stack:
+
+- :class:`MetricRegistry` -- counters, gauges, and histogram metrics
+  with time-series snapshots;
+- :class:`ProviderMonitor` -- wraps a Yokan provider's databases to
+  record per-operation counts and latencies transparently;
+- :class:`FabricMonitor` -- samples fabric traffic into a time series;
+- :func:`diagnose` -- the analysis pass: finds hot databases, skewed
+  placements, and chatty (unbatched) clients, and says so.
+"""
+
+from repro.monitor.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from repro.monitor.collect import (
+    FabricMonitor,
+    ProviderMonitor,
+    monitor_provider,
+)
+from repro.monitor.diagnose import DiagnosticReport, diagnose
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "FabricMonitor",
+    "ProviderMonitor",
+    "monitor_provider",
+    "DiagnosticReport",
+    "diagnose",
+]

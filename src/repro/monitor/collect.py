@@ -1,0 +1,159 @@
+"""Collectors: attach metrics to live providers and fabrics."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.errors import KeyNotFound
+from repro.mercury import Fabric
+from repro.monitor.metrics import MetricRegistry
+from repro.yokan.backend import Backend
+from repro.yokan.provider import YokanProvider
+
+
+class _InstrumentedBackend(Backend):
+    """Transparent wrapper recording per-operation counts and latencies."""
+
+    def __init__(self, inner: Backend, registry: MetricRegistry, name: str):
+        super().__init__()
+        self._inner = inner
+        self._prefix = f"db.{name}"
+        self._registry = registry
+        self._ops = registry.counter(f"{self._prefix}.ops",
+                                     "total operations")
+        self._misses = registry.counter(f"{self._prefix}.misses",
+                                        "KeyNotFound results")
+        self._latency = registry.histogram(f"{self._prefix}.latency",
+                                           "per-op latency [s]")
+        registry.gauge(f"{self._prefix}.keys", "live keys",
+                       sample_fn=lambda: len(inner))
+
+    def _timed(self, fn, *args):
+        self._ops.inc()
+        start = time.monotonic()
+        try:
+            return fn(*args)
+        except KeyNotFound:
+            self._misses.inc()
+            raise
+        finally:
+            self._latency.observe(time.monotonic() - start)
+
+    # -- Backend API, delegated with timing --------------------------------
+
+    def put(self, key, value):
+        return self._timed(self._inner.put, key, value)
+
+    def get(self, key):
+        return self._timed(self._inner.get, key)
+
+    def exists(self, key):
+        return self._timed(self._inner.exists, key)
+
+    def erase(self, key):
+        return self._timed(self._inner.erase, key)
+
+    def put_multi(self, pairs):
+        pairs = list(pairs)
+        self._ops.inc(len(pairs))
+        start = time.monotonic()
+        try:
+            return self._inner.put_multi(pairs)
+        finally:
+            self._latency.observe(time.monotonic() - start)
+
+    def get_multi(self, keys):
+        keys = list(keys)
+        self._ops.inc(len(keys))
+        start = time.monotonic()
+        try:
+            return self._inner.get_multi(keys)
+        finally:
+            self._latency.observe(time.monotonic() - start)
+
+    def list_keys(self, prefix=b"", start_after=b"", limit=0):
+        return self._timed(self._inner.list_keys, prefix, start_after, limit)
+
+    def __len__(self):
+        return len(self._inner)
+
+    def scan(self, start=b"", inclusive=True):
+        return self._inner.scan(start, inclusive=inclusive)
+
+    def flush(self):
+        return self._inner.flush()
+
+    def close(self):
+        self._inner.close()
+        super().close()
+
+    @property
+    def inner(self) -> Backend:
+        return self._inner
+
+
+class ProviderMonitor:
+    """Instruments every database of a provider in place."""
+
+    def __init__(self, provider: YokanProvider,
+                 registry: Optional[MetricRegistry] = None):
+        self.provider = provider
+        self.registry = registry or MetricRegistry(
+            f"provider-{provider.provider_id}"
+        )
+        for name in list(provider.databases):
+            inner = provider.databases[name]
+            if isinstance(inner, _InstrumentedBackend):
+                continue
+            provider.databases[name] = _InstrumentedBackend(
+                inner, self.registry, name
+            )
+
+    def database_ops(self) -> dict[str, int]:
+        """Total op count per database (hot-spot detection input)."""
+        out = {}
+        for name in self.provider.databases:
+            metric_name = f"db.{name}.ops"
+            if metric_name in self.registry:
+                out[name] = self.registry[metric_name].value
+        return out
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+
+def monitor_provider(provider: YokanProvider,
+                     registry: Optional[MetricRegistry] = None
+                     ) -> ProviderMonitor:
+    """Convenience: attach a :class:`ProviderMonitor`."""
+    return ProviderMonitor(provider, registry)
+
+
+class FabricMonitor:
+    """Samples fabric traffic counters into a registry's history."""
+
+    def __init__(self, fabric: Fabric,
+                 registry: Optional[MetricRegistry] = None):
+        self.fabric = fabric
+        self.registry = registry or MetricRegistry("fabric")
+        stats = fabric.stats
+        self.registry.gauge("fabric.rpc_count",
+                            sample_fn=lambda: stats.rpc_count)
+        self.registry.gauge("fabric.rpc_bytes",
+                            sample_fn=lambda: stats.rpc_bytes)
+        self.registry.gauge("fabric.bulk_bytes",
+                            sample_fn=lambda: stats.bulk_bytes)
+        self.registry.gauge("fabric.total_bytes",
+                            sample_fn=lambda: stats.total_bytes)
+        self.registry.gauge("fabric.dropped",
+                            sample_fn=lambda: stats.dropped)
+
+    def sample(self, timestamp: Optional[float] = None) -> dict:
+        return self.registry.snapshot(timestamp)
+
+    def bytes_per_rpc(self) -> float:
+        stats = self.fabric.stats
+        if stats.rpc_count == 0:
+            return 0.0
+        return stats.total_bytes / stats.rpc_count

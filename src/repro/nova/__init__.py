@@ -1,0 +1,70 @@
+"""A synthetic NOvA-like workload (paper section III).
+
+The paper evaluates HEPnOS with the NOvA experiment's electron-neutrino
+candidate-selection application: events are triggered detector readouts,
+each split into *slices* (candidate interactions) carrying reconstructed
+physics quantities; a CAFAna selection function accepts or rejects each
+slice.  The real data and code are proprietary, so this package provides
+a statistically analogous substitute:
+
+- :mod:`repro.nova.datamodel` -- ``SliceData`` (a representative subset
+  of the ~600 reconstructed quantities) and ``EventHeader``;
+- :mod:`repro.nova.generator` -- a deterministic synthetic generator
+  reproducing the paper's granularities (slices per event, events per
+  file, beam vs cosmic profiles, heavy-tailed file sizes);
+- :mod:`repro.nova.files` -- CAF-like hdf5lite file writing/reading;
+- :mod:`repro.nova.cafana` -- Cut/Var combinators and the
+  electron-neutrino candidate selection used by both workflows.
+"""
+
+from repro.nova.datamodel import SliceData, EventHeader, SLICE_LABEL
+from repro.nova.generator import (
+    GeneratorConfig,
+    NovaGenerator,
+    BEAM,
+    COSMIC,
+)
+from repro.nova.files import (
+    write_nova_file,
+    read_nova_file,
+    generate_file_set,
+    FileSetSummary,
+)
+from repro.nova.cafana import (
+    Cut,
+    Var,
+    Spectrum,
+    kQuality,
+    kContainment,
+    kNuePID,
+    kNumuPID,
+    kCosmicRej,
+    nue_candidate_cut,
+    numu_candidate_cut,
+    select_slices,
+)
+
+__all__ = [
+    "SliceData",
+    "EventHeader",
+    "SLICE_LABEL",
+    "GeneratorConfig",
+    "NovaGenerator",
+    "BEAM",
+    "COSMIC",
+    "write_nova_file",
+    "read_nova_file",
+    "generate_file_set",
+    "FileSetSummary",
+    "Cut",
+    "Var",
+    "Spectrum",
+    "kQuality",
+    "kContainment",
+    "kNuePID",
+    "kNumuPID",
+    "kCosmicRej",
+    "nue_candidate_cut",
+    "numu_candidate_cut",
+    "select_slices",
+]

@@ -1,0 +1,280 @@
+"""CAFAna-style selection: Var/Cut combinators and the nu_e candidate cut.
+
+CAFAna (the NOvA analysis framework the paper's application uses)
+expresses selections as composable *cuts* over slice records.  Cuts here
+work in two modes sharing one definition:
+
+- object mode: ``cut(slice_data) -> bool`` for the HEPnOS workflow,
+  which processes deserialized :class:`SliceData` objects;
+- columnar mode: ``cut.mask(table) -> bool ndarray`` for the file-based
+  workflow's vectorized scan over slice tables.
+
+Cuts compose with ``&``, ``|`` and ``~``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+
+class Var:
+    """A named quantity computed from a slice (or a table column).
+
+    Vars compose arithmetically (``kCalE / kNHit``, ``kShwE * 1.02``),
+    producing derived Vars usable in both object and columnar modes --
+    CAFAna's Var algebra.
+    """
+
+    def __init__(self, name: str, fn: Callable = None,
+                 cfn: Optional[Callable] = None):
+        self.name = name
+        self._fn = fn if fn is not None else (lambda s: getattr(s, name))
+        self._cfn = cfn
+
+    def __call__(self, slice_data) -> float:
+        return self._fn(slice_data)
+
+    def column(self, table: dict) -> np.ndarray:
+        if self._cfn is not None:
+            return self._cfn(table)
+        if self.name in table:
+            return table[self.name]
+        raise KeyError(f"table has no column {self.name!r}")
+
+    # -- arithmetic composition ------------------------------------------------
+
+    @staticmethod
+    def _lift(value) -> "Var":
+        if isinstance(value, Var):
+            return value
+        return Var(repr(value), lambda s: value, lambda t: value)
+
+    def _binary(self, other, op, symbol: str, reflected: bool = False) -> "Var":
+        other = Var._lift(other)
+        left, right = (other, self) if reflected else (self, other)
+        return Var(
+            f"({left.name}{symbol}{right.name})",
+            lambda s: op(left(s), right(s)),
+            lambda t: op(left.column(t), right.column(t)),
+        )
+
+    def __add__(self, other) -> "Var":
+        return self._binary(other, lambda a, b: a + b, "+")
+
+    def __radd__(self, other) -> "Var":
+        return self._binary(other, lambda a, b: a + b, "+", reflected=True)
+
+    def __sub__(self, other) -> "Var":
+        return self._binary(other, lambda a, b: a - b, "-")
+
+    def __rsub__(self, other) -> "Var":
+        return self._binary(other, lambda a, b: a - b, "-", reflected=True)
+
+    def __mul__(self, other) -> "Var":
+        return self._binary(other, lambda a, b: a * b, "*")
+
+    def __rmul__(self, other) -> "Var":
+        return self._binary(other, lambda a, b: a * b, "*", reflected=True)
+
+    def __truediv__(self, other) -> "Var":
+        return self._binary(other, lambda a, b: a / b, "/")
+
+    def __rtruediv__(self, other) -> "Var":
+        return self._binary(other, lambda a, b: a / b, "/", reflected=True)
+
+    # Comparisons produce cuts.
+    def __gt__(self, value) -> "Cut":
+        return Cut(f"{self.name}>{value}",
+                   lambda s: self(s) > value,
+                   lambda t: self.column(t) > value)
+
+    def __ge__(self, value) -> "Cut":
+        return Cut(f"{self.name}>={value}",
+                   lambda s: self(s) >= value,
+                   lambda t: self.column(t) >= value)
+
+    def __lt__(self, value) -> "Cut":
+        return Cut(f"{self.name}<{value}",
+                   lambda s: self(s) < value,
+                   lambda t: self.column(t) < value)
+
+    def __le__(self, value) -> "Cut":
+        return Cut(f"{self.name}<={value}",
+                   lambda s: self(s) <= value,
+                   lambda t: self.column(t) <= value)
+
+
+class Cut:
+    """A boolean selection over slices, composable with & | ~."""
+
+    def __init__(self, name: str, fn: Callable, vfn: Optional[Callable] = None):
+        self.name = name
+        self._fn = fn
+        self._vfn = vfn
+
+    def __call__(self, slice_data) -> bool:
+        return bool(self._fn(slice_data))
+
+    def mask(self, table: dict) -> np.ndarray:
+        """Vectorized evaluation over a columnar slice table."""
+        if self._vfn is not None:
+            return np.asarray(self._vfn(table), dtype=bool)
+        # Fallback: row-by-row via a lightweight attribute proxy.
+        n = len(next(iter(table.values())))
+        out = np.empty(n, dtype=bool)
+        proxy = _RowProxy(table)
+        for i in range(n):
+            proxy._i = i
+            out[i] = self._fn(proxy)
+        return out
+
+    def __and__(self, other: "Cut") -> "Cut":
+        return Cut(
+            f"({self.name} && {other.name})",
+            lambda s: self._fn(s) and other._fn(s),
+            (lambda t: self.mask(t) & other.mask(t)),
+        )
+
+    def __or__(self, other: "Cut") -> "Cut":
+        return Cut(
+            f"({self.name} || {other.name})",
+            lambda s: self._fn(s) or other._fn(s),
+            (lambda t: self.mask(t) | other.mask(t)),
+        )
+
+    def __invert__(self) -> "Cut":
+        return Cut(
+            f"!{self.name}",
+            lambda s: not self._fn(s),
+            (lambda t: ~self.mask(t)),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cut({self.name})"
+
+
+class _RowProxy:
+    """Presents one table row with attribute access (cut fallback path)."""
+
+    __slots__ = ("_table", "_i")
+
+    def __init__(self, table: dict):
+        self._table = table
+        self._i = 0
+
+    def __getattr__(self, name: str):
+        try:
+            return self._table[name][self._i]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+# -- the electron-neutrino candidate selection ---------------------------------
+
+kNHit = Var("nhit")
+kNContPlanes = Var("ncontplanes")
+kCalE = Var("cal_e")
+kCVNe = Var("cvn_e")
+kCVNmu = Var("cvn_mu")
+kRemid = Var("remid")
+kCosRej = Var("cosrej")
+kDistToEdge = Var("dist_to_edge")
+
+#: Basic reconstruction quality.
+kQuality = (kNHit >= 30) & (kNContPlanes >= 4) & (kCalE >= 0.5) & (kCalE <= 4.0)
+
+#: Fiducial containment of the candidate vertex.
+kContainment = kDistToEdge >= 50.0
+
+#: Electron-neutrino particle identification.
+kNuePID = (kCVNe >= 0.75) & (kCVNmu <= 0.5) & (kRemid <= 0.5)
+
+#: Cosmic-ray rejection.
+kCosmicRej = kCosRej <= 0.45
+
+#: The full candidate selection used by both workflows.
+nue_candidate_cut = kQuality & kContainment & kNuePID & kCosmicRej
+
+#: Muon-neutrino particle identification (the disappearance channel):
+#: muon-like (high ReMId / CVN-mu), NOT electron-like.
+kNumuPID = (kRemid >= 0.7) & (kCVNmu >= 0.5) & (kCVNe <= 0.5)
+
+#: The numu candidate selection (quality + containment + muon PID).
+numu_candidate_cut = kQuality & kContainment & kNumuPID & kCosmicRej
+
+
+def select_slices(slices, cut: Cut = nue_candidate_cut) -> list[int]:
+    """Object-mode selection: IDs of the accepted slices."""
+    return [s.slice_id for s in slices if cut(s)]
+
+
+def select_from_table(table: dict, cut: Cut = nue_candidate_cut) -> np.ndarray:
+    """Columnar-mode selection: accepted slice_ids from a table."""
+    return table["slice_id"][cut.mask(table)]
+
+
+class Spectrum:
+    """A filled histogram of a Var over selected slices (CAFAna-style).
+
+    Tracks accumulated exposure (protons-on-target) so spectra from
+    different samples can be POT-normalized and combined, the way
+    CAFAna compares data periods.
+    """
+
+    def __init__(self, var: Var, bins: Sequence[float],
+                 cut: Cut = nue_candidate_cut):
+        self.var = var
+        self.cut = cut
+        self.edges = np.asarray(bins, dtype=float)
+        if len(self.edges) < 2 or np.any(np.diff(self.edges) <= 0):
+            raise ValueError("bins must be increasing with >= 2 edges")
+        self.counts = np.zeros(len(self.edges) - 1, dtype=float)
+        self.entries = 0
+        self.pot = 0.0
+
+    def fill_slices(self, slices, weight: float = 1.0,
+                    pot: float = 0.0) -> int:
+        """Fill from objects; returns how many passed the cut."""
+        values = [self.var(s) for s in slices if self.cut(s)]
+        if values:
+            hist, _ = np.histogram(values, bins=self.edges)
+            self.counts += weight * hist
+        self.entries += len(values)
+        self.pot += pot
+        return len(values)
+
+    def fill_table(self, table: dict, weight: float = 1.0,
+                   pot: float = 0.0) -> int:
+        mask = self.cut.mask(table)
+        values = self.var.column(table)[mask]
+        hist, _ = np.histogram(values, bins=self.edges)
+        self.counts += weight * hist
+        self.entries += int(mask.sum())
+        self.pot += pot
+        return int(mask.sum())
+
+    @property
+    def integral(self) -> float:
+        return float(self.counts.sum())
+
+    def scaled_to_pot(self, target_pot: float) -> "Spectrum":
+        """A copy normalized to ``target_pot`` exposure."""
+        if self.pot <= 0:
+            raise ValueError("spectrum has no recorded exposure")
+        out = Spectrum(self.var, self.edges, self.cut)
+        out.counts = self.counts * (target_pot / self.pot)
+        out.entries = self.entries
+        out.pot = target_pot
+        return out
+
+    def __add__(self, other: "Spectrum") -> "Spectrum":
+        """Combine two spectra of identical binning (exposures add)."""
+        if not np.array_equal(self.edges, other.edges):
+            raise ValueError("spectra have different binnings")
+        out = Spectrum(self.var, self.edges, self.cut)
+        out.counts = self.counts + other.counts
+        out.entries = self.entries + other.entries
+        out.pot = self.pot + other.pot
+        return out

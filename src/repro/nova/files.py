@@ -1,0 +1,155 @@
+"""CAF-like file production and reading.
+
+The traditional workflow's inputs are files of reconstructed events.
+Each file holds the ``rec.slc`` class table (one row per slice, with
+``run``/``subrun``/``evt`` id columns -- the layout HDF2HEPnOS expects)
+and a ``rec.hdr`` table (one row per event).
+
+File sizes are *not* uniform: the paper attributes the traditional
+workflow's load imbalance partly to the wide variation in file sizes
+and contents.  :func:`generate_file_set` draws events-per-file from a
+lognormal around the configured mean to reproduce that spread.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.hdf5lite import H5LiteFile
+from repro.nova.datamodel import SLICE_COLUMNS, EventHeader
+from repro.nova.generator import GeneratorConfig, NovaGenerator
+from repro.utils import fnv1a_64, mix64
+
+
+def write_nova_file(path: str, generator: NovaGenerator,
+                    triples: Sequence[tuple[int, int, int]],
+                    compression: Optional[str] = None) -> int:
+    """Write one CAF-like file holding the given (run, subrun, event)s.
+
+    ``compression="zlib"`` deflates every table (real CAF HDF5 files are
+    compressed too).  Returns the number of slices written.
+    """
+    by_subrun: dict[tuple[int, int], list[int]] = {}
+    for run, subrun, event in triples:
+        by_subrun.setdefault((run, subrun), []).append(event)
+    tables = [
+        generator.subrun_table(run, subrun, sorted(events))
+        for (run, subrun), events in sorted(by_subrun.items())
+    ]
+
+    def concat(name: str) -> np.ndarray:
+        return np.concatenate([t[name] for t in tables])
+
+    with H5LiteFile.create(path) as f:
+        slc = f.create_group("rec/slc")
+        slc.attrs["class"] = "rec.slc"
+        for name in ("run", "subrun", "evt"):
+            slc.create_dataset(name, concat(name), compression=compression)
+        for name, _ in SLICE_COLUMNS:
+            slc.create_dataset(name, concat(name), compression=compression)
+
+        hdr = f.create_group("rec/hdr")
+        hdr.attrs["class"] = "rec.hdr"
+        runs, subruns, events, nslices = [], [], [], []
+        for (run, subrun), evs in sorted(by_subrun.items()):
+            table = next(
+                t for t in tables
+                if t["run"][0] == run and t["subrun"][0] == subrun
+            )
+            for event, count in zip(sorted(evs), table["header_nslices"]):
+                runs.append(run)
+                subruns.append(subrun)
+                events.append(event)
+                nslices.append(int(count))
+        hdr.create_dataset("run", np.asarray(runs, dtype=np.int64))
+        hdr.create_dataset("subrun", np.asarray(subruns, dtype=np.int64))
+        hdr.create_dataset("evt", np.asarray(events, dtype=np.int64))
+        hdr.create_dataset("nslices", np.asarray(nslices, dtype=np.int64))
+        hdr.create_dataset(
+            "trigger",
+            np.full(len(runs), generator.config.trigger, dtype=np.int32),
+        )
+    return int(sum(len(t["run"]) for t in tables))
+
+
+def read_nova_file(path: str) -> dict[str, np.ndarray]:
+    """Load a file's full slice table (plus header columns under hdr_*)."""
+    with H5LiteFile.open(path) as f:
+        slc = f.root.group("rec/slc")
+        out = {name: slc.read(name) for name in slc.datasets()}
+        hdr = f.root.group("rec/hdr")
+        for name in hdr.datasets():
+            out[f"hdr_{name}"] = hdr.read(name)
+    return out
+
+
+def iter_file_events(path: str) -> Iterator[tuple[tuple[int, int, int], dict]]:
+    """Yield ((run, subrun, event), slice-table-rows) per event, in order.
+
+    This is the traditional workflow's sequential scan of a file.
+    """
+    table = read_nova_file(path)
+    runs, subruns, events = table["run"], table["subrun"], table["evt"]
+    n = len(runs)
+    if n == 0:
+        return
+    order = np.lexsort((events, subruns, runs))
+    ids = np.stack([runs[order], subruns[order], events[order]])
+    boundaries = np.nonzero(np.any(np.diff(ids, axis=1) != 0, axis=0))[0] + 1
+    for rows in np.split(order, boundaries):
+        triple = (int(runs[rows[0]]), int(subruns[rows[0]]), int(events[rows[0]]))
+        yield triple, {name: table[name][rows] for name in table
+                       if not name.startswith("hdr_")}
+
+
+@dataclass
+class FileSetSummary:
+    """What :func:`generate_file_set` produced."""
+
+    paths: list = field(default_factory=list)
+    total_events: int = 0
+    total_slices: int = 0
+    events_per_file: list = field(default_factory=list)
+
+    @property
+    def num_files(self) -> int:
+        return len(self.paths)
+
+
+def generate_file_set(directory: str, num_files: int,
+                      mean_events_per_file: int = 64,
+                      config: Optional[GeneratorConfig] = None,
+                      size_spread: float = 0.35,
+                      seed: int = 7) -> FileSetSummary:
+    """Produce a set of CAF-like files with heavy-tailed sizes.
+
+    ``size_spread`` is the sigma of the lognormal events-per-file draw
+    (0 gives equal-size files); the mean is preserved.  Event numbering
+    is a single global stream partitioned contiguously into files, as a
+    real data-taking period would be.
+    """
+    os.makedirs(directory, exist_ok=True)
+    config = config or GeneratorConfig()
+    generator = NovaGenerator(config)
+    rng = np.random.default_rng(mix64(fnv1a_64(f"fileset:{seed}".encode())))
+    if size_spread > 0:
+        raw = rng.lognormal(-0.5 * size_spread**2, size_spread, num_files)
+        counts = np.maximum(1, (raw * mean_events_per_file).astype(int))
+    else:
+        counts = np.full(num_files, mean_events_per_file, dtype=int)
+
+    summary = FileSetSummary()
+    numbering = generator.event_numbering(int(counts.sum()))
+    for i, count in enumerate(counts):
+        triples = [next(numbering) for _ in range(int(count))]
+        path = os.path.join(directory, f"nova-{i:05d}.h5l")
+        slices = write_nova_file(path, generator, triples)
+        summary.paths.append(path)
+        summary.total_events += int(count)
+        summary.total_slices += slices
+        summary.events_per_file.append(int(count))
+    return summary

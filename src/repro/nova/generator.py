@@ -1,0 +1,226 @@
+"""Deterministic synthetic detector-data generation.
+
+Granularities follow the paper's dataset (section III-B): the 1929-file
+beam sample holds 4,359,414 events and 17,878,347 slices -- about 4.1
+slices per triggered readout and ~2260 events per file; cosmic files
+carry 12x more slices.  Generation is columnar (NumPy) and seeded per
+(run, subrun), so any subset of the data can be produced independently,
+in any order, by any process, with identical results.
+
+Distributions are chosen so the CAFAna-style candidate selection in
+:mod:`repro.nova.cafana` accepts most injected signal slices and almost
+no background -- reproducing the analysis' huge down-selection ratio
+without its proprietary inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.nova.datamodel import SLICE_COLUMNS, EventHeader, SliceData
+from repro.utils import fnv1a_64, mix64
+
+#: Detector half-width/height and length [cm] (NOvA far detector scale).
+DETECTOR_HALF_XY = 780.0
+DETECTOR_LEN_Z = 6000.0
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunable knobs of the synthetic data stream."""
+
+    seed: int = 2018
+    #: mean slices per triggered readout
+    slices_per_event: float = 4.1
+    #: fraction of slices that are injected nu_e signal
+    signal_fraction: float = 0.02
+    #: events per subrun and subruns per run (drives container shape)
+    events_per_subrun: int = 64
+    subruns_per_run: int = 64
+    #: trigger type recorded in headers (0 = beam, 1 = cosmic)
+    trigger: int = 0
+
+
+#: The beam profile: the paper's evaluation sample.
+BEAM = GeneratorConfig()
+
+#: Cosmic-ray profile: 12x the beam slice rate, no beam signal.
+COSMIC = replace(BEAM, slices_per_event=4.1 * 12, signal_fraction=0.0,
+                 trigger=1)
+
+
+class NovaGenerator:
+    """Generates slice tables, object vectors, and event numbering."""
+
+    def __init__(self, config: GeneratorConfig = BEAM):
+        self.config = config
+
+    # -- numbering ---------------------------------------------------------
+
+    def event_numbering(self, n_events: int, first_run: int = 1000
+                        ) -> Iterator[tuple[int, int, int]]:
+        """Yield (run, subrun, event) for a stream of ``n_events``."""
+        cfg = self.config
+        for i in range(n_events):
+            subrun_index, event = divmod(i, cfg.events_per_subrun)
+            run_index, subrun = divmod(subrun_index, cfg.subruns_per_run)
+            yield first_run + run_index, subrun, event
+
+    # -- columnar generation --------------------------------------------------
+
+    def _rng(self, run: int, subrun: int) -> np.random.Generator:
+        token = f"{self.config.seed}:{run}:{subrun}".encode()
+        return np.random.default_rng(mix64(fnv1a_64(token)))
+
+    def subrun_table(self, run: int, subrun: int,
+                     events: Sequence[int]) -> dict[str, np.ndarray]:
+        """Columnar slice table for the given events of one subrun.
+
+        Returns a dict with ``run``/``subrun``/``evt`` id columns plus
+        one array per :data:`SLICE_COLUMNS` entry, all of equal length
+        (one row per slice), and ``header_nslices`` aligned to
+        ``events``.
+        """
+        cfg = self.config
+        rng = self._rng(run, subrun)
+        events = np.asarray(list(events), dtype=np.int64)
+        n_events = len(events)
+        # Draw per-event slice counts for the *whole* subrun so that any
+        # event subset sees the same counts regardless of who asks.
+        all_counts = rng.poisson(cfg.slices_per_event,
+                                 cfg.events_per_subrun).astype(np.int64)
+        all_counts = np.maximum(all_counts, 1)  # a trigger has >= 1 slice
+        if np.any(events >= cfg.events_per_subrun):
+            extra = int(events.max()) + 1 - cfg.events_per_subrun
+            all_counts = np.concatenate([
+                all_counts,
+                np.maximum(rng.poisson(cfg.slices_per_event, extra), 1),
+            ])
+        counts = all_counts[events]
+        total = int(counts.sum())
+
+        # Per-slice RNG must not depend on which events were requested:
+        # derive one generator per event from the subrun seed.
+        tables = []
+        for event, count in zip(events, counts):
+            event_rng = np.random.default_rng(
+                mix64(fnv1a_64(
+                    f"{cfg.seed}:{run}:{subrun}:{int(event)}".encode()
+                ))
+            )
+            tables.append(self._slices_block(run, subrun, int(event),
+                                             int(count), event_rng))
+        out: dict[str, np.ndarray] = {}
+        for name, dtype in (("run", "<i8"), ("subrun", "<i8"), ("evt", "<i8")):
+            out[name] = np.concatenate([t[name] for t in tables]).astype(dtype)
+        for name, dtype in SLICE_COLUMNS:
+            out[name] = np.concatenate([t[name] for t in tables]).astype(dtype)
+        out["header_nslices"] = counts
+        assert len(out["run"]) == total
+        return out
+
+    def _slices_block(self, run: int, subrun: int, event: int, count: int,
+                      rng: np.random.Generator) -> dict[str, np.ndarray]:
+        cfg = self.config
+        signal = rng.random(count) < cfg.signal_fraction
+
+        nhit = np.where(
+            signal,
+            np.exp(rng.normal(4.5, 0.5, count)),
+            np.exp(rng.normal(3.2, 0.8, count)),
+        ).astype(np.int64) + 1
+        ncontplanes = np.maximum(
+            1, (nhit / 3 + rng.normal(0, 2, count)).astype(np.int64)
+        )
+        cal_e = np.where(
+            signal,
+            np.clip(rng.normal(2.0, 0.6, count), 0.55, 10.0),
+            rng.exponential(0.8, count),
+        )
+        shower_e = cal_e * rng.uniform(0.1, 0.95, count)
+        shower_len = rng.gamma(2.0, 80.0, count)
+
+        cvn_e = np.where(signal, rng.beta(8.0, 1.5, count),
+                         rng.beta(0.6, 6.0, count))
+        cvn_mu = np.where(signal, rng.beta(1.0, 8.0, count),
+                          rng.beta(1.2, 3.0, count))
+        remid = np.where(signal, rng.beta(1.0, 8.0, count),
+                         rng.uniform(0.0, 1.0, count))
+        cosrej = np.where(signal, rng.beta(1.0, 6.0, count),
+                          rng.beta(2.0, 1.2, count))
+
+        # Signal vertices are generated well inside the detector;
+        # background is uniform (cosmics enter from outside).
+        margin = np.where(signal, 100.0, 0.0)
+        vtx_x = rng.uniform(-DETECTOR_HALF_XY + margin,
+                            DETECTOR_HALF_XY - margin)
+        vtx_y = rng.uniform(-DETECTOR_HALF_XY + margin,
+                            DETECTOR_HALF_XY - margin)
+        vtx_z = rng.uniform(margin, DETECTOR_LEN_Z - margin)
+        dist_to_edge = np.minimum.reduce([
+            DETECTOR_HALF_XY - np.abs(vtx_x),
+            DETECTOR_HALF_XY - np.abs(vtx_y),
+            vtx_z,
+            DETECTOR_LEN_Z - vtx_z,
+        ])
+        time = rng.uniform(0.0, 500.0, count)
+
+        base = ((run * 1_000_000 + subrun) * 1_000_000 + event) * 1000
+        slice_id = base + np.arange(count, dtype=np.int64)
+        n = count
+        return {
+            "run": np.full(n, run, dtype=np.int64),
+            "subrun": np.full(n, subrun, dtype=np.int64),
+            "evt": np.full(n, event, dtype=np.int64),
+            "slice_id": slice_id,
+            "nhit": nhit,
+            "ncontplanes": ncontplanes,
+            "cal_e": cal_e,
+            "shower_e": shower_e,
+            "shower_len": shower_len,
+            "cvn_e": cvn_e,
+            "cvn_mu": cvn_mu,
+            "remid": remid,
+            "cosrej": cosrej,
+            "vtx_x": vtx_x,
+            "vtx_y": vtx_y,
+            "vtx_z": vtx_z,
+            "dist_to_edge": dist_to_edge,
+            "time": time,
+            "true_pdg": np.where(signal, 12, 0).astype(np.int32),
+        }
+
+    # -- object views ---------------------------------------------------------
+
+    def slices_for_event(self, run: int, subrun: int, event: int
+                         ) -> list[SliceData]:
+        """The event's slices as objects (what gets stored in HEPnOS)."""
+        table = self.subrun_table(run, subrun, [event])
+        return table_to_slices(table)
+
+    def header_for_event(self, run: int, subrun: int, event: int
+                         ) -> EventHeader:
+        table = self.subrun_table(run, subrun, [event])
+        return EventHeader(
+            run=run, subrun=subrun, event=event,
+            pot=float(len(table["run"])) * 1e13,
+            trigger=self.config.trigger,
+            nslices=int(table["header_nslices"][0]),
+        )
+
+
+def table_to_slices(table: dict[str, np.ndarray],
+                    rows: Sequence[int] | None = None) -> list[SliceData]:
+    """Convert table rows to :class:`SliceData` objects."""
+    if rows is None:
+        rows = range(len(table["slice_id"]))
+    column_names = [name for name, _ in SLICE_COLUMNS]
+    out = []
+    for i in rows:
+        out.append(SliceData(**{
+            name: table[name][i].item() for name in column_names
+        }))
+    return out

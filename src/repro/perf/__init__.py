@@ -1,0 +1,52 @@
+"""Performance models reproducing the paper's evaluation figures.
+
+The models run the two workflows on the :mod:`repro.sim` platform
+simulator and report the paper's metric -- slices processed per second
+between the first process's start and the last one's finish.
+
+- :mod:`repro.perf.workload` -- the evaluation datasets (1929/3858/7716
+  files; 4.36M/8.72M/17.44M events) and byte-size model;
+- :mod:`repro.perf.filebased` -- the traditional workflow model: block
+  decomposition, per-block CAFAna spawn, PFS reads, sequential scans;
+- :mod:`repro.perf.hepnos_model` -- the HEPnOS service model: readers
+  pulling input batches (16384 events) from event/product databases,
+  workers consuming dispatch batches (64 events), in-memory or
+  LSM (RocksDB-like) backends;
+- :mod:`repro.perf.experiments` -- the Figure 2 / Figure 3 sweeps and
+  their shape checks.
+"""
+
+from repro.perf.workload import DatasetSpec, SMALL, MEDIUM, LARGE, CostModel
+from repro.perf.filebased import FileBasedModel, FileBasedParams
+from repro.perf.hepnos_model import HEPnOSModel, HEPnOSParams
+from repro.perf.ingest_model import IngestModel, IngestParams
+from repro.perf.experiments import (
+    RunRecord,
+    run_strong_scaling,
+    run_dataset_sweep,
+    run_weak_scaling,
+    check_figure2_shape,
+    check_figure3_shape,
+    format_records,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "SMALL",
+    "MEDIUM",
+    "LARGE",
+    "CostModel",
+    "FileBasedModel",
+    "FileBasedParams",
+    "HEPnOSModel",
+    "HEPnOSParams",
+    "IngestModel",
+    "IngestParams",
+    "RunRecord",
+    "run_strong_scaling",
+    "run_dataset_sweep",
+    "run_weak_scaling",
+    "check_figure2_shape",
+    "check_figure3_shape",
+    "format_records",
+]

@@ -1,0 +1,235 @@
+"""The paper's evaluation sweeps and their shape checks.
+
+- :func:`run_strong_scaling` regenerates Figure 2: throughput vs nodes
+  for the traditional workflow and HEPnOS with in-memory and LSM
+  backends, on the largest sample;
+- :func:`run_dataset_sweep` regenerates Figure 3: throughput vs dataset
+  size at a fixed allocation;
+- :func:`run_weak_scaling` is the A-weak ablation: dataset grows with
+  the allocation;
+- the ``check_*`` functions encode the paper's qualitative claims and
+  are asserted by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.perf.filebased import FileBasedModel, FileBasedParams, SimResult
+from repro.perf.hepnos_model import HEPnOSModel, HEPnOSParams
+from repro.perf.workload import LARGE, MEDIUM, SMALL, CostModel, DatasetSpec
+
+SYSTEMS = ("filebased", "hepnos-mem", "hepnos-lsm")
+#: Figure 2's x-axis.
+NODE_COUNTS = (16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One dot on a figure."""
+
+    system: str
+    nodes: int
+    dataset: str
+    repeat: int
+    wall_seconds: float
+    throughput: float
+
+
+def _simulate(system: str, nodes: int, dataset: DatasetSpec, seed: int,
+              jitter: float,
+              costs: CostModel,
+              fb_params: FileBasedParams,
+              hp_params: HEPnOSParams) -> SimResult:
+    if system == "filebased":
+        return FileBasedModel(fb_params, costs).simulate(
+            nodes, dataset, seed=seed, jitter=jitter
+        )
+    if system == "hepnos-mem":
+        return HEPnOSModel(hp_params, costs).simulate(
+            nodes, dataset, backend="map", seed=seed, jitter=jitter
+        )
+    if system == "hepnos-lsm":
+        return HEPnOSModel(hp_params, costs).simulate(
+            nodes, dataset, backend="lsm", seed=seed, jitter=jitter
+        )
+    raise ValueError(f"unknown system {system!r}")
+
+
+def _sweep(points, repeats: int, jitter: float, costs, fb_params, hp_params
+           ) -> list[RunRecord]:
+    records = []
+    for system, nodes, dataset in points:
+        for repeat in range(repeats):
+            result = _simulate(system, nodes, dataset, seed=repeat,
+                               jitter=jitter if repeat else 0.0,
+                               costs=costs, fb_params=fb_params,
+                               hp_params=hp_params)
+            records.append(RunRecord(
+                system=system, nodes=nodes, dataset=dataset.name,
+                repeat=repeat, wall_seconds=result.wall_seconds,
+                throughput=result.throughput,
+            ))
+    return records
+
+
+def run_strong_scaling(
+    node_counts: Sequence[int] = NODE_COUNTS,
+    dataset: DatasetSpec = LARGE,
+    systems: Sequence[str] = SYSTEMS,
+    repeats: int = 3,
+    jitter: float = 0.02,
+    costs: CostModel = CostModel(),
+    fb_params: FileBasedParams = FileBasedParams(),
+    hp_params: HEPnOSParams = HEPnOSParams(),
+) -> list[RunRecord]:
+    """Figure 2: strong scaling on the largest sample."""
+    points = [(system, nodes, dataset)
+              for system in systems for nodes in node_counts]
+    return _sweep(points, repeats, jitter, costs, fb_params, hp_params)
+
+
+def run_dataset_sweep(
+    nodes: int = 128,
+    datasets: Sequence[DatasetSpec] = (SMALL, MEDIUM, LARGE),
+    systems: Sequence[str] = SYSTEMS,
+    repeats: int = 3,
+    jitter: float = 0.02,
+    costs: CostModel = CostModel(),
+    fb_params: FileBasedParams = FileBasedParams(),
+    hp_params: HEPnOSParams = HEPnOSParams(),
+) -> list[RunRecord]:
+    """Figure 3: throughput vs dataset size at a fixed allocation."""
+    points = [(system, nodes, dataset)
+              for system in systems for dataset in datasets]
+    return _sweep(points, repeats, jitter, costs, fb_params, hp_params)
+
+
+def run_weak_scaling(
+    node_counts: Sequence[int] = (16, 32, 64, 128),
+    events_per_node: Optional[int] = None,
+    systems: Sequence[str] = ("hepnos-mem", "hepnos-lsm"),
+    repeats: int = 1,
+    jitter: float = 0.0,
+    costs: CostModel = CostModel(),
+    fb_params: FileBasedParams = FileBasedParams(),
+    hp_params: HEPnOSParams = HEPnOSParams(),
+) -> list[RunRecord]:
+    """A-weak: the per-node dataset share stays constant."""
+    if events_per_node is None:
+        events_per_node = LARGE.total_events // max(node_counts)
+    points = []
+    for system in systems:
+        for nodes in node_counts:
+            factor = nodes * events_per_node / LARGE.total_events
+            points.append((system, nodes, LARGE.scaled(factor)))
+    return _sweep(points, repeats, jitter, costs, fb_params, hp_params)
+
+
+# -- aggregation and checks ---------------------------------------------------
+
+
+def mean_throughput(records: Sequence[RunRecord], system: str,
+                    nodes: Optional[int] = None,
+                    dataset: Optional[str] = None) -> float:
+    values = [
+        r.throughput for r in records
+        if r.system == system
+        and (nodes is None or r.nodes == nodes)
+        and (dataset is None or r.dataset == dataset)
+    ]
+    if not values:
+        raise ValueError(f"no records for {system} nodes={nodes} ds={dataset}")
+    return sum(values) / len(values)
+
+
+def check_figure2_shape(records: Sequence[RunRecord],
+                        node_counts: Sequence[int] = NODE_COUNTS) -> dict:
+    """The paper's Figure 2 claims, as named booleans."""
+    checks = {}
+    # 1. HEPnOS (both backends) beats file-based at every node count.
+    checks["hepnos_superior_everywhere"] = all(
+        mean_throughput(records, "hepnos-mem", n)
+        > mean_throughput(records, "filebased", n)
+        and mean_throughput(records, "hepnos-lsm", n)
+        > mean_throughput(records, "filebased", n)
+        for n in node_counts
+    )
+    # 2. mem ~ lsm at small scale (<= 32 nodes): within 20%.
+    small = [n for n in node_counts if n <= 32]
+    checks["lsm_matches_mem_at_small_scale"] = all(
+        mean_throughput(records, "hepnos-lsm", n)
+        > 0.8 * mean_throughput(records, "hepnos-mem", n)
+        for n in small
+    )
+    # 3. the gap opens with node count and reaches ~2x at the largest.
+    largest = max(node_counts)
+    ratio_large = (mean_throughput(records, "hepnos-mem", largest)
+                   / mean_throughput(records, "hepnos-lsm", largest))
+    checks["mem_2x_lsm_at_largest"] = 1.6 <= ratio_large <= 2.6
+    ratios = [
+        mean_throughput(records, "hepnos-mem", n)
+        / mean_throughput(records, "hepnos-lsm", n)
+        for n in node_counts
+    ]
+    checks["gap_grows_with_scale"] = all(
+        ratios[i] <= ratios[i + 1] * 1.05 for i in range(len(ratios) - 1)
+    )
+    # 4. in-memory strong-scaling efficiency ~85% at 128 nodes (vs 16).
+    if 128 in node_counts and 16 in node_counts:
+        eff = (mean_throughput(records, "hepnos-mem", 128)
+               / mean_throughput(records, "hepnos-mem", 16)) / (128 / 16)
+        checks["mem_efficiency_at_128"] = 0.75 <= eff <= 0.95
+        checks["mem_efficiency_value"] = eff
+    # 5. file-based flattens once cores outnumber files (past 64 nodes).
+    if 128 in node_counts and max(node_counts) > 128:
+        gain = (mean_throughput(records, "filebased", max(node_counts))
+                / mean_throughput(records, "filebased", 128))
+        checks["filebased_flattens_past_128"] = gain < 1.15
+    return checks
+
+
+def check_figure3_shape(records: Sequence[RunRecord],
+                        nodes: int = 128) -> dict:
+    """The paper's Figure 3 claims."""
+    checks = {}
+    fb_small = mean_throughput(records, "filebased", nodes, "small")
+    fb_large = mean_throughput(records, "filebased", nodes, "large")
+    hp_small = mean_throughput(records, "hepnos-mem", nodes, "small")
+    hp_large = mean_throughput(records, "hepnos-mem", nodes, "large")
+    # 1. file-based is especially poor on small datasets (core starvation).
+    checks["filebased_poor_on_small"] = fb_small < 0.55 * fb_large
+    # 2. the effect is "greatly lessened" for HEPnOS (paper's wording):
+    #    its relative drop is far smaller than the file-based one.
+    hp_drop = hp_small / hp_large
+    fb_drop = fb_small / fb_large
+    checks["hepnos_effect_greatly_lessened"] = (
+        hp_drop > fb_drop + 0.15 and hp_drop > 0.5
+    )
+    # 3. HEPnOS wins on every dataset size.
+    checks["hepnos_superior"] = all(
+        mean_throughput(records, "hepnos-mem", nodes, ds)
+        > mean_throughput(records, "filebased", nodes, ds)
+        for ds in ("small", "medium", "large")
+    )
+    return checks
+
+
+def format_records(records: Sequence[RunRecord], group_by_dataset: bool = False
+                   ) -> str:
+    """A printable table of mean throughput per (system, x-axis point)."""
+    from collections import defaultdict
+
+    groups: dict = defaultdict(list)
+    for r in records:
+        key = (r.system, r.dataset if group_by_dataset else r.nodes)
+        groups[key].append(r.throughput)
+    lines = []
+    x_label = "dataset" if group_by_dataset else "nodes"
+    lines.append(f"{'system':<14} {x_label:>8} {'slices/s':>14} {'runs':>5}")
+    for (system, x), values in sorted(groups.items(), key=lambda kv: (
+            kv[0][0], str(kv[0][1]))):
+        mean = sum(values) / len(values)
+        lines.append(f"{system:<14} {x!s:>8} {mean:>14.0f} {len(values):>5}")
+    return "\n".join(lines)

@@ -1,0 +1,238 @@
+"""Discrete-event model of the HEPnOS-based workflow.
+
+Mechanics modeled (paper sections II-D and IV-B/IV-D):
+
+- one of every 8 nodes runs the HEPnOS service; the rest run client
+  ranks;
+- the dataset's events live in 8 event databases per server process,
+  pre-ingested (the paper measures the read side only);
+- *readers* (one per event database) pull input batches of 16384
+  events: one RPC to the owning server, which spends CPU gathering the
+  batch (and, with the LSM backend, SSD time reading it), then streams
+  the batch back through its NIC;
+- readers chop input batches into dispatch batches of 64 events pushed
+  to a shared queue from which all worker nodes pull -- the fine-grained
+  load-balancing stage;
+- worker nodes consume a dispatch batch using all their cores
+  (deserialize + select per slice);
+- fixed per-run phases: service connection/setup for both backends,
+  plus a cold-read phase for the LSM backend (SSTable index loads and
+  block-cache warm-up), which is what erodes its throughput when runs
+  get short at high node counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.perf.filebased import SimResult
+from repro.perf.workload import CostModel, DatasetSpec
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.network import DragonflyConfig, DragonflyNetwork
+from repro.sim.platform import NodeModel, PlatformConfig, THETA
+from repro.sim.resources import Resource, Store
+
+
+@dataclass(frozen=True)
+class HEPnOSParams:
+    """Knobs of the HEPnOS-workflow model (paper IV-D values)."""
+
+    #: one server node per this many nodes
+    server_node_ratio: int = 8
+    #: event databases per server node
+    event_dbs_per_server: int = 8
+    #: events per input batch (reader <- server)
+    input_batch_size: int = 16384
+    #: events per dispatch batch (worker <- queue)
+    dispatch_batch_size: int = 64
+    #: provider parallelism per server node
+    providers_per_server: int = 8
+    #: per-key server CPU time (lookup + gather) [s]
+    t_server_per_key: float = 2e-6
+    #: fixed client/service setup time per run [s]
+    setup_time: float = 2.2
+    #: LSM only: cold-read phase (index loads, cache warm-up) [s]
+    lsm_cold_time: float = 7.0
+    #: LSM read amplification on the SSD
+    lsm_read_amp: float = 2.0
+
+
+class HEPnOSModel:
+    """Simulates one run of the HEPnOS selection workflow."""
+
+    def __init__(self, params: HEPnOSParams = HEPnOSParams(),
+                 costs: CostModel = CostModel(),
+                 platform: PlatformConfig = THETA):
+        self.params = params
+        self.costs = costs
+        self.platform = platform
+
+    def simulate(self, nodes: int, dataset: DatasetSpec, backend: str = "map",
+                 seed: int = 0, jitter: float = 0.0,
+                 topology: Optional[DragonflyConfig] = None,
+                 server_placement: str = "spread",
+                 adaptive_routing: bool = True) -> SimResult:
+        """Simulate one run.
+
+        Default transport is the flat per-NIC model.  Passing a
+        ``topology`` routes every bulk transfer through a dragonfly
+        interconnect instead; ``server_placement`` then chooses where
+        the service nodes sit: ``"spread"`` (one per 8, round-robin over
+        groups -- the paper's deployment) or ``"packed"`` (all service
+        nodes in the lowest-numbered groups).
+        """
+        if backend not in ("map", "lsm"):
+            raise SimulationError(f"unknown backend {backend!r}")
+        if server_placement not in ("spread", "packed"):
+            raise SimulationError(f"unknown placement {server_placement!r}")
+        params = self.params
+        if nodes < 2:
+            raise SimulationError("need at least one server and one client node")
+        server_nodes = max(1, nodes // params.server_node_ratio)
+        client_nodes = nodes - server_nodes
+
+        sim = Simulator()
+        rng = np.random.default_rng(seed + 13_131)
+        t_slice = self.costs.t_select + self.costs.t_hepnos_decode
+        if jitter:
+            t_slice *= 1.0 + rng.normal(0.0, jitter)
+
+        network: Optional[DragonflyNetwork] = None
+        server_ids: list[int] = []
+        reader_nodes: list[int] = []
+        if topology is not None:
+            if topology.total_nodes < nodes:
+                raise SimulationError(
+                    f"topology has {topology.total_nodes} nodes < {nodes}"
+                )
+            network = DragonflyNetwork(sim, topology, seed=seed)
+            if server_placement == "spread":
+                server_ids = [i * params.server_node_ratio
+                              for i in range(server_nodes)]
+            else:
+                server_ids = list(range(server_nodes))
+            client_ids = [i for i in range(nodes) if i not in set(server_ids)]
+            # Readers (one per event database) run on client nodes,
+            # assigned round-robin.
+            total_dbs = server_nodes * params.event_dbs_per_server
+            reader_nodes = [client_ids[i % len(client_ids)]
+                            for i in range(total_dbs)]
+
+        servers = [
+            NodeModel(sim, self.platform, name=f"server{i}",
+                      with_ssd=(backend == "lsm"))
+            for i in range(server_nodes)
+        ]
+        # Provider parallelism: RPCs to one server share its providers.
+        provider_pools = [
+            Resource(sim, capacity=params.providers_per_server,
+                     name=f"server{i}-providers")
+            for i in range(server_nodes)
+        ]
+
+        num_dbs = server_nodes * params.event_dbs_per_server
+        # Spread events over databases (placement is uniform by hashing).
+        events_per_db = [dataset.total_events // num_dbs] * num_dbs
+        for i in range(dataset.total_events % num_dbs):
+            events_per_db[i] += 1
+
+        slices_per_event = dataset.slices_per_event
+        event_bytes = self.costs.event_bytes(dataset)
+        queue = Store(sim, name="dispatch")
+        done = {"readers": 0}
+
+        def reader_body(db_index: int):
+            # Setup phase (connection, PEP initialization).
+            yield Timeout(params.setup_time)
+            if backend == "lsm":
+                yield Timeout(params.lsm_cold_time)
+            server_index = db_index % server_nodes
+            server = servers[server_index]
+            providers = provider_pools[server_index]
+            remaining = events_per_db[db_index]
+            while remaining > 0:
+                batch = min(params.input_batch_size, remaining)
+                remaining -= batch
+                nbytes = batch * event_bytes
+                # RPC + server-side gather under one provider.
+                yield providers.request()
+                try:
+                    yield Timeout(self.platform.rpc_overhead)
+                    yield from server.compute(batch * params.t_server_per_key)
+                    if backend == "lsm":
+                        yield from server.ssd.read(
+                            nbytes * params.lsm_read_amp
+                        )
+                    # Memory copy into the response buffers.
+                    yield Timeout(nbytes / self.platform.memory_bandwidth)
+                finally:
+                    providers.release()
+                # Bulk transfer back: through the dragonfly when a
+                # topology is modeled, else through the flat server NIC.
+                if network is not None:
+                    yield from network.send(
+                        server_ids[server_index], reader_nodes[db_index],
+                        nbytes, adaptive=adaptive_routing,
+                    )
+                else:
+                    yield from server.nic.read(nbytes)
+                    yield Timeout(self.platform.network_latency)
+                # Chop into dispatch batches for the shared queue.
+                for start in range(0, batch, params.dispatch_batch_size):
+                    chunk = min(params.dispatch_batch_size, batch - start)
+                    queue.put(chunk)
+            done["readers"] += 1
+            if done["readers"] == num_dbs:
+                for _ in range(client_nodes):
+                    queue.put(None)  # sentinel: no more work
+
+        accounting = {"worker_busy": 0.0}
+
+        def worker_body(node: NodeModel):
+            yield Timeout(params.setup_time)
+            while True:
+                chunk = yield queue.get()
+                if chunk is None:
+                    return
+                nslices = chunk * slices_per_event
+                # All cores of the node chew on the dispatch batch.
+                service = nslices * t_slice / self.platform.cores_per_node
+                accounting["worker_busy"] += service
+                yield Timeout(service)
+
+        for db_index in range(num_dbs):
+            sim.process(reader_body(db_index), name=f"reader{db_index}")
+        for i in range(client_nodes):
+            node = NodeModel(sim, self.platform, name=f"client{i}")
+            sim.process(worker_body(node), name=f"worker{i}")
+        wall = sim.run()
+        utilization = {
+            "worker_compute": (
+                accounting["worker_busy"] / (client_nodes * wall)
+                if wall > 0 else 0.0
+            ),
+            "server_cpu": sum(
+                s.cores.utilization(wall) for s in servers
+            ) / len(servers),
+            "server_nic": sum(
+                s.nic.resource.utilization(wall) for s in servers
+            ) / len(servers),
+        }
+        if backend == "lsm":
+            utilization["server_ssd"] = sum(
+                s.ssd.resource.utilization(wall) for s in servers
+            ) / len(servers)
+        return SimResult(
+            system=f"hepnos-{'mem' if backend == 'map' else 'lsm'}",
+            nodes=nodes,
+            dataset=dataset.name,
+            wall_seconds=wall,
+            throughput=dataset.total_slices / wall if wall > 0 else 0.0,
+            busy_processes=client_nodes,
+            total_processes=client_nodes,
+            utilization=utilization,
+        )

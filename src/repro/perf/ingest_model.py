@@ -1,0 +1,121 @@
+"""Discrete-event model of the ingest phase (HDF2HEPnOS DataLoader).
+
+The paper (section III-B): the DataLoader "can then be compiled and run
+in parallel to ingest a number of files.  It becomes the first step of
+an HEP workflow, and the only step whose scalability is constrained by
+the number of files."
+
+Modeled per file: a PFS read of the file's bytes, a columnar-to-object
+transform on one core, then batched writes shipped to the owning
+servers (bulk transfer through the server NIC; the LSM backend also
+pays WAL+memtable-flush SSD writes).  Loader ranks pull files from a
+shared list; parallelism is ``min(ranks, remaining files)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.perf.filebased import SimResult
+from repro.perf.workload import CostModel, DatasetSpec
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.platform import NodeModel, ParallelFileSystem, PlatformConfig, THETA
+
+
+@dataclass(frozen=True)
+class IngestParams:
+    """Knobs of the ingest model."""
+
+    #: loader MPI ranks per client node
+    ranks_per_node: int = 16
+    #: server share of the allocation (as in the read phase)
+    server_node_ratio: int = 8
+    #: per-row transform cost (regroup columns into objects) [s]
+    t_transform: float = 20e-6
+    #: write batch size in events (WriteBatch flush threshold)
+    write_batch_events: int = 4096
+    #: LSM write amplification (WAL + flush)
+    lsm_write_amp: float = 2.0
+
+
+class IngestModel:
+    """Simulates the parallel ingest of a file set."""
+
+    def __init__(self, params: IngestParams = IngestParams(),
+                 costs: CostModel = CostModel(),
+                 platform: PlatformConfig = THETA):
+        self.params = params
+        self.costs = costs
+        self.platform = platform
+
+    def simulate(self, nodes: int, dataset: DatasetSpec, backend: str = "map",
+                 seed: int = 0) -> SimResult:
+        if backend not in ("map", "lsm"):
+            raise SimulationError(f"unknown backend {backend!r}")
+        if nodes < 2:
+            raise SimulationError("need at least one server and one client node")
+        params = self.params
+        server_count = max(1, nodes // params.server_node_ratio)
+        client_nodes = nodes - server_count
+
+        sim = Simulator()
+        pfs = ParallelFileSystem(sim, self.platform)
+        servers = [
+            NodeModel(sim, self.platform, name=f"server{i}",
+                      with_ssd=(backend == "lsm"))
+            for i in range(server_count)
+        ]
+        file_events = dataset.file_event_counts(seed=seed)
+        next_file = {"index": 0}
+        busy = {"count": 0}
+        slices_per_event = dataset.slices_per_event
+        num_ranks = client_nodes * params.ranks_per_node
+        rng = np.random.default_rng(seed + 99)
+
+        def loader_rank(rank: int):
+            worked = False
+            while True:
+                index = next_file["index"]
+                if index >= len(file_events):
+                    break
+                next_file["index"] = index + 1
+                worked = True
+                events = float(file_events[index])
+                nbytes = self.costs.file_bytes(dataset, events)
+                # 1. read the file from the PFS
+                yield from pfs.read_file(nbytes)
+                # 2. transform rows into products (one core)
+                rows = events * slices_per_event
+                yield Timeout(rows * params.t_transform)
+                # 3. ship write batches to the servers (spread by
+                #    placement hashing -- approximate round-robin)
+                remaining = events
+                while remaining > 0:
+                    batch = min(params.write_batch_events, remaining)
+                    remaining -= batch
+                    batch_bytes = self.costs.event_bytes(dataset) * batch
+                    server = servers[int(rng.integers(len(servers)))]
+                    yield from server.nic.read(batch_bytes)
+                    if backend == "lsm":
+                        yield from server.ssd.read(
+                            batch_bytes * params.lsm_write_amp
+                        )
+                    yield Timeout(self.platform.rpc_overhead)
+            if worked:
+                busy["count"] += 1
+
+        for rank in range(min(num_ranks, len(file_events))):
+            sim.process(loader_rank(rank), name=f"loader{rank}")
+        wall = sim.run()
+        return SimResult(
+            system=f"ingest-{'mem' if backend == 'map' else 'lsm'}",
+            nodes=nodes,
+            dataset=dataset.name,
+            wall_seconds=wall,
+            throughput=dataset.total_events / wall if wall > 0 else 0.0,
+            busy_processes=busy["count"],
+            total_processes=num_ranks,
+        )

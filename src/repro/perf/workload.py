@@ -1,0 +1,99 @@
+"""The evaluation datasets and the shared cost model.
+
+Dataset sizes are the paper's (section IV-D): the base beam sample is
+1929 files / 4,359,414 events / 17,878,347 slices, replicated 2x and 4x
+for the larger samples.  The byte-size model assumes ~600 reconstructed
+quantities of 4 bytes per slice, consistent with the NOvA CAF record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import fnv1a_64, mix64
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One evaluation sample."""
+
+    name: str
+    num_files: int
+    total_events: int
+    total_slices: int
+
+    @property
+    def slices_per_event(self) -> float:
+        return self.total_slices / self.total_events
+
+    @property
+    def events_per_file(self) -> float:
+        return self.total_events / self.num_files
+
+    def scaled(self, factor: float) -> "DatasetSpec":
+        """A proportionally smaller/larger copy (for quick runs)."""
+        return DatasetSpec(
+            name=f"{self.name}x{factor:g}",
+            num_files=max(1, round(self.num_files * factor)),
+            total_events=max(1, round(self.total_events * factor)),
+            total_slices=max(1, round(self.total_slices * factor)),
+        )
+
+    def file_event_counts(self, spread: float = 0.35, seed: int = 0
+                          ) -> np.ndarray:
+        """Heavy-tailed per-file event counts (mean preserved)."""
+        rng = np.random.default_rng(
+            mix64(fnv1a_64(f"{self.name}:{seed}".encode()))
+        )
+        if spread <= 0:
+            counts = np.full(self.num_files, self.events_per_file)
+        else:
+            counts = rng.lognormal(-0.5 * spread**2, spread, self.num_files)
+            counts *= self.events_per_file
+        # Rescale proportionally to the exact total, then spread the
+        # integer residual one event at a time (dumping it on a single
+        # file would fabricate an artificial monster file).
+        counts *= self.total_events / counts.sum()
+        counts = np.maximum(1, counts.round().astype(np.int64))
+        diff = self.total_events - int(counts.sum())
+        step = 1 if diff > 0 else -1
+        i = 0
+        while diff != 0:
+            if counts[i % self.num_files] + step >= 1:
+                counts[i % self.num_files] += step
+                diff -= step
+            i += 1
+        return counts
+
+
+#: The paper's three samples.
+SMALL = DatasetSpec("small", 1929, 4_359_414, 17_878_347)
+MEDIUM = DatasetSpec("medium", 3858, 8_718_828, 2 * 17_878_347)
+LARGE = DatasetSpec("large", 7716, 17_437_656, 4 * 17_878_347)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-slice and per-structure costs shared by both workflow models.
+
+    Calibrated so the simulated shapes match the paper's qualitative
+    claims (see DESIGN.md section 3); absolute values are plausible for
+    KNL-class cores but are NOT fitted to the paper's absolute numbers.
+    """
+
+    #: candidate-selection CPU time per slice [s] (KNL core)
+    t_select: float = 0.9e-3
+    #: serialized slice record size [B] (~600 quantities x 4 B + framing)
+    bytes_per_slice: float = 2600.0
+    #: file-based extra decode/IO time per slice (ROOT/CAF deserialization)
+    t_file_decode: float = 0.5e-3
+    #: HEPnOS client-side deserialization per slice
+    t_hepnos_decode: float = 0.1e-3
+
+    def event_bytes(self, dataset: DatasetSpec) -> float:
+        return self.bytes_per_slice * dataset.slices_per_event
+
+    def file_bytes(self, dataset: DatasetSpec, events: float) -> float:
+        return self.bytes_per_slice * dataset.slices_per_event * events

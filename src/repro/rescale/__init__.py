@@ -1,0 +1,36 @@
+"""Storage rescaling (the Pufferscale stand-in).
+
+The paper (section V) cites rescaling [27] as a technique that "could
+further improve HEPnOS's potential by allowing users to add and remove
+storage resources while HEP applications are using it."  This package
+implements that capability for this reproduction:
+
+- :func:`plan_rescale` -- given the current connection and a target
+  connection (databases added or removed), compute which keys must move
+  (consistent hashing keeps the moved fraction near the theoretical
+  minimum);
+- :func:`execute_rescale` -- stream the moving keys between databases
+  with batched transfers, then return the new connection for clients to
+  adopt;
+- :func:`add_server` / :func:`remove_server` -- connection surgery
+  helpers building the target connection from a BedrockServer joining
+  or leaving.
+"""
+
+from repro.rescale.migrate import (
+    MigrationPlan,
+    MigrationStats,
+    add_server,
+    execute_rescale,
+    plan_rescale,
+    remove_server,
+)
+
+__all__ = [
+    "MigrationPlan",
+    "MigrationStats",
+    "plan_rescale",
+    "execute_rescale",
+    "add_server",
+    "remove_server",
+]

@@ -1,0 +1,208 @@
+"""Rescale planning and execution.
+
+Rescaling walks the container hierarchy (parents determine placement),
+compares each parent group's database under the old and new layouts,
+and moves only the groups whose target changed.  Because placement uses
+consistent hashing, adding one database relocates roughly ``1/n`` of
+the groups -- Pufferscale's minimal-migration property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ConfigError
+from repro.hepnos import keys as hkeys
+from repro.hepnos.connection import KINDS, ConnectionInfo, DbTarget
+from repro.hepnos.placement import ParentHashPlacement
+
+
+@dataclass(frozen=True)
+class _Move:
+    kind: str
+    source: DbTarget
+    destination: DbTarget
+    keys: tuple
+
+
+@dataclass
+class MigrationStats:
+    keys_moved: int = 0
+    keys_stayed: int = 0
+    bytes_moved: int = 0
+    moves_by_kind: dict = field(default_factory=dict)
+
+    @property
+    def moved_fraction(self) -> float:
+        total = self.keys_moved + self.keys_stayed
+        return self.keys_moved / total if total else 0.0
+
+
+@dataclass
+class MigrationPlan:
+    new_connection: ConnectionInfo
+    moves: list = field(default_factory=list)
+    keys_stayed: int = 0
+
+    @property
+    def keys_to_move(self) -> int:
+        return sum(len(m.keys) for m in self.moves)
+
+
+# -- connection surgery -------------------------------------------------------
+
+
+def add_server(connection: ConnectionInfo, server) -> ConnectionInfo:
+    """The connection after ``server`` (a BedrockServer) joins."""
+    targets = {kind: list(connection[kind]) for kind in KINDS}
+    for db_name, provider_id in server.database_directory.items():
+        kind = db_name.rsplit("-", 1)[0]
+        if kind not in KINDS:
+            raise ConfigError(
+                f"database {db_name!r} does not map to a container kind"
+            )
+        target = DbTarget(str(server.address), provider_id, db_name)
+        if target in targets[kind]:
+            raise ConfigError(f"target {target} already in the connection")
+        targets[kind].append(target)
+    return ConnectionInfo(targets)
+
+
+def remove_server(connection: ConnectionInfo, address: str) -> ConnectionInfo:
+    """The connection after the server at ``address`` leaves."""
+    address = str(address)
+    targets = {}
+    removed = 0
+    for kind in KINDS:
+        kept = [t for t in connection[kind] if t.address != address]
+        removed += len(connection[kind]) - len(kept)
+        if not kept:
+            raise ConfigError(
+                f"removing {address} would leave no {kind!r} databases"
+            )
+        targets[kind] = kept
+    if removed == 0:
+        raise ConfigError(f"no databases at {address}")
+    return ConnectionInfo(targets)
+
+
+# -- planning ---------------------------------------------------------------
+
+
+def _parent_groups(datastore) -> Iterable[tuple[str, bytes, list[bytes]]]:
+    """Yield (kind, parent_key, child_keys) for every populated parent.
+
+    Walks the hierarchy: dataset children per parent path, runs per
+    dataset, subruns per run, events per subrun, and products per
+    container (runs, subruns, events all hold products).
+    """
+    # Dataset entries, grouped by parent path.
+    def walk_datasets(parent_path: str):
+        children = list(datastore.child_datasets(parent_path))
+        if children:
+            yield (
+                "datasets",
+                parent_path.encode("utf-8"),
+                [hkeys.dataset_key(c.path) for c in children],
+            )
+        for child in children:
+            yield from walk_datasets(child.path)
+
+    yield from walk_datasets("")
+
+    for dataset in _all_datasets(datastore):
+        run_keys = list(datastore.list_child_keys("runs", dataset.uuid))
+        if run_keys:
+            yield ("runs", dataset.uuid, run_keys)
+        for run_key in run_keys:
+            subrun_keys = list(datastore.list_child_keys("subruns", run_key))
+            yield from _product_group(datastore, run_key, subrun_keys)
+            if subrun_keys:
+                yield ("subruns", run_key, subrun_keys)
+            for subrun_key in subrun_keys:
+                event_keys = list(
+                    datastore.list_child_keys("events", subrun_key)
+                )
+                yield from _product_group(datastore, subrun_key, event_keys)
+                if event_keys:
+                    yield ("events", subrun_key, event_keys)
+                for event_key in event_keys:
+                    yield from _product_group(datastore, event_key, ())
+
+
+def _all_datasets(datastore):
+    stack = list(datastore.datasets())
+    while stack:
+        ds = stack.pop()
+        yield ds
+        stack.extend(ds.datasets())
+
+
+def _product_group(datastore, container_key: bytes, child_keys):
+    """Products stored *directly* on ``container_key``.
+
+    A prefix scan over a run key also matches products of its subruns
+    and events (their keys extend the run key), so keys continuing into
+    a known child container are filtered out.  The filter compares the
+    8 bytes after the container key against the child numbers; a text
+    label colliding with an existing child's big-endian number is
+    theoretically possible but needs a label starting with that exact
+    8-byte sequence.
+    """
+    target = datastore.placement.product_database_for(container_key)
+    handle = datastore.handle_for_target(target)
+    child_set = set(child_keys)
+    width = len(container_key) + 8
+    product_keys = [
+        key for key in handle.list_keys(prefix=container_key)
+        if not (len(key) > width and key[:width] in child_set)
+    ]
+    if product_keys:
+        yield ("products", container_key, product_keys)
+
+
+def plan_rescale(datastore, new_connection: ConnectionInfo) -> MigrationPlan:
+    """Compute the minimal key movements to adopt ``new_connection``."""
+    old_placement = datastore.placement
+    new_placement = ParentHashPlacement(new_connection)
+    plan = MigrationPlan(new_connection=new_connection)
+    for kind, parent_key, child_keys in _parent_groups(datastore):
+        source = old_placement.database_for(kind, parent_key)
+        destination = new_placement.database_for(kind, parent_key)
+        if source == destination:
+            plan.keys_stayed += len(child_keys)
+        else:
+            plan.moves.append(_Move(kind, source, destination,
+                                    tuple(child_keys)))
+    return plan
+
+
+# -- execution ---------------------------------------------------------------
+
+
+def execute_rescale(datastore, plan: MigrationPlan,
+                    batch_size: int = 1024) -> MigrationStats:
+    """Move the planned keys, then switch the datastore to the new layout.
+
+    Each move streams (get_multi -> put_multi -> erase_multi) in
+    batches; values (container existence markers or serialized
+    products) are copied verbatim.
+    """
+    stats = MigrationStats(keys_stayed=plan.keys_stayed)
+    for move in plan.moves:
+        source = datastore.handle_for_target(move.source)
+        destination = datastore.handle_for_target(move.destination)
+        for start in range(0, len(move.keys), batch_size):
+            chunk = list(move.keys[start : start + batch_size])
+            values = source.get_multi(chunk)
+            pairs = [(k, v) for k, v in zip(chunk, values) if v is not None]
+            destination.put_multi(pairs)
+            source.erase_multi([k for k, _ in pairs])
+            stats.keys_moved += len(pairs)
+            stats.bytes_moved += sum(len(k) + len(v) for k, v in pairs)
+        stats.moves_by_kind[move.kind] = (
+            stats.moves_by_kind.get(move.kind, 0) + len(move.keys)
+        )
+    datastore.adopt(plan.new_connection)
+    return stats

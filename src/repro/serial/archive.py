@@ -1,0 +1,449 @@
+"""Binary input/output archives with a Boost-like ``serialize`` protocol.
+
+Wire format: each value is a 1-byte type tag followed by a
+tag-dependent payload.  Integers use zigzag varints (arbitrary
+precision), floats are IEEE-754 doubles, strings are UTF-8 with a
+varint length, NumPy arrays carry their dtype string and shape, and
+registered objects carry their registered type name followed by the
+fields their ``serialize`` method visits.
+
+The same ``serialize`` method drives both directions.  ``ar.io(value)``
+*returns* the value: on output it writes ``value`` and echoes it back;
+on input it ignores the argument and returns the decoded value.  A
+typical implementation is::
+
+    @serializable("Particle")
+    class Particle:
+        def __init__(self, x=0.0, y=0.0, z=0.0):
+            self.x, self.y, self.z = x, y, z
+
+        def serialize(self, ar):
+            self.x = ar.io(self.x)
+            self.y = ar.io(self.y)
+            self.z = ar.io(self.z)
+
+Plain ``@dataclass`` types need no ``serialize`` method: their fields
+are visited in declaration order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import struct
+from typing import Any, Callable, Optional, Type
+
+import numpy as np
+
+from repro.errors import SerializationError
+
+# -- type tags ---------------------------------------------------------------
+
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3
+_T_FLOAT = 4
+_T_STR = 5
+_T_BYTES = 6
+_T_LIST = 7
+_T_TUPLE = 8
+_T_DICT = 9
+_T_SET = 10
+_T_NDARRAY = 11
+_T_OBJECT = 12
+_T_COMPLEX = 13
+_T_FROZENSET = 14
+
+_FLOAT_STRUCT = struct.Struct("<d")
+_COMPLEX_STRUCT = struct.Struct("<dd")
+
+# -- type registry -------------------------------------------------------------
+
+_BY_NAME: dict[str, type] = {}
+_BY_TYPE: dict[type, str] = {}
+_VERSIONS: dict[type, int] = {}
+_TAKES_VERSION: dict[type, bool] = {}
+
+
+def register_type(cls: type, name: Optional[str] = None,
+                  version: int = 0) -> type:
+    """Register ``cls`` under ``name`` (default: the class qualname).
+
+    Registration is what lets an :class:`InputArchive` reconstruct the
+    object, and what gives products their stable *type* component in
+    HEPnOS keys.  Re-registering the same class under the same name is
+    a no-op; conflicting registrations raise.
+
+    ``version`` supports schema evolution the way Boost does: the
+    writer's version is stored with each object, and a ``serialize``
+    method declared as ``serialize(self, ar, version)`` receives it on
+    input (and the current version on output), so newer code can read
+    older data.
+    """
+    label = name if name is not None else cls.__qualname__
+    existing = _BY_NAME.get(label)
+    if existing is not None and existing is not cls:
+        raise SerializationError(
+            f"type name {label!r} already registered to {existing!r}"
+        )
+    if version < 0:
+        raise SerializationError("class versions must be non-negative")
+    _BY_NAME[label] = cls
+    _BY_TYPE[cls] = label
+    _VERSIONS[cls] = version
+    return cls
+
+
+def class_version(cls: type) -> int:
+    """The registered schema version of a class (0 if unregistered)."""
+    return _VERSIONS.get(cls, 0)
+
+
+def _serialize_takes_version(cls: type) -> bool:
+    cached = _TAKES_VERSION.get(cls)
+    if cached is None:
+        import inspect
+
+        serialize = getattr(cls, "serialize", None)
+        if serialize is None:
+            cached = False
+        else:
+            try:
+                parameters = inspect.signature(serialize).parameters
+                # self, ar, version
+                cached = len(parameters) >= 3
+            except (TypeError, ValueError):  # pragma: no cover - builtins
+                cached = False
+        _TAKES_VERSION[cls] = cached
+    return cached
+
+
+def serializable(name: Optional[str] = None,
+                 version: int = 0) -> Callable[[type], type]:
+    """Class decorator form of :func:`register_type`."""
+
+    def decorate(cls: type) -> type:
+        return register_type(cls, name, version=version)
+
+    return decorate
+
+
+def registered_type(name: str) -> type:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise SerializationError(f"no type registered under {name!r}") from None
+
+
+def type_name(obj_or_cls: Any) -> str:
+    """The registered (or default) type name for a value or class."""
+    cls = obj_or_cls if isinstance(obj_or_cls, type) else type(obj_or_cls)
+    return _BY_TYPE.get(cls, cls.__qualname__)
+
+
+def _is_user_object(value: Any) -> bool:
+    return hasattr(value, "serialize") or dataclasses.is_dataclass(value)
+
+
+# -- varints ---------------------------------------------------------------
+
+
+def _write_uvarint(buf: io.BytesIO, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buf.write(bytes((byte | 0x80,)))
+        else:
+            buf.write(bytes((byte,)))
+            return
+
+
+def _read_uvarint(buf: io.BytesIO) -> int:
+    shift = 0
+    result = 0
+    while True:
+        raw = buf.read(1)
+        if not raw:
+            raise SerializationError("truncated varint")
+        byte = raw[0]
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    # Generalized zigzag: works for arbitrary-precision Python ints.
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+# -- archives ---------------------------------------------------------------
+
+
+class OutputArchive:
+    """Serializes values into an internal buffer."""
+
+    is_output = True
+    is_input = False
+
+    def __init__(self) -> None:
+        self._buf = io.BytesIO()
+
+    def io(self, value: Any) -> Any:
+        """Write ``value`` and return it (symmetric with input)."""
+        self._write_value(value)
+        return value
+
+    # ``ar(obj)`` reads like Boost's ``ar & obj``.
+    __call__ = io
+
+    def getvalue(self) -> bytes:
+        return self._buf.getvalue()
+
+    # -- encoders ---------------------------------------------------------
+
+    def _write_value(self, value: Any) -> None:
+        buf = self._buf
+        if value is None:
+            buf.write(bytes((_T_NONE,)))
+        elif value is True:
+            buf.write(bytes((_T_TRUE,)))
+        elif value is False:
+            buf.write(bytes((_T_FALSE,)))
+        elif isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+            buf.write(bytes((_T_INT,)))
+            _write_uvarint(buf, _zigzag(int(value)))
+        elif isinstance(value, (float, np.floating)):
+            buf.write(bytes((_T_FLOAT,)))
+            buf.write(_FLOAT_STRUCT.pack(float(value)))
+        elif isinstance(value, complex):
+            buf.write(bytes((_T_COMPLEX,)))
+            buf.write(_COMPLEX_STRUCT.pack(value.real, value.imag))
+        elif isinstance(value, str):
+            data = value.encode("utf-8")
+            buf.write(bytes((_T_STR,)))
+            _write_uvarint(buf, len(data))
+            buf.write(data)
+        elif isinstance(value, (bytes, bytearray, memoryview)):
+            data = bytes(value)
+            buf.write(bytes((_T_BYTES,)))
+            _write_uvarint(buf, len(data))
+            buf.write(data)
+        elif isinstance(value, np.ndarray):
+            self._write_ndarray(value)
+        elif isinstance(value, list):
+            buf.write(bytes((_T_LIST,)))
+            _write_uvarint(buf, len(value))
+            for item in value:
+                self._write_value(item)
+        elif isinstance(value, tuple):
+            buf.write(bytes((_T_TUPLE,)))
+            _write_uvarint(buf, len(value))
+            for item in value:
+                self._write_value(item)
+        elif isinstance(value, dict):
+            buf.write(bytes((_T_DICT,)))
+            _write_uvarint(buf, len(value))
+            for key, item in value.items():
+                self._write_value(key)
+                self._write_value(item)
+        elif isinstance(value, frozenset):
+            buf.write(bytes((_T_FROZENSET,)))
+            self._write_set_body(value)
+        elif isinstance(value, set):
+            buf.write(bytes((_T_SET,)))
+            self._write_set_body(value)
+        elif _is_user_object(value):
+            self._write_object(value)
+        else:
+            raise SerializationError(
+                f"cannot serialize value of type {type(value).__qualname__}; "
+                "define a serialize(self, ar) method or register the type"
+            )
+
+    def _write_set_body(self, value) -> None:
+        # Sort by encoded form for a canonical representation.
+        encoded = []
+        for item in value:
+            sub = OutputArchive()
+            sub._write_value(item)
+            encoded.append(sub.getvalue())
+        encoded.sort()
+        _write_uvarint(self._buf, len(encoded))
+        for blob in encoded:
+            self._buf.write(blob)
+
+    def _write_ndarray(self, arr: np.ndarray) -> None:
+        if arr.dtype.hasobject:
+            raise SerializationError("object-dtype arrays are not serializable")
+        buf = self._buf
+        buf.write(bytes((_T_NDARRAY,)))
+        dtype_str = arr.dtype.str.encode("ascii")
+        _write_uvarint(buf, len(dtype_str))
+        buf.write(dtype_str)
+        _write_uvarint(buf, arr.ndim)
+        for dim in arr.shape:
+            _write_uvarint(buf, dim)
+        data = np.ascontiguousarray(arr).tobytes()
+        _write_uvarint(buf, len(data))
+        buf.write(data)
+
+    def _write_object(self, value: Any) -> None:
+        buf = self._buf
+        buf.write(bytes((_T_OBJECT,)))
+        name = type_name(value)
+        if name not in _BY_NAME:
+            # Auto-register so round-trips within one process always work.
+            register_type(type(value), name)
+        encoded = name.encode("utf-8")
+        _write_uvarint(buf, len(encoded))
+        buf.write(encoded)
+        version = _VERSIONS.get(type(value), 0)
+        _write_uvarint(buf, version)
+        _visit_fields(value, self, version)
+
+
+class InputArchive:
+    """Deserializes values from a byte string."""
+
+    is_output = False
+    is_input = True
+
+    def __init__(self, data: bytes) -> None:
+        self._buf = io.BytesIO(data)
+
+    def io(self, _ignored: Any = None) -> Any:
+        """Read and return the next value (argument is ignored)."""
+        return self._read_value()
+
+    __call__ = io
+
+    def at_end(self) -> bool:
+        pos = self._buf.tell()
+        more = self._buf.read(1)
+        self._buf.seek(pos)
+        return not more
+
+    # -- decoders ---------------------------------------------------------
+
+    def _read_exact(self, n: int) -> bytes:
+        data = self._buf.read(n)
+        if len(data) != n:
+            raise SerializationError(f"truncated archive: wanted {n} bytes")
+        return data
+
+    def _read_value(self) -> Any:
+        tag = self._read_exact(1)[0]
+        if tag == _T_NONE:
+            return None
+        if tag == _T_TRUE:
+            return True
+        if tag == _T_FALSE:
+            return False
+        if tag == _T_INT:
+            return _unzigzag(_read_uvarint(self._buf))
+        if tag == _T_FLOAT:
+            return _FLOAT_STRUCT.unpack(self._read_exact(8))[0]
+        if tag == _T_COMPLEX:
+            real, imag = _COMPLEX_STRUCT.unpack(self._read_exact(16))
+            return complex(real, imag)
+        if tag == _T_STR:
+            n = _read_uvarint(self._buf)
+            return self._read_exact(n).decode("utf-8")
+        if tag == _T_BYTES:
+            n = _read_uvarint(self._buf)
+            return self._read_exact(n)
+        if tag == _T_LIST:
+            n = _read_uvarint(self._buf)
+            return [self._read_value() for _ in range(n)]
+        if tag == _T_TUPLE:
+            n = _read_uvarint(self._buf)
+            return tuple(self._read_value() for _ in range(n))
+        if tag == _T_DICT:
+            n = _read_uvarint(self._buf)
+            return {self._read_value(): self._read_value() for _ in range(n)}
+        if tag == _T_SET:
+            n = _read_uvarint(self._buf)
+            return {self._read_value() for _ in range(n)}
+        if tag == _T_FROZENSET:
+            n = _read_uvarint(self._buf)
+            return frozenset(self._read_value() for _ in range(n))
+        if tag == _T_NDARRAY:
+            return self._read_ndarray()
+        if tag == _T_OBJECT:
+            return self._read_object()
+        raise SerializationError(f"unknown type tag {tag}")
+
+    def _read_ndarray(self) -> np.ndarray:
+        n = _read_uvarint(self._buf)
+        dtype = np.dtype(self._read_exact(n).decode("ascii"))
+        ndim = _read_uvarint(self._buf)
+        shape = tuple(_read_uvarint(self._buf) for _ in range(ndim))
+        nbytes = _read_uvarint(self._buf)
+        data = self._read_exact(nbytes)
+        return np.frombuffer(data, dtype=dtype).reshape(shape).copy()
+
+    def _read_object(self) -> Any:
+        n = _read_uvarint(self._buf)
+        name = self._read_exact(n).decode("utf-8")
+        cls = registered_type(name)
+        stored_version = _read_uvarint(self._buf)
+        # Like Boost, deserialization prefers default construction so the
+        # object's serialize method can read its own (default) members;
+        # fall back to allocation-only for types without a no-arg init.
+        try:
+            obj = cls()
+        except TypeError:
+            obj = cls.__new__(cls)
+        _visit_fields(obj, self, stored_version)
+        return obj
+
+
+def _visit_fields(obj: Any, ar, version: int = 0) -> None:
+    """Run the object's serialize protocol against ``ar``.
+
+    ``version`` is the class version: the registered one on output, the
+    stored one on input.  Passed to ``serialize`` only when its
+    signature accepts it (Boost's optional ``version`` argument).
+    """
+    serialize = getattr(obj, "serialize", None)
+    if callable(serialize):
+        if _serialize_takes_version(type(obj)):
+            serialize(ar, version)
+        else:
+            serialize(ar)
+        return
+    if dataclasses.is_dataclass(obj):
+        for field in dataclasses.fields(obj):
+            current = getattr(obj, field.name, None)
+            setattr(obj, field.name, ar.io(current))
+        return
+    raise SerializationError(
+        f"{type(obj).__qualname__} has neither a serialize method nor "
+        "dataclass fields"
+    )
+
+
+# -- convenience ---------------------------------------------------------------
+
+
+def dumps(value: Any) -> bytes:
+    """Serialize a single value to bytes."""
+    ar = OutputArchive()
+    ar.io(value)
+    return ar.getvalue()
+
+
+def loads(data: bytes) -> Any:
+    """Deserialize a single value from bytes."""
+    ar = InputArchive(data)
+    value = ar.io()
+    if not ar.at_end():
+        raise SerializationError("trailing bytes after value")
+    return value

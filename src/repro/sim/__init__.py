@@ -1,0 +1,37 @@
+"""A discrete-event simulator of the HPC platform (Theta stand-in).
+
+The paper's scaling measurements ran on up to 256 Cray XC40 nodes; a
+single Python process cannot reproduce those wall-clock numbers, so the
+*shape* experiments (Figures 2 and 3) run on this simulator instead.
+
+:mod:`repro.sim.engine` is a small SimPy-style kernel: processes are
+generators yielding timeouts, events, and resource requests.
+:mod:`repro.sim.resources` provides queued resources and stores.
+:mod:`repro.sim.platform` models the cluster pieces the workflows
+touch: nodes with cores, NICs with injection limits, a parallel file
+system with metadata service, and per-node SSD/memory storage.
+"""
+
+from repro.sim.engine import Simulator, Timeout, Event, Process
+from repro.sim.resources import Resource, Store
+from repro.sim.platform import (
+    PlatformConfig,
+    THETA,
+    NodeModel,
+    ParallelFileSystem,
+    StorageDevice,
+)
+
+__all__ = [
+    "Simulator",
+    "Timeout",
+    "Event",
+    "Process",
+    "Resource",
+    "Store",
+    "PlatformConfig",
+    "THETA",
+    "NodeModel",
+    "ParallelFileSystem",
+    "StorageDevice",
+]

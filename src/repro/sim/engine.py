@@ -1,0 +1,134 @@
+"""The simulation kernel: virtual time, events, generator processes.
+
+A process is a generator that yields *waitables*:
+
+- ``Timeout(dt)`` -- resume after ``dt`` simulated seconds;
+- ``Event`` -- resume when someone calls :meth:`Event.succeed`
+  (the value passed there is sent into the generator);
+- another ``Process`` -- resume when it finishes (its return value is
+  delivered).
+
+The kernel is deterministic: ties in time break by schedule order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A one-shot simulation event processes can wait on."""
+
+    __slots__ = ("sim", "triggered", "value", "_waiters")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    def succeed(self, value: Any = None) -> None:
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback(value)
+
+    def _add_waiter(self, callback: Callable[[Any], None]) -> None:
+        if self.triggered:
+            callback(self.value)
+        else:
+            self._waiters.append(callback)
+
+
+class Timeout:
+    """Waitable: resume after a delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = delay
+
+
+class Process:
+    """A running generator, driving itself through the kernel."""
+
+    __slots__ = ("sim", "name", "_gen", "finished", "result", "_done_event")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "proc"):
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self.finished = False
+        self.result: Any = None
+        self._done_event = Event(sim)
+        sim._schedule(0.0, lambda: self._step(None))
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            waitable = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self._done_event.succeed(stop.value)
+            return
+        if isinstance(waitable, Timeout):
+            self.sim._schedule(waitable.delay, lambda: self._step(None))
+        elif isinstance(waitable, Event):
+            waitable._add_waiter(lambda value: self.sim._schedule(
+                0.0, lambda: self._step(value)))
+        elif isinstance(waitable, Process):
+            waitable._done_event._add_waiter(lambda value: self.sim._schedule(
+                0.0, lambda: self._step(value)))
+        else:
+            raise SimulationError(
+                f"process {self.name} yielded a non-waitable: {waitable!r}"
+            )
+
+    @property
+    def done_event(self) -> Event:
+        return self._done_event
+
+
+class Simulator:
+    """The event loop and virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._steps = 0
+
+    def _schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), callback))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, gen: Generator, name: str = "proc") -> Process:
+        """Register a generator as a simulation process."""
+        return Process(self, gen, name)
+
+    def run(self, until: Optional[float] = None,
+            max_steps: int = 200_000_000) -> float:
+        """Run until the event heap drains (or ``until``); returns now."""
+        while self._heap:
+            time, _seq, callback = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            callback()
+            self._steps += 1
+            if self._steps > max_steps:
+                raise SimulationError("simulation exceeded max_steps")
+        return self.now

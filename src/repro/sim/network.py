@@ -1,0 +1,207 @@
+"""A dragonfly interconnect model (the Cray Aries stand-in).
+
+Theta's Aries network is a dragonfly (paper section III-C): nodes attach
+to routers, routers form all-to-all *groups*, and groups connect with
+global links.  This model captures the pieces that shape data-service
+traffic:
+
+- per-link bandwidth contention (links are queued resources);
+- minimal routing (node -> router -> [global link] -> router -> node)
+  and Valiant-style non-minimal routing through a random intermediate
+  group, which trades path length for load spreading;
+- per-link traffic accounting, exposing hot links.
+
+Transfers are circuit-style: a message holds each link of its path for
+``bytes / link_bandwidth`` in sequence, plus a per-hop latency.  That
+is coarser than flit-level simulation but reproduces the contention
+behaviour the workflows see (many clients pulling from few servers).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.resources import Resource
+
+
+@dataclass(frozen=True)
+class DragonflyConfig:
+    """Topology and link parameters."""
+
+    groups: int = 4
+    routers_per_group: int = 4
+    nodes_per_router: int = 4
+    #: node-to-router injection bandwidth [B/s]
+    injection_bandwidth: float = 8e9
+    #: intra-group (local) link bandwidth [B/s]
+    local_bandwidth: float = 5e9
+    #: inter-group (global) link bandwidth [B/s]
+    global_bandwidth: float = 4e9
+    #: per-hop latency [s]
+    hop_latency: float = 1e-6
+
+    @property
+    def total_nodes(self) -> int:
+        return self.groups * self.routers_per_group * self.nodes_per_router
+
+    @property
+    def routers(self) -> int:
+        return self.groups * self.routers_per_group
+
+
+class _Link:
+    """One directed link: a unit resource with bandwidth."""
+
+    __slots__ = ("name", "bandwidth", "resource", "bytes_carried",
+                 "bytes_reserved")
+
+    def __init__(self, sim: Simulator, name: str, bandwidth: float):
+        self.name = name
+        self.bandwidth = bandwidth
+        self.resource = Resource(sim, capacity=1, name=name)
+        self.bytes_carried = 0
+        #: bytes committed by routing decisions (congestion signal for
+        #: adaptive routing; grows at send time, before queues build)
+        self.bytes_reserved = 0
+
+    def transfer(self, nbytes: float):
+        self.bytes_carried += int(nbytes)
+        yield from self.resource.use(nbytes / self.bandwidth)
+
+
+class DragonflyNetwork:
+    """The interconnect: build once, then ``yield from send(...)``."""
+
+    def __init__(self, sim: Simulator, config: DragonflyConfig = DragonflyConfig(),
+                 seed: int = 0):
+        self.sim = sim
+        self.config = config
+        self._rng = random.Random(seed)
+        self._links: dict[tuple, _Link] = {}
+        c = config
+        # Injection/ejection links per node (full duplex: two directed).
+        for node in range(c.total_nodes):
+            self._links[("inj", node)] = _Link(
+                sim, f"inj{node}", c.injection_bandwidth)
+            self._links[("eje", node)] = _Link(
+                sim, f"eje{node}", c.injection_bandwidth)
+        # Local links: all-to-all among routers of one group (directed).
+        for g in range(c.groups):
+            for a in range(c.routers_per_group):
+                for b in range(c.routers_per_group):
+                    if a != b:
+                        self._links[("loc", g, a, b)] = _Link(
+                            sim, f"loc{g}.{a}-{b}", c.local_bandwidth)
+        # Global links: one (directed) per ordered group pair, attached
+        # round-robin to routers.
+        for ga in range(c.groups):
+            for gb in range(c.groups):
+                if ga != gb:
+                    self._links[("glb", ga, gb)] = _Link(
+                        sim, f"glb{ga}-{gb}", c.global_bandwidth)
+
+    # -- topology helpers ---------------------------------------------------
+
+    def node_router(self, node: int) -> tuple[int, int]:
+        """(group, router-in-group) hosting ``node``."""
+        c = self.config
+        if not 0 <= node < c.total_nodes:
+            raise SimulationError(f"node {node} out of range")
+        router = node // c.nodes_per_router
+        return router // c.routers_per_group, router % c.routers_per_group
+
+    def _gateway_router(self, group: int, dest_group: int) -> int:
+        """The router of ``group`` carrying the global link to
+        ``dest_group`` (round-robin attachment)."""
+        c = self.config
+        peer = dest_group if dest_group < group else dest_group - 1
+        return peer % c.routers_per_group
+
+    def route(self, src: int, dst: int,
+              via_group: Optional[int] = None) -> list[tuple]:
+        """The ordered link keys a message traverses."""
+        if src == dst:
+            return []
+        sg, sr = self.node_router(src)
+        dg, dr = self.node_router(dst)
+        path: list[tuple] = [("inj", src)]
+        if sg == dg:
+            if sr != dr:
+                path.append(("loc", sg, sr, dr))
+        else:
+            groups = [sg]
+            if via_group is not None and via_group not in (sg, dg):
+                groups.append(via_group)
+            groups.append(dg)
+            current_router = sr
+            for here, there in zip(groups, groups[1:]):
+                gateway = self._gateway_router(here, there)
+                if current_router != gateway:
+                    path.append(("loc", here, current_router, gateway))
+                path.append(("glb", here, there))
+                current_router = self._gateway_router(there, here)
+            if current_router != dr:
+                path.append(("loc", dg, current_router, dr))
+        path.append(("eje", dst))
+        return path
+
+    # -- transfers ---------------------------------------------------------
+
+    def send(self, src: int, dst: int, nbytes: float,
+             adaptive: bool = False):
+        """Process helper: move ``nbytes`` from ``src`` to ``dst``.
+
+        With ``adaptive=True``, inter-group messages take a Valiant
+        detour through a random intermediate group when the minimal
+        global link is busier than the detour's first global link.
+        """
+        via = None
+        sg, _ = self.node_router(src)
+        dg, _ = self.node_router(dst)
+        if adaptive and sg != dg and self.config.groups > 2:
+            # UGAL-style choice on *reserved* load: committed bytes are
+            # a congestion signal available before queues even build.
+            minimal = self._links[("glb", sg, dg)]
+            candidates = [g for g in range(self.config.groups)
+                          if g not in (sg, dg)]
+            alt_group = self._rng.choice(candidates)
+            detour_load = max(
+                self._links[("glb", sg, alt_group)].bytes_reserved,
+                self._links[("glb", alt_group, dg)].bytes_reserved,
+            )
+            # The detour uses two global hops; prefer it only when the
+            # minimal link carries at least twice the detour's load.
+            if minimal.bytes_reserved >= 2 * (detour_load + nbytes):
+                via = alt_group
+        path = self.route(src, dst, via_group=via)
+        for key in path:
+            if key[0] == "glb":
+                self._links[key].bytes_reserved += int(nbytes)
+        for key in path:
+            yield Timeout(self.config.hop_latency)
+            yield from self._links[key].transfer(nbytes)
+
+    # -- accounting ---------------------------------------------------------
+
+    def link_loads(self) -> dict[str, int]:
+        """Bytes carried per link (nonzero only)."""
+        return {
+            link.name: link.bytes_carried
+            for link in self._links.values()
+            if link.bytes_carried
+        }
+
+    def hottest_link(self) -> tuple[str, int]:
+        link = max(self._links.values(), key=lambda l: l.bytes_carried)
+        return link.name, link.bytes_carried
+
+    def global_link_utilization(self, elapsed: float) -> dict[str, float]:
+        return {
+            link.name: link.resource.utilization(elapsed)
+            for key, link in self._links.items()
+            if key[0] == "glb" and link.bytes_carried
+        }

@@ -1,0 +1,117 @@
+"""Cluster component models calibrated to public Theta characteristics.
+
+These are deliberately coarse queueing models: each device is a
+capacity-limited resource whose service time is ``fixed + bytes/bandwidth``.
+Absolute constants come from public documentation (KNL 7230 nodes with
+64 cores, Aries ~8 GB/s injection per node, a Lustre file system with
+metadata-limited small-file behavior, node-local SSDs); DESIGN.md lists
+them and the calibration rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.resources import Resource
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Constants describing one machine."""
+
+    cores_per_node: int = 64
+    #: per-node NIC injection bandwidth [B/s] (Aries ~8 GB/s usable)
+    nic_bandwidth: float = 8e9
+    #: one-way small-message latency [s]
+    network_latency: float = 2e-6
+    #: per-RPC software overhead (Mercury/Margo handling) [s]
+    rpc_overhead: float = 15e-6
+    #: parallel file system aggregate read bandwidth [B/s]
+    pfs_bandwidth: float = 40e9
+    #: concurrent PFS streams before bandwidth saturates
+    pfs_streams: int = 256
+    #: metadata operation service time (open/stat on Lustre) [s]
+    pfs_metadata_time: float = 3e-3
+    #: metadata servers (serialize metadata ops)
+    pfs_metadata_servers: int = 4
+    #: node-local SSD read bandwidth [B/s] (NVMe class)
+    ssd_bandwidth: float = 4e9
+    #: SSD per-request latency [s]
+    ssd_latency: float = 100e-6
+    #: memory bandwidth for server-side copies [B/s]
+    memory_bandwidth: float = 60e9
+
+
+#: The evaluation machine.
+THETA = PlatformConfig()
+
+
+class StorageDevice:
+    """A shared storage device: latency + bandwidth queue."""
+
+    def __init__(self, sim: Simulator, bandwidth: float, latency: float,
+                 streams: int = 1, name: str = "dev"):
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.resource = Resource(sim, capacity=streams, name=name)
+
+    def read(self, nbytes: float):
+        """Process helper: one read of ``nbytes``."""
+        service = self.latency + nbytes / self.bandwidth
+        yield from self.resource.use(service)
+
+    write = read  # symmetric for our purposes
+
+
+class ParallelFileSystem:
+    """Lustre-like: a metadata service plus striped data bandwidth."""
+
+    def __init__(self, sim: Simulator, config: PlatformConfig):
+        self.sim = sim
+        self.config = config
+        self.metadata = Resource(sim, capacity=config.pfs_metadata_servers,
+                                 name="pfs-md")
+        # Data path: the aggregate bandwidth is shared by up to
+        # pfs_streams concurrent streams, each getting an equal share.
+        self.data = Resource(sim, capacity=config.pfs_streams, name="pfs-data")
+        self._stream_bw = config.pfs_bandwidth / config.pfs_streams
+
+    def open_file(self):
+        """Metadata op (open/stat)."""
+        yield from self.metadata.use(self.config.pfs_metadata_time)
+
+    def read_file(self, nbytes: float):
+        """Open + data transfer at one stream's share."""
+        yield from self.open_file()
+        yield from self.data.use(nbytes / self._stream_bw)
+
+
+class NodeModel:
+    """One compute node: cores, a NIC, and optional local storage."""
+
+    def __init__(self, sim: Simulator, config: PlatformConfig,
+                 name: str = "node", with_ssd: bool = False):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.cores = Resource(sim, capacity=config.cores_per_node,
+                              name=f"{name}-cores")
+        self.nic = StorageDevice(sim, config.nic_bandwidth,
+                                 config.network_latency, streams=1,
+                                 name=f"{name}-nic")
+        self.ssd = (
+            StorageDevice(sim, config.ssd_bandwidth, config.ssd_latency,
+                          streams=1, name=f"{name}-ssd")
+            if with_ssd else None
+        )
+
+    def compute(self, seconds: float):
+        """Occupy one core for ``seconds``."""
+        yield from self.cores.use(seconds)
+
+    def send(self, nbytes: float):
+        """Inject ``nbytes`` into the fabric through this node's NIC."""
+        yield from self.nic.read(nbytes)
+        yield Timeout(self.config.network_latency)

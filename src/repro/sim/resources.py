@@ -1,0 +1,110 @@
+"""Queued resources and stores for simulation processes."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event, Simulator, Timeout
+
+
+class Resource:
+    """A capacity-limited resource with a FIFO wait queue.
+
+    Usage inside a process::
+
+        yield resource.request()
+        try:
+            yield Timeout(service_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "res"):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._queue: deque[Event] = deque()
+        # accounting
+        self.total_requests = 0
+        self.total_wait = 0.0
+        self.busy_time = 0.0
+        self._request_times: deque[float] = deque()
+        self._last_change = 0.0
+
+    def _accumulate(self) -> None:
+        self.busy_time += self.in_use * (self.sim.now - self._last_change)
+        self._last_change = self.sim.now
+
+    def request(self) -> Event:
+        """Waitable granting one unit of capacity."""
+        self.total_requests += 1
+        event = Event(self.sim)
+        self._accumulate()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed(self.sim.now)
+        else:
+            self._queue.append(event)
+            self._request_times.append(self.sim.now)
+        return event
+
+    def release(self) -> None:
+        self._accumulate()
+        if self._queue:
+            waiter = self._queue.popleft()
+            requested_at = self._request_times.popleft()
+            self.total_wait += self.sim.now - requested_at
+            waiter.succeed(self.sim.now)  # capacity passes directly on
+        else:
+            if self.in_use <= 0:
+                raise SimulationError(f"release of idle resource {self.name}")
+            self.in_use -= 1
+
+    def use(self, service_time: float):
+        """Process helper: acquire, hold for ``service_time``, release."""
+        yield self.request()
+        try:
+            yield Timeout(service_time)
+        finally:
+            self.release()
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        self._accumulate()
+        return self.busy_time / (elapsed * self.capacity)
+
+
+class Store:
+    """An unbounded FIFO of items with blocking get."""
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self.total_put = 0
+
+    def put(self, item: Any) -> None:
+        self.total_put += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Waitable resolving to the next item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)

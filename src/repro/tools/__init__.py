@@ -1,0 +1,5 @@
+"""Operator tooling: hierarchy inspection and the ``repro-hepnos`` CLI."""
+
+from repro.tools.inspect import tree, service_stat, file_structure
+
+__all__ = ["tree", "service_stat", "file_structure"]

@@ -1,0 +1,204 @@
+"""The ``repro-hepnos`` command-line interface.
+
+Subcommands that work standalone (no live service needed):
+
+- ``generate``  -- produce a synthetic NOvA-like file set;
+- ``inspect``   -- show an hdf5lite file's structure (HDF2HEPnOS's
+  analysis step, human-readable);
+- ``demo``      -- spin up an in-process service, ingest a small
+  sample, run the selection, and print the store tree;
+- ``scaling``   -- regenerate the paper's Figure 2/3 series on the
+  platform simulator;
+- ``tune``      -- autotune the deployable configuration on the
+  simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+
+def _cmd_generate(args) -> int:
+    from repro.nova import GeneratorConfig, generate_file_set
+
+    config = GeneratorConfig(signal_fraction=args.signal_fraction)
+    summary = generate_file_set(
+        args.directory, num_files=args.files,
+        mean_events_per_file=args.events_per_file, config=config,
+        size_spread=args.spread,
+    )
+    print(f"wrote {summary.num_files} files under {args.directory}: "
+          f"{summary.total_events} events, {summary.total_slices} slices")
+    print(f"events per file: min={min(summary.events_per_file)} "
+          f"mean={summary.total_events / summary.num_files:.0f} "
+          f"max={max(summary.events_per_file)}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.tools.inspect import file_structure
+
+    for path in args.paths:
+        print(file_structure(path))
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.bedrock import BedrockServer, default_hepnos_config
+    from repro.hepnos import DataStore
+    from repro.mercury import Fabric
+    from repro.nova import GeneratorConfig, generate_file_set
+    from repro.tools.inspect import service_stat, tree
+    from repro.workflows import HEPnOSWorkflow
+
+    workdir = tempfile.mkdtemp(prefix="hepnos-demo-")
+    sample = generate_file_set(
+        f"{workdir}/files", num_files=4, mean_events_per_file=24,
+        config=GeneratorConfig(signal_fraction=0.05, events_per_subrun=16,
+                               subruns_per_run=4),
+    )
+    fabric = Fabric(threaded=True)
+    servers = [
+        BedrockServer(fabric, default_hepnos_config(
+            f"sm://node{i}/hepnos", num_providers=4, event_databases=4,
+            product_databases=4, run_databases=2, subrun_databases=2,
+        ))
+        for i in range(2)
+    ]
+    fabric.runtime.start()
+    datastore = DataStore.connect(fabric, servers)
+    workflow = HEPnOSWorkflow(datastore, "nova/demo", input_batch_size=64,
+                              dispatch_batch_size=8)
+    result = workflow.run(sample.paths, num_ranks=args.ranks)
+    print(f"ingested {sample.num_files} files; selected "
+          f"{len(result.accepted_ids)} of {result.slices_examined} slices\n")
+    print("store tree:")
+    print(tree(datastore))
+    print("\nservice statistics:")
+    print(service_stat(datastore))
+    fabric.runtime.shutdown()
+    return 0
+
+
+def _cmd_demo_export(args) -> int:
+    """Demo the full cycle: generate -> ingest -> export -> inspect."""
+    from repro.bedrock import BedrockServer, default_hepnos_config
+    from repro.hepnos import DataLoader, DataStore, DatasetExporter
+    from repro.mercury import Fabric
+    from repro.nova import GeneratorConfig, generate_file_set
+    from repro.tools.inspect import file_structure
+
+    workdir = tempfile.mkdtemp(prefix="hepnos-export-")
+    sample = generate_file_set(
+        f"{workdir}/files", num_files=2, mean_events_per_file=16,
+        config=GeneratorConfig(events_per_subrun=16, subruns_per_run=4),
+    )
+    fabric = Fabric()
+    server = BedrockServer(fabric, default_hepnos_config(
+        "sm://node0/hepnos", num_providers=4, event_databases=4,
+        product_databases=4, run_databases=2, subrun_databases=2,
+    ))
+    datastore = DataStore.connect(fabric, [server])
+    DataLoader(datastore, "cli/export").ingest(sample.paths)
+    stats = DatasetExporter(datastore, "cli/export").export(
+        args.output, ["rec.slc"], compression="zlib",
+    )
+    print(f"exported {stats.rows} rows from {stats.events} events "
+          f"to {args.output}")
+    print(file_structure(args.output))
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from repro.perf import (
+        LARGE,
+        check_figure2_shape,
+        format_records,
+        run_dataset_sweep,
+        run_strong_scaling,
+    )
+
+    dataset = LARGE.scaled(args.scale) if args.scale != 1.0 else LARGE
+    records = run_strong_scaling(dataset=dataset, repeats=args.repeats)
+    print("== Figure 2 ==")
+    print(format_records(records))
+    if args.scale == 1.0:
+        for name, value in check_figure2_shape(records).items():
+            print(f"  {name}: {value}")
+    print("\n== Figure 3 ==")
+    print(format_records(run_dataset_sweep(repeats=args.repeats),
+                         group_by_dataset=True))
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.perf.workload import LARGE
+    from repro.tuning import hepnos_objective, tune_hepnos
+    from repro.tuning.objective import PAPER_CONFIG
+
+    dataset = LARGE.scaled(args.scale)
+    result = tune_hepnos(nodes=args.nodes, dataset=dataset,
+                         budget=args.budget, seed=args.seed)
+    paper = hepnos_objective(PAPER_CONFIG, nodes=args.nodes, dataset=dataset)
+    print(f"evaluated {result.evaluations} configurations")
+    print(f"paper config: {paper:,.0f} slices/s")
+    print(f"best found:   {result.best_score:,.0f} slices/s "
+          f"({result.best_score / paper - 1:+.1%})")
+    for key, value in sorted(result.best_config.items()):
+        mark = "" if PAPER_CONFIG[key] == value else \
+            f"   (paper: {PAPER_CONFIG[key]})"
+        print(f"  {key} = {value}{mark}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hepnos",
+        description="HEPnOS reproduction toolbox",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="produce a synthetic file set")
+    p.add_argument("directory")
+    p.add_argument("--files", type=int, default=8)
+    p.add_argument("--events-per-file", type=int, default=64)
+    p.add_argument("--signal-fraction", type=float, default=0.02)
+    p.add_argument("--spread", type=float, default=0.35)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("inspect", help="show an hdf5lite file's structure")
+    p.add_argument("paths", nargs="+")
+    p.set_defaults(fn=_cmd_inspect)
+
+    p = sub.add_parser("demo", help="end-to-end in-process demonstration")
+    p.add_argument("--ranks", type=int, default=4)
+    p.set_defaults(fn=_cmd_demo)
+
+    p = sub.add_parser("export", help="demo: ingest then export a dataset")
+    p.add_argument("output", help="output hdf5lite path")
+    p.set_defaults(fn=_cmd_demo_export)
+
+    p = sub.add_parser("scaling", help="regenerate the paper's figures")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="dataset scale factor (1.0 = paper size)")
+    p.add_argument("--repeats", type=int, default=1)
+    p.set_defaults(fn=_cmd_scaling)
+
+    p = sub.add_parser("tune", help="autotune the configuration")
+    p.add_argument("--nodes", type=int, default=64)
+    p.add_argument("--budget", type=int, default=25)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=float, default=1 / 32)
+    p.set_defaults(fn=_cmd_tune)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

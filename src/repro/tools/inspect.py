@@ -1,0 +1,93 @@
+"""Human-readable views of stores, services, and input files."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hdf5lite import H5LiteFile
+
+
+def tree(datastore, path: Optional[str] = None, max_runs: int = 8,
+         max_subruns: int = 4, show_events: bool = False) -> str:
+    """An ``ls -R``-style rendering of the container hierarchy.
+
+    Large stores are elided: at most ``max_runs`` runs per dataset and
+    ``max_subruns`` subruns per run are expanded; the rest are counted.
+    """
+    lines: list[str] = []
+
+    def walk_dataset(dataset, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(f"{indent}{dataset.name or dataset.path}/")
+        for child in dataset.datasets():
+            walk_dataset(child, depth + 1)
+        runs = list(dataset.runs())
+        for run in runs[:max_runs]:
+            subruns = list(run.subruns())
+            lines.append(
+                f"{indent}  run {run.number} ({len(subruns)} subruns)"
+            )
+            for subrun in subruns[:max_subruns]:
+                events = sum(1 for _ in subrun)
+                suffix = ""
+                if show_events and events:
+                    numbers = [e.number for e in subrun.events(limit=6)]
+                    shown = ", ".join(str(n) for n in numbers)
+                    suffix = f": {shown}{', ...' if events > 6 else ''}"
+                lines.append(
+                    f"{indent}    subrun {subrun.number} "
+                    f"({events} events){suffix}"
+                )
+            if len(subruns) > max_subruns:
+                lines.append(
+                    f"{indent}    ... {len(subruns) - max_subruns} more subruns"
+                )
+        if len(runs) > max_runs:
+            lines.append(f"{indent}  ... {len(runs) - max_runs} more runs")
+
+    if path is not None:
+        walk_dataset(datastore[path], 0)
+    else:
+        for dataset in datastore.datasets():
+            walk_dataset(dataset, 0)
+    return "\n".join(lines) if lines else "(empty store)"
+
+
+def service_stat(datastore) -> str:
+    """Per-database key counts across the whole service."""
+    lines = [f"{'kind':<10} {'database':<16} {'at':<24} {'keys':>8}"]
+    totals: dict[str, int] = {}
+    for kind in ("datasets", "runs", "subruns", "events", "products"):
+        for target in datastore.connection[kind]:
+            handle = datastore.handle_for_target(target)
+            count = len(handle)
+            totals[kind] = totals.get(kind, 0) + count
+            lines.append(
+                f"{kind:<10} {target.name:<16} {target.address:<24} "
+                f"{count:>8}"
+            )
+    lines.append("-" * 60)
+    for kind, total in totals.items():
+        lines.append(f"{kind:<10} {'TOTAL':<16} {'':<24} {total:>8}")
+    return "\n".join(lines)
+
+
+def file_structure(path: str) -> str:
+    """The structure of an hdf5lite file (groups, tables, columns)."""
+    lines = [path]
+    with H5LiteFile.open(path) as f:
+        for group in f.walk():
+            if not group.path:
+                continue
+            depth = group.path.count("/") + 1
+            indent = "  " * depth
+            klass = group.attrs.get("class")
+            suffix = f"  [class: {klass}]" if klass else ""
+            lines.append(f"{indent}{group.name}/{suffix}")
+            for name in group.datasets():
+                info = group.dataset_info(name)
+                comp = f" ({info.compression})" if info.compression else ""
+                lines.append(
+                    f"{indent}  {name}: {info.dtype} x {info.shape}{comp}"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Configuration autotuning (the HPC-storage-autotuning stand-in).
+
+The paper (sections II-B and V) credits ML-based autotuning [6] with
+selecting HEPnOS's deployed parameters -- the number of databases,
+batch sizes, provider layout.  This package provides the same
+capability over this reproduction's knobs:
+
+- :class:`SearchSpace` / :class:`Parameter` -- ordinal parameter spaces;
+- tuners: :class:`RandomSearch`, :class:`HillClimb` (local search with
+  restarts), and :class:`EvolutionTuner` (population-based, the
+  cheap-and-cheerful analogue of the paper's Bayesian optimizer);
+- :func:`hepnos_objective` -- simulated end-to-end throughput of the
+  HEPnOS workflow for a candidate configuration (fast: runs on
+  :mod:`repro.sim`);
+- :func:`tune_hepnos` -- one call from knobs to a tuned configuration.
+"""
+
+from repro.tuning.space import Parameter, SearchSpace
+from repro.tuning.tuners import (
+    EvolutionTuner,
+    HillClimb,
+    RandomSearch,
+    TrialRecord,
+    TuningResult,
+)
+from repro.tuning.objective import (
+    HEPNOS_SPACE,
+    hepnos_objective,
+    tune_hepnos,
+)
+
+__all__ = [
+    "Parameter",
+    "SearchSpace",
+    "RandomSearch",
+    "HillClimb",
+    "EvolutionTuner",
+    "TrialRecord",
+    "TuningResult",
+    "HEPNOS_SPACE",
+    "hepnos_objective",
+    "tune_hepnos",
+]

@@ -1,0 +1,71 @@
+"""The HEPnOS tuning objective: simulated workflow throughput.
+
+The tunable knobs mirror what the paper's autotuning study adjusted
+(section V: "number of databases, batch sizes, etc."): event databases
+per server, providers per server, input and dispatch batch sizes, and
+the server-node ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.perf.hepnos_model import HEPnOSModel, HEPnOSParams
+from repro.perf.workload import LARGE, CostModel, DatasetSpec
+from repro.tuning.space import Parameter, SearchSpace
+from repro.tuning.tuners import EvolutionTuner, TuningResult
+
+#: The deployable knobs and their admissible values.
+HEPNOS_SPACE = SearchSpace([
+    Parameter("event_dbs_per_server", (1, 2, 4, 8, 16)),
+    Parameter("providers_per_server", (1, 2, 4, 8, 16)),
+    Parameter("input_batch_size", (256, 1024, 4096, 16384, 65536)),
+    Parameter("dispatch_batch_size", (4, 16, 64, 256, 1024)),
+    Parameter("server_node_ratio", (4, 8, 16)),
+])
+
+#: The paper's deployed configuration, expressed in this space.
+PAPER_CONFIG = {
+    "event_dbs_per_server": 8,
+    "providers_per_server": 8,
+    "input_batch_size": 16384,
+    "dispatch_batch_size": 64,
+    "server_node_ratio": 8,
+}
+
+
+def hepnos_objective(config: dict, nodes: int = 128,
+                     dataset: DatasetSpec = LARGE.scaled(1 / 32),
+                     backend: str = "map",
+                     costs: Optional[CostModel] = None) -> float:
+    """Simulated throughput (slices/s) of one configuration.
+
+    A dispatch batch larger than the input batch is clamped by the
+    model, so every point in the space is evaluable.
+    """
+    params = HEPnOSParams(
+        event_dbs_per_server=config["event_dbs_per_server"],
+        providers_per_server=config["providers_per_server"],
+        input_batch_size=config["input_batch_size"],
+        dispatch_batch_size=min(config["dispatch_batch_size"],
+                                config["input_batch_size"]),
+        server_node_ratio=config["server_node_ratio"],
+    )
+    model = HEPnOSModel(params, costs or CostModel())
+    result = model.simulate(nodes, dataset, backend=backend)
+    return result.throughput
+
+
+def tune_hepnos(nodes: int = 128,
+                dataset: DatasetSpec = LARGE.scaled(1 / 32),
+                backend: str = "map",
+                budget: int = 40, seed: int = 0,
+                space: SearchSpace = HEPNOS_SPACE) -> TuningResult:
+    """One-call tuning: evolve a configuration for the given deployment."""
+    tuner = EvolutionTuner(
+        space,
+        lambda config: hepnos_objective(config, nodes=nodes,
+                                        dataset=dataset, backend=backend),
+        budget=budget, seed=seed,
+    )
+    return tuner.run(initial=dict(PAPER_CONFIG))

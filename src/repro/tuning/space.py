@@ -1,0 +1,114 @@
+"""Ordinal parameter spaces for configuration search."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One tunable knob with an ordered list of admissible values.
+
+    Values are ordered so that "neighboring" configurations (one step
+    up or down) are meaningful to local-search tuners.
+    """
+
+    name: str
+    choices: tuple
+
+    def __init__(self, name: str, choices: Sequence):
+        if not choices:
+            raise ConfigError(f"parameter {name!r} has no choices")
+        if len(set(choices)) != len(choices):
+            raise ConfigError(f"parameter {name!r} has duplicate choices")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "choices", tuple(choices))
+
+    def index_of(self, value) -> int:
+        try:
+            return self.choices.index(value)
+        except ValueError:
+            raise ConfigError(
+                f"{value!r} is not a choice of parameter {self.name!r}"
+            ) from None
+
+
+class SearchSpace:
+    """A product of :class:`Parameter` axes; configurations are dicts."""
+
+    def __init__(self, parameters: Sequence[Parameter]):
+        if not parameters:
+            raise ConfigError("search space is empty")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ConfigError("duplicate parameter names")
+        self.parameters = tuple(parameters)
+        self._by_name = {p.name: p for p in parameters}
+
+    def __len__(self) -> int:
+        """Number of distinct configurations."""
+        out = 1
+        for p in self.parameters:
+            out *= len(p.choices)
+        return out
+
+    def __getitem__(self, name: str) -> Parameter:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigError(f"no parameter named {name!r}") from None
+
+    def validate(self, config: dict) -> None:
+        if set(config) != set(self._by_name):
+            raise ConfigError(
+                f"configuration keys {sorted(config)} do not match the "
+                f"space {sorted(self._by_name)}"
+            )
+        for name, value in config.items():
+            self._by_name[name].index_of(value)
+
+    def sample(self, rng: random.Random) -> dict:
+        return {p.name: rng.choice(p.choices) for p in self.parameters}
+
+    def default(self) -> dict:
+        """Middle value of each axis."""
+        return {
+            p.name: p.choices[len(p.choices) // 2] for p in self.parameters
+        }
+
+    def neighbors(self, config: dict) -> list[dict]:
+        """All configurations one ordinal step away on one axis."""
+        self.validate(config)
+        out = []
+        for p in self.parameters:
+            idx = p.index_of(config[p.name])
+            for step in (-1, 1):
+                j = idx + step
+                if 0 <= j < len(p.choices):
+                    neighbor = dict(config)
+                    neighbor[p.name] = p.choices[j]
+                    out.append(neighbor)
+        return out
+
+    def crossover(self, a: dict, b: dict, rng: random.Random) -> dict:
+        """Uniform crossover of two configurations."""
+        return {
+            p.name: (a if rng.random() < 0.5 else b)[p.name]
+            for p in self.parameters
+        }
+
+    def mutate(self, config: dict, rng: random.Random,
+               rate: float = 0.3) -> dict:
+        """Random ordinal steps with probability ``rate`` per axis."""
+        out = dict(config)
+        for p in self.parameters:
+            if rng.random() < rate:
+                idx = p.index_of(out[p.name])
+                step = rng.choice((-1, 1))
+                idx = min(len(p.choices) - 1, max(0, idx + step))
+                out[p.name] = p.choices[idx]
+        return out

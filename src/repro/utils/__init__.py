@@ -1,0 +1,25 @@
+"""Shared low-level utilities: sorted maps, hashing, key codecs, stats."""
+
+from repro.utils.skiplist import SkipListMap
+from repro.utils.hashing import fnv1a_64, mix64, ConsistentHashRing, jump_hash
+from repro.utils.keycodec import (
+    encode_u64_be,
+    decode_u64_be,
+    bytes_with_prefix,
+    prefix_upper_bound,
+)
+from repro.utils.stats import RunningStats, summarize
+
+__all__ = [
+    "SkipListMap",
+    "fnv1a_64",
+    "mix64",
+    "ConsistentHashRing",
+    "jump_hash",
+    "encode_u64_be",
+    "decode_u64_be",
+    "bytes_with_prefix",
+    "prefix_upper_bound",
+    "RunningStats",
+    "summarize",
+]

@@ -1,0 +1,135 @@
+"""Hash functions and consistent hashing used for data placement.
+
+HEPnOS selects which database instance holds a container (or product) by
+*consistent hashing of the parent container's key* (paper section II-C3).
+We provide both a classic virtual-node hash ring and Google's jump
+consistent hash; the ring is the default because it supports weighted
+targets and incremental membership changes (the Pufferscale rescaling
+work the paper cites relies on that property).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a_64(data: bytes, seed: int = _FNV_OFFSET) -> int:
+    """64-bit FNV-1a hash of ``data``.
+
+    Deterministic across processes (unlike :func:`hash` on ``bytes``),
+    which matters because placement decisions made by writers must be
+    reproducible by readers.
+    """
+    h = seed & _MASK64
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    return h
+
+
+def mix64(value: int) -> int:
+    """SplitMix64 finalizer: full-avalanche mix of a 64-bit value.
+
+    FNV-1a of short, similar inputs differs mostly in the low bits; the
+    hash ring and jump hash need dispersion across all 64 bits, so both
+    run raw hashes through this finalizer.
+    """
+    z = (value + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def jump_hash(key: int, num_buckets: int) -> int:
+    """Jump consistent hash (Lamping & Veach, 2014).
+
+    Maps a 64-bit ``key`` onto ``num_buckets`` buckets such that growing
+    the bucket count relocates only ~1/n of the keys.
+    """
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    k = key & _MASK64
+    b, j = -1, 0
+    while j < num_buckets:
+        b = j
+        k = (k * 2862933555777941757 + 1) & _MASK64
+        j = int((b + 1) * (float(1 << 31) / float((k >> 33) + 1)))
+    return b
+
+
+class ConsistentHashRing:
+    """Consistent hash ring with virtual nodes.
+
+    Targets are arbitrary hashable identifiers (HEPnOS uses database
+    indices).  Each target owns ``vnodes`` points on a 64-bit ring; a key
+    maps to the owner of the first point clockwise of its hash.
+    """
+
+    def __init__(self, targets: Sequence[object] = (), vnodes: int = 64):
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self._vnodes = vnodes
+        self._points: list[int] = []
+        self._owners: list[object] = []
+        self._targets: set[object] = set()
+        for target in targets:
+            self.add_target(target)
+
+    @property
+    def targets(self) -> frozenset:
+        return frozenset(self._targets)
+
+    def __len__(self) -> int:
+        return len(self._targets)
+
+    def _vnode_hash(self, target: object, replica: int) -> int:
+        token = f"{target!r}#{replica}".encode()
+        return mix64(fnv1a_64(token))
+
+    def add_target(self, target: object) -> None:
+        if target in self._targets:
+            raise ValueError(f"target {target!r} already on the ring")
+        self._targets.add(target)
+        for replica in range(self._vnodes):
+            point = self._vnode_hash(target, replica)
+            idx = bisect.bisect_left(self._points, point)
+            # Break the (astronomically unlikely) tie deterministically.
+            while idx < len(self._points) and self._points[idx] == point:
+                idx += 1
+            self._points.insert(idx, point)
+            self._owners.insert(idx, target)
+
+    def remove_target(self, target: object) -> None:
+        if target not in self._targets:
+            raise KeyError(target)
+        self._targets.discard(target)
+        keep_points, keep_owners = [], []
+        for point, owner in zip(self._points, self._owners):
+            if owner != target:
+                keep_points.append(point)
+                keep_owners.append(owner)
+        self._points, self._owners = keep_points, keep_owners
+
+    def locate(self, key: bytes) -> object:
+        """Return the target owning ``key``."""
+        if not self._points:
+            raise ValueError("hash ring has no targets")
+        point = mix64(fnv1a_64(key))
+        idx = bisect.bisect_right(self._points, point)
+        if idx == len(self._points):
+            idx = 0
+        return self._owners[idx]
+
+    def locate_index(self, key: bytes, count: int) -> int:
+        """Convenience: locate ``key`` on an implicit ring of ``range(count)``.
+
+        Used by placement code that addresses databases by index without
+        materializing a ring per lookup; falls back to jump hashing which
+        has the same stability property.
+        """
+        return jump_hash(mix64(fnv1a_64(key)), count)

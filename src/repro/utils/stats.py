@@ -1,0 +1,123 @@
+"""Streaming statistics helpers used by benchmarks and the simulator."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+
+class RunningStats:
+    """Welford online mean/variance with min/max tracking.
+
+    Numerically stable for long benchmark streams; avoids storing every
+    sample the way a naive ``statistics.stdev`` call would require.
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, x: float) -> None:
+        self._n += 1
+        delta = x - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (x - self._mean)
+        self._min = min(self._min, x)
+        self._max = max(self._max, x)
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self._n < 2:
+            return 0.0
+        return self._m2 / (self._n - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._max
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Parallel-merge two streams (Chan et al.)."""
+        if other._n == 0:
+            return self
+        if self._n == 0:
+            self._n = other._n
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            return self
+        n = self._n + other._n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self._n * other._n / n
+        self._mean += delta * other._n / n
+        self._n = n
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    def as_dict(self) -> Mapping[str, float]:
+        return {
+            "count": self._n,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+@dataclass(frozen=True)
+class Summary:
+    count: int
+    mean: float
+    stdev: float
+    min: float
+    max: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} sd={self.stdev:.3g} "
+            f"min={self.min:.4g} max={self.max:.4g}"
+        )
+
+
+def summarize(samples: Iterable[float]) -> Summary:
+    """One-shot summary of an iterable of samples."""
+    stats = RunningStats()
+    stats.extend(samples)
+    return Summary(
+        count=stats.count,
+        mean=stats.mean,
+        stdev=stats.stdev,
+        min=stats.min,
+        max=stats.max,
+    )

@@ -1,0 +1,47 @@
+"""The two candidate-selection workflows the paper compares (section IV).
+
+- :mod:`repro.workflows.traditional` -- the file-based workflow: a file
+  list decomposed into blocks of work, pulled by independent processes
+  that sequentially scan each file and write accepted slice IDs to
+  per-process text files;
+- :mod:`repro.workflows.hepnos` -- the HEPnOS workflow: parallel ingest
+  (HDF2HEPnOS) followed by an MPI application that iterates events with
+  a ParallelEventProcessor and reduces accepted slice IDs to rank 0;
+- :mod:`repro.workflows.compare` -- runs both on the same data and
+  verifies they select identical slices (the paper's correctness check).
+"""
+
+from repro.workflows.traditional import (
+    TraditionalWorkflow,
+    TraditionalResult,
+    write_file_list,
+    read_file_list,
+)
+from repro.workflows.hepnos import (
+    HEPnOSWorkflow,
+    HEPnOSResult,
+)
+from repro.workflows.compare import compare_workflows, ComparisonReport
+from repro.workflows.multistep import (
+    StepSpec,
+    StepReport,
+    PipelineReport,
+    HEPnOSPipeline,
+    FileBasedPipeline,
+)
+
+__all__ = [
+    "StepSpec",
+    "StepReport",
+    "PipelineReport",
+    "HEPnOSPipeline",
+    "FileBasedPipeline",
+    "TraditionalWorkflow",
+    "TraditionalResult",
+    "write_file_list",
+    "read_file_list",
+    "HEPnOSWorkflow",
+    "HEPnOSResult",
+    "compare_workflows",
+    "ComparisonReport",
+]

@@ -1,0 +1,161 @@
+"""The backend interface every Yokan storage engine implements."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError, DatabaseClosed, KeyNotFound
+
+#: Registered backend kinds, populated by :func:`register_backend`.
+BACKEND_KINDS: dict[str, type] = {}
+
+
+def register_backend(kind: str):
+    """Class decorator associating a backend class with its config name."""
+
+    def decorate(cls: type) -> type:
+        BACKEND_KINDS[kind] = cls
+        return cls
+
+    return decorate
+
+
+def open_backend(kind: str, **config) -> "Backend":
+    """Instantiate a backend by kind name (``map``, ``lsm``, ``btree``)."""
+    try:
+        cls = BACKEND_KINDS[kind]
+    except KeyError:
+        raise ConfigError(
+            f"unknown backend kind {kind!r}; known: {sorted(BACKEND_KINDS)}"
+        ) from None
+    return cls(**config)
+
+
+class Backend(abc.ABC):
+    """An ordered byte-key / byte-value store.
+
+    Iteration order is bytewise-lexicographic on keys, which combined
+    with big-endian number encoding gives HEPnOS its sorted runs,
+    subruns, and events (paper section II-C3).
+    """
+
+    def __init__(self) -> None:
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DatabaseClosed("backend is closed")
+
+    def flush(self) -> None:
+        """Force durability of buffered writes (no-op by default)."""
+        self._check_open()
+
+    # -- required primitives -------------------------------------------------
+
+    @abc.abstractmethod
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+
+    @abc.abstractmethod
+    def get(self, key: bytes) -> bytes:
+        """Return the value for ``key`` or raise :class:`KeyNotFound`."""
+
+    @abc.abstractmethod
+    def exists(self, key: bytes) -> bool:
+        """Whether ``key`` is present."""
+
+    @abc.abstractmethod
+    def erase(self, key: bytes) -> None:
+        """Remove ``key``; raise :class:`KeyNotFound` if absent."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of live keys."""
+
+    @abc.abstractmethod
+    def scan(
+        self,
+        start: bytes = b"",
+        inclusive: bool = True,
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Ordered iteration of (key, value) from ``start``."""
+
+    # -- derived operations --------------------------------------------------
+
+    def get_or_none(self, key: bytes) -> Optional[bytes]:
+        try:
+            return self.get(key)
+        except KeyNotFound:
+            return None
+
+    def put_multi(self, pairs: Iterable[Tuple[bytes, bytes]]) -> int:
+        """Insert many pairs; returns the count (batch RPC fast path)."""
+        count = 0
+        for key, value in pairs:
+            self.put(key, value)
+            count += 1
+        return count
+
+    def get_multi(self, keys: Sequence[bytes]) -> list[Optional[bytes]]:
+        """Fetch many keys; missing keys yield ``None``."""
+        return [self.get_or_none(key) for key in keys]
+
+    def exists_multi(self, keys: Sequence[bytes]) -> list[bool]:
+        return [self.exists(key) for key in keys]
+
+    def erase_multi(self, keys: Sequence[bytes]) -> int:
+        """Remove many keys; missing keys are skipped. Returns the count
+        actually removed (batch RPC fast path for migration)."""
+        removed = 0
+        for key in keys:
+            try:
+                self.erase(key)
+                removed += 1
+            except KeyNotFound:
+                continue
+        return removed
+
+    def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        for key, value in self.scan(prefix):
+            if not key.startswith(prefix):
+                return
+            yield key, value
+
+    def list_keys(
+        self,
+        prefix: bytes = b"",
+        start_after: bytes = b"",
+        limit: int = 0,
+    ) -> list[bytes]:
+        """Keys with ``prefix``, strictly after ``start_after``.
+
+        ``limit`` of 0 means unlimited.  This is the primitive the
+        HEPnOS container iterators are built on.
+        """
+        out: list[bytes] = []
+        if start_after and start_after >= prefix:
+            iterator = self.scan(start_after, inclusive=False)
+        else:
+            iterator = self.scan(prefix, inclusive=True)
+        for key, _ in iterator:
+            if not key.startswith(prefix):
+                # Scan starts at >= prefix, so a non-matching key is past
+                # the end of the prefix range.
+                break
+            out.append(key)
+            if limit and len(out) >= limit:
+                break
+        return out
+
+    def count_prefix(self, prefix: bytes) -> int:
+        return sum(1 for _ in self.scan_prefix(prefix))

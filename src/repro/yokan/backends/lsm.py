@@ -1,0 +1,503 @@
+"""A log-structured merge-tree backend: the paper's RocksDB stand-in.
+
+Design (classic LSM, size-tiered full compaction):
+
+- writes append to a checksummed write-ahead log, then land in a
+  skip-list *memtable*;
+- when the memtable exceeds ``memtable_bytes`` it is flushed to an
+  immutable, sorted *SSTable* file with a sparse index and a bloom
+  filter;
+- reads consult the memtable, then SSTables newest-to-oldest, skipping
+  tables whose bloom filter excludes the key;
+- deletes write *tombstones*, dropped at compaction;
+- when more than ``compaction_trigger`` SSTables accumulate they are
+  merged into one.
+
+The backend tracks read/write amplification counters so benchmarks can
+show *why* the in-memory backend wins at scale in Figure 2.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import CorruptionError, KeyNotFound
+from repro.utils import SkipListMap, fnv1a_64, mix64
+from repro.yokan.backend import Backend, register_backend
+
+_WAL_HEADER = struct.Struct("<II")  # payload length, crc32
+_SST_MAGIC = b"SSTB0001"
+_FOOTER_LEN = struct.Struct("<Q")
+
+#: Sentinel stored in the memtable for deleted keys.
+_TOMBSTONE = object()
+
+
+class BloomFilter:
+    """A fixed-size bloom filter over byte keys."""
+
+    def __init__(self, num_bits: int, num_hashes: int = 4,
+                 bits: Optional[bytearray] = None):
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = bits if bits is not None else bytearray((num_bits + 7) // 8)
+
+    @classmethod
+    def for_capacity(cls, n: int, bits_per_key: int = 10) -> "BloomFilter":
+        return cls(max(64, n * bits_per_key))
+
+    def _positions(self, key: bytes) -> Iterator[int]:
+        # Double hashing: h1 + i*h2 simulates k independent hashes.
+        h1 = fnv1a_64(key)
+        h2 = mix64(h1) | 1
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+
+    def __contains__(self, key: bytes) -> bool:
+        return all(
+            self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key)
+        )
+
+    def to_bytes(self) -> bytes:
+        return struct.pack("<QI", self.num_bits, self.num_hashes) + bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BloomFilter":
+        num_bits, num_hashes = struct.unpack_from("<QI", data)
+        return cls(num_bits, num_hashes, bytearray(data[12:]))
+
+
+@dataclass
+class LSMStats:
+    """Amplification and hit-rate counters."""
+
+    wal_bytes: int = 0
+    flushes: int = 0
+    flushed_bytes: int = 0
+    compactions: int = 0
+    compacted_bytes: int = 0
+    gets: int = 0
+    memtable_hits: int = 0
+    sstable_reads: int = 0
+    bloom_skips: int = 0
+
+    @property
+    def write_amplification(self) -> float:
+        logical = self.wal_bytes or 1
+        return (self.wal_bytes + self.flushed_bytes + self.compacted_bytes) / logical
+
+
+class SSTable:
+    """One immutable sorted table on disk."""
+
+    #: Every ``INDEX_INTERVAL``-th key lands in the sparse index.
+    INDEX_INTERVAL = 16
+
+    def __init__(self, path: str):
+        self.path = path
+        with open(path, "rb") as f:
+            magic = f.read(len(_SST_MAGIC))
+            if magic != _SST_MAGIC:
+                raise CorruptionError(f"{path}: bad SSTable magic")
+            f.seek(-_FOOTER_LEN.size, os.SEEK_END)
+            end_of_footer = f.tell()
+            (footer_size,) = _FOOTER_LEN.unpack(f.read(_FOOTER_LEN.size))
+            f.seek(end_of_footer - footer_size)
+            footer = json.loads(f.read(footer_size).decode())
+        self.num_entries: int = footer["n"]
+        self.data_end: int = footer["data_end"]
+        self.index: list[tuple[bytes, int]] = [
+            (bytes.fromhex(k), off) for k, off in footer["index"]
+        ]
+        self.bloom = BloomFilter.from_bytes(bytes.fromhex(footer["bloom"]))
+        self.min_key = bytes.fromhex(footer["min"]) if footer["min"] else b""
+        self.max_key = bytes.fromhex(footer["max"]) if footer["max"] else b""
+
+    @staticmethod
+    def write(path: str, entries: Iterator[Tuple[bytes, Optional[bytes]]],
+              expected_count: int) -> int:
+        """Write sorted ``entries`` (value ``None`` = tombstone) to ``path``.
+
+        Returns the number of data bytes written.
+        """
+        bloom = BloomFilter.for_capacity(max(expected_count, 1))
+        index: list[tuple[str, int]] = []
+        n = 0
+        min_key = max_key = None
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as f:
+            f.write(_SST_MAGIC)
+            for key, value in entries:
+                offset = f.tell()
+                if n % SSTable.INDEX_INTERVAL == 0:
+                    index.append((key.hex(), offset))
+                bloom.add(key)
+                if min_key is None:
+                    min_key = key
+                max_key = key
+                if value is None:
+                    f.write(struct.pack("<II", len(key), 0xFFFFFFFF))
+                    f.write(key)
+                else:
+                    f.write(struct.pack("<II", len(key), len(value)))
+                    f.write(key)
+                    f.write(value)
+                n += 1
+            data_end = f.tell()
+            footer = json.dumps({
+                "n": n,
+                "data_end": data_end,
+                "index": index,
+                "bloom": bloom.to_bytes().hex(),
+                "min": min_key.hex() if min_key is not None else "",
+                "max": max_key.hex() if max_key is not None else "",
+            }).encode()
+            f.write(footer)
+            f.write(_FOOTER_LEN.pack(len(footer)))
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+        return data_end
+
+    def _read_entry(self, f) -> Optional[Tuple[bytes, Optional[bytes]]]:
+        header = f.read(8)
+        if len(header) < 8:
+            return None
+        klen, vlen = struct.unpack("<II", header)
+        key = f.read(klen)
+        if vlen == 0xFFFFFFFF:
+            return key, None
+        return key, f.read(vlen)
+
+    def get(self, key: bytes) -> Tuple[bool, Optional[bytes]]:
+        """(found, value) -- value ``None`` with found=True is a tombstone."""
+        if self.num_entries == 0 or not self.min_key <= key <= self.max_key:
+            return False, None
+        if key not in self.bloom:
+            return False, None
+        # Bisect the sparse index for the last offset whose key <= key.
+        lo, hi = 0, len(self.index) - 1
+        start = self.index[0][1]
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if self.index[mid][0] <= key:
+                start = self.index[mid][1]
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        with open(self.path, "rb") as f:
+            f.seek(start)
+            for _ in range(self.INDEX_INTERVAL):
+                if f.tell() >= self.data_end:
+                    break
+                entry = self._read_entry(f)
+                if entry is None:
+                    break
+                ekey, value = entry
+                if ekey == key:
+                    return True, value
+                if ekey > key:
+                    break
+        return False, None
+
+    def scan(self, start: bytes = b"") -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """Ordered iteration including tombstones, from ``start``."""
+        if self.num_entries == 0:
+            return
+        # Seek via the sparse index.
+        offset = self.index[0][1]
+        for ikey, ioff in self.index:
+            if ikey <= start:
+                offset = ioff
+            else:
+                break
+        with open(self.path, "rb") as f:
+            f.seek(offset)
+            while f.tell() < self.data_end:
+                entry = self._read_entry(f)
+                if entry is None:
+                    break
+                key, value = entry
+                if key < start:
+                    continue
+                yield key, value
+
+
+@register_backend("lsm")
+class LSMBackend(Backend):
+    """The persistent LSM backend (``"lsm"``, standing in for RocksDB)."""
+
+    def __init__(self, path: str, memtable_bytes: int = 4 * 1024 * 1024,
+                 compaction_trigger: int = 4, sync_wal: bool = False, **_unused):
+        super().__init__()
+        self.path = path
+        self.memtable_bytes = memtable_bytes
+        self.compaction_trigger = compaction_trigger
+        self.sync_wal = sync_wal
+        self.stats = LSMStats()
+        os.makedirs(path, exist_ok=True)
+        self._manifest_path = os.path.join(path, "MANIFEST.json")
+        self._wal_path = os.path.join(path, "wal.log")
+        self._memtable = SkipListMap()
+        self._mem_bytes = 0
+        self._sstables: list[SSTable] = []  # oldest first
+        self._next_table_id = 0
+        # Live-key count is recomputed lazily: keeping it exact on every
+        # put would force a read-before-write (which RocksDB avoids too).
+        self._live_keys: Optional[int] = None
+        self._recover()
+        self._wal = open(self._wal_path, "ab")
+
+    # -- recovery ---------------------------------------------------------
+
+    def _recover(self) -> None:
+        if os.path.exists(self._manifest_path):
+            with open(self._manifest_path) as f:
+                manifest = json.load(f)
+            self._next_table_id = manifest["next_table_id"]
+            for name in manifest["tables"]:
+                self._sstables.append(SSTable(os.path.join(self.path, name)))
+        if os.path.exists(self._wal_path):
+            self._replay_wal()
+
+    def _replay_wal(self) -> None:
+        with open(self._wal_path, "rb") as f:
+            while True:
+                header = f.read(_WAL_HEADER.size)
+                if len(header) < _WAL_HEADER.size:
+                    break
+                length, crc = _WAL_HEADER.unpack(header)
+                payload = f.read(length)
+                if len(payload) < length or zlib.crc32(payload) != crc:
+                    # Torn tail write: everything before it is intact.
+                    break
+                op = payload[0:1]
+                klen = struct.unpack_from("<I", payload, 1)[0]
+                key = payload[5 : 5 + klen]
+                if op == b"P":
+                    value = payload[5 + klen :]
+                    self._memtable_put(key, value)
+                elif op == b"D":
+                    self._memtable_put(key, _TOMBSTONE)
+
+    # -- memtable ---------------------------------------------------------
+
+    def _memtable_put(self, key: bytes, value) -> None:
+        old = self._memtable.get(key)
+        if old is not None:
+            self._mem_bytes -= len(key) + (0 if old is _TOMBSTONE else len(old))
+        self._memtable[key] = value
+        self._mem_bytes += len(key) + (0 if value is _TOMBSTONE else len(value))
+
+    def _wal_append(self, op: bytes, key: bytes, value: bytes = b"") -> None:
+        payload = op + struct.pack("<I", len(key)) + key + value
+        self._wal.write(_WAL_HEADER.pack(len(payload), zlib.crc32(payload)))
+        self._wal.write(payload)
+        if self.sync_wal:
+            self._wal.flush()
+            os.fsync(self._wal.fileno())
+        self.stats.wal_bytes += len(payload)
+
+    def _maybe_flush(self) -> None:
+        if self._mem_bytes >= self.memtable_bytes:
+            self.flush_memtable()
+
+    def flush_memtable(self) -> None:
+        """Write the memtable out as a new SSTable and truncate the WAL."""
+        self._check_open()
+        if len(self._memtable) == 0:
+            return
+        name = f"sst-{self._next_table_id:06d}.tbl"
+        self._next_table_id += 1
+        entries = (
+            (k, None if v is _TOMBSTONE else v) for k, v in self._memtable.scan()
+        )
+        written = SSTable.write(os.path.join(self.path, name), entries,
+                                len(self._memtable))
+        self.stats.flushes += 1
+        self.stats.flushed_bytes += written
+        self._sstables.append(SSTable(os.path.join(self.path, name)))
+        self._memtable = SkipListMap()
+        self._mem_bytes = 0
+        self._write_manifest()
+        # WAL content is now durable in the SSTable.
+        self._wal.close()
+        self._wal = open(self._wal_path, "wb")
+        if len(self._sstables) > self.compaction_trigger:
+            self.compact()
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "next_table_id": self._next_table_id,
+            "tables": [os.path.basename(t.path) for t in self._sstables],
+        }
+        tmp = self._manifest_path + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(manifest, f)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, self._manifest_path)
+
+    # -- compaction ---------------------------------------------------------
+
+    def compact(self) -> None:
+        """Merge every SSTable into one, dropping tombstones and shadowed keys."""
+        self._check_open()
+        if len(self._sstables) <= 1:
+            return
+        name = f"sst-{self._next_table_id:06d}.tbl"
+        self._next_table_id += 1
+        merged = list(self._merge_tables(include_tombstones=False))
+        written = SSTable.write(os.path.join(self.path, name),
+                                iter(merged), len(merged))
+        self.stats.compactions += 1
+        self.stats.compacted_bytes += written
+        old = self._sstables
+        self._sstables = [SSTable(os.path.join(self.path, name))]
+        self._write_manifest()
+        for table in old:
+            os.unlink(table.path)
+
+    def _merge_tables(self, include_tombstones: bool
+                      ) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """K-way merge over SSTables only (not the memtable), newest wins."""
+        # Heap items: (key, -age, seq, value). Lower age = older table.
+        iters = [table.scan() for table in self._sstables]
+        heap = []
+        for age, it in enumerate(iters):
+            first = next(it, None)
+            if first is not None:
+                heap.append((first[0], -age, first[1], it))
+        heapq.heapify(heap)
+        current_key = None
+        while heap:
+            key, neg_age, value, it = heapq.heappop(heap)
+            nxt = next(it, None)
+            if nxt is not None:
+                heapq.heappush(heap, (nxt[0], neg_age, nxt[1], it))
+            if key == current_key:
+                continue  # an older table's value for the same key
+            current_key = key
+            if value is None and not include_tombstones:
+                continue
+            yield key, value
+
+    # -- Backend API --------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check_open()
+        value = bytes(value)
+        self._live_keys = None
+        self._wal_append(b"P", key, value)
+        self._memtable_put(key, value)
+        self._maybe_flush()
+
+    def get(self, key: bytes) -> bytes:
+        self._check_open()
+        self.stats.gets += 1
+        value = self._memtable.get(key)
+        if value is not None:
+            self.stats.memtable_hits += 1
+            if value is _TOMBSTONE:
+                raise KeyNotFound(repr(key))
+            return value
+        for table in reversed(self._sstables):
+            if key in table.bloom:
+                self.stats.sstable_reads += 1
+                found, tvalue = table.get(key)
+                if found:
+                    if tvalue is None:
+                        raise KeyNotFound(repr(key))
+                    return tvalue
+            else:
+                self.stats.bloom_skips += 1
+        raise KeyNotFound(repr(key))
+
+    def _exists_internal(self, key: bytes) -> bool:
+        value = self._memtable.get(key)
+        if value is not None:
+            return value is not _TOMBSTONE
+        for table in reversed(self._sstables):
+            if key in table.bloom:
+                found, tvalue = table.get(key)
+                if found:
+                    return tvalue is not None
+        return False
+
+    def exists(self, key: bytes) -> bool:
+        self._check_open()
+        return self._exists_internal(key)
+
+    def erase(self, key: bytes) -> None:
+        self._check_open()
+        if not self._exists_internal(key):
+            raise KeyNotFound(repr(key))
+        self._live_keys = None
+        self._wal_append(b"D", key)
+        self._memtable_put(key, _TOMBSTONE)
+        self._maybe_flush()
+
+    def __len__(self) -> int:
+        if self._live_keys is None:
+            self._live_keys = sum(1 for _ in self.scan())
+        return self._live_keys
+
+    def scan(self, start: bytes = b"", inclusive: bool = True
+             ) -> Iterator[Tuple[bytes, bytes]]:
+        self._check_open()
+        # Merge memtable (age -1: newest) with all sstables.
+        heap: list = []
+        mem_iter = self._memtable.scan(start, inclusive=inclusive)
+        first = next(mem_iter, None)
+        if first is not None:
+            heap.append((first[0], -len(self._sstables) - 1,
+                         None if first[1] is _TOMBSTONE else first[1], mem_iter))
+        for age, table in enumerate(self._sstables):
+            it = table.scan(start)
+            entry = next(it, None)
+            while entry is not None and not inclusive and entry[0] == start:
+                entry = next(it, None)
+            if entry is not None:
+                heap.append((entry[0], -age, entry[1], it))
+        heapq.heapify(heap)
+        current_key = None
+        while heap:
+            key, neg_age, value, it = heapq.heappop(heap)
+            nxt = next(it, None)
+            if nxt is not None:
+                if inclusive or nxt[0] != start:
+                    raw = nxt[1]
+                    if raw is _TOMBSTONE:
+                        raw = None
+                    heapq.heappush(heap, (nxt[0], neg_age, raw, it))
+            if key == current_key:
+                continue
+            current_key = key
+            if value is None or value is _TOMBSTONE:
+                continue  # tombstone shadows older values
+            yield key, value
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def flush(self) -> None:
+        self._check_open()
+        self._wal.flush()
+        os.fsync(self._wal.fileno())
+
+    def close(self) -> None:
+        if not self.closed:
+            self._wal.flush()
+            self._wal.close()
+            super().close()

@@ -1,0 +1,64 @@
+"""The in-memory backend: the paper's ``std::map`` configuration."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.errors import KeyNotFound
+from repro.utils import SkipListMap
+from repro.yokan.backend import Backend, register_backend
+
+
+@register_backend("map")
+class MemoryBackend(Backend):
+    """Sorted in-memory store backed by a skip list.
+
+    This is the highest-performing configuration in the paper's
+    evaluation (Figure 2's "HEPnOS in-memory" series): no WAL, no disk,
+    data lives exactly as long as the service.
+    """
+
+    def __init__(self, seed: int = 0x5EED, **_unused):
+        super().__init__()
+        self._map = SkipListMap(seed=seed)
+        self._bytes = 0
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check_open()
+        old = self._map.get(key)
+        if old is not None:
+            self._bytes -= len(key) + len(old)
+        self._map[key] = bytes(value)
+        self._bytes += len(key) + len(value)
+
+    def get(self, key: bytes) -> bytes:
+        self._check_open()
+        value = self._map.get(key)
+        if value is None:
+            raise KeyNotFound(repr(key))
+        return value
+
+    def exists(self, key: bytes) -> bool:
+        self._check_open()
+        return key in self._map
+
+    def erase(self, key: bytes) -> None:
+        self._check_open()
+        try:
+            value = self._map.pop(key)
+        except KeyError:
+            raise KeyNotFound(repr(key)) from None
+        self._bytes -= len(key) + len(value)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Total key+value payload currently stored."""
+        return self._bytes
+
+    def scan(self, start: bytes = b"", inclusive: bool = True
+             ) -> Iterator[Tuple[bytes, bytes]]:
+        self._check_open()
+        return self._map.scan(start, inclusive=inclusive)

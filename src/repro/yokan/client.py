@@ -1,0 +1,201 @@
+"""Client-side access to remote Yokan databases."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+from repro.errors import KeyNotFound, NetworkFailure, YokanError
+from repro.mercury import Address, Bulk, Engine
+from repro.serial import dumps, loads
+
+
+def _unwrap(response: bytes):
+    decoded = loads(response)
+    status = decoded[0]
+    if status == "ok":
+        return decoded[1]
+    if status == "retry":
+        return _Retry(decoded[1])
+    kind, message = decoded[1], decoded[2]
+    if kind == "KeyNotFound":
+        raise KeyNotFound(message)
+    raise YokanError(f"{kind}: {message}")
+
+
+class _Retry:
+    __slots__ = ("needed",)
+
+    def __init__(self, needed: int):
+        self.needed = needed
+
+
+class DatabaseHandle:
+    """A client handle to one named database at one provider."""
+
+    #: Values larger than this travel by bulk transfer (RDMA) instead of
+    #: inline in the RPC payload, mirroring Yokan's small/large split.
+    BULK_THRESHOLD = 8192
+
+    def __init__(self, client: "YokanClient", target: Address,
+                 provider_id: int, name: str):
+        self.client = client
+        self.target = target
+        self.provider_id = provider_id
+        self.name = name
+        self._engine = client.engine
+
+    def _call(self, rpc: str, payload) -> object:
+        """Forward one RPC, retrying transient fabric drops.
+
+        The paper reports runs crashing on Aries injection-bandwidth
+        oversaturation; a bounded retry is the client-side mitigation.
+        All Yokan operations are idempotent, so retrying is safe.
+        """
+        handle = self._engine.create_handle(self.target, rpc)
+        encoded = dumps(payload)
+        attempts = self.client.retries + 1
+        for attempt in range(attempts):
+            try:
+                return _unwrap(handle.forward(encoded, self.provider_id))
+            except NetworkFailure:
+                if attempt == attempts - 1:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- single-item operations ------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        key, value = bytes(key), bytes(value)
+        if len(value) > self.BULK_THRESHOLD:
+            # Large object: one RPC carrying a bulk descriptor; the
+            # server pulls the value by RDMA.
+            self.put_multi([(key, value)])
+            return
+        self._call("yokan.put", (self.name, key, value))
+
+    def get(self, key: bytes) -> bytes:
+        key = bytes(key)
+        result = self._call(
+            "yokan.get", (self.name, key, self.BULK_THRESHOLD)
+        )
+        if isinstance(result, tuple) and result and result[0] == "large":
+            # Second round trip moves the value by bulk transfer.
+            (value,) = self.get_multi([key], size_hint=result[1] + 64)
+            if value is None:
+                raise KeyNotFound(repr(key))
+            return value
+        return result
+
+    def exists(self, key: bytes) -> bool:
+        return self._call("yokan.exists", (self.name, bytes(key)))
+
+    def erase(self, key: bytes) -> None:
+        self._call("yokan.erase", (self.name, bytes(key)))
+
+    def erase_multi(self, keys) -> int:
+        """Remove many keys in one RPC; missing keys are skipped."""
+        keys = [bytes(k) for k in keys]
+        if not keys:
+            return 0
+        return self._call("yokan.erase_multi", (self.name, keys))
+
+    def __len__(self) -> int:
+        return self._call("yokan.length", self.name)
+
+    # -- batched operations (bulk transfers) -----------------------------------
+
+    def put_multi(self, pairs: Iterable[Tuple[bytes, bytes]]) -> int:
+        """Store many pairs with one RPC + one RDMA pull."""
+        pairs = [(bytes(k), bytes(v)) for k, v in pairs]
+        if not pairs:
+            return 0
+        packed = bytearray(dumps(pairs))
+        bulk = self._engine.expose(packed, Bulk.READ_ONLY)
+        return self._call("yokan.put_multi", (self.name, bulk, len(packed)))
+
+    def get_multi(self, keys: Sequence[bytes],
+                  size_hint: int = 0) -> list[Optional[bytes]]:
+        """Fetch many keys with one RPC + one RDMA push-back.
+
+        Missing keys come back as ``None``.  ``size_hint`` presizes the
+        landing buffer; an undersized buffer costs one retry round-trip.
+        """
+        keys = [bytes(k) for k in keys]
+        if not keys:
+            return []
+        capacity = size_hint or (64 * len(keys) + 1024)
+        while True:
+            buffer = bytearray(capacity)
+            bulk = self._engine.expose(buffer, Bulk.READ_WRITE)
+            result = self._call(
+                "yokan.get_multi", (self.name, keys, bulk, capacity)
+            )
+            if isinstance(result, _Retry):
+                capacity = result.needed
+                continue
+            return loads(bytes(buffer[:result]))
+
+    # -- iteration --------------------------------------------------------
+
+    def list_keys(self, prefix: bytes = b"", start_after: bytes = b"",
+                  limit: int = 0) -> list[bytes]:
+        return self._call(
+            "yokan.list_keys", (self.name, bytes(prefix), bytes(start_after), limit)
+        )
+
+    def list_keyvals(self, prefix: bytes = b"", start_after: bytes = b"",
+                     limit: int = 0) -> list[Tuple[bytes, bytes]]:
+        return self._call(
+            "yokan.list_keyvals",
+            (self.name, bytes(prefix), bytes(start_after), limit),
+        )
+
+    def count_prefix(self, prefix: bytes = b"") -> int:
+        return self._call("yokan.count_prefix", (self.name, bytes(prefix)))
+
+    def iter_keys(self, prefix: bytes = b"", batch: int = 128):
+        """Generator over keys with ``prefix``, paging ``batch`` at a time."""
+        start_after = b""
+        while True:
+            page = self.list_keys(prefix, start_after, batch)
+            if not page:
+                return
+            yield from page
+            start_after = page[-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DatabaseHandle({self.name!r} @ {self.target} "
+            f"provider {self.provider_id})"
+        )
+
+
+class YokanClient:
+    """Factory for database handles, bound to a client engine.
+
+    ``retries`` bounds re-sends after transient
+    :class:`~repro.errors.NetworkFailure` drops (0 = fail fast).
+    """
+
+    def __init__(self, engine: Engine, retries: int = 0):
+        self.engine = engine
+        self.retries = max(0, retries)
+
+    def database_handle(self, target: Union[str, Address], provider_id: int,
+                        name: str) -> DatabaseHandle:
+        address = Address.parse(target) if isinstance(target, str) else target
+        return DatabaseHandle(self, address, provider_id, name)
+
+    def list_databases(self, target: Union[str, Address],
+                       provider_id: int = 0) -> list[str]:
+        address = Address.parse(target) if isinstance(target, str) else target
+        handle = self.engine.create_handle(address, "yokan.list_databases")
+        return _unwrap(handle.forward(dumps(None), provider_id))
+
+    def create_database(self, target: Union[str, Address], provider_id: int,
+                        name: str, kind: str = "map",
+                        config: Optional[dict] = None) -> DatabaseHandle:
+        address = Address.parse(target) if isinstance(target, str) else target
+        handle = self.engine.create_handle(address, "yokan.create_database")
+        _unwrap(handle.forward(dumps((name, kind, config or {})), provider_id))
+        return self.database_handle(address, provider_id, name)

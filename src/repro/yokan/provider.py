@@ -1,0 +1,201 @@
+"""The Yokan provider: serves key-value databases over Mercury RPCs.
+
+One provider manages any number of named databases and is addressed by
+``(engine address, provider_id)``.  Small operations travel inline in
+RPC payloads; batched operations (``put_multi``, ``get_multi``) move
+their data with RDMA-style bulk transfers, matching the paper's
+"RPC for single small objects, RDMA for large objects or batches".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.argobots import Pool
+from repro.errors import KeyNotFound, YokanError
+from repro.mercury import Bulk, BulkOp, Engine, RPCRequest
+from repro.serial import dumps, loads
+from repro.yokan.backend import Backend, open_backend
+
+#: RPC names served by every Yokan provider.
+RPC_NAMES = (
+    "yokan.put",
+    "yokan.put_multi",
+    "yokan.get",
+    "yokan.get_multi",
+    "yokan.exists",
+    "yokan.erase",
+    "yokan.erase_multi",
+    "yokan.length",
+    "yokan.list_keys",
+    "yokan.list_keyvals",
+    "yokan.count_prefix",
+    "yokan.list_databases",
+    "yokan.create_database",
+)
+
+
+def _ok(value=None) -> bytes:
+    return dumps(("ok", value))
+
+
+def _err(exc: BaseException) -> bytes:
+    kind = "KeyNotFound" if isinstance(exc, KeyNotFound) else type(exc).__name__
+    return dumps(("err", kind, str(exc)))
+
+
+class YokanProvider:
+    """Server-side provider bound to one engine + provider id."""
+
+    def __init__(self, engine: Engine, provider_id: int = 0,
+                 pool: Optional[Pool] = None,
+                 databases: Optional[dict[str, Backend]] = None):
+        self.engine = engine
+        self.provider_id = provider_id
+        self.pool = pool if pool is not None else engine.pool
+        self.databases: dict[str, Backend] = dict(databases or {})
+        for rpc_name in RPC_NAMES:
+            handler = getattr(self, "_rpc_" + rpc_name.split(".", 1)[1])
+            engine.register(rpc_name, handler, provider_id=provider_id,
+                            pool=self.pool)
+
+    # -- database management -----------------------------------------------
+
+    def add_database(self, name: str, backend: Backend) -> None:
+        if name in self.databases:
+            raise YokanError(f"database {name!r} already exists")
+        self.databases[name] = backend
+
+    def _db(self, name: str) -> Backend:
+        try:
+            return self.databases[name]
+        except KeyError:
+            raise YokanError(f"no database named {name!r}") from None
+
+    def close(self) -> None:
+        for backend in self.databases.values():
+            backend.close()
+
+    # -- RPC handlers --------------------------------------------------------
+    # Each returns response bytes (the engine auto-responds).
+
+    def _rpc_put(self, req: RPCRequest) -> bytes:
+        try:
+            name, key, value = loads(req.payload)
+            self._db(name).put(key, value)
+            return _ok()
+        except Exception as exc:
+            return _err(exc)
+
+    def _rpc_put_multi(self, req: RPCRequest) -> bytes:
+        try:
+            name, bulk, nbytes = loads(req.payload)
+            buffer = bytearray(nbytes)
+            local = self.engine.expose(buffer, Bulk.READ_WRITE)
+            req.bulk_transfer(BulkOp.PULL, bulk, local, size=nbytes)
+            pairs = loads(bytes(buffer))
+            count = self._db(name).put_multi(pairs)
+            return _ok(count)
+        except Exception as exc:
+            return _err(exc)
+
+    def _rpc_get(self, req: RPCRequest) -> bytes:
+        try:
+            decoded = loads(req.payload)
+            # Newer clients send a max-inline size; values above it are
+            # announced rather than shipped, so the client can fetch
+            # them with a bulk transfer.
+            if len(decoded) == 3:
+                name, key, max_inline = decoded
+            else:
+                name, key = decoded
+                max_inline = None
+            value = self._db(name).get(key)
+            if max_inline is not None and len(value) > max_inline:
+                return _ok(("large", len(value)))
+            return _ok(value)
+        except Exception as exc:
+            return _err(exc)
+
+    def _rpc_get_multi(self, req: RPCRequest) -> bytes:
+        try:
+            name, keys, bulk, capacity = loads(req.payload)
+            values = self._db(name).get_multi(list(keys))
+            packed = dumps(values)
+            if len(packed) > capacity:
+                # Client's landing buffer is too small; tell it how much
+                # space the packed response needs so it can retry.
+                return dumps(("retry", len(packed)))
+            local = self.engine.expose(bytearray(packed), Bulk.READ_ONLY)
+            req.bulk_transfer(BulkOp.PUSH, bulk, local, size=len(packed))
+            return _ok(len(packed))
+        except Exception as exc:
+            return _err(exc)
+
+    def _rpc_exists(self, req: RPCRequest) -> bytes:
+        try:
+            name, key = loads(req.payload)
+            return _ok(self._db(name).exists(key))
+        except Exception as exc:
+            return _err(exc)
+
+    def _rpc_erase(self, req: RPCRequest) -> bytes:
+        try:
+            name, key = loads(req.payload)
+            self._db(name).erase(key)
+            return _ok()
+        except Exception as exc:
+            return _err(exc)
+
+    def _rpc_erase_multi(self, req: RPCRequest) -> bytes:
+        try:
+            name, keys = loads(req.payload)
+            return _ok(self._db(name).erase_multi(list(keys)))
+        except Exception as exc:
+            return _err(exc)
+
+    def _rpc_length(self, req: RPCRequest) -> bytes:
+        try:
+            name = loads(req.payload)
+            return _ok(len(self._db(name)))
+        except Exception as exc:
+            return _err(exc)
+
+    def _rpc_list_keys(self, req: RPCRequest) -> bytes:
+        try:
+            name, prefix, start_after, limit = loads(req.payload)
+            keys = self._db(name).list_keys(prefix, start_after, limit)
+            return _ok(keys)
+        except Exception as exc:
+            return _err(exc)
+
+    def _rpc_list_keyvals(self, req: RPCRequest) -> bytes:
+        try:
+            name, prefix, start_after, limit = loads(req.payload)
+            db = self._db(name)
+            out = []
+            for key in db.list_keys(prefix, start_after, limit):
+                out.append((key, db.get(key)))
+            return _ok(out)
+        except Exception as exc:
+            return _err(exc)
+
+    def _rpc_count_prefix(self, req: RPCRequest) -> bytes:
+        try:
+            name, prefix = loads(req.payload)
+            return _ok(self._db(name).count_prefix(prefix))
+        except Exception as exc:
+            return _err(exc)
+
+    def _rpc_list_databases(self, req: RPCRequest) -> bytes:
+        return _ok(sorted(self.databases))
+
+    def _rpc_create_database(self, req: RPCRequest) -> bytes:
+        try:
+            name, kind, config = loads(req.payload)
+            if name in self.databases:
+                raise YokanError(f"database {name!r} already exists")
+            self.databases[name] = open_backend(kind, **dict(config))
+            return _ok()
+        except Exception as exc:
+            return _err(exc)

@@ -1,0 +1,47 @@
+"""Shared fixtures: a small deployed HEPnOS service on a loopback fabric."""
+
+import pytest
+
+from repro.bedrock import BedrockServer, default_hepnos_config
+from repro.hepnos import DataStore
+from repro.mercury import Fabric
+
+
+def deploy(fabric, num_nodes=2, backend="map", storage_root=None,
+           num_providers=4, event_databases=4, product_databases=4,
+           run_databases=2, subrun_databases=2, threaded=False):
+    """Deploy a HEPnOS service group and return the server list."""
+    servers = []
+    for i in range(num_nodes):
+        root = f"{storage_root}/node{i}" if storage_root else None
+        config = default_hepnos_config(
+            f"sm://node{i}/hepnos",
+            num_providers=num_providers,
+            event_databases=event_databases,
+            product_databases=product_databases,
+            run_databases=run_databases,
+            subrun_databases=subrun_databases,
+            dataset_databases=1,
+            backend=backend,
+            storage_root=root,
+        )
+        servers.append(BedrockServer(fabric, config))
+    return servers
+
+
+@pytest.fixture()
+def fabric():
+    return Fabric(threaded=True)
+
+
+@pytest.fixture()
+def service(fabric):
+    servers = deploy(fabric)
+    fabric.runtime.start()
+    yield servers
+    fabric.runtime.shutdown()
+
+
+@pytest.fixture()
+def datastore(fabric, service):
+    return DataStore.connect(fabric, service)

@@ -1,0 +1,129 @@
+"""Failure-injection tests: fabric drops through the whole stack.
+
+The paper's runs occasionally crashed from Aries NIC injection-
+bandwidth oversaturation (section IV-E footnote 7).  These tests inject
+that failure mode and verify (a) errors surface cleanly at every layer
+and (b) bounded client retries mask transient drops.
+"""
+
+import pytest
+
+from repro.bedrock import BedrockServer, default_hepnos_config
+from repro.errors import NetworkFailure
+from repro.hepnos import DataStore
+from repro.mercury import Engine, Fabric, FaultModel, InjectionFaultModel
+from repro.yokan import MemoryBackend, YokanClient, YokanProvider
+
+
+class FlakyModel(FaultModel):
+    """Drops the first ``n`` messages, then behaves."""
+
+    def __init__(self, n: int):
+        self.remaining = n
+
+    def should_drop(self, src, dst, nbytes) -> bool:
+        if self.remaining > 0:
+            self.remaining -= 1
+            return True
+        return False
+
+
+class EveryNthModel(FaultModel):
+    def __init__(self, n: int):
+        self.n = n
+        self.count = 0
+
+    def should_drop(self, src, dst, nbytes) -> bool:
+        self.count += 1
+        return self.count % self.n == 0
+
+
+def make_world(fault_model, retries=0):
+    fabric = Fabric(fault_model=fault_model)
+    engine = Engine(fabric, "sm://server/0")
+    YokanProvider(engine, databases={"db": MemoryBackend()})
+    client = YokanClient(Engine(fabric, "sm://client/0"), retries=retries)
+    return fabric, client.database_handle("sm://server/0", 0, "db")
+
+
+class TestYokanLayer:
+    def test_drop_surfaces_as_network_failure(self):
+        _, db = make_world(FlakyModel(1))
+        with pytest.raises(NetworkFailure):
+            db.put(b"k", b"v")
+
+    def test_retry_masks_transient_drop(self):
+        _, db = make_world(FlakyModel(2), retries=3)
+        db.put(b"k", b"v")  # two drops, then success
+        assert db.get(b"k") == b"v"
+
+    def test_retries_exhausted(self):
+        _, db = make_world(FlakyModel(10), retries=2)
+        with pytest.raises(NetworkFailure):
+            db.put(b"k", b"v")
+
+    def test_no_partial_state_on_dropped_request(self):
+        fabric, db = make_world(FlakyModel(1), retries=1)
+        db.put(b"k", b"v")  # first attempt dropped before reaching server
+        assert len(db) == 1  # retry stored exactly one copy
+
+    def test_dropped_response_counts(self):
+        """Drop on the response path: the op happened server-side, the
+        retry overwrites idempotently."""
+
+        class DropResponses(FaultModel):
+            def __init__(self):
+                self.armed = False
+
+            def should_drop(self, src, dst, nbytes) -> bool:
+                # Requests go client->server; responses server->client.
+                if src.node == "server" and not self.armed:
+                    self.armed = True
+                    return True
+                return False
+
+        _, db = make_world(DropResponses(), retries=1)
+        db.put(b"k", b"v")
+        assert db.get(b"k") == b"v"
+        assert len(db) == 1
+
+    def test_periodic_drops_with_retries(self):
+        _, db = make_world(EveryNthModel(7), retries=3)
+        for i in range(50):
+            db.put(f"{i}".encode(), b"v")
+        assert len(db) == 50
+
+
+class TestHEPnOSLayer:
+    def test_datastore_over_flaky_fabric(self):
+        fabric = Fabric(fault_model=EveryNthModel(11))
+        server = BedrockServer(fabric, default_hepnos_config(
+            "sm://node0/hepnos", num_providers=2, event_databases=2,
+            product_databases=2, run_databases=1, subrun_databases=1,
+        ))
+        datastore = DataStore.connect(fabric, [server])
+        # Make the datastore's handles retry.
+        datastore._client.retries = 4
+        ds = datastore.create_dataset("flaky")
+        subrun = ds.create_run(1).create_subrun(1)
+        for e in range(20):
+            subrun.create_event(e)
+        assert [ev.number for ev in subrun] == list(range(20))
+
+    def test_injection_saturation_aborts_bulk_storm(self):
+        """Unthrottled bulk traffic trips the injection model, exactly
+        the failure the paper saw."""
+        model = InjectionFaultModel(bytes_per_window=50_000,
+                                    window_seconds=60.0)
+        fabric = Fabric(fault_model=model)
+        server = BedrockServer(fabric, default_hepnos_config(
+            "sm://node0/hepnos", num_providers=2, event_databases=2,
+            product_databases=2, run_databases=1, subrun_databases=1,
+        ))
+        datastore = DataStore.connect(fabric, [server])
+        ds = datastore.create_dataset("storm")
+        event = ds.create_run(1).create_subrun(1).create_event(1)
+        with pytest.raises(NetworkFailure):
+            for i in range(100):
+                event.store(b"x" * 5000, label=f"blob{i}")
+        assert fabric.stats.dropped >= 1

@@ -1,0 +1,238 @@
+"""Tests for the hdf5lite hierarchical file format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import HDF5LiteError
+from repro.hdf5lite import H5LiteFile
+
+
+@pytest.fixture()
+def sample(tmp_path):
+    path = str(tmp_path / "sample.h5l")
+    with H5LiteFile.create(path) as f:
+        rec = f.create_group("rec")
+        slc = rec.create_group("slc")
+        slc.attrs["class"] = "rec.slc"
+        slc.create_dataset("run", np.array([1, 1, 2], dtype=np.int64))
+        slc.create_dataset("subrun", np.array([1, 2, 1], dtype=np.int64))
+        slc.create_dataset("evt", np.array([10, 20, 30], dtype=np.int64))
+        slc.create_dataset("nhit", np.array([5.0, 7.5, 2.25], dtype=np.float32))
+        hdr = rec.create_group("hdr")
+        hdr.create_dataset("run", np.array([1], dtype=np.int64))
+    return path
+
+
+class TestWriteRead:
+    def test_roundtrip_values(self, sample):
+        with H5LiteFile.open(sample) as f:
+            assert np.array_equal(f["rec/slc/run"], [1, 1, 2])
+            assert np.array_equal(f["rec/slc/nhit"],
+                                  np.array([5.0, 7.5, 2.25], dtype=np.float32))
+
+    def test_dtype_preserved(self, sample):
+        with H5LiteFile.open(sample) as f:
+            assert f["rec/slc/nhit"].dtype == np.float32
+            assert f["rec/slc/run"].dtype == np.int64
+
+    def test_attrs_preserved(self, sample):
+        with H5LiteFile.open(sample) as f:
+            assert f.root.group("rec/slc").attrs["class"] == "rec.slc"
+
+    def test_structure_listing(self, sample):
+        with H5LiteFile.open(sample) as f:
+            rec = f.root.group("rec")
+            assert rec.groups() == ["hdr", "slc"]
+            assert rec.group("slc").datasets() == ["evt", "nhit", "run", "subrun"]
+
+    def test_contains(self, sample):
+        with H5LiteFile.open(sample) as f:
+            assert "rec/slc/run" in f
+            assert "rec/slc" in f
+            assert "rec/ghost" not in f
+
+    def test_missing_path(self, sample):
+        with H5LiteFile.open(sample) as f:
+            with pytest.raises(HDF5LiteError):
+                f["rec/nope"]
+
+    def test_multidimensional(self, tmp_path):
+        path = str(tmp_path / "md.h5l")
+        data = np.arange(24, dtype=np.float64).reshape(2, 3, 4)
+        with H5LiteFile.create(path) as f:
+            f.create_group("g").create_dataset("cube", data)
+        with H5LiteFile.open(path) as f:
+            assert np.array_equal(f["g/cube"], data)
+
+    def test_empty_dataset(self, tmp_path):
+        path = str(tmp_path / "e.h5l")
+        with H5LiteFile.create(path) as f:
+            f.create_group("g").create_dataset("empty", np.zeros(0))
+        with H5LiteFile.open(path) as f:
+            assert f["g/empty"].shape == (0,)
+
+    def test_nested_group_creation(self, tmp_path):
+        path = str(tmp_path / "n.h5l")
+        with H5LiteFile.create(path) as f:
+            g = f.create_group("a/b/c")
+            g.create_dataset("x", np.array([1]))
+        with H5LiteFile.open(path) as f:
+            assert np.array_equal(f["a/b/c/x"], [1])
+
+
+class TestValidation:
+    def test_duplicate_dataset(self, tmp_path):
+        with H5LiteFile.create(str(tmp_path / "x.h5l")) as f:
+            g = f.create_group("g")
+            g.create_dataset("d", np.array([1]))
+            with pytest.raises(HDF5LiteError, match="already exists"):
+                g.create_dataset("d", np.array([2]))
+
+    def test_dataset_group_name_collision(self, tmp_path):
+        with H5LiteFile.create(str(tmp_path / "x.h5l")) as f:
+            g = f.create_group("g")
+            g.create_dataset("d", np.array([1]))
+            with pytest.raises(HDF5LiteError):
+                g.create_group("d")
+
+    def test_object_dtype_rejected(self, tmp_path):
+        with H5LiteFile.create(str(tmp_path / "x.h5l")) as f:
+            with pytest.raises(HDF5LiteError):
+                f.create_group("g").create_dataset("d", np.array([object()]))
+
+    def test_read_only_protection(self, sample):
+        with H5LiteFile.open(sample) as f:
+            with pytest.raises(HDF5LiteError, match="read-only"):
+                f.create_group("new")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.h5l"
+        path.write_bytes(b"NOTH5LITE-------")
+        with pytest.raises(HDF5LiteError, match="not an hdf5lite"):
+            H5LiteFile.open(str(path))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(HDF5LiteError, match="cannot open"):
+            H5LiteFile.open(str(tmp_path / "ghost.h5l"))
+
+    def test_corrupted_blob_detected(self, sample):
+        with H5LiteFile.open(sample) as f:
+            info = f.root.group("rec/slc").dataset_info("run")
+        raw = bytearray(open(sample, "rb").read())
+        raw[info.offset] ^= 0xFF
+        open(sample, "wb").write(bytes(raw))
+        with H5LiteFile.open(sample) as f:
+            with pytest.raises(HDF5LiteError, match="checksum"):
+                f["rec/slc/run"]
+
+    def test_bad_mode(self, tmp_path):
+        with pytest.raises(HDF5LiteError):
+            H5LiteFile(str(tmp_path / "x"), "a")
+
+
+class TestStructureTools:
+    def test_walk_order(self, sample):
+        with H5LiteFile.open(sample) as f:
+            paths = [g.path for g in f.walk()]
+        assert paths == ["", "rec", "rec/hdr", "rec/slc"]
+
+    def test_leaf_table_detection(self, sample):
+        with H5LiteFile.open(sample) as f:
+            assert f.root.group("rec/slc").is_leaf_table()
+            assert not f.root.group("rec").is_leaf_table()
+            assert not f.root.is_leaf_table()
+
+    def test_leaf_table_requires_equal_lengths(self, tmp_path):
+        path = str(tmp_path / "ragged.h5l")
+        with H5LiteFile.create(path) as f:
+            g = f.create_group("g")
+            g.create_dataset("a", np.zeros(3))
+            g.create_dataset("b", np.zeros(5))
+        with H5LiteFile.open(path) as f:
+            assert not f.root.group("g").is_leaf_table()
+
+    def test_dataset_info(self, sample):
+        with H5LiteFile.open(sample) as f:
+            info = f.root.group("rec/slc").dataset_info("nhit")
+            assert info.dtype == "<f4"
+            assert info.shape == (3,)
+            assert info.length == 3
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(
+        dtype=st.sampled_from([np.int32, np.int64, np.float32, np.float64]),
+        shape=st.integers(min_value=0, max_value=50),
+    )
+)
+def test_roundtrip_property(tmp_path_factory, arr):
+    tmp = tmp_path_factory.mktemp("h5prop")
+    path = str(tmp / "p.h5l")
+    with H5LiteFile.create(path) as f:
+        f.create_group("g").create_dataset("d", arr)
+    with H5LiteFile.open(path) as f:
+        out = f["g/d"]
+    assert out.dtype == arr.dtype
+    assert np.array_equal(out, arr, equal_nan=True)
+
+
+class TestCompression:
+    def test_zlib_roundtrip(self, tmp_path):
+        path = str(tmp_path / "c.h5l")
+        data = np.zeros(10_000, dtype=np.float64)  # very compressible
+        with H5LiteFile.create(path) as f:
+            g = f.create_group("g")
+            g.create_dataset("z", data, compression="zlib")
+            g.create_dataset("raw", data)
+        with H5LiteFile.open(path) as f:
+            assert np.array_equal(f["g/z"], data)
+            info_z = f.root.group("g").dataset_info("z")
+            info_raw = f.root.group("g").dataset_info("raw")
+            assert info_z.compression == "zlib"
+            assert info_raw.compression is None
+            assert info_z.nbytes < info_raw.nbytes / 10
+
+    def test_zlib_random_data(self, tmp_path):
+        path = str(tmp_path / "r.h5l")
+        rng = np.random.default_rng(0)
+        data = rng.random(1000)
+        with H5LiteFile.create(path) as f:
+            f.create_group("g").create_dataset("d", data, compression="zlib")
+        with H5LiteFile.open(path) as f:
+            assert np.allclose(f["g/d"], data)
+
+    def test_unknown_compression_rejected(self, tmp_path):
+        with H5LiteFile.create(str(tmp_path / "x.h5l")) as f:
+            with pytest.raises(HDF5LiteError, match="compression"):
+                f.create_group("g").create_dataset(
+                    "d", np.zeros(3), compression="lz4")
+
+    def test_corruption_detected_in_compressed(self, tmp_path):
+        path = str(tmp_path / "cc.h5l")
+        with H5LiteFile.create(path) as f:
+            f.create_group("g").create_dataset(
+                "d", np.arange(1000.0), compression="zlib")
+        with H5LiteFile.open(path) as f:
+            info = f.root.group("g").dataset_info("d")
+        raw = bytearray(open(path, "rb").read())
+        raw[info.offset + 5] ^= 0xFF
+        open(path, "wb").write(bytes(raw))
+        with H5LiteFile.open(path) as f:
+            with pytest.raises(HDF5LiteError, match="checksum"):
+                f["g/d"]
+
+    def test_mixed_compression_offsets(self, tmp_path):
+        """Compressed blobs change offsets; later datasets still read."""
+        path = str(tmp_path / "m.h5l")
+        with H5LiteFile.create(path) as f:
+            g = f.create_group("g")
+            g.create_dataset("a", np.zeros(5000), compression="zlib")
+            g.create_dataset("b", np.arange(7.0))
+            g.create_dataset("c", np.ones(100), compression="zlib")
+        with H5LiteFile.open(path) as f:
+            assert np.array_equal(f["g/b"], np.arange(7.0))
+            assert np.array_equal(f["g/c"], np.ones(100))

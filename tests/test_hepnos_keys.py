@@ -1,0 +1,194 @@
+"""Tests for HEPnOS key construction and placement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, HEPnOSError
+from repro.hepnos import keys
+from repro.hepnos.connection import ConnectionInfo, DbTarget
+from repro.hepnos.placement import FullKeyPlacement, ParentHashPlacement
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+UUID = keys.new_dataset_uuid("test/dataset")
+
+
+class TestPaths:
+    def test_normalize(self):
+        assert keys.normalize_path("/fermilab/nova/") == "fermilab/nova"
+        assert keys.normalize_path("a//b") == "a/b"
+        assert keys.normalize_path("plain") == "plain"
+
+    def test_empty_rejected(self):
+        with pytest.raises(HEPnOSError):
+            keys.normalize_path("///")
+
+    def test_hash_in_name_rejected(self):
+        with pytest.raises(HEPnOSError):
+            keys.normalize_path("bad#name")
+
+    def test_parent(self):
+        assert keys.parent_path("a/b/c") == "a/b"
+        assert keys.parent_path("a") == ""
+
+
+class TestContainerKeys:
+    def test_run_key_layout(self):
+        key = keys.run_key(UUID, 43)
+        assert len(key) == keys.RUN_KEY_LEN
+        assert key.startswith(UUID)
+        assert keys.child_number(key) == 43
+
+    def test_subrun_event_nesting(self):
+        rkey = keys.run_key(UUID, 1)
+        skey = keys.subrun_key(rkey, 2)
+        ekey = keys.event_key(skey, 3)
+        assert skey.startswith(rkey)
+        assert ekey.startswith(skey)
+        assert len(ekey) == keys.EVENT_KEY_LEN
+        assert keys.child_number(ekey) == 3
+
+    def test_bad_uuid(self):
+        with pytest.raises(HEPnOSError):
+            keys.run_key(b"short", 1)
+
+    def test_bad_parent_lengths(self):
+        with pytest.raises(HEPnOSError):
+            keys.subrun_key(b"x" * 3, 1)
+        with pytest.raises(HEPnOSError):
+            keys.event_key(b"x" * 3, 1)
+
+    def test_child_number_validates(self):
+        with pytest.raises(HEPnOSError):
+            keys.child_number(b"x" * 7)
+
+    @settings(max_examples=100, deadline=None)
+    @given(U64, U64)
+    def test_key_order_matches_number_order(self, a, b):
+        """Big-endian keys sort like their numbers: ordered iteration."""
+        assert (keys.run_key(UUID, a) < keys.run_key(UUID, b)) == (a < b)
+
+    def test_sibling_keys_share_parent_prefix(self):
+        rkey = keys.run_key(UUID, 7)
+        subs = [keys.subrun_key(rkey, i) for i in range(5)]
+        assert all(s.startswith(rkey) for s in subs)
+        assert subs == sorted(subs)
+
+
+class TestProductKeys:
+    def test_layout(self):
+        ekey = keys.event_key(keys.subrun_key(keys.run_key(UUID, 1), 1), 4)
+        pkey = keys.product_key(ekey, "mylabel", "Particle")
+        assert pkey == ekey + b"mylabel#Particle"
+
+    def test_label_validation(self):
+        with pytest.raises(HEPnOSError):
+            keys.product_key(b"c", "bad#label", "T")
+
+    def test_type_required(self):
+        with pytest.raises(HEPnOSError):
+            keys.product_key(b"c", "lbl", "")
+
+    def test_distinct_labels_distinct_keys(self):
+        assert keys.product_key(b"c", "a", "T") != keys.product_key(b"c", "b", "T")
+        assert keys.product_key(b"c", "a", "T") != keys.product_key(b"c", "a", "U")
+
+
+def make_connection(n_per_kind=4):
+    targets = {}
+    for kind in ("datasets", "runs", "subruns", "events", "products"):
+        targets[kind] = [
+            DbTarget(f"sm://node{i % 2}/svc", i, f"{kind}-{i}")
+            for i in range(n_per_kind)
+        ]
+    return ConnectionInfo(targets)
+
+
+class TestConnectionInfo:
+    def test_counts(self):
+        conn = make_connection(3)
+        assert conn.counts()["events"] == 3
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            ConnectionInfo({"events": [DbTarget("sm://a/0", 0, "events-0")]})
+
+    def test_unknown_kind_rejected(self):
+        targets = {k: [DbTarget("sm://a/0", 0, f"{k}-0")]
+                   for k in ("datasets", "runs", "subruns", "events", "products")}
+        targets["blobs"] = [DbTarget("sm://a/0", 0, "blobs-0")]
+        with pytest.raises(ConfigError, match="unknown"):
+            ConnectionInfo(targets)
+
+    def test_json_roundtrip(self):
+        conn = make_connection()
+        clone = ConnectionInfo.from_json(conn.to_json())
+        assert clone.targets == conn.targets
+
+    def test_canonical_ordering(self):
+        """Different construction orders give identical target lists."""
+        t = [DbTarget("sm://b/0", 0, "events-1"), DbTarget("sm://a/0", 0, "events-0")]
+        base = {k: [DbTarget("sm://a/0", 0, f"{k}-0")]
+                for k in ("datasets", "runs", "subruns", "products")}
+        c1 = ConnectionInfo({**base, "events": t})
+        c2 = ConnectionInfo({**base, "events": list(reversed(t))})
+        assert c1["events"] == c2["events"]
+
+
+class TestPlacement:
+    def test_children_colocated(self):
+        """All children of one parent land in a single database."""
+        conn = make_connection(8)
+        placement = ParentHashPlacement(conn)
+        rkey = keys.run_key(UUID, 5)
+        targets = {
+            placement.database_for("subruns", rkey) for _ in range(10)
+        }
+        assert len(targets) == 1
+
+    def test_different_parents_spread(self):
+        conn = make_connection(8)
+        placement = ParentHashPlacement(conn)
+        targets = {
+            placement.database_for("events", keys.subrun_key(keys.run_key(UUID, r), s))
+            for r in range(10)
+            for s in range(10)
+        }
+        assert len(targets) > 1  # load spreads over databases
+
+    def test_listing_needs_one_database(self):
+        conn = make_connection(8)
+        placement = ParentHashPlacement(conn)
+        assert len(placement.databases_for_listing("events", b"parent")) == 1
+
+    def test_full_key_listing_needs_all(self):
+        conn = make_connection(8)
+        placement = FullKeyPlacement(conn)
+        assert len(placement.databases_for_listing("events", b"parent")) == 8
+
+    def test_product_placement_follows_container(self):
+        conn = make_connection(4)
+        placement = ParentHashPlacement(conn)
+        ekey = keys.event_key(keys.subrun_key(keys.run_key(UUID, 1), 2), 3)
+        assert (placement.product_database_for(ekey)
+                == placement.database_for("products", ekey))
+
+    def test_deterministic_across_instances(self):
+        conn = make_connection(8)
+        p1 = ParentHashPlacement(conn)
+        p2 = ParentHashPlacement(conn)
+        for r in range(20):
+            key = keys.run_key(UUID, r)
+            assert p1.database_for("subruns", key) == p2.database_for("subruns", key)
+
+
+class TestDeterministicUUIDs:
+    def test_same_path_same_uuid(self):
+        assert keys.new_dataset_uuid("a/b") == keys.new_dataset_uuid("a/b")
+        assert keys.new_dataset_uuid("/a/b/") == keys.new_dataset_uuid("a/b")
+
+    def test_different_paths_differ(self):
+        assert keys.new_dataset_uuid("a/b") != keys.new_dataset_uuid("a/c")
+
+    def test_uuid_length(self):
+        assert len(keys.new_dataset_uuid("x")) == keys.UUID_LEN

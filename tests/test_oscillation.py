@@ -1,0 +1,101 @@
+"""Tests for the oscillation-probability weights."""
+
+import numpy as np
+import pytest
+
+from repro.nova.generator import BEAM, NovaGenerator
+from repro.nova.oscillation import (
+    BASELINE_KM,
+    OscillationParameters,
+    PDG2022,
+    appearance_probability,
+    oscillation_maximum_energy,
+    oscillation_weight_var,
+    survival_probability,
+)
+
+
+class TestProbabilities:
+    def test_probabilities_bounded(self):
+        energies = np.linspace(0.1, 10.0, 500)
+        surv = survival_probability(energies)
+        appe = appearance_probability(energies)
+        assert np.all((0.0 <= surv) & (surv <= 1.0))
+        assert np.all((0.0 <= appe) & (appe <= 1.0))
+
+    def test_oscillation_maximum_near_1_6_gev(self):
+        e_max = oscillation_maximum_energy()
+        assert 1.2 < e_max < 2.0  # NOvA sits near the first maximum
+
+    def test_survival_minimum_at_maximum_mixing_energy(self):
+        e_max = oscillation_maximum_energy()
+        sin2_2theta23 = 4 * PDG2022.sin2_theta23 * (1 - PDG2022.sin2_theta23)
+        assert survival_probability(e_max) == pytest.approx(
+            1 - sin2_2theta23, abs=1e-6
+        )
+
+    def test_appearance_peaks_at_same_energy(self):
+        e_max = oscillation_maximum_energy()
+        peak = appearance_probability(e_max)
+        assert peak == pytest.approx(
+            PDG2022.sin2_theta23 * PDG2022.sin2_2theta13, abs=1e-6
+        )
+        assert appearance_probability(e_max * 3) < peak
+
+    def test_high_energy_limit_no_oscillation(self):
+        assert survival_probability(1e4) == pytest.approx(1.0, abs=1e-3)
+        assert appearance_probability(1e4) == pytest.approx(0.0, abs=1e-3)
+
+    def test_scalar_and_array_agree(self):
+        energies = np.array([0.5, 1.6, 3.0])
+        arr = survival_probability(energies)
+        for e, expected in zip(energies, arr):
+            assert survival_probability(float(e)) == pytest.approx(expected)
+
+    def test_short_baseline_no_oscillation(self):
+        assert survival_probability(2.0, baseline_km=1.0) == pytest.approx(
+            1.0, abs=1e-4
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            OscillationParameters(sin2_theta23=1.5)
+        with pytest.raises(ValueError):
+            OscillationParameters(sin2_2theta13=-0.1)
+
+    def test_unitarity_leading_order(self):
+        """P(mumu) + P(mue) <= 1 everywhere (nu_tau takes the rest)."""
+        energies = np.linspace(0.2, 8.0, 200)
+        total = (survival_probability(energies)
+                 + appearance_probability(energies))
+        assert np.all(total <= 1.0 + 1e-9)
+
+
+class TestWeightVar:
+    def test_weight_var_object_and_columnar(self):
+        var = oscillation_weight_var("survival")
+        table = NovaGenerator(BEAM).subrun_table(1000, 0, range(16))
+        weights = var.column(table)
+        assert np.all((0 <= weights) & (weights <= 1))
+        from repro.nova.generator import table_to_slices
+
+        one = table_to_slices(table, [0])[0]
+        assert var(one) == pytest.approx(weights[0], rel=1e-6)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            oscillation_weight_var("disappearance-into-sterile")
+
+    def test_weighted_spectrum(self):
+        from repro.nova.cafana import Cut, Spectrum, Var
+
+        always = Cut("true", lambda s: True, lambda t: np.ones(
+            len(next(iter(t.values()))), dtype=bool))
+        table = {"cal_e": np.array([1.6, 1.6, 10.0])}
+        weight_var = oscillation_weight_var("appearance")
+        spec = Spectrum(Var("cal_e"), bins=[0, 5, 20], cut=always)
+        weights = weight_var.column(table)
+        for value, weight in zip(table["cal_e"], weights):
+            spec.fill_table({"cal_e": np.array([value])}, weight=weight)
+        # The two near-maximum entries dominate the low bin.
+        assert spec.counts[0] > 10 * spec.counts[1]

@@ -1,0 +1,260 @@
+"""Tests for the workflow performance models and figure shape checks.
+
+These use scaled-down datasets for speed; the benchmarks run the
+paper-scale sweeps.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.perf import (
+    CostModel,
+    DatasetSpec,
+    FileBasedModel,
+    HEPnOSModel,
+    LARGE,
+    MEDIUM,
+    SMALL,
+    format_records,
+    run_dataset_sweep,
+    run_strong_scaling,
+    run_weak_scaling,
+)
+from repro.perf.experiments import mean_throughput
+
+
+class TestDatasets:
+    def test_paper_sizes(self):
+        assert SMALL.num_files == 1929
+        assert SMALL.total_events == 4_359_414
+        assert LARGE.num_files == 4 * 1929
+        assert LARGE.total_events == 4 * SMALL.total_events
+
+    def test_slices_per_event_near_four(self):
+        assert 3.9 < SMALL.slices_per_event < 4.3
+
+    def test_scaled(self):
+        half = LARGE.scaled(0.5)
+        assert half.total_events == LARGE.total_events // 2
+        assert half.num_files == LARGE.num_files // 2
+
+    def test_file_event_counts_exact_total(self):
+        for spread in (0.0, 0.35, 0.8):
+            counts = SMALL.file_event_counts(spread=spread, seed=3)
+            assert counts.sum() == SMALL.total_events
+            assert counts.min() >= 1
+            assert len(counts) == SMALL.num_files
+
+    def test_file_counts_heavy_tailed_but_bounded(self):
+        counts = SMALL.file_event_counts(spread=0.35, seed=0)
+        assert counts.max() < 6 * counts.mean()
+        assert counts.max() > 1.5 * counts.mean()
+
+    def test_file_counts_deterministic(self):
+        a = SMALL.file_event_counts(seed=5)
+        b = SMALL.file_event_counts(seed=5)
+        assert (a == b).all()
+
+
+QUICK = LARGE.scaled(1 / 16)
+
+
+class TestFileBasedModel:
+    def test_scales_then_flattens(self):
+        model = FileBasedModel()
+        # QUICK has 482 files; 64 cores/node -> starved above ~8 nodes.
+        t8 = model.simulate(8, QUICK).throughput
+        t4 = model.simulate(4, QUICK).throughput
+        t32 = model.simulate(32, QUICK).throughput
+        t64 = model.simulate(64, QUICK).throughput
+        assert t8 > 1.5 * t4  # scaling while files are plentiful
+        assert t64 < 1.1 * t32  # flat once cores outnumber files
+
+    def test_core_starvation_reported(self):
+        model = FileBasedModel()
+        result = model.simulate(64, QUICK)
+        assert result.busy_processes <= QUICK.num_files
+        assert result.core_utilization < 0.25
+
+    def test_jitter_changes_result(self):
+        model = FileBasedModel()
+        a = model.simulate(4, QUICK, seed=1, jitter=0.05)
+        b = model.simulate(4, QUICK, seed=2, jitter=0.05)
+        assert a.throughput != b.throughput
+
+    def test_deterministic_without_jitter(self):
+        model = FileBasedModel()
+        assert (model.simulate(4, QUICK).wall_seconds
+                == model.simulate(4, QUICK).wall_seconds)
+
+
+class TestHEPnOSModel:
+    def test_backends_supported(self):
+        model = HEPnOSModel()
+        mem = model.simulate(16, QUICK, backend="map")
+        lsm = model.simulate(16, QUICK, backend="lsm")
+        assert mem.system == "hepnos-mem"
+        assert lsm.system == "hepnos-lsm"
+        assert mem.throughput >= lsm.throughput
+
+    def test_unknown_backend(self):
+        with pytest.raises(SimulationError):
+            HEPnOSModel().simulate(16, QUICK, backend="rocksdb")
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(SimulationError):
+            HEPnOSModel().simulate(1, QUICK)
+
+    def test_strong_scaling_close_to_linear(self):
+        model = HEPnOSModel()
+        t16 = model.simulate(16, LARGE.scaled(0.5), backend="map").throughput
+        t64 = model.simulate(64, LARGE.scaled(0.5), backend="map").throughput
+        assert 2.8 < t64 / t16 <= 4.05
+
+    def test_lsm_gap_grows_with_nodes(self):
+        model = HEPnOSModel()
+        ds = LARGE.scaled(0.5)
+        ratio_small = (model.simulate(16, ds, backend="map").throughput
+                       / model.simulate(16, ds, backend="lsm").throughput)
+        ratio_large = (model.simulate(128, ds, backend="map").throughput
+                       / model.simulate(128, ds, backend="lsm").throughput)
+        assert ratio_large > ratio_small
+
+    def test_beats_filebased(self):
+        hp = HEPnOSModel().simulate(16, QUICK, backend="map").throughput
+        fb = FileBasedModel().simulate(16, QUICK).throughput
+        assert hp > fb
+
+
+class TestSweeps:
+    def test_strong_scaling_records(self):
+        records = run_strong_scaling(node_counts=(8, 16), dataset=QUICK,
+                                     systems=("hepnos-mem",), repeats=2)
+        assert len(records) == 4
+        assert {r.nodes for r in records} == {8, 16}
+        assert all(r.throughput > 0 for r in records)
+
+    def test_dataset_sweep_records(self):
+        records = run_dataset_sweep(
+            nodes=16, datasets=(QUICK, QUICK.scaled(2.0)),
+            systems=("filebased", "hepnos-mem"), repeats=1,
+        )
+        assert len(records) == 4
+        table = format_records(records, group_by_dataset=True)
+        assert "filebased" in table and "hepnos-mem" in table
+
+    def test_weak_scaling_flatish(self):
+        records = run_weak_scaling(
+            node_counts=(16, 64),
+            events_per_node=LARGE.total_events // 256,
+            systems=("hepnos-mem",),
+        )
+        per_node = {
+            r.nodes: r.throughput / r.nodes for r in records
+        }
+        # Weak scaling: throughput per node roughly constant.
+        assert per_node[64] > 0.7 * per_node[16]
+
+    def test_mean_throughput_missing(self):
+        with pytest.raises(ValueError):
+            mean_throughput([], "hepnos-mem")
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            run_strong_scaling(node_counts=(8,), dataset=QUICK,
+                               systems=("lustre",), repeats=1)
+
+
+class TestCostModel:
+    def test_event_bytes(self):
+        costs = CostModel()
+        assert costs.event_bytes(SMALL) == pytest.approx(
+            costs.bytes_per_slice * SMALL.slices_per_event
+        )
+
+    def test_custom_dataset(self):
+        ds = DatasetSpec("tiny", 10, 1000, 4100)
+        assert ds.events_per_file == 100
+        assert ds.slices_per_event == pytest.approx(4.1)
+
+
+class TestTopologyAwareModel:
+    def test_topology_too_small_rejected(self):
+        from repro.sim.network import DragonflyConfig
+
+        topo = DragonflyConfig(groups=2, routers_per_group=2,
+                               nodes_per_router=2)  # 8 nodes
+        with pytest.raises(SimulationError, match="topology"):
+            HEPnOSModel().simulate(16, QUICK, topology=topo)
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(SimulationError, match="placement"):
+            HEPnOSModel().simulate(16, QUICK, server_placement="corners")
+
+    def test_topology_mode_runs(self):
+        from repro.sim.network import DragonflyConfig
+
+        topo = DragonflyConfig(groups=4, routers_per_group=2,
+                               nodes_per_router=2)
+        result = HEPnOSModel().simulate(16, QUICK, topology=topo)
+        assert result.throughput > 0
+
+    def test_placements_differ_when_network_bound(self):
+        from repro.perf.workload import CostModel
+        from repro.sim.network import DragonflyConfig
+
+        topo = DragonflyConfig(groups=8, routers_per_group=2,
+                               nodes_per_router=2, global_bandwidth=1e9)
+        costs = CostModel(t_select=0.1e-3, bytes_per_slice=20000)
+        model = HEPnOSModel(costs=costs)
+        spread = model.simulate(32, QUICK, topology=topo,
+                                server_placement="spread").throughput
+        packed = model.simulate(32, QUICK, topology=topo,
+                                server_placement="packed").throughput
+        assert spread > packed
+
+
+class TestIngestModel:
+    def test_runs_and_reports(self):
+        from repro.perf import IngestModel
+
+        result = IngestModel().simulate(8, QUICK)
+        assert result.system == "ingest-mem"
+        assert result.throughput > 0
+        assert result.busy_processes <= QUICK.num_files
+
+    def test_backend_validation(self):
+        from repro.perf import IngestModel
+
+        with pytest.raises(SimulationError):
+            IngestModel().simulate(8, QUICK, backend="bdb")
+        with pytest.raises(SimulationError):
+            IngestModel().simulate(1, QUICK)
+
+    def test_file_bound_scaling(self):
+        from repro.perf import IngestModel
+
+        model = IngestModel()
+        t4 = model.simulate(4, QUICK).throughput
+        t16 = model.simulate(16, QUICK).throughput
+        t64 = model.simulate(64, QUICK).throughput
+        assert t16 > 1.5 * t4
+        assert t64 < 1.3 * t16  # flattening: files (and tails) bind
+
+
+class TestUtilizationReport:
+    def test_worker_bound_in_memory(self):
+        result = HEPnOSModel().simulate(16, LARGE.scaled(0.5), backend="map")
+        util = result.utilization
+        # The in-memory run is client-compute bound.
+        assert util["worker_compute"] > 0.8
+        assert util["server_cpu"] < 0.5
+        assert "server_ssd" not in util
+
+    def test_lsm_reports_ssd(self):
+        result = HEPnOSModel().simulate(16, LARGE.scaled(0.5), backend="lsm")
+        util = result.utilization
+        assert 0.0 < util["server_ssd"] <= 1.0
+        # Cold phase + SSD time dilute worker utilization vs memory.
+        mem = HEPnOSModel().simulate(16, LARGE.scaled(0.5), backend="map")
+        assert util["worker_compute"] < mem.utilization["worker_compute"]

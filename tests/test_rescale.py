@@ -1,0 +1,156 @@
+"""Tests for storage rescaling (Pufferscale stand-in)."""
+
+import pytest
+
+from repro.bedrock import BedrockServer, default_hepnos_config
+from repro.errors import ConfigError
+from repro.hepnos import DataStore, WriteBatch, vector_of
+from repro.rescale import (
+    add_server,
+    execute_rescale,
+    plan_rescale,
+    remove_server,
+)
+from repro.serial import serializable
+
+
+@serializable("rescale.Blob")
+class Blob:
+    def __init__(self, value=0):
+        self.value = value
+
+    def serialize(self, ar):
+        self.value = ar.io(self.value)
+
+    def __eq__(self, other):
+        return self.value == other.value
+
+
+def populate(datastore, tag="r", runs=2, subruns=2, events=20):
+    ds = datastore.create_dataset(f"rescale/{tag}")
+    expected = {}
+    with WriteBatch(datastore) as batch:
+        for r in range(runs):
+            run = ds.create_run(r, batch=batch)
+            for s in range(subruns):
+                subrun = run.create_subrun(s, batch=batch)
+                for e in range(events):
+                    event = subrun.create_event(e, batch=batch)
+                    value = [Blob(r * 10000 + s * 100 + e)]
+                    event.store(value, label="blob", batch=batch)
+                    expected[(r, s, e)] = value
+    return ds, expected
+
+
+def verify(datastore, tag, expected):
+    ds = datastore[f"rescale/{tag}"]
+    seen = {}
+    for event in ds.events():
+        seen[event.triple()] = event.load(vector_of(Blob), label="blob")
+    assert seen == {(r, s, e): v for (r, s, e), v in expected.items()}
+
+
+def new_server(fabric, index, **kwargs):
+    defaults = dict(num_providers=4, event_databases=4, product_databases=4,
+                    run_databases=2, subrun_databases=2, dataset_databases=1)
+    defaults.update(kwargs)
+    return BedrockServer(fabric, default_hepnos_config(
+        f"sm://extra{index}/hepnos", **defaults))
+
+
+class TestConnectionSurgery:
+    def test_add_server_extends_targets(self, fabric, service, datastore):
+        before = datastore.connection.counts()
+        joined = add_server(datastore.connection, new_server(fabric, 0))
+        after = joined.counts()
+        assert after["events"] == before["events"] + 4
+        assert after["products"] == before["products"] + 4
+
+    def test_add_server_duplicate_rejected(self, fabric, service, datastore):
+        server = new_server(fabric, 1)
+        joined = add_server(datastore.connection, server)
+        with pytest.raises(ConfigError, match="already"):
+            add_server(joined, server)
+
+    def test_remove_server(self, fabric, service, datastore):
+        address = str(service[1].address)
+        shrunk = remove_server(datastore.connection, address)
+        assert all(t.address != address
+                   for kind in ("events", "products")
+                   for t in shrunk[kind])
+
+    def test_remove_unknown_address(self, fabric, service, datastore):
+        with pytest.raises(ConfigError, match="no databases"):
+            remove_server(datastore.connection, "sm://ghost/hepnos")
+
+    def test_remove_last_server_rejected(self, fabric, service, datastore):
+        shrunk = remove_server(datastore.connection, str(service[1].address))
+        with pytest.raises(ConfigError, match="would leave no"):
+            remove_server(shrunk, str(service[0].address))
+
+
+class TestPlan:
+    def test_plan_moves_minority_of_keys(self, fabric, service, datastore):
+        _, expected = populate(datastore, "plan")
+        joined = add_server(datastore.connection, new_server(fabric, 2))
+        plan = plan_rescale(datastore, joined)
+        total = plan.keys_to_move + plan.keys_stayed
+        assert total > 0
+        # Consistent hashing: adding ~1/3 of capacity moves well under
+        # half of the keys.
+        assert plan.keys_to_move < total * 0.6
+        assert plan.keys_to_move > 0
+
+    def test_plan_noop_for_same_connection(self, fabric, service, datastore):
+        populate(datastore, "noop")
+        plan = plan_rescale(datastore, datastore.connection)
+        assert plan.keys_to_move == 0
+        assert plan.keys_stayed > 0
+
+
+class TestExecute:
+    def test_grow_preserves_all_data(self, fabric, service, datastore):
+        _, expected = populate(datastore, "grow")
+        joined = add_server(datastore.connection, new_server(fabric, 3))
+        plan = plan_rescale(datastore, joined)
+        stats = execute_rescale(datastore, plan)
+        assert stats.keys_moved == plan.keys_to_move
+        assert stats.bytes_moved > 0
+        verify(datastore, "grow", expected)
+
+    def test_grow_then_shrink_roundtrip(self, fabric, service, datastore):
+        _, expected = populate(datastore, "cycle")
+        server = new_server(fabric, 4)
+        joined = add_server(datastore.connection, server)
+        execute_rescale(datastore, plan_rescale(datastore, joined))
+        verify(datastore, "cycle", expected)
+        # Now drain the server back out.
+        shrunk = remove_server(datastore.connection, str(server.address))
+        execute_rescale(datastore, plan_rescale(datastore, shrunk))
+        verify(datastore, "cycle", expected)
+        # Nothing left behind on the drained server.
+        for provider in server.providers.values():
+            for backend in provider.databases.values():
+                assert len(backend) == 0
+
+    def test_new_clients_see_rescaled_layout(self, fabric, service, datastore):
+        _, expected = populate(datastore, "fresh")
+        joined = add_server(datastore.connection, new_server(fabric, 5))
+        execute_rescale(datastore, plan_rescale(datastore, joined))
+        fresh = DataStore.connect(fabric, joined)
+        seen = sum(1 for _ in fresh["rescale/fresh"].events())
+        assert seen == len(expected)
+
+    def test_iteration_order_preserved(self, fabric, service, datastore):
+        ds, _ = populate(datastore, "order", runs=1, subruns=1, events=30)
+        joined = add_server(datastore.connection, new_server(fabric, 6))
+        execute_rescale(datastore, plan_rescale(datastore, joined))
+        numbers = [e.number for e in datastore["rescale/order"][0][0]]
+        assert numbers == list(range(30))
+
+    def test_moved_fraction_reported(self, fabric, service, datastore):
+        populate(datastore, "frac")
+        joined = add_server(datastore.connection, new_server(fabric, 7))
+        stats = execute_rescale(datastore, plan_rescale(datastore, joined))
+        assert 0.0 < stats.moved_fraction < 1.0
+        assert sum(stats.moves_by_kind.values()) == stats.keys_moved

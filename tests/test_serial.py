@@ -1,0 +1,291 @@
+"""Tests for the Boost-style binary serialization archives."""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.serial import (
+    InputArchive,
+    OutputArchive,
+    dumps,
+    loads,
+    register_type,
+    registered_type,
+    serializable,
+    type_name,
+)
+
+
+@serializable("test.Particle")
+class Particle:
+    """The example type from the paper's Listing 1."""
+
+    def __init__(self, x=0.0, y=0.0, z=0.0):
+        self.x, self.y, self.z = x, y, z
+
+    def serialize(self, ar):
+        self.x = ar.io(self.x)
+        self.y = ar.io(self.y)
+        self.z = ar.io(self.z)
+
+    def __eq__(self, other):
+        return (self.x, self.y, self.z) == (other.x, other.y, other.z)
+
+
+@dataclasses.dataclass
+class Hit:
+    plane: int = 0
+    cell: int = 0
+    adc: float = 0.0
+
+
+register_type(Hit, "test.Hit")
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, 1, -1, 2**70, -(2**70), 3.14, -0.0, "", "héllo",
+         b"", b"\x00\xff", complex(1, -2)],
+    )
+    def test_roundtrip(self, value):
+        assert loads(dumps(value)) == value
+
+    def test_nan(self):
+        assert math.isnan(loads(dumps(float("nan"))))
+
+    def test_inf(self):
+        assert loads(dumps(float("inf"))) == float("inf")
+
+    def test_bool_not_confused_with_int(self):
+        assert loads(dumps(True)) is True
+        assert loads(dumps(1)) == 1
+        assert not isinstance(loads(dumps(1)), bool)
+
+
+class TestContainers:
+    def test_list(self):
+        assert loads(dumps([1, "a", None, [2.5]])) == [1, "a", None, [2.5]]
+
+    def test_tuple_preserved(self):
+        value = (1, (2, 3))
+        out = loads(dumps(value))
+        assert out == value
+        assert isinstance(out, tuple)
+
+    def test_dict(self):
+        value = {"a": 1, 2: [3], (4,): "x"}
+        assert loads(dumps(value)) == value
+
+    def test_set_and_frozenset(self):
+        assert loads(dumps({1, 2, 3})) == {1, 2, 3}
+        out = loads(dumps(frozenset({"a", "b"})))
+        assert out == frozenset({"a", "b"})
+        assert isinstance(out, frozenset)
+
+    def test_set_canonical_encoding(self):
+        # Same set contents -> identical bytes, regardless of insertion order.
+        s1 = {i for i in range(100)}
+        s2 = {i for i in reversed(range(100))}
+        assert dumps(s1) == dumps(s2)
+
+
+class TestNumpy:
+    @pytest.mark.parametrize("dtype", ["<f8", "<f4", "<i4", "<u8", "<i2", "|b1"])
+    def test_dtypes(self, dtype):
+        arr = np.arange(12).astype(dtype).reshape(3, 4)
+        out = loads(dumps(arr))
+        assert out.dtype == np.dtype(dtype)
+        assert np.array_equal(out, arr)
+
+    def test_empty_array(self):
+        arr = np.zeros((0, 3))
+        out = loads(dumps(arr))
+        assert out.shape == (0, 3)
+
+    def test_non_contiguous(self):
+        arr = np.arange(20).reshape(4, 5)[:, ::2]
+        out = loads(dumps(arr))
+        assert np.array_equal(out, arr)
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(SerializationError):
+            dumps(np.array([object()]))
+
+    def test_result_is_writable(self):
+        out = loads(dumps(np.arange(3)))
+        out[0] = 42  # frombuffer results are read-only unless copied
+
+
+class TestObjects:
+    def test_particle_roundtrip(self):
+        p = Particle(1.0, 2.0, 3.0)
+        assert loads(dumps(p)) == p
+
+    def test_vector_of_particles(self):
+        vp = [Particle(float(i), 0.0, -float(i)) for i in range(5)]
+        assert loads(dumps(vp)) == vp
+
+    def test_dataclass_roundtrip(self):
+        h = Hit(plane=3, cell=17, adc=99.5)
+        out = loads(dumps(h))
+        assert out == h
+        assert isinstance(out, Hit)
+
+    def test_nested_object_in_dict(self):
+        value = {"hits": [Hit(1, 2, 3.0)], "meta": Particle(0, 0, 0)}
+        out = loads(dumps(value))
+        assert out["hits"][0] == Hit(1, 2, 3.0)
+
+    def test_unregistered_types_autoregister(self):
+        class Local:
+            def __init__(self):
+                self.v = 5
+
+            def serialize(self, ar):
+                self.v = ar.io(self.v)
+
+        out = loads(dumps(Local()))
+        assert out.v == 5
+
+    def test_type_name(self):
+        assert type_name(Particle) == "test.Particle"
+        assert type_name(Particle(0, 0, 0)) == "test.Particle"
+        assert type_name(Hit) == "test.Hit"
+
+    def test_registered_type_lookup(self):
+        assert registered_type("test.Particle") is Particle
+        with pytest.raises(SerializationError):
+            registered_type("no.such.Type")
+
+    def test_conflicting_registration_rejected(self):
+        class Other:
+            pass
+
+        with pytest.raises(SerializationError):
+            register_type(Other, "test.Particle")
+
+    def test_reregistration_is_noop(self):
+        register_type(Particle, "test.Particle")
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(SerializationError):
+            dumps(object())
+
+
+class TestArchiveAPI:
+    def test_call_syntax(self):
+        ar = OutputArchive()
+        ar(1)
+        ar("two")
+        reader = InputArchive(ar.getvalue())
+        assert reader() == 1
+        assert reader() == "two"
+        assert reader.at_end()
+
+    def test_trailing_bytes_detected(self):
+        with pytest.raises(SerializationError):
+            loads(dumps(1) + b"\x00")
+
+    def test_truncated_detected(self):
+        blob = dumps("hello world")
+        with pytest.raises(SerializationError):
+            loads(blob[:-3])
+
+    def test_unknown_tag(self):
+        with pytest.raises(SerializationError):
+            loads(b"\xfe")
+
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=20)
+    | st.binary(max_size=20),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=30,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(json_like)
+def test_roundtrip_property(value):
+    assert loads(dumps(value)) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers())
+def test_int_roundtrip_property(value):
+    assert loads(dumps(value)) == value
+
+
+class TestVersioning:
+    def test_version_stored_and_delivered(self):
+        from repro.serial import class_version
+
+        class Track:
+            def __init__(self, length=0.0, width=0.0):
+                self.length = length
+                self.width = width
+
+            def serialize(self, ar, version):
+                self.length = ar.io(self.length)
+                if version >= 2:
+                    self.width = ar.io(self.width)
+
+        register_type(Track, "test.v.Track", version=2)
+        assert class_version(Track) == 2
+        out = loads(dumps(Track(3.0, 4.0)))
+        assert (out.length, out.width) == (3.0, 4.0)
+
+    def test_old_data_readable_by_new_code(self):
+        """Write with a v1 class, read with a v2 class of the same name."""
+        import repro.serial.archive as archive
+
+        class TrackV1:
+            def __init__(self, length=0.0):
+                self.length = length
+
+            def serialize(self, ar, version):
+                self.length = ar.io(self.length)
+
+        register_type(TrackV1, "test.evolve.Track", version=1)
+        blob = dumps(TrackV1(7.5))
+
+        # Simulate a software upgrade: same name, new field, new version.
+        del archive._BY_NAME["test.evolve.Track"]
+        del archive._BY_TYPE[TrackV1]
+
+        class TrackV2:
+            def __init__(self, length=0.0, width=-1.0):
+                self.length = length
+                self.width = width
+
+            def serialize(self, ar, version):
+                self.length = ar.io(self.length)
+                if version >= 2:
+                    self.width = ar.io(self.width)
+
+        register_type(TrackV2, "test.evolve.Track", version=2)
+        out = loads(blob)
+        assert isinstance(out, TrackV2)
+        assert out.length == 7.5
+        assert out.width == -1.0  # default: field absent in v1 data
+
+    def test_versionless_serialize_still_works(self):
+        assert loads(dumps(Particle(1, 2, 3))) == Particle(1, 2, 3)
+
+    def test_negative_version_rejected(self):
+        class X:
+            pass
+
+        with pytest.raises(SerializationError):
+            register_type(X, "test.v.X", version=-1)

@@ -1,0 +1,271 @@
+"""Tests for the discrete-event simulation kernel and resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Event, Resource, Simulator, Store, Timeout
+from repro.sim.platform import NodeModel, ParallelFileSystem, THETA, StorageDevice
+
+
+class TestKernel:
+    def test_timeouts_advance_clock(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            yield Timeout(1.5)
+            log.append(sim.now)
+            yield Timeout(2.5)
+            log.append(sim.now)
+
+        sim.process(body())
+        assert sim.run() == 4.0
+        assert log == [1.5, 4.0]
+
+    def test_processes_interleave_deterministically(self):
+        sim = Simulator()
+        log = []
+
+        def body(tag, delay):
+            for i in range(3):
+                yield Timeout(delay)
+                log.append((sim.now, tag))
+
+        sim.process(body("a", 1.0))
+        sim.process(body("b", 1.5))
+        sim.run()
+        # At the t=3.0 tie, "b" was scheduled first (at t=1.5), so the
+        # kernel's schedule-order tiebreak runs it first.
+        assert log == [(1.0, "a"), (1.5, "b"), (2.0, "a"), (3.0, "b"),
+                       (3.0, "a"), (4.5, "b")]
+
+    def test_event_wait(self):
+        sim = Simulator()
+        gate = sim.event()
+        results = []
+
+        def waiter():
+            value = yield gate
+            results.append((sim.now, value))
+
+        def trigger():
+            yield Timeout(5.0)
+            gate.succeed("go")
+
+        sim.process(waiter())
+        sim.process(trigger())
+        sim.run()
+        assert results == [(5.0, "go")]
+
+    def test_wait_on_process(self):
+        sim = Simulator()
+
+        def child():
+            yield Timeout(3.0)
+            return "child-result"
+
+        def parent():
+            result = yield sim.process(child())
+            return (sim.now, result)
+
+        proc = sim.process(parent())
+        sim.run()
+        assert proc.result == (3.0, "child-result")
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_bad_yield_detected(self):
+        sim = Simulator()
+
+        def body():
+            yield "garbage"
+
+        sim.process(body())
+        with pytest.raises(SimulationError, match="non-waitable"):
+            sim.run()
+
+    def test_run_until(self):
+        sim = Simulator()
+
+        def body():
+            yield Timeout(100.0)
+
+        sim.process(body())
+        assert sim.run(until=10.0) == 10.0
+
+
+class TestResource:
+    def test_serializes_beyond_capacity(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        finish = []
+
+        def body(tag):
+            yield from res.use(10.0)
+            finish.append((sim.now, tag))
+
+        for tag in range(4):
+            sim.process(body(tag))
+        sim.run()
+        assert [t for t, _ in finish] == [10.0, 10.0, 20.0, 20.0]
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def body(tag):
+            yield from res.use(1.0)
+            order.append(tag)
+
+        for tag in range(5):
+            sim.process(body(tag))
+        sim.run()
+        assert order == list(range(5))
+
+    def test_wait_accounting(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def body():
+            yield from res.use(5.0)
+
+        sim.process(body())
+        sim.process(body())
+        sim.run()
+        assert res.total_wait == 5.0
+        assert res.total_requests == 2
+
+    def test_utilization(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+
+        def body():
+            yield from res.use(10.0)
+
+        sim.process(body())
+        elapsed = sim.run()
+        assert res.utilization(elapsed) == pytest.approx(0.5)
+
+    def test_release_idle_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Resource(sim).release()
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+        results = []
+
+        def body():
+            item = yield store.get()
+            results.append(item)
+
+        sim.process(body())
+        sim.run()
+        assert results == ["x"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        results = []
+
+        def getter():
+            item = yield store.get()
+            results.append((sim.now, item))
+
+        def putter():
+            yield Timeout(7.0)
+            store.put("late")
+
+        sim.process(getter())
+        sim.process(putter())
+        sim.run()
+        assert results == [(7.0, "late")]
+
+    def test_fifo_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        for i in range(3):
+            store.put(i)
+        got = []
+
+        def body():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        sim.process(body())
+        sim.run()
+        assert got == [0, 1, 2]
+
+
+class TestPlatform:
+    def test_storage_device_times(self):
+        sim = Simulator()
+        dev = StorageDevice(sim, bandwidth=1e9, latency=0.001)
+
+        def body():
+            yield from dev.read(1e9)  # 1 GB at 1 GB/s + 1 ms
+
+        sim.process(body())
+        assert sim.run() == pytest.approx(1.001)
+
+    def test_storage_device_queues(self):
+        sim = Simulator()
+        dev = StorageDevice(sim, bandwidth=1e9, latency=0.0, streams=1)
+
+        def body():
+            yield from dev.read(5e8)
+
+        sim.process(body())
+        sim.process(body())
+        assert sim.run() == pytest.approx(1.0)  # serialized
+
+    def test_pfs_read(self):
+        sim = Simulator()
+        pfs = ParallelFileSystem(sim, THETA)
+
+        def body():
+            yield from pfs.read_file(THETA.pfs_bandwidth / THETA.pfs_streams)
+
+        sim.process(body())
+        wall = sim.run()
+        # metadata + 1 second of one stream's share
+        assert wall == pytest.approx(THETA.pfs_metadata_time + 1.0)
+
+    def test_node_compute_uses_cores(self):
+        sim = Simulator()
+        node = NodeModel(sim, THETA)
+
+        def body():
+            yield from node.compute(1.0)
+
+        for _ in range(THETA.cores_per_node + 1):
+            sim.process(body())
+        assert sim.run() == pytest.approx(2.0)  # 65th task waits
+
+    def test_node_nic_injection(self):
+        sim = Simulator()
+        node = NodeModel(sim, THETA)
+
+        def body():
+            yield from node.send(THETA.nic_bandwidth)  # 1 second of data
+
+        sim.process(body())
+        assert sim.run() == pytest.approx(1.0, rel=1e-3)

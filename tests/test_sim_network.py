@@ -1,0 +1,186 @@
+"""Tests for the dragonfly interconnect model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator, Timeout
+from repro.sim.network import DragonflyConfig, DragonflyNetwork
+
+
+@pytest.fixture()
+def net():
+    sim = Simulator()
+    return sim, DragonflyNetwork(sim, DragonflyConfig(
+        groups=3, routers_per_group=2, nodes_per_router=2,
+        injection_bandwidth=1e9, local_bandwidth=1e9, global_bandwidth=1e9,
+        hop_latency=0.0,
+    ))
+
+
+class TestTopology:
+    def test_node_count(self, net):
+        _, network = net
+        assert network.config.total_nodes == 12
+
+    def test_node_router_mapping(self, net):
+        _, network = net
+        assert network.node_router(0) == (0, 0)
+        assert network.node_router(3) == (0, 1)
+        assert network.node_router(4) == (1, 0)
+        assert network.node_router(11) == (2, 1)
+
+    def test_node_out_of_range(self, net):
+        _, network = net
+        with pytest.raises(SimulationError):
+            network.node_router(99)
+
+    def test_route_same_node(self, net):
+        _, network = net
+        assert network.route(5, 5) == []
+
+    def test_route_same_router(self, net):
+        _, network = net
+        path = network.route(0, 1)
+        assert path == [("inj", 0), ("eje", 1)]
+
+    def test_route_same_group(self, net):
+        _, network = net
+        path = network.route(0, 3)  # routers 0 -> 1 within group 0
+        assert ("loc", 0, 0, 1) in path
+
+    def test_route_cross_group(self, net):
+        _, network = net
+        path = network.route(0, 11)
+        globals_used = [k for k in path if k[0] == "glb"]
+        assert globals_used == [("glb", 0, 2)]
+        assert path[0] == ("inj", 0)
+        assert path[-1] == ("eje", 11)
+
+    def test_route_with_detour(self, net):
+        _, network = net
+        path = network.route(0, 11, via_group=1)
+        globals_used = [k for k in path if k[0] == "glb"]
+        assert globals_used == [("glb", 0, 1), ("glb", 1, 2)]
+
+    def test_all_routes_valid(self, net):
+        """Every route's links exist and start/end correctly."""
+        _, network = net
+        for src in range(12):
+            for dst in range(12):
+                if src == dst:
+                    continue
+                path = network.route(src, dst)
+                assert path[0] == ("inj", src)
+                assert path[-1] == ("eje", dst)
+                for key in path:
+                    assert key in network._links
+
+
+class TestTransfers:
+    def test_single_transfer_time(self, net):
+        sim, network = net
+
+        def body():
+            yield from network.send(0, 1, 1e9)  # inj + eje at 1 GB/s each
+
+        sim.process(body())
+        assert sim.run() == pytest.approx(2.0)
+
+    def test_hop_latency_added(self):
+        sim = Simulator()
+        network = DragonflyNetwork(sim, DragonflyConfig(
+            groups=2, routers_per_group=2, nodes_per_router=1,
+            hop_latency=0.5, injection_bandwidth=1e12,
+            local_bandwidth=1e12, global_bandwidth=1e12,
+        ))
+
+        def body():
+            yield from network.send(0, 1, 1.0)
+
+        sim.process(body())
+        path_len = len(network.route(0, 1))
+        assert sim.run() == pytest.approx(0.5 * path_len, rel=1e-3)
+
+    def test_contention_serializes_on_shared_link(self, net):
+        sim, network = net
+        done = []
+
+        def body(tag):
+            # Both flows eject at node 1: the ejection link serializes.
+            yield from network.send(tag, 1, 1e9)
+            done.append(sim.now)
+
+        sim.process(body(0))
+        sim.process(body(2))
+        sim.run()
+        assert max(done) == pytest.approx(3.0)  # 2nd waits on ejection
+
+    def test_disjoint_flows_parallel(self, net):
+        sim, network = net
+        done = []
+
+        def body(src, dst):
+            yield from network.send(src, dst, 1e9)
+            done.append(sim.now)
+
+        sim.process(body(0, 1))
+        sim.process(body(2, 3))
+        sim.run()
+        assert max(done) == pytest.approx(2.0)
+
+    def test_link_loads_accounted(self, net):
+        sim, network = net
+
+        def body():
+            yield from network.send(0, 11, 1000)
+
+        sim.process(body())
+        sim.run()
+        loads = network.link_loads()
+        assert loads["glb0-2"] == 1000
+        assert loads["inj0"] == 1000
+        name, hottest = network.hottest_link()
+        assert hottest == 1000
+
+    def test_adaptive_routing_spreads_hotspot(self):
+        """Many flows between two groups: adaptive routing must carry
+        bytes over detour global links that minimal routing never uses."""
+        config = DragonflyConfig(groups=4, routers_per_group=2,
+                                 nodes_per_router=2, hop_latency=0.0)
+
+        def run(adaptive):
+            sim = Simulator()
+            network = DragonflyNetwork(sim, config, seed=3)
+
+            def flow(src, dst):
+                yield from network.send(src, dst, 1e8, adaptive=adaptive)
+
+            # group 0 nodes (0..3) hammer group 3 nodes (12..15)
+            for i in range(4):
+                for _ in range(4):
+                    sim.process(flow(i, 12 + i))
+            wall = sim.run()
+            detour_bytes = sum(
+                link.bytes_carried
+                for key, link in network._links.items()
+                if key[0] == "glb" and key[1:] != (0, 3)
+            )
+            return wall, detour_bytes
+
+        wall_min, detour_min = run(adaptive=False)
+        wall_ada, detour_ada = run(adaptive=True)
+        assert detour_min == 0
+        assert detour_ada > 0
+        assert wall_ada <= wall_min  # spreading can only help here
+
+    def test_utilization_report(self, net):
+        sim, network = net
+
+        def body():
+            yield from network.send(0, 11, 1e9)
+
+        sim.process(body())
+        elapsed = sim.run()
+        utilization = network.global_link_utilization(elapsed)
+        assert "glb0-2" in utilization
+        assert 0 < utilization["glb0-2"] <= 1.0

@@ -1,0 +1,133 @@
+"""Concurrency stress: many MPI client threads against one service.
+
+Exercises the thread-safety of the threaded fabric, pools, eventuals,
+and the shared DataStore under mixed concurrent operations.
+"""
+
+import threading
+
+import pytest
+
+from repro.hepnos import WriteBatch, vector_of
+from repro.minimpi import SUM, mpirun
+from repro.serial import serializable
+
+
+@serializable("stress.Item")
+class Item:
+    def __init__(self, value=0):
+        self.value = value
+
+    def serialize(self, ar):
+        self.value = ar.io(self.value)
+
+    def __eq__(self, other):
+        return self.value == other.value
+
+
+class TestConcurrentClients:
+    def test_disjoint_writers(self, datastore):
+        """Each rank owns a run; all write concurrently."""
+
+        def body(comm):
+            ds = datastore.create_dataset("stress/disjoint")
+            with WriteBatch(datastore) as batch:
+                subrun = ds.create_run(comm.rank, batch=batch) \
+                           .create_subrun(0, batch=batch)
+                for e in range(40):
+                    event = subrun.create_event(e, batch=batch)
+                    event.store(Item(comm.rank * 1000 + e), label="i",
+                                batch=batch)
+            return comm.rank
+
+        mpirun(body, 6, timeout=300.0)
+        ds = datastore["stress/disjoint"]
+        assert [r.number for r in ds] == list(range(6))
+        for run in ds:
+            events = list(run[0])
+            assert len(events) == 40
+            assert events[7].load(Item, label="i") == Item(
+                run.number * 1000 + 7
+            )
+
+    def test_concurrent_readers_one_writer(self, datastore):
+        ds = datastore.create_dataset("stress/rw")
+        with WriteBatch(datastore) as batch:
+            subrun = ds.create_run(1, batch=batch).create_subrun(0,
+                                                                 batch=batch)
+            for e in range(50):
+                subrun.create_event(e, batch=batch) \
+                      .store(Item(e), label="i", batch=batch)
+
+        def body(comm):
+            if comm.rank == 0:
+                # The writer appends a new subrun while readers scan.
+                subrun2 = ds[1].create_subrun(1)
+                for e in range(20):
+                    subrun2.create_event(e)
+                total = -1
+            else:
+                total = 0
+                for event in ds[1][0]:
+                    total += event.load(Item, label="i").value
+            return comm.allreduce(1, op=SUM) and total
+
+        results = mpirun(body, 5, timeout=300.0)
+        expected = sum(range(50))
+        assert all(r == expected for r in results[1:])
+        assert sum(1 for _ in ds[1][1]) == 20
+
+    def test_same_container_idempotent_creates(self, datastore):
+        """All ranks create the SAME containers concurrently; creation
+        is an idempotent key insert, so the result is one container."""
+
+        def body(comm):
+            ds = datastore.create_dataset("stress/same")
+            run = ds.create_run(5)
+            subrun = run.create_subrun(5)
+            subrun.create_event(comm.rank)
+            return ds.uuid
+
+        results = mpirun(body, 8, timeout=300.0)
+        assert len(set(results)) == 1  # one dataset identity
+        events = [e.number for e in datastore["stress/same"][5][5]]
+        assert events == list(range(8))
+
+    def test_mixed_batched_and_direct(self, datastore):
+        barrier = threading.Barrier(4)
+
+        def body(comm):
+            ds = datastore.create_dataset("stress/mixed")
+            barrier.wait(timeout=60)
+            if comm.rank % 2 == 0:
+                with WriteBatch(datastore) as batch:
+                    subrun = ds.create_run(comm.rank, batch=batch) \
+                               .create_subrun(0, batch=batch)
+                    for e in range(25):
+                        subrun.create_event(e, batch=batch)
+            else:
+                subrun = ds.create_run(comm.rank).create_subrun(0)
+                for e in range(25):
+                    subrun.create_event(e)
+            return sum(1 for _ in ds[comm.rank][0])
+
+        results = mpirun(body, 4, timeout=300.0)
+        assert results == [25, 25, 25, 25]
+
+    def test_bulk_storm(self, datastore):
+        """Concurrent large-value bulk transfers from several ranks."""
+
+        def body(comm):
+            ds = datastore.create_dataset("stress/bulk")
+            subrun = ds.create_run(comm.rank).create_subrun(0)
+            event = subrun.create_event(0)
+            payload = bytes([comm.rank]) * 60_000
+            event.store(payload, label="blob")
+            return len(event.load(bytes, label="blob"))
+
+        results = mpirun(body, 5, timeout=300.0)
+        assert results == [60_000] * 5
+        for rank in range(5):
+            blob = datastore["stress/bulk"][rank][0][0].load(bytes,
+                                                             label="blob")
+            assert blob == bytes([rank]) * 60_000

@@ -1,0 +1,118 @@
+"""Tests for the operator tooling and CLI."""
+
+import pytest
+
+from repro.hepnos import WriteBatch
+from repro.nova import BEAM, NovaGenerator, write_nova_file
+from repro.tools import file_structure, service_stat, tree
+from repro.tools.cli import build_parser, main
+
+
+@pytest.fixture()
+def populated(datastore):
+    ds = datastore.create_dataset("tools/demo")
+    with WriteBatch(datastore) as batch:
+        for r in (1, 2):
+            run = ds.create_run(r, batch=batch)
+            for s in range(3):
+                subrun = run.create_subrun(s, batch=batch)
+                for e in range(5):
+                    subrun.create_event(e, batch=batch)
+    return ds
+
+
+class TestTree:
+    def test_renders_hierarchy(self, datastore, populated):
+        text = tree(datastore, "tools/demo")
+        assert "demo/" in text
+        assert "run 1 (3 subruns)" in text
+        assert "subrun 0 (5 events)" in text
+
+    def test_root_listing(self, datastore, populated):
+        text = tree(datastore)
+        assert "tools" in text
+
+    def test_elides_large_stores(self, datastore):
+        ds = datastore.create_dataset("tools/big")
+        with WriteBatch(datastore) as batch:
+            for r in range(20):
+                ds.create_run(r, batch=batch)
+        text = tree(datastore, "tools/big", max_runs=5)
+        assert "... 15 more runs" in text
+
+    def test_show_events(self, datastore, populated):
+        text = tree(datastore, "tools/demo", show_events=True)
+        assert "0, 1, 2" in text
+
+    def test_empty_store(self, datastore):
+        assert tree(datastore) == "(empty store)"
+
+
+class TestServiceStat:
+    def test_counts_keys(self, datastore, populated):
+        text = service_stat(datastore)
+        assert "TOTAL" in text
+        # 2 runs + 6 subruns + 30 events somewhere in the totals.
+        assert "events" in text and "products" in text
+
+
+class TestFileStructure:
+    def test_structure_output(self, tmp_path):
+        path = str(tmp_path / "f.h5l")
+        write_nova_file(path, NovaGenerator(BEAM), [(1000, 0, 0)],
+                        compression="zlib")
+        text = file_structure(path)
+        assert "slc/" in text
+        assert "[class: rec.slc]" in text
+        assert "(zlib)" in text
+        assert "cal_e" in text
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["generate", "/tmp/x", "--files", "3"])
+        assert args.files == 3
+
+    def test_generate_and_inspect(self, tmp_path, capsys):
+        directory = str(tmp_path / "cli-files")
+        assert main(["generate", directory, "--files", "2",
+                     "--events-per-file", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 2 files" in out
+        import glob
+
+        files = sorted(glob.glob(f"{directory}/*.h5l"))
+        assert main(["inspect", files[0]]) == 0
+        out = capsys.readouterr().out
+        assert "rec.slc" in out
+
+    def test_tune_command(self, capsys):
+        assert main(["tune", "--nodes", "16", "--budget", "6",
+                     "--scale", str(1 / 64)]) == 0
+        out = capsys.readouterr().out
+        assert "paper config" in out
+        assert "best found" in out
+
+    def test_demo_command(self, capsys):
+        assert main(["demo", "--ranks", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "store tree" in out
+        assert "selected" in out
+
+    def test_scaling_quick(self, capsys):
+        assert main(["scaling", "--scale", "0.02", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "Figure 3" in out
+
+
+class TestExportCommand:
+    def test_export_cycle(self, tmp_path, capsys):
+        out = str(tmp_path / "export.h5l")
+        assert main(["export", out]) == 0
+        text = capsys.readouterr().out
+        assert "exported" in text
+        assert "rec.slc" in text
+        import os
+
+        assert os.path.exists(out)

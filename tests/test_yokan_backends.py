@@ -1,0 +1,412 @@
+"""Backend conformance tests, run against every Yokan backend kind."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, DatabaseClosed, KeyNotFound
+from repro.yokan import BTreeBackend, LSMBackend, MemoryBackend, open_backend
+
+BACKENDS = ["map", "lsm", "btree"]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, tmp_path):
+    kind = request.param
+    if kind == "map":
+        db = MemoryBackend()
+    elif kind == "lsm":
+        # Small memtable to exercise flush/compaction in ordinary tests.
+        db = LSMBackend(str(tmp_path / "lsm"), memtable_bytes=2048,
+                        compaction_trigger=3)
+    else:
+        db = BTreeBackend(str(tmp_path / "bt"), order=8)
+    yield db
+    if not db.closed:
+        db.close()
+
+
+class TestConformance:
+    def test_put_get(self, backend):
+        backend.put(b"k", b"v")
+        assert backend.get(b"k") == b"v"
+
+    def test_get_missing(self, backend):
+        with pytest.raises(KeyNotFound):
+            backend.get(b"missing")
+
+    def test_overwrite(self, backend):
+        backend.put(b"k", b"v1")
+        backend.put(b"k", b"v2")
+        assert backend.get(b"k") == b"v2"
+        assert len(backend) == 1
+
+    def test_exists(self, backend):
+        assert not backend.exists(b"k")
+        backend.put(b"k", b"v")
+        assert backend.exists(b"k")
+
+    def test_erase(self, backend):
+        backend.put(b"k", b"v")
+        backend.erase(b"k")
+        assert not backend.exists(b"k")
+        assert len(backend) == 0
+        with pytest.raises(KeyNotFound):
+            backend.erase(b"k")
+
+    def test_empty_value(self, backend):
+        backend.put(b"k", b"")
+        assert backend.get(b"k") == b""
+        assert backend.exists(b"k")
+
+    def test_len(self, backend):
+        for i in range(50):
+            backend.put(f"key-{i:03d}".encode(), b"x")
+        assert len(backend) == 50
+        backend.erase(b"key-000")
+        assert len(backend) == 49
+
+    def test_ordered_scan(self, backend):
+        keys = [f"{i:04d}".encode() for i in range(200)]
+        import random
+
+        shuffled = keys[:]
+        random.Random(1).shuffle(shuffled)
+        for k in shuffled:
+            backend.put(k, k + b"-value")
+        scanned = [k for k, _ in backend.scan()]
+        assert scanned == keys
+        for k, v in backend.scan():
+            assert v == k + b"-value"
+
+    def test_scan_from_start(self, backend):
+        for i in range(10):
+            backend.put(f"{i}".encode(), b"v")
+        assert [k for k, _ in backend.scan(b"5")] == [b"5", b"6", b"7", b"8", b"9"]
+        assert [k for k, _ in backend.scan(b"5", inclusive=False)][0] == b"6"
+
+    def test_scan_prefix(self, backend):
+        backend.put(b"run/1", b"a")
+        backend.put(b"run/2", b"b")
+        backend.put(b"sub/1", b"c")
+        assert [k for k, _ in backend.scan_prefix(b"run/")] == [b"run/1", b"run/2"]
+
+    def test_list_keys_paging(self, backend):
+        for i in range(30):
+            backend.put(f"e{i:02d}".encode(), b"v")
+        page1 = backend.list_keys(prefix=b"e", limit=10)
+        assert len(page1) == 10
+        page2 = backend.list_keys(prefix=b"e", start_after=page1[-1], limit=10)
+        assert page2[0] == b"e10"
+        all_keys = backend.list_keys(prefix=b"e")
+        assert len(all_keys) == 30
+
+    def test_list_keys_prefix_isolation(self, backend):
+        backend.put(b"aa1", b"")
+        backend.put(b"ab1", b"")
+        backend.put(b"ac1", b"")
+        assert backend.list_keys(prefix=b"ab") == [b"ab1"]
+
+    def test_count_prefix(self, backend):
+        for i in range(7):
+            backend.put(f"p/{i}".encode(), b"")
+        backend.put(b"q/0", b"")
+        assert backend.count_prefix(b"p/") == 7
+
+    def test_get_multi(self, backend):
+        backend.put(b"a", b"1")
+        backend.put(b"c", b"3")
+        assert backend.get_multi([b"a", b"b", b"c"]) == [b"1", None, b"3"]
+
+    def test_put_multi(self, backend):
+        count = backend.put_multi([(b"x", b"1"), (b"y", b"2")])
+        assert count == 2
+        assert backend.get(b"y") == b"2"
+
+    def test_closed_rejects_ops(self, backend):
+        backend.close()
+        with pytest.raises(DatabaseClosed):
+            backend.put(b"k", b"v")
+        with pytest.raises(DatabaseClosed):
+            backend.get(b"k")
+
+    def test_binary_keys(self, backend):
+        key = bytes(range(256))
+        backend.put(key, b"binary")
+        assert backend.get(key) == b"binary"
+
+    def test_large_value(self, backend):
+        value = bytes(100_000)
+        backend.put(b"big", value)
+        assert backend.get(b"big") == value
+
+
+class TestOpenBackend:
+    def test_open_by_kind(self, tmp_path):
+        assert isinstance(open_backend("map"), MemoryBackend)
+        assert isinstance(open_backend("lsm", path=str(tmp_path / "l")), LSMBackend)
+        assert isinstance(open_backend("btree", path=str(tmp_path / "b")), BTreeBackend)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            open_backend("rocksdb")
+
+
+class TestLSMInternals:
+    def test_flush_and_read_back(self, tmp_path):
+        db = LSMBackend(str(tmp_path / "db"), memtable_bytes=1 << 30)
+        for i in range(100):
+            db.put(f"{i:03d}".encode(), f"value-{i}".encode())
+        db.flush_memtable()
+        assert db.stats.flushes == 1
+        assert db.get(b"042") == b"value-42"
+        assert len(db._memtable) == 0
+
+    def test_tombstone_shadows_sstable(self, tmp_path):
+        db = LSMBackend(str(tmp_path / "db"))
+        db.put(b"k", b"v")
+        db.flush_memtable()
+        db.erase(b"k")
+        assert not db.exists(b"k")
+        assert [k for k, _ in db.scan()] == []
+        db.flush_memtable()  # tombstone now in an sstable
+        assert not db.exists(b"k")
+
+    def test_newest_sstable_wins(self, tmp_path):
+        db = LSMBackend(str(tmp_path / "db"))
+        db.put(b"k", b"old")
+        db.flush_memtable()
+        db.put(b"k", b"new")
+        db.flush_memtable()
+        assert db.get(b"k") == b"new"
+        assert [v for _, v in db.scan()] == [b"new"]
+
+    def test_compaction_merges_and_drops_tombstones(self, tmp_path):
+        db = LSMBackend(str(tmp_path / "db"), compaction_trigger=100)
+        for gen in range(3):
+            for i in range(20):
+                db.put(f"{i:02d}".encode(), f"g{gen}".encode())
+            db.flush_memtable()
+        db.erase(b"00")
+        db.flush_memtable()
+        db.compact()
+        assert db.stats.compactions == 1
+        assert len(db._sstables) == 1
+        assert not db.exists(b"00")
+        assert db.get(b"01") == b"g2"
+        assert len(db) == 19
+
+    def test_recovery_from_wal(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = LSMBackend(path)
+        db.put(b"a", b"1")
+        db.put(b"b", b"2")
+        db.flush()
+        db.close()
+        db2 = LSMBackend(path)
+        assert db2.get(b"a") == b"1"
+        assert db2.get(b"b") == b"2"
+        db2.close()
+
+    def test_recovery_from_sstables_and_wal(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = LSMBackend(path)
+        db.put(b"persisted", b"1")
+        db.flush_memtable()
+        db.put(b"in-wal", b"2")
+        db.flush()
+        db.close()
+        db2 = LSMBackend(path)
+        assert db2.get(b"persisted") == b"1"
+        assert db2.get(b"in-wal") == b"2"
+        db2.close()
+
+    def test_torn_wal_tail_ignored(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = LSMBackend(path)
+        db.put(b"good", b"1")
+        db.flush()
+        db.close()
+        with open(tmp_path / "db" / "wal.log", "ab") as f:
+            f.write(b"\x40\x00\x00\x00garbage")  # truncated record
+        db2 = LSMBackend(path)
+        assert db2.get(b"good") == b"1"
+        db2.close()
+
+    def test_auto_flush_on_memtable_size(self, tmp_path):
+        db = LSMBackend(str(tmp_path / "db"), memtable_bytes=512)
+        for i in range(100):
+            db.put(f"{i:04d}".encode(), b"x" * 32)
+        assert db.stats.flushes > 0
+        assert db.get(b"0000") == b"x" * 32
+        db.close()
+
+    def test_bloom_filter_skips(self, tmp_path):
+        db = LSMBackend(str(tmp_path / "db"))
+        for i in range(100):
+            db.put(f"key-{i}".encode(), b"v")
+        db.flush_memtable()
+        for i in range(100):
+            with pytest.raises(KeyNotFound):
+                db.get(f"absent-{i}".encode())
+        assert db.stats.bloom_skips > 50  # most misses never touch disk
+
+    def test_write_amplification_reported(self, tmp_path):
+        db = LSMBackend(str(tmp_path / "db"))
+        for i in range(50):
+            db.put(f"{i}".encode(), b"x" * 100)
+        db.flush_memtable()
+        assert db.stats.write_amplification > 1.0
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        from repro.yokan.backends.lsm import BloomFilter
+
+        bloom = BloomFilter.for_capacity(1000)
+        keys = [f"key-{i}".encode() for i in range(1000)]
+        for k in keys:
+            bloom.add(k)
+        assert all(k in bloom for k in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        from repro.yokan.backends.lsm import BloomFilter
+
+        bloom = BloomFilter.for_capacity(1000)
+        for i in range(1000):
+            bloom.add(f"key-{i}".encode())
+        fp = sum(1 for i in range(10_000) if f"other-{i}".encode() in bloom)
+        assert fp < 500  # ~1% expected at 10 bits/key; allow 5%
+
+    def test_roundtrip(self):
+        from repro.yokan.backends.lsm import BloomFilter
+
+        bloom = BloomFilter(256, 3)
+        bloom.add(b"x")
+        clone = BloomFilter.from_bytes(bloom.to_bytes())
+        assert b"x" in clone
+        assert clone.num_bits == 256 and clone.num_hashes == 3
+
+
+class TestBTreeInternals:
+    def test_splits_build_multilevel_tree(self, tmp_path):
+        db = BTreeBackend(str(tmp_path / "bt"), order=4)
+        for i in range(200):
+            db.put(f"{i:04d}".encode(), str(i).encode())
+        assert db.get(b"0123") == b"123"
+        assert len(db) == 200
+        root = db._read_node(db._root)
+        assert not root.is_leaf
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = str(tmp_path / "bt")
+        db = BTreeBackend(path, order=8)
+        for i in range(100):
+            db.put(f"{i:03d}".encode(), str(i).encode())
+        db.close()
+        db2 = BTreeBackend(path, order=8)
+        assert len(db2) == 100
+        assert db2.get(b"050") == b"50"
+        assert [k for k, _ in db2.scan()][:3] == [b"000", b"001", b"002"]
+        db2.close()
+
+    def test_crash_before_header_swap_keeps_old_tree(self, tmp_path):
+        path = str(tmp_path / "bt")
+        db = BTreeBackend(path, order=8)
+        db.put(b"committed", b"1")
+        db.close()
+        # Simulate a crash mid-append: garbage after the last commit.
+        with open(tmp_path / "bt" / "btree.dat", "ab") as f:
+            f.write(b"partial-node-write")
+        db2 = BTreeBackend(path, order=8)
+        assert db2.get(b"committed") == b"1"
+        db2.put(b"new", b"2")
+        assert db2.get(b"new") == b"2"
+        db2.close()
+
+    def test_commit_every_batches_headers(self, tmp_path):
+        db = BTreeBackend(str(tmp_path / "bt"), order=8, commit_every=10)
+        for i in range(25):
+            db.put(f"{i}".encode(), b"v")
+        db.flush()
+        db.close()
+        db2 = BTreeBackend(str(tmp_path / "bt"), order=8)
+        assert len(db2) == 25
+        db2.close()
+
+    def test_rebuild_compacts_file(self, tmp_path):
+        db = BTreeBackend(str(tmp_path / "bt"), order=8)
+        for i in range(200):
+            db.put(f"{i:04d}".encode(), b"v" * 20)
+        before = db.file_bytes
+        db.rebuild()
+        after = db.file_bytes
+        assert after < before
+        assert len(db) == 200
+        assert db.get(b"0100") == b"v" * 20
+        assert [k for k, _ in db.scan()] == [f"{i:04d}".encode() for i in range(200)]
+
+    def test_rebuild_empty(self, tmp_path):
+        db = BTreeBackend(str(tmp_path / "bt"))
+        db.put(b"a", b"1")
+        db.erase(b"a")
+        db.rebuild()
+        assert len(db) == 0
+        assert list(db.scan()) == []
+
+    def test_order_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            BTreeBackend(str(tmp_path / "bt"), order=2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["put", "erase"]),
+            st.binary(min_size=1, max_size=6),
+            st.binary(max_size=12),
+        ),
+        max_size=80,
+    )
+)
+def test_lsm_matches_model(tmp_path_factory, ops):
+    tmp = tmp_path_factory.mktemp("lsm-prop")
+    db = LSMBackend(str(tmp / "db"), memtable_bytes=256, compaction_trigger=2)
+    model = {}
+    for op, key, value in ops:
+        if op == "put":
+            db.put(key, value)
+            model[key] = value
+        elif key in model:
+            db.erase(key)
+            del model[key]
+    assert sorted(model.items()) == list(db.scan())
+    db.close()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["put", "erase"]),
+            st.binary(min_size=1, max_size=6),
+            st.binary(max_size=12),
+        ),
+        max_size=80,
+    )
+)
+def test_btree_matches_model(tmp_path_factory, ops):
+    tmp = tmp_path_factory.mktemp("bt-prop")
+    db = BTreeBackend(str(tmp / "db"), order=4)
+    model = {}
+    for op, key, value in ops:
+        if op == "put":
+            db.put(key, value)
+            model[key] = value
+        elif key in model:
+            db.erase(key)
+            del model[key]
+    assert sorted(model.items()) == list(db.scan())
+    assert len(db) == len(model)
+    db.close()

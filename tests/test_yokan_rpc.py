@@ -1,0 +1,255 @@
+"""Tests for Yokan over RPC: provider + client, bulk batch paths."""
+
+import pytest
+
+from repro.errors import KeyNotFound, YokanError
+from repro.mercury import Engine, Fabric
+from repro.yokan import MemoryBackend, YokanClient, YokanProvider
+
+
+@pytest.fixture()
+def world():
+    fabric = Fabric()
+    server_engine = Engine(fabric, "sm://server/0")
+    provider = YokanProvider(
+        server_engine, provider_id=1,
+        databases={"events": MemoryBackend(), "products": MemoryBackend()},
+    )
+    client_engine = Engine(fabric, "sm://client/0")
+    client = YokanClient(client_engine)
+    db = client.database_handle("sm://server/0", 1, "events")
+    return fabric, provider, client, db
+
+
+class TestBasicOps:
+    def test_put_get(self, world):
+        _, _, _, db = world
+        db.put(b"k", b"v")
+        assert db.get(b"k") == b"v"
+
+    def test_get_missing_raises(self, world):
+        _, _, _, db = world
+        with pytest.raises(KeyNotFound):
+            db.get(b"missing")
+
+    def test_exists_erase(self, world):
+        _, _, _, db = world
+        db.put(b"k", b"v")
+        assert db.exists(b"k")
+        db.erase(b"k")
+        assert not db.exists(b"k")
+        with pytest.raises(KeyNotFound):
+            db.erase(b"k")
+
+    def test_length(self, world):
+        _, _, _, db = world
+        for i in range(5):
+            db.put(bytes([i]), b"v")
+        assert len(db) == 5
+
+    def test_unknown_database(self, world):
+        _, _, client, _ = world
+        bad = client.database_handle("sm://server/0", 1, "nope")
+        with pytest.raises(YokanError, match="no database"):
+            bad.put(b"k", b"v")
+
+    def test_databases_isolated(self, world):
+        _, _, client, db = world
+        other = client.database_handle("sm://server/0", 1, "products")
+        db.put(b"k", b"events-value")
+        other.put(b"k", b"products-value")
+        assert db.get(b"k") == b"events-value"
+        assert other.get(b"k") == b"products-value"
+
+
+class TestBatchOps:
+    def test_put_multi_uses_bulk(self, world):
+        fabric, _, _, db = world
+        pairs = [(f"k{i:03d}".encode(), f"v{i}".encode()) for i in range(100)]
+        before = fabric.stats.rpc_count
+        count = db.put_multi(pairs)
+        assert count == 100
+        assert fabric.stats.rpc_count == before + 1  # one RPC for the batch
+        assert fabric.stats.bulk_transfers >= 1
+        assert db.get(b"k042") == b"v42"
+
+    def test_put_multi_empty(self, world):
+        _, _, _, db = world
+        assert db.put_multi([]) == 0
+
+    def test_get_multi(self, world):
+        _, _, _, db = world
+        db.put(b"a", b"1")
+        db.put(b"c", b"3" * 100)
+        assert db.get_multi([b"a", b"b", b"c"]) == [b"1", None, b"3" * 100]
+
+    def test_get_multi_empty(self, world):
+        _, _, _, db = world
+        assert db.get_multi([]) == []
+
+    def test_get_multi_retry_on_small_buffer(self, world):
+        fabric, _, _, db = world
+        big = bytes(50_000)
+        db.put(b"big", big)
+        # Force an undersized landing buffer: the server replies "retry"
+        # with the needed capacity and the second round trip succeeds.
+        values = db.get_multi([b"big"], size_hint=16)
+        assert values == [big]
+
+    def test_large_batch_roundtrip(self, world):
+        _, _, _, db = world
+        pairs = [(f"{i:05d}".encode(), bytes([i % 256]) * 50) for i in range(1000)]
+        db.put_multi(pairs)
+        keys = [k for k, _ in pairs]
+        values = db.get_multi(keys)
+        assert values == [v for _, v in pairs]
+
+
+class TestIteration:
+    def test_list_keys(self, world):
+        _, _, _, db = world
+        for i in range(10):
+            db.put(f"e{i}".encode(), b"v")
+        db.put(b"x", b"v")
+        assert db.list_keys(prefix=b"e") == [f"e{i}".encode() for i in range(10)]
+
+    def test_list_keys_paged(self, world):
+        _, _, _, db = world
+        for i in range(25):
+            db.put(f"{i:02d}".encode(), b"v")
+        page = db.list_keys(limit=10)
+        assert len(page) == 10
+        page2 = db.list_keys(start_after=page[-1], limit=10)
+        assert page2[0] == b"10"
+
+    def test_iter_keys_generator(self, world):
+        _, _, _, db = world
+        for i in range(57):
+            db.put(f"k{i:03d}".encode(), b"v")
+        keys = list(db.iter_keys(prefix=b"k", batch=10))
+        assert len(keys) == 57
+        assert keys == sorted(keys)
+
+    def test_list_keyvals(self, world):
+        _, _, _, db = world
+        db.put(b"a", b"1")
+        db.put(b"b", b"2")
+        assert db.list_keyvals() == [(b"a", b"1"), (b"b", b"2")]
+
+    def test_count_prefix(self, world):
+        _, _, _, db = world
+        for i in range(8):
+            db.put(f"p{i}".encode(), b"")
+        assert db.count_prefix(b"p") == 8
+        assert db.count_prefix(b"q") == 0
+
+
+class TestManagement:
+    def test_list_databases(self, world):
+        _, _, client, _ = world
+        assert client.list_databases("sm://server/0", 1) == ["events", "products"]
+
+    def test_create_database(self, world):
+        _, provider, client, _ = world
+        handle = client.create_database("sm://server/0", 1, "new-db", kind="map")
+        handle.put(b"k", b"v")
+        assert handle.get(b"k") == b"v"
+        assert "new-db" in provider.databases
+
+    def test_create_duplicate_rejected(self, world):
+        _, _, client, _ = world
+        with pytest.raises(YokanError, match="already exists"):
+            client.create_database("sm://server/0", 1, "events")
+
+    def test_create_persistent_database(self, world, tmp_path):
+        _, _, client, _ = world
+        handle = client.create_database(
+            "sm://server/0", 1, "disk", kind="lsm",
+            config={"path": str(tmp_path / "disk")},
+        )
+        handle.put(b"k", b"v")
+        assert handle.get(b"k") == b"v"
+
+    def test_add_database_conflict(self, world):
+        _, provider, _, _ = world
+        with pytest.raises(YokanError):
+            provider.add_database("events", MemoryBackend())
+
+    def test_provider_close_closes_backends(self, world):
+        _, provider, _, _ = world
+        provider.close()
+        assert all(db.closed for db in provider.databases.values())
+
+
+class TestMultiProvider:
+    def test_two_providers_one_engine(self):
+        """The paper maps 16 providers per HEPnOS process, each to its pool."""
+        fabric = Fabric()
+        engine = Engine(fabric, "sm://server/0")
+        pools = []
+        for pid in range(4):
+            pool = fabric.runtime.create_pool(f"provider-{pid}")
+            fabric.runtime.create_xstream(f"es-{pid}", [pool])
+            pools.append(pool)
+            YokanProvider(engine, provider_id=pid, pool=pool,
+                          databases={"db": MemoryBackend()})
+        client_engine = Engine(fabric, "sm://client/0")
+        client = YokanClient(client_engine)
+        for pid in range(4):
+            handle = client.database_handle("sm://server/0", pid, "db")
+            handle.put(b"owner", str(pid).encode())
+        for pid in range(4):
+            handle = client.database_handle("sm://server/0", pid, "db")
+            assert handle.get(b"owner") == str(pid).encode()
+        # Each provider's pool actually executed work.
+        for pool in pools:
+            assert pool.pushed_total > 0
+
+
+class TestLargeValuePath:
+    def test_large_put_uses_bulk(self, world):
+        fabric, _, _, db = world
+        big = bytes(range(256)) * 200  # 51200 B > threshold
+        fabric.stats.reset()
+        db.put(b"big", big)
+        assert fabric.stats.bulk_transfers >= 1
+        assert fabric.stats.rpc_bytes < len(big)  # payload held the
+        # descriptor, not the value
+
+    def test_large_get_round_trips(self, world):
+        _, _, _, db = world
+        big = b"\xab" * 100_000
+        db.put(b"big", big)
+        assert db.get(b"big") == big
+
+    def test_small_get_single_rpc(self, world):
+        fabric, _, _, db = world
+        db.put(b"small", b"tiny-value")
+        fabric.stats.reset()
+        assert db.get(b"small") == b"tiny-value"
+        assert fabric.stats.rpc_count == 1
+
+    def test_large_get_two_rpcs_plus_bulk(self, world):
+        fabric, _, _, db = world
+        big = b"\xcd" * 50_000
+        db.put(b"big", big)
+        fabric.stats.reset()
+        assert db.get(b"big") == big
+        assert fabric.stats.rpc_count == 2  # probe + bulk fetch
+        assert fabric.stats.bulk_bytes >= len(big)
+
+    def test_threshold_boundary(self, world):
+        _, _, _, db = world
+        from repro.yokan.client import DatabaseHandle
+
+        at = b"x" * DatabaseHandle.BULK_THRESHOLD
+        above = b"y" * (DatabaseHandle.BULK_THRESHOLD + 1)
+        db.put(b"at", at)
+        db.put(b"above", above)
+        assert db.get(b"at") == at
+        assert db.get(b"above") == above
+
+    def test_missing_large_key_raises(self, world):
+        _, _, _, db = world
+        with pytest.raises(KeyNotFound):
+            db.get(b"never-stored")
