@@ -7,10 +7,14 @@ End to end:
 2. ingest it with HDF2HEPnOS's DataLoader (parallel over MPI ranks);
 3. run the selection as an MPI application: every rank drives a
    ParallelEventProcessor, a lambda applies the CAFAna nue candidate
-   cut to each event's slices, and accepted slice IDs reduce to rank 0;
-4. report the selection and an energy spectrum of the candidates.
+   cut to each event's slices, and accepted slice IDs reduce to rank 0
+   -- with a distributed tracer installed, so every store/load/PEP
+   event is followed across the Mercury RPC boundary;
+4. report the selection, an energy spectrum of the candidates, and the
+   captured trace (Chrome trace-event JSON + critical path).
 
 Run:  python examples/nova_candidate_selection.py
+Then: repro-trace view <workdir>/selection-trace.json --tree
 """
 
 import tempfile
@@ -20,6 +24,7 @@ import numpy as np
 from repro.bedrock import BedrockServer, default_hepnos_config
 from repro.hepnos import DataStore
 from repro.mercury import Fabric
+from repro.monitor.tracing import trace_session
 from repro.nova import GeneratorConfig, Spectrum, Var, generate_file_set
 from repro.workflows import HEPnOSWorkflow
 
@@ -58,8 +63,9 @@ def main():
     print(f"  {ingest.files} files -> {ingest.events_created} events, "
           f"{ingest.products_stored} products")
 
-    print("selecting with 4 MPI ranks...")
-    result = workflow.select(num_ranks=4)
+    print("selecting with 4 MPI ranks (traced)...")
+    with trace_session() as tracer:
+        result = workflow.select(num_ranks=4)
     print(f"  examined {result.slices_examined} slices in "
           f"{result.events_processed} events")
     print(f"  accepted {len(result.accepted_ids)} nue candidates "
@@ -86,6 +92,24 @@ def main():
     for left, count in zip(spectrum.edges[:-1], spectrum.counts):
         bar = "#" * int(40 * count / peak)
         print(f"  {left:4.2f}-{left + 0.25:4.2f} {int(count):6d} {bar}")
+
+    # -- the captured trace -------------------------------------------------
+    trace_path = f"{workdir}/selection-trace.json"
+    tracer.collector.save(trace_path)
+    spans = tracer.collector.spans
+    server_side = [s for s in spans if s.name.startswith("yokan.provider.")]
+    cross_wire = [s for s in server_side if s.parent_id is not None]
+    print(f"\ntrace: {len(spans)} spans across "
+          f"{len(tracer.collector.traces())} traces -> {trace_path}")
+    print(f"  {len(cross_wire)}/{len(server_side)} server-side Yokan spans "
+          "parented across the RPC boundary")
+    print("  hottest spans:")
+    summary = sorted(tracer.collector.summary().items(),
+                     key=lambda kv: -kv[1]["total_seconds"])
+    for name, entry in summary[:5]:
+        print(f"    {name:<28} x{entry['count']:<5} "
+              f"{entry['total_seconds'] * 1e3:7.1f}ms total")
+    print(f"  inspect with: repro-trace view {trace_path} --tree")
 
     fabric.runtime.shutdown()
     print(f"\noutputs in {workdir}")

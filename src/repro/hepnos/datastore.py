@@ -11,6 +11,7 @@ from repro.hepnos.connection import ConnectionInfo, DbTarget, connection_from_se
 from repro.hepnos.placement import ParentHashPlacement
 from repro.hepnos.product import product_type_name
 from repro.mercury import Engine, Fabric
+from repro.monitor import tracing as _tracing
 from repro.serial import dumps, loads
 from repro.yokan import DatabaseHandle, YokanClient
 
@@ -190,26 +191,35 @@ class DataStore:
     def store_product(self, container_key: bytes, obj, label: str = "",
                       type_name=None, batch=None) -> bytes:
         """Serialize and store a product; returns its database key."""
-        tname = product_type_name(type_name if type_name is not None else obj)
-        key = keys.product_key(container_key, label, tname)
-        value = dumps(obj)
-        if batch is not None:
-            batch.append(self.placement.product_database_for(container_key),
-                         key, value)
-        else:
-            self._product_db(container_key).put(key, value)
-        return key
+        with _tracing.span("hepnos.store_product", label=label) as sp:
+            tname = product_type_name(
+                type_name if type_name is not None else obj
+            )
+            key = keys.product_key(container_key, label, tname)
+            value = dumps(obj)
+            sp.set_tag("type", tname)
+            sp.set_tag("bytes", len(value))
+            sp.set_tag("batched", batch is not None)
+            if batch is not None:
+                batch.append(
+                    self.placement.product_database_for(container_key),
+                    key, value,
+                )
+            else:
+                self._product_db(container_key).put(key, value)
+            return key
 
     def load_product(self, container_key: bytes, product_type, label: str = ""):
         """Load one product; raises :class:`ProductNotFound` if absent."""
         tname = product_type_name(product_type)
         key = keys.product_key(container_key, label, tname)
-        try:
-            value = self._product_db(container_key).get(key)
-        except KeyNotFound:
-            raise ProductNotFound(
-                f"no product label={label!r} type={tname!r} in container"
-            ) from None
+        with _tracing.span("hepnos.load_product", label=label, type=tname):
+            try:
+                value = self._product_db(container_key).get(key)
+            except KeyNotFound:
+                raise ProductNotFound(
+                    f"no product label={label!r} type={tname!r} in container"
+                ) from None
         return loads(value)
 
     def load_products_bulk(self, container_keys, product_type, label: str = ""):
@@ -221,18 +231,21 @@ class DataStore:
         """
         container_keys = list(container_keys)
         tname = product_type_name(product_type)
-        by_target: dict[DbTarget, list[tuple[int, bytes]]] = {}
-        for i, ckey in enumerate(container_keys):
-            target = self.placement.product_database_for(ckey)
-            pkey = keys.product_key(ckey, label, tname)
-            by_target.setdefault(target, []).append((i, pkey))
-        out = [None] * len(container_keys)
-        for target, entries in by_target.items():
-            handle = self._handle(target)
-            values = handle.get_multi([pkey for _, pkey in entries])
-            for (i, _), value in zip(entries, values):
-                out[i] = loads(value) if value is not None else None
-        return out
+        with _tracing.span("hepnos.load_products_bulk", type=tname,
+                           label=label, containers=len(container_keys)) as sp:
+            by_target: dict[DbTarget, list[tuple[int, bytes]]] = {}
+            for i, ckey in enumerate(container_keys):
+                target = self.placement.product_database_for(ckey)
+                pkey = keys.product_key(ckey, label, tname)
+                by_target.setdefault(target, []).append((i, pkey))
+            sp.set_tag("databases", len(by_target))
+            out = [None] * len(container_keys)
+            for target, entries in by_target.items():
+                handle = self._handle(target)
+                values = handle.get_multi([pkey for _, pkey in entries])
+                for (i, _), value in zip(entries, values):
+                    out[i] = loads(value) if value is not None else None
+            return out
 
     def product_exists(self, container_key: bytes, product_type,
                        label: str = "") -> bool:

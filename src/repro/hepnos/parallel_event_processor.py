@@ -30,6 +30,7 @@ from repro.errors import HEPnOSError, ProductNotFound
 from repro.hepnos import keys as hkeys
 from repro.hepnos.connection import DbTarget
 from repro.hepnos.product import product_type_name
+from repro.monitor import tracing as _tracing
 
 _TAG_REQUEST = 101
 _TAG_REPLY = 102
@@ -169,12 +170,30 @@ class ParallelEventProcessor:
     def _process_sequential(self, dataset, fn: Callable) -> PEPStatistics:
         stats = PEPStatistics(rank=0, role="sequential")
         for batch in self._load_batches(self._all_subruns(dataset)):
-            for stub in batch:
-                t0 = time.monotonic()
-                fn(stub)
-                stats.processing_seconds += time.monotonic() - t0
-                stats.events_processed += 1
+            t0 = time.monotonic()
+            self._process_events(batch, fn, stats)
+            stats.processing_seconds += time.monotonic() - t0
         return stats
+
+    def _process_events(self, batch, fn: Callable,
+                        stats: PEPStatistics) -> None:
+        """Apply ``fn`` to every stub of one dispatch/input batch.
+
+        Per-event spans only exist while a tracer is installed; the
+        disabled path adds a single module-attribute read per batch.
+        """
+        if _tracing.enabled:
+            with _tracing.span("pep.process_batch", events=len(batch)):
+                for stub in batch:
+                    with _tracing.span("pep.event", run=stub.run_number,
+                                       subrun=stub.subrun_number,
+                                       event=stub.number):
+                        fn(stub)
+                    stats.events_processed += 1
+            return
+        for stub in batch:
+            fn(stub)
+            stats.events_processed += 1
 
     # -- shared loading machinery ----------------------------------------------
 
@@ -199,10 +218,13 @@ class ParallelEventProcessor:
         for subrun in subruns:
             cursor = b""
             while True:
-                page = list(self.datastore.list_child_keys(
-                    "events", subrun.key, start_after=cursor,
-                    limit=self.input_batch_size,
-                ))
+                with _tracing.span("pep.list_events",
+                                   limit=self.input_batch_size) as sp:
+                    page = list(self.datastore.list_child_keys(
+                        "events", subrun.key, start_after=cursor,
+                        limit=self.input_batch_size,
+                    ))
+                    sp.set_tag("events", len(page))
                 if not page:
                     break
                 cursor = page[-1]
@@ -212,10 +234,12 @@ class ParallelEventProcessor:
 
     def _materialize(self, subrun, event_keys: list[bytes]) -> list[_EventStub]:
         prefetched: dict[tuple[str, str], list] = {}
-        for tname, label in self.products:
-            prefetched[(tname, label)] = self.datastore.load_products_bulk(
-                event_keys, tname, label=label
-            )
+        with _tracing.span("pep.materialize", events=len(event_keys),
+                           products=len(self.products)):
+            for tname, label in self.products:
+                prefetched[(tname, label)] = self.datastore.load_products_bulk(
+                    event_keys, tname, label=label
+                )
         run_number = subrun.run.number
         subrun_number = subrun.number
         stubs = []
@@ -372,9 +396,7 @@ class ParallelEventProcessor:
                 top_up()
                 stats.batches_received += 1
                 t1 = time.monotonic()
-                for stub in payload:
-                    fn(stub)
-                    stats.events_processed += 1
+                self._process_events(payload, fn, stats)
                 stats.processing_seconds += time.monotonic() - t1
             top_up()
         if errors:

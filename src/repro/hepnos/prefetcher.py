@@ -14,6 +14,7 @@ from typing import Iterator, Optional, Sequence, Tuple
 from repro.hepnos import keys as hkeys
 from repro.hepnos.containers import Event, SubRun
 from repro.hepnos.product import product_type_name
+from repro.monitor import tracing as _tracing
 
 
 class Prefetcher:
@@ -51,10 +52,12 @@ class Prefetcher:
     def _materialize(self, subrun: SubRun,
                      event_keys: list[bytes]) -> Iterator["PrefetchedEvent"]:
         products: dict[tuple[str, str], list] = {}
-        for tname, label in self.products:
-            products[(tname, label)] = self.datastore.load_products_bulk(
-                event_keys, tname, label=label
-            )
+        with _tracing.span("hepnos.prefetch.page", events=len(event_keys),
+                           products=len(self.products)):
+            for tname, label in self.products:
+                products[(tname, label)] = self.datastore.load_products_bulk(
+                    event_keys, tname, label=label
+                )
         for i, key in enumerate(event_keys):
             event = Event(self.datastore, subrun, hkeys.child_number(key), key)
             loaded = {

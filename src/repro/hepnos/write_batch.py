@@ -18,6 +18,7 @@ from repro.argobots import Eventual
 from repro.errors import HEPnOSError
 from repro.hepnos.connection import DbTarget
 from repro.mercury import Bulk
+from repro.monitor import tracing as _tracing
 from repro.serial import dumps
 
 
@@ -57,14 +58,18 @@ class WriteBatch:
     def flush(self) -> None:
         """Send all buffered updates, one batched RPC per database."""
         buffers, self._buffers = self._buffers, {}
-        self._pending = 0
-        for target, pairs in buffers.items():
-            if not pairs:
-                continue
-            handle = self.datastore.handle_for_target(target)
-            written = handle.put_multi(pairs)
-            self.items_written += written
-            self.flushes += 1
+        pending, self._pending = self._pending, 0
+        if not buffers:
+            return
+        with _tracing.span("hepnos.write_batch.flush", items=pending,
+                           databases=len(buffers)):
+            for target, pairs in buffers.items():
+                if not pairs:
+                    continue
+                handle = self.datastore.handle_for_target(target)
+                written = handle.put_multi(pairs)
+                self.items_written += written
+                self.flushes += 1
 
     def close(self) -> None:
         if self._active:
@@ -97,36 +102,45 @@ class AsynchronousWriteBatch(WriteBatch):
 
     def flush(self) -> None:
         buffers, self._buffers = self._buffers, {}
-        self._pending = 0
-        for target, pairs in buffers.items():
-            if not pairs:
-                continue
-            handle = self.datastore.handle_for_target(target)
-            # Issue the batched put without waiting (cf. DatabaseHandle
-            # .put_multi, which would block on the response).
-            packed = bytearray(dumps([(bytes(k), bytes(v)) for k, v in pairs]))
-            bulk = self.datastore.engine.expose(packed, Bulk.READ_ONLY)
-            rpc = self.datastore.engine.create_handle(
-                target.address, "yokan.put_multi"
-            )
-            eventual = rpc.iforward(
-                dumps((target.name, bulk, len(packed))), target.provider_id
-            )
-            # Keep the bulk registration (weakly held by the fabric) and
-            # its buffer alive until the transfer completes.
-            eventual._batch_bulk = bulk  # type: ignore[attr-defined]
-            self._inflight.append(eventual)
-            self.items_written += len(pairs)
-            self.flushes += 1
+        pending, self._pending = self._pending, 0
+        if not buffers:
+            return
+        with _tracing.span("hepnos.write_batch.flush", items=pending,
+                           databases=len(buffers), asynchronous=True):
+            for target, pairs in buffers.items():
+                if not pairs:
+                    continue
+                # Issue the batched put without waiting (cf.
+                # DatabaseHandle.put_multi, which would block on the
+                # response).
+                packed = bytearray(
+                    dumps([(bytes(k), bytes(v)) for k, v in pairs])
+                )
+                bulk = self.datastore.engine.expose(packed, Bulk.READ_ONLY)
+                rpc = self.datastore.engine.create_handle(
+                    target.address, "yokan.put_multi"
+                )
+                eventual = rpc.iforward(
+                    dumps((target.name, bulk, len(packed))), target.provider_id
+                )
+                # Keep the bulk registration (weakly held by the fabric)
+                # and its buffer alive until the transfer completes.
+                eventual._batch_bulk = bulk  # type: ignore[attr-defined]
+                self._inflight.append(eventual)
+                self.items_written += len(pairs)
+                self.flushes += 1
 
     def wait(self) -> None:
         """Block until every background flush has completed."""
         inflight, self._inflight = self._inflight, []
-        for eventual in inflight:
-            response = self.datastore.fabric.wait(eventual)
-            from repro.yokan.client import _unwrap
+        if not inflight:
+            return
+        with _tracing.span("hepnos.write_batch.wait", inflight=len(inflight)):
+            for eventual in inflight:
+                response = self.datastore.fabric.wait(eventual)
+                from repro.yokan.client import _unwrap
 
-            _unwrap(response)
+                _unwrap(response)
 
     def close(self) -> None:
         if self._active:

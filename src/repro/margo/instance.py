@@ -7,6 +7,7 @@ from typing import Optional, Union
 from repro.argobots import Pool
 from repro.errors import ConfigError
 from repro.mercury import Address, Engine, Fabric
+from repro.monitor import tracing as _tracing
 
 
 class MargoInstance:
@@ -26,6 +27,11 @@ class MargoInstance:
 
     def __init__(self, fabric: Fabric, address: Union[str, Address],
                  argobots_config: Optional[dict] = None):
+        with _tracing.span("margo.init", address=str(address)) as init_span:
+            self._init(fabric, address, argobots_config, init_span)
+
+    def _init(self, fabric: Fabric, address: Union[str, Address],
+              argobots_config: Optional[dict], init_span) -> None:
         self.fabric = fabric
         addr = Address.parse(address) if isinstance(address, str) else address
         self._prefix = str(addr)
@@ -74,6 +80,8 @@ class MargoInstance:
             raise ConfigError(f"rpc_pool {rpc_pool_name!r} is not a defined pool")
         rpc_pool = self.pools[rpc_pool_name] if rpc_pool_name else first_pool
         self.engine = Engine(fabric, addr, pool=rpc_pool)
+        init_span.set_tag("pools", len(self.pools))
+        init_span.set_tag("xstreams", len(self.xstreams))
 
     @property
     def address(self) -> Address:

@@ -11,6 +11,7 @@ from repro.errors import NoSuchRPCError, RPCError
 from repro.mercury.address import Address
 from repro.mercury.bulk import Bulk, BulkOp
 from repro.mercury.fabric import Fabric
+from repro.monitor import tracing as _tracing
 
 
 class RPCRequest:
@@ -25,7 +26,8 @@ class RPCRequest:
     _ids = itertools.count()
 
     def __init__(self, fabric: Fabric, origin: Address, target: Address,
-                 rpc_name: str, provider_id: int, payload: bytes):
+                 rpc_name: str, provider_id: int, payload: bytes,
+                 trace_context=None):
         self.request_id = next(RPCRequest._ids)
         self.fabric = fabric
         self.origin = origin
@@ -33,6 +35,12 @@ class RPCRequest:
         self.rpc_name = rpc_name
         self.provider_id = provider_id
         self.payload = payload
+        #: The client-side span context extracted from the payload
+        #: header, if the caller was tracing; server-side spans parent
+        #: to it so traces cross the RPC boundary.
+        self.trace_context = trace_context
+        #: Set by traced providers so handlers can attach tags.
+        self.trace_span = None
         self.response = Eventual()
         self._responded = threading.Event()
 
@@ -105,6 +113,13 @@ class Handle:
 
     def forward(self, payload: bytes = b"", provider_id: int = 0) -> bytes:
         """Send the RPC and wait for the response (blocking)."""
+        if _tracing.enabled:
+            with _tracing.span("mercury.forward", rpc=self.rpc_name,
+                               target=str(self.target)) as sp:
+                eventual = self.iforward(payload, provider_id)
+                response = self.engine.fabric.wait(eventual)
+                sp.set_tag("response_bytes", len(response))
+                return response
         eventual = self.iforward(payload, provider_id)
         return self.engine.fabric.wait(eventual)
 
@@ -186,6 +201,9 @@ class Engine:
 
     def _forward(self, target: Address, rpc_name: str, provider_id: int,
                  payload: bytes) -> Eventual:
+        # Inject the caller's span context (if any) as a payload header
+        # so the receiving side can parent its spans across the wire.
+        payload = _tracing.wrap_payload(payload)
         self.fabric.check_send(self.address, target, len(payload))
         self.fabric.stats.record_rpc(self.address, target, len(payload))
         remote = self.fabric.lookup(target)
@@ -193,8 +211,10 @@ class Engine:
 
     def _deliver(self, origin: Address, rpc_name: str, provider_id: int,
                  payload: bytes) -> Eventual:
+        trace_context, payload = _tracing.unwrap_payload(payload)
         request = RPCRequest(self.fabric, origin, self.address, rpc_name,
-                             provider_id, payload)
+                             provider_id, payload,
+                             trace_context=trace_context)
         entry = self._registry.get((rpc_name, provider_id))
         if entry is None:
             request.fail(NoSuchRPCError(

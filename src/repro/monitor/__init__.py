@@ -7,11 +7,19 @@ same capability for this stack:
 
 - :class:`MetricRegistry` -- counters, gauges, and histogram metrics
   with time-series snapshots;
+- :mod:`repro.monitor.tracing` -- cross-layer distributed tracing:
+  spans that follow one operation client -> server across the RPC
+  boundary, with Chrome-trace export and critical-path analysis;
 - :class:`ProviderMonitor` -- wraps a Yokan provider's databases to
   record per-operation counts and latencies transparently;
 - :class:`FabricMonitor` -- samples fabric traffic into a time series;
 - :func:`diagnose` -- the analysis pass: finds hot databases, skewed
   placements, and chatty (unbatched) clients, and says so.
+
+The collectors are loaded lazily (PEP 562): :mod:`repro.mercury`
+imports :mod:`repro.monitor.tracing` on its hot path, and an eager
+import of :mod:`repro.monitor.collect` here would close an import
+cycle back through the mercury package.
 """
 
 from repro.monitor.metrics import (
@@ -20,18 +28,50 @@ from repro.monitor.metrics import (
     Histogram,
     MetricRegistry,
 )
-from repro.monitor.collect import (
-    FabricMonitor,
-    ProviderMonitor,
-    monitor_provider,
+from repro.monitor import tracing
+from repro.monitor.tracing import (
+    Span,
+    SpanContext,
+    TraceCollector,
+    Tracer,
+    install_tracer,
+    trace_session,
+    uninstall_tracer,
 )
-from repro.monitor.diagnose import DiagnosticReport, diagnose
+
+_LAZY = {
+    "FabricMonitor": "repro.monitor.collect",
+    "ProviderMonitor": "repro.monitor.collect",
+    "monitor_provider": "repro.monitor.collect",
+    "DiagnosticReport": "repro.monitor.diagnose",
+    "diagnose": "repro.monitor.diagnose",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricRegistry",
+    "Span",
+    "SpanContext",
+    "TraceCollector",
+    "Tracer",
+    "install_tracer",
+    "trace_session",
+    "tracing",
+    "uninstall_tracer",
     "FabricMonitor",
     "ProviderMonitor",
     "monitor_provider",

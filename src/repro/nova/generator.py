@@ -87,7 +87,6 @@ class NovaGenerator:
         cfg = self.config
         rng = self._rng(run, subrun)
         events = np.asarray(list(events), dtype=np.int64)
-        n_events = len(events)
         # Draw per-event slice counts for the *whole* subrun so that any
         # event subset sees the same counts regardless of who asks.
         all_counts = rng.poisson(cfg.slices_per_event,

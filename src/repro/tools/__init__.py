@@ -1,4 +1,5 @@
-"""Operator tooling: hierarchy inspection and the ``repro-hepnos`` CLI."""
+"""Operator tooling: hierarchy inspection and the ``repro-hepnos`` and
+``repro-trace`` CLIs."""
 
 from repro.tools.inspect import tree, service_stat, file_structure
 

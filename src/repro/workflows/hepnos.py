@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 
 from repro.hepnos import DataLoader, DataStore, ParallelEventProcessor, vector_of
 from repro.minimpi import SUM, Wtime, mpirun
+from repro.monitor import tracing as _tracing
 from repro.nova.cafana import Cut, nue_candidate_cut
 from repro.serial import registered_type
 
@@ -70,11 +71,18 @@ class HEPnOSWorkflow:
         loader = DataLoader(self.datastore, self.dataset_path,
                             label=self.label)
         if num_ranks <= 1:
-            return loader.ingest(paths)
-        results = mpirun(
-            lambda comm: loader.ingest(paths, comm=comm), num_ranks,
-            timeout=600.0,
-        )
+            with _tracing.span("workflow.ingest", parent=_tracing.NO_PARENT,
+                               files=len(paths), ranks=1):
+                return loader.ingest(paths)
+
+        def rank_body(comm):
+            # One root span per rank: rank bodies run on their own
+            # threads, so each gets its own trace.
+            with _tracing.span("workflow.ingest", parent=_tracing.NO_PARENT,
+                               files=len(paths), rank=comm.rank):
+                return loader.ingest(paths, comm=comm)
+
+        results = mpirun(rank_body, num_ranks, timeout=600.0)
         return results[0]
 
     # -- phase 2 -------------------------------------------------------------
@@ -109,7 +117,9 @@ class HEPnOSWorkflow:
                 )
 
             t_start = Wtime()
-            stats = pep.process(dataset, handle)
+            with _tracing.span("workflow.select", parent=_tracing.NO_PARENT,
+                               rank=comm.rank, ranks=comm.size):
+                stats = pep.process(dataset, handle)
             t_end = Wtime()
             with lock:
                 timestamps.append((t_start, t_end))

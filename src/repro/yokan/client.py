@@ -6,6 +6,7 @@ from typing import Iterable, Optional, Sequence, Tuple, Union
 
 from repro.errors import KeyNotFound, NetworkFailure, YokanError
 from repro.mercury import Address, Bulk, Engine
+from repro.monitor import tracing as _tracing
 from repro.serial import dumps, loads
 
 
@@ -44,18 +45,29 @@ class DatabaseHandle:
         self.name = name
         self._engine = client.engine
 
-    def _call(self, rpc: str, payload) -> object:
+    def _call(self, rpc: str, payload, **trace_tags) -> object:
         """Forward one RPC, retrying transient fabric drops.
 
         The paper reports runs crashing on Aries injection-bandwidth
         oversaturation; a bounded retry is the client-side mitigation.
         All Yokan operations are idempotent, so retrying is safe.
         """
+        if _tracing.enabled:
+            with _tracing.span(f"yokan.client.{rpc.split('.', 1)[1]}",
+                               db=self.name, target=str(self.target),
+                               **trace_tags) as sp:
+                result = self._call_inner(rpc, payload, sp)
+            return result
+        return self._call_inner(rpc, payload, None)
+
+    def _call_inner(self, rpc: str, payload, span) -> object:
         handle = self._engine.create_handle(self.target, rpc)
         encoded = dumps(payload)
         attempts = self.client.retries + 1
         for attempt in range(attempts):
             try:
+                if span is not None and attempt:
+                    span.set_tag("retries", attempt)
                 return _unwrap(handle.forward(encoded, self.provider_id))
             except NetworkFailure:
                 if attempt == attempts - 1:
@@ -97,7 +109,8 @@ class DatabaseHandle:
         keys = [bytes(k) for k in keys]
         if not keys:
             return 0
-        return self._call("yokan.erase_multi", (self.name, keys))
+        return self._call("yokan.erase_multi", (self.name, keys),
+                          keys=len(keys))
 
     def __len__(self) -> int:
         return self._call("yokan.length", self.name)
@@ -111,7 +124,8 @@ class DatabaseHandle:
             return 0
         packed = bytearray(dumps(pairs))
         bulk = self._engine.expose(packed, Bulk.READ_ONLY)
-        return self._call("yokan.put_multi", (self.name, bulk, len(packed)))
+        return self._call("yokan.put_multi", (self.name, bulk, len(packed)),
+                          keys=len(pairs), bytes=len(packed))
 
     def get_multi(self, keys: Sequence[bytes],
                   size_hint: int = 0) -> list[Optional[bytes]]:
@@ -128,7 +142,8 @@ class DatabaseHandle:
             buffer = bytearray(capacity)
             bulk = self._engine.expose(buffer, Bulk.READ_WRITE)
             result = self._call(
-                "yokan.get_multi", (self.name, keys, bulk, capacity)
+                "yokan.get_multi", (self.name, keys, bulk, capacity),
+                keys=len(keys),
             )
             if isinstance(result, _Retry):
                 capacity = result.needed

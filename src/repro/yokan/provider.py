@@ -14,6 +14,7 @@ from typing import Optional
 from repro.argobots import Pool
 from repro.errors import KeyNotFound, YokanError
 from repro.mercury import Bulk, BulkOp, Engine, RPCRequest
+from repro.monitor import tracing as _tracing
 from repro.serial import dumps, loads
 from repro.yokan.backend import Backend, open_backend
 
@@ -56,8 +57,35 @@ class YokanProvider:
         self.databases: dict[str, Backend] = dict(databases or {})
         for rpc_name in RPC_NAMES:
             handler = getattr(self, "_rpc_" + rpc_name.split(".", 1)[1])
-            engine.register(rpc_name, handler, provider_id=provider_id,
-                            pool=self.pool)
+            engine.register(rpc_name, self._traced(rpc_name, handler),
+                            provider_id=provider_id, pool=self.pool)
+
+    def _traced(self, rpc_name: str, handler):
+        """Wrap a handler in a server-side span.
+
+        The span parents to the client span whose context arrived in
+        the RPC payload header, so one trace covers both sides of the
+        wire.  With no tracer installed the original handler runs
+        directly (one attribute read of overhead).
+        """
+        op = rpc_name.split(".", 1)[1]
+        provider_id = self.provider_id
+        engine_address = str(self.engine.address)
+
+        def traced_handler(req: RPCRequest) -> bytes:
+            if not _tracing.enabled:
+                return handler(req)
+            parent = req.trace_context
+            if parent is None:
+                parent = _tracing.NO_PARENT
+            with _tracing.span(f"yokan.provider.{op}",
+                               parent=parent,
+                               provider=provider_id,
+                               address=engine_address) as sp:
+                req.trace_span = sp
+                return handler(req)
+
+        return traced_handler
 
     # -- database management -----------------------------------------------
 
@@ -82,6 +110,8 @@ class YokanProvider:
     def _rpc_put(self, req: RPCRequest) -> bytes:
         try:
             name, key, value = loads(req.payload)
+            if req.trace_span is not None:
+                req.trace_span.set_tag("db", name)
             self._db(name).put(key, value)
             return _ok()
         except Exception as exc:
@@ -94,6 +124,9 @@ class YokanProvider:
             local = self.engine.expose(buffer, Bulk.READ_WRITE)
             req.bulk_transfer(BulkOp.PULL, bulk, local, size=nbytes)
             pairs = loads(bytes(buffer))
+            if req.trace_span is not None:
+                req.trace_span.set_tag("db", name)
+                req.trace_span.set_tag("keys", len(pairs))
             count = self._db(name).put_multi(pairs)
             return _ok(count)
         except Exception as exc:
@@ -110,6 +143,8 @@ class YokanProvider:
             else:
                 name, key = decoded
                 max_inline = None
+            if req.trace_span is not None:
+                req.trace_span.set_tag("db", name)
             value = self._db(name).get(key)
             if max_inline is not None and len(value) > max_inline:
                 return _ok(("large", len(value)))
@@ -120,6 +155,9 @@ class YokanProvider:
     def _rpc_get_multi(self, req: RPCRequest) -> bytes:
         try:
             name, keys, bulk, capacity = loads(req.payload)
+            if req.trace_span is not None:
+                req.trace_span.set_tag("db", name)
+                req.trace_span.set_tag("keys", len(keys))
             values = self._db(name).get_multi(list(keys))
             packed = dumps(values)
             if len(packed) > capacity:

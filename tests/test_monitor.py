@@ -209,7 +209,7 @@ class TestDiagnose:
 
         fabric = Fabric(fault_model=InjectionFaultModel(bytes_per_window=50))
         engine = Engine(fabric, "sm://s/0")
-        provider = YokanProvider(engine, databases={"db": MemoryBackend()})
+        YokanProvider(engine, databases={"db": MemoryBackend()})
         client = YokanClient(Engine(fabric, "sm://c/0"))
         handle = client.database_handle("sm://s/0", 0, "db")
         with pytest.raises(NetworkFailure):

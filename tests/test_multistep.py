@@ -102,7 +102,7 @@ class TestHEPnOSPipeline:
     def test_later_step_reads_original_data(self, datastore, raw_dataset):
         """No copy forward: step 3 reads step-2 output AND raw products."""
         pipeline = HEPnOSPipeline(datastore, "ms/raw", input_batch_size=8)
-        report = pipeline.run([calib_step(), cluster_step(), summary_step()])
+        pipeline.run([calib_step(), cluster_step(), summary_step()])
         event = datastore["ms/raw"][1][1][0]
         summary = event.load(Cluster, label="summary")
         baseline = event.load(Cluster, label="cluster")
