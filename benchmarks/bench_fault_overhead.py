@@ -1,0 +1,134 @@
+"""Cost of the fault-tolerance machinery when nothing is failing.
+
+The robustness stack (retry policies, wire checksums, fault-model
+hooks) sits on every RPC.  The acceptance bound is <2% end-to-end
+overhead on the PEP hot path with no faults injected -- the printed
+numbers are the real measurement; the assertions keep generous noise
+margins so the bench stays stable in CI.
+
+Three measurements:
+
+1. PEP pass with the default client retry policy vs a no-retry client
+   (the policy wrapper's per-call cost).
+2. PEP pass with a no-op :class:`~repro.mercury.FaultModel` installed
+   vs the stock fabric default (the fabric hook cost -- the default IS
+   a no-op model, so this is pure noise).
+3. Micro-benchmarks of one sealed round-trip's checksum work and one
+   ``RetryPolicy.call`` of a trivially-succeeding function.
+"""
+
+import time
+import zlib
+
+import pytest
+
+from repro.faults import RetryPolicy
+from repro.hepnos import ParallelEventProcessor, WriteBatch, vector_of
+from repro.mercury.fabric import FaultModel
+from repro.serial import serializable
+
+N_EVENTS = 400
+
+
+@serializable("bench.FaultOverheadSlice")
+class FaultOverheadSlice:
+    def __init__(self, sid=0):
+        self.sid = sid
+
+    def serialize(self, ar):
+        self.sid = ar.io(self.sid)
+
+
+@pytest.fixture()
+def dataset(datastore):
+    ds = datastore.create_dataset("bench/fault-overhead")
+    with WriteBatch(datastore) as batch:
+        run = ds.create_run(1, batch=batch)
+        for s in range(4):
+            subrun = run.create_subrun(s, batch=batch)
+            for e in range(N_EVENTS // 4):
+                event = subrun.create_event(e, batch=batch)
+                event.store([FaultOverheadSlice(s * 1000 + e)], label="s",
+                            batch=batch)
+    return ds
+
+
+def _pep_pass(datastore, dataset, input_batch=64):
+    pep = ParallelEventProcessor(
+        datastore, input_batch_size=input_batch,
+        products=[(vector_of(FaultOverheadSlice), "s")],
+    )
+    count = {"n": 0}
+    pep.process(dataset, lambda ev: count.__setitem__("n", count["n"] + 1))
+    return count["n"]
+
+
+def _timed_passes(datastore, dataset, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        processed = _pep_pass(datastore, dataset)
+        best = min(best, time.perf_counter() - t0)
+        assert processed == N_EVENTS
+    return best
+
+
+def test_retry_policy_overhead_under_2_percent(benchmark, datastore,
+                                               dataset):
+    """PEP pass: default retry policy vs a bare no-retry client."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _pep_pass(datastore, dataset)  # warm-up
+
+    with_policy = _timed_passes(datastore, dataset)
+    saved = datastore.retry_policy
+    datastore.retry_policy = RetryPolicy.none()
+    try:
+        without_policy = _timed_passes(datastore, dataset)
+    finally:
+        datastore.retry_policy = saved
+    overhead = with_policy / without_policy - 1
+    print(f"\n[retry] none: {without_policy * 1e3:.1f}ms/pass, "
+          f"default policy: {with_policy * 1e3:.1f}ms/pass "
+          f"(+{overhead * 100:.1f}%)")
+    # Target is <2%; assert with noise headroom.
+    assert with_policy < without_policy * 1.25
+
+
+def test_noop_fault_model_overhead_is_noise(benchmark, datastore, dataset,
+                                            fabric):
+    """PEP pass with an explicitly-installed no-op fault model."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _pep_pass(datastore, dataset)  # warm-up
+
+    stock = _timed_passes(datastore, dataset)
+    fabric.fault_model = FaultModel()
+    noop = _timed_passes(datastore, dataset)
+    overhead = noop / stock - 1
+    print(f"\n[fault-model] stock: {stock * 1e3:.1f}ms/pass, "
+          f"no-op model: {noop * 1e3:.1f}ms/pass "
+          f"(+{overhead * 100:.1f}%)")
+    assert noop < stock * 1.25
+
+
+def test_checksum_seal_unseal_microbench(benchmark):
+    """One wire seal+unseal round trip on a 4 KiB payload."""
+    from repro.yokan import wire
+
+    body = bytes(range(256)) * 16
+
+    def round_trip():
+        assert wire.unseal(wire.seal(body)) == body
+
+    benchmark(round_trip)
+    # Sanity: the checksum is plain crc32, not something expensive.
+    assert wire.checksum(body) == zlib.crc32(body) & 0xFFFFFFFF
+
+
+def test_retry_call_fast_path_microbench(benchmark):
+    """One ``RetryPolicy.call`` of a function that succeeds immediately."""
+    policy = RetryPolicy()
+
+    def fast_path():
+        return policy.call(lambda: 42)
+
+    assert benchmark(fast_path) == 42

@@ -331,6 +331,10 @@ class Runtime:
         self.pools: dict[str, Pool] = {}
         self.xstreams: dict[str, ExecutionStream] = {}
         self._started = False
+        # Snapshot used by progress_once: a ULT step may create new
+        # xstreams (e.g. a fault-schedule action restarting a provider),
+        # which must not mutate the dict mid-iteration.
+        self._xstream_cache: tuple[ExecutionStream, ...] = ()
 
     # -- construction --------------------------------------------------------
 
@@ -346,6 +350,7 @@ class Runtime:
             raise ReproError(f"xstream {name!r} already exists")
         xstream = ExecutionStream(name, pools)
         self.xstreams[name] = xstream
+        self._xstream_cache = tuple(self.xstreams.values())
         if self.threaded and self._started:
             xstream.start()
         return xstream
@@ -383,7 +388,7 @@ class Runtime:
 
     def progress_once(self) -> bool:
         """Inline mode: run one ULT step somewhere. Returns False if idle."""
-        for xstream in self.xstreams.values():
+        for xstream in self._xstream_cache:
             if xstream.step():
                 return True
         return False

@@ -37,6 +37,7 @@ import json
 from typing import Optional, Union
 
 from repro.errors import ConfigError
+from repro.faults.retry import RetryPolicy
 from repro.yokan.backend import BACKEND_KINDS
 
 _KNOWN_PROVIDER_TYPES = {"yokan"}
@@ -141,6 +142,18 @@ def validate_config(config: Union[str, dict]) -> dict:
                 f"database {db_name!r}: unknown backend {db_type!r} "
                 f"(known: {sorted(BACKEND_KINDS)})",
             )
+
+    client = config.get("client")
+    if client is not None:
+        _require(isinstance(client, dict), "'client' section must be an object")
+        retry = client.get("retry")
+        if retry is not None:
+            _require(isinstance(retry, dict),
+                     "'client.retry' must be an object")
+            try:
+                RetryPolicy.from_config(retry)
+            except (TypeError, ValueError) as exc:
+                raise ConfigError(f"bad 'client.retry' settings: {exc}") from None
     return config
 
 
@@ -155,13 +168,17 @@ def default_hepnos_config(
     backend: str = "map",
     backend_config: Optional[dict] = None,
     storage_root: Optional[str] = None,
+    client: Optional[dict] = None,
 ) -> dict:
     """The paper's server layout as a Bedrock configuration.
 
     Providers are assigned round-robin one pool + xstream each; the
     databases of each container type are spread round-robin over the
     providers.  ``storage_root`` is required for persistent backends and
-    is suffixed with the database name per instance.
+    is suffixed with the database name per instance.  ``client`` is an
+    optional client-settings section (e.g. ``{"retry": {...}}``) that
+    :func:`~repro.hepnos.connection_from_servers` propagates to every
+    connecting DataStore.
     """
     if backend != "map" and storage_root is None:
         raise ConfigError(f"backend {backend!r} needs a storage_root")
@@ -200,11 +217,14 @@ def default_hepnos_config(
             "pool": f"pool-{pid}",
             "config": {"databases": databases_per_provider[pid]},
         })
-    return validate_config({
+    config = {
         "margo": {
             "mercury": {"address": address},
             "argobots": {"pools": pools, "xstreams": xstreams},
             "rpc_pool": "pool-0",
         },
         "providers": providers,
-    })
+    }
+    if client is not None:
+        config["client"] = client
+    return validate_config(config)

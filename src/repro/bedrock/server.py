@@ -19,41 +19,68 @@ class BedrockServer:
     Exposes the Margo instance, the provider objects, and a directory of
     which provider serves which database -- the piece of information
     HEPnOS clients need to route container keys.
+
+    Servers can :meth:`crash` (abrupt death: the engine deregisters and
+    in-flight RPCs fail with retryable address errors) and
+    :meth:`restart` at the same address.  The database backends -- the
+    stand-in for durable storage -- survive the crash, so a restarted
+    server serves exactly the data it held when it died.
     """
 
     def __init__(self, fabric: Fabric, config: Union[str, dict]):
         self.config = validate_config(config)
+        self.fabric = fabric
+        #: persistent backend objects, keyed by provider id then
+        #: database name; built once and reused across restarts.
+        self._backends: dict[int, dict[str, object]] = {}
+        self._generation = 0
+        self.running = False
+        self._start()
+
+    def _start(self) -> None:
         margo_config = self.config["margo"]
+        tag = f"g{self._generation}" if self._generation else ""
         self.margo = MargoInstance(
-            fabric,
+            self.fabric,
             margo_config["mercury"]["address"],
             argobots_config=margo_config.get("argobots"),
+            tag=tag,
         )
         self.providers: dict[int, YokanProvider] = {}
         #: database name -> (provider_id,) routing directory.
         self.database_directory: dict[str, int] = {}
         for spec in self.config.get("providers", []):
-            databases = {}
-            for db_spec in spec.get("config", {}).get("databases", []):
-                backend = open_backend(
-                    db_spec.get("type", "map"), **db_spec.get("config", {})
-                )
-                databases[db_spec["name"]] = backend
+            pid = spec["provider_id"]
+            databases = self._backends.get(pid)
+            if databases is None:
+                databases = {}
+                for db_spec in spec.get("config", {}).get("databases", []):
+                    backend = open_backend(
+                        db_spec.get("type", "map"), **db_spec.get("config", {})
+                    )
+                    databases[db_spec["name"]] = backend
+                self._backends[pid] = databases
             pool_name = spec.get("pool")
             pool = self.margo.pool(pool_name) if pool_name else None
             provider = YokanProvider(
                 self.margo.engine,
-                provider_id=spec["provider_id"],
+                provider_id=pid,
                 pool=pool,
                 databases=databases,
             )
-            self.providers[spec["provider_id"]] = provider
+            self.providers[pid] = provider
             for db_name in databases:
-                self.database_directory[db_name] = spec["provider_id"]
+                self.database_directory[db_name] = pid
+        self.running = True
 
     @property
     def address(self):
         return self.margo.address
+
+    @property
+    def client_config(self):
+        """The optional ``client`` settings section of the config."""
+        return self.config.get("client")
 
     def databases(self) -> list[str]:
         return sorted(self.database_directory)
@@ -62,9 +89,35 @@ class BedrockServer:
         """The effective configuration as JSON (bedrock's query API)."""
         return json.dumps(self.config, indent=2)
 
+    def crash(self) -> None:
+        """Kill the server abruptly (fault injection).
+
+        The engine deregisters, so anything sent to this address raises
+        a retryable :class:`~repro.errors.AddressError` until
+        :meth:`restart`.  Backends are *not* closed -- they model the
+        durable storage a real crash leaves behind.
+        """
+        if not self.running:
+            return
+        self.running = False
+        self.margo.finalize()
+
+    def restart(self) -> None:
+        """Bring a crashed server back at the same address.
+
+        Rebuilds the Margo instance and providers from the original
+        configuration, re-attaching the surviving backends.
+        """
+        if self.running:
+            return
+        self._generation += 1
+        self._start()
+
     def shutdown(self) -> None:
-        for provider in self.providers.values():
-            provider.close()
+        self.running = False
+        for backends in self._backends.values():
+            for backend in backends.values():
+                backend.close()
         self.margo.finalize()
 
 

@@ -41,6 +41,15 @@ class NetworkFailure(RPCError):
     """
 
 
+class RPCTimeout(RPCError):
+    """An RPC did not complete within its deadline.
+
+    Raised by :meth:`repro.mercury.Fabric.wait` when a per-call timeout
+    elapses, or when the inline scheduler stays idle past the fabric's
+    idle budget while a response is outstanding.
+    """
+
+
 class YokanError(ReproError):
     """A key-value database operation failed."""
 
@@ -54,7 +63,12 @@ class DatabaseClosed(YokanError):
 
 
 class CorruptionError(YokanError):
-    """On-disk data failed checksum or format validation."""
+    """Data failed checksum or format validation.
+
+    Raised both for on-disk damage and for wire-level damage caught by
+    the Yokan RPC envelope / bulk checksums (:mod:`repro.yokan.wire`).
+    Wire corruption is retryable: every Yokan operation is idempotent.
+    """
 
 
 class HEPnOSError(ReproError):

@@ -1,0 +1,212 @@
+"""The chaos harness: NOvA ingest + selection under a fault schedule.
+
+:func:`run_nova_chaos` runs the paper's candidate-selection workflow
+twice over the same synthetic file set -- once fault-free, once with a
+seeded :class:`~repro.faults.FaultSchedule` injecting drops, latency,
+corruption, a timeout-inducing latency spike, and one provider
+crash/restart mid-selection -- and verifies that the selected-event set
+is identical.  That equality is the whole point of the robustness
+stack: retries, checksums, and reconnection must make injected faults
+*invisible* in the physics result, visible only in the counters.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.bedrock import BedrockServer, default_hepnos_config
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import FaultSchedule
+from repro.hepnos import DataStore
+from repro.hepnos.parallel_event_processor import PEPStatistics
+from repro.mercury import Fabric
+from repro.mercury.fabric import FaultModel
+from repro.nova import GeneratorConfig, generate_file_set
+from repro.workflows import HEPnOSWorkflow
+
+
+def chaos_client_policy() -> RetryPolicy:
+    """A retry policy sized for the injected crash/restart window.
+
+    Schedule actions fire on fabric *op counts* and every retry attempt
+    is itself an op, so a client alone always drives the op counter
+    across the crash window -- provided its attempt budget exceeds the
+    window length.  Fifty attempts with 1-20 ms backoff covers the
+    default window several times over; the 20 ms per-call timeout turns
+    injected latency spikes into retryable timeouts.
+    """
+    return RetryPolicy(max_attempts=50, base_delay=0.001, max_delay=0.02,
+                       deadline=120.0, rpc_timeout=0.02)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run, compared against its fault-free twin."""
+
+    seed: int
+    matches: bool
+    baseline_accepted: frozenset
+    chaos_accepted: frozenset
+    baseline_wall: float = 0.0
+    chaos_wall: float = 0.0
+    #: fabric counters from the chaos run
+    dropped: int = 0
+    corrupted: int = 0
+    delayed: int = 0
+    timeouts: int = 0
+    fabric_failures: dict = field(default_factory=dict)
+    #: client-side retry counters (DataStore metrics registry)
+    client_retries: int = 0
+    client_giveups: int = 0
+    #: (op, action) entries for fired schedule actions
+    schedule_log: list = field(default_factory=list)
+    schedule_counts: dict = field(default_factory=dict)
+    schedule_ops: int = 0
+    pending_actions: list = field(default_factory=list)
+    #: PEP aggregate for the chaos selection (includes load_retries)
+    pep: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        verdict = "MATCH" if self.matches else "MISMATCH"
+        lines = [
+            f"chaos run (seed={self.seed}): {verdict}",
+            f"  selected events: baseline={len(self.baseline_accepted)} "
+            f"chaos={len(self.chaos_accepted)}",
+            f"  wall seconds: baseline={self.baseline_wall:.3f} "
+            f"chaos={self.chaos_wall:.3f}",
+            f"  injected: dropped={self.dropped} corrupted={self.corrupted} "
+            f"delayed={self.delayed} timeouts={self.timeouts}",
+            f"  client: retries={self.client_retries} "
+            f"giveups={self.client_giveups}",
+            f"  schedule: ops={self.schedule_ops} "
+            f"counts={dict(self.schedule_counts)}",
+        ]
+        for op, name in self.schedule_log:
+            lines.append(f"    op {op}: {name}")
+        if self.pending_actions:
+            lines.append(f"  NEVER FIRED: {self.pending_actions}")
+        if self.pep:
+            lines.append(
+                f"  pep: load_retries={self.pep.get('load_retries', 0)} "
+                f"load_failures={self.pep.get('load_failures', 0)} "
+                f"subruns_skipped={self.pep.get('subruns_skipped', 0)}"
+            )
+        return "\n".join(lines)
+
+
+def _deploy(fabric: Fabric, num_servers: int = 2):
+    servers = [
+        BedrockServer(fabric, default_hepnos_config(
+            f"sm://node{i}/hepnos", num_providers=2, event_databases=2,
+            product_databases=2, run_databases=1, subrun_databases=1,
+        ))
+        for i in range(num_servers)
+    ]
+    fabric.runtime.start()
+    return servers
+
+
+def build_schedule(seed: int, servers, drop: float, delay: float,
+                   corrupt: float, crash_window: Optional[Tuple[int, int]],
+                   spike_window: Optional[Tuple[int, int]]) -> FaultSchedule:
+    """The stock chaos schedule, fully determined by ``seed``."""
+    schedule = FaultSchedule(seed)
+    if drop > 0:
+        schedule.drop(drop)
+    if delay > 0:
+        schedule.delay(delay, jitter=0.5)
+    if corrupt > 0:
+        schedule.corruption(corrupt)
+    if spike_window is not None:
+        # A latency spike far above the client's rpc_timeout: every call
+        # in the window times out and is retried (each retry advances
+        # the op counter, so the window always drains).
+        start, end = spike_window
+        schedule.delay(0.05, start=start, end=end)
+    if crash_window is not None and len(servers) > 1:
+        crash_at, restart_at = crash_window
+        schedule.crash_restart(servers[1], crash_at, restart_at)
+    return schedule
+
+
+def run_nova_chaos(seed: int = 0, files: int = 2, ranks: int = 2,
+                   mean_events_per_file: int = 24,
+                   drop: float = 0.02, delay: float = 0.0005,
+                   corrupt: float = 0.01,
+                   crash_window: Optional[Tuple[int, int]] = (10, 30),
+                   spike_window: Optional[Tuple[int, int]] = (40, 44),
+                   retry_policy: Optional[RetryPolicy] = None,
+                   workdir: Optional[str] = None) -> ChaosReport:
+    """Run NOvA ingest+selection fault-free and under chaos; compare.
+
+    Both runs ingest the same generated file set into fresh in-process
+    services.  The fault schedule is installed only for the selection
+    phase of the second run (ingest is the controlled setup step; the
+    paper's failures hit the analysis phase).  Returns a
+    :class:`ChaosReport`; ``report.matches`` is the verdict.
+    """
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="hepnos-chaos-")
+    sample = generate_file_set(
+        f"{workdir}/files", num_files=files,
+        mean_events_per_file=mean_events_per_file,
+        config=GeneratorConfig(signal_fraction=0.05, events_per_subrun=16,
+                               subruns_per_run=4),
+    )
+    policy = retry_policy or chaos_client_policy()
+
+    # -- fault-free baseline ------------------------------------------------
+    fabric = Fabric(threaded=True)
+    servers = _deploy(fabric)
+    datastore = DataStore.connect(fabric, servers, retry_policy=policy)
+    workflow = HEPnOSWorkflow(datastore, "nova/chaos", input_batch_size=64,
+                              dispatch_batch_size=8)
+    baseline = workflow.run(sample.paths, num_ranks=ranks)
+    fabric.runtime.shutdown()
+
+    # -- chaos run ----------------------------------------------------------
+    fabric = Fabric(threaded=True)
+    servers = _deploy(fabric)
+    datastore = DataStore.connect(fabric, servers, retry_policy=policy)
+    workflow = HEPnOSWorkflow(datastore, "nova/chaos", input_batch_size=64,
+                              dispatch_batch_size=8)
+    workflow.ingest(sample.paths, num_ranks=1)
+
+    schedule = build_schedule(seed, servers, drop, delay, corrupt,
+                              crash_window, spike_window)
+    fabric.stats.reset()
+    fabric.fault_model = schedule
+    try:
+        chaos_result = workflow.select(num_ranks=ranks)
+    finally:
+        fabric.fault_model = FaultModel()
+    stats = fabric.stats
+    report = ChaosReport(
+        seed=seed,
+        matches=(frozenset(chaos_result.accepted_ids)
+                 == frozenset(baseline.accepted_ids)),
+        baseline_accepted=frozenset(baseline.accepted_ids),
+        chaos_accepted=frozenset(chaos_result.accepted_ids),
+        baseline_wall=baseline.wall_seconds,
+        chaos_wall=chaos_result.wall_seconds,
+        dropped=stats.dropped,
+        corrupted=stats.corrupted,
+        delayed=stats.delayed,
+        timeouts=stats.timeouts,
+        fabric_failures=dict(stats.failures),
+        client_retries=datastore.metrics.counter("yokan.client.retries").value,
+        client_giveups=datastore.metrics.counter("yokan.client.giveups").value,
+        schedule_log=list(schedule.log),
+        schedule_counts=dict(schedule.counts),
+        schedule_ops=schedule.ops,
+        pending_actions=schedule.pending_actions,
+        pep=PEPStatistics.aggregate(chaos_result.pep_stats),
+    )
+    fabric.runtime.shutdown()
+    return report
+
+
+__all__ = ["ChaosReport", "build_schedule", "chaos_client_policy",
+           "run_nova_chaos"]

@@ -1,0 +1,177 @@
+"""Retry policies: exponential backoff with jitter and deadlines.
+
+One :class:`RetryPolicy` object describes how a client reacts to
+transient transport failures -- how many attempts, how long to back off
+between them, how much total time it may spend, and which exception
+types count as transient.  The Yokan client, the asynchronous write
+batch, and the ParallelEventProcessor readers all consume the same
+policy type, so one configuration knob tunes the whole stack.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Optional, Tuple
+
+from repro.errors import (
+    AddressError,
+    CorruptionError,
+    NetworkFailure,
+    RPCTimeout,
+)
+
+#: Exception types that are safe to retry: the fabric dropped the
+#: message (:class:`NetworkFailure`), the target engine was not
+#: registered -- e.g. a crashed provider that Bedrock will restart
+#: (:class:`AddressError`), the call timed out (:class:`RPCTimeout`),
+#: or the payload was damaged in flight (:class:`CorruptionError`).
+#: All Yokan operations are idempotent, so re-sending is always safe.
+RETRYABLE_ERRORS: Tuple[type, ...] = (
+    NetworkFailure,
+    AddressError,
+    RPCTimeout,
+    CorruptionError,
+)
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff, jitter, and a deadline.
+
+    ``max_attempts`` counts the first try: ``max_attempts=1`` means fail
+    fast.  The delay before retry *i* (0-based) is
+    ``min(max_delay, base_delay * multiplier**i)`` scaled by a uniform
+    jitter factor in ``[1 - jitter, 1 + jitter]``.  ``deadline`` bounds
+    the total time spent inside one :meth:`call` (including backoff
+    sleeps); ``rpc_timeout`` is the per-attempt timeout handed to
+    :meth:`repro.mercury.Handle.forward`.
+
+    ``sleep`` is injectable so tests can capture the backoff sequence
+    without actually waiting.
+    """
+
+    def __init__(self, max_attempts: int = 4, base_delay: float = 0.001,
+                 max_delay: float = 0.25, multiplier: float = 2.0,
+                 jitter: float = 0.25, deadline: Optional[float] = None,
+                 rpc_timeout: Optional[float] = None,
+                 retry_on: Tuple[type, ...] = RETRYABLE_ERRORS,
+                 seed: Optional[int] = None,
+                 sleep: Callable[[float], None] = time.sleep):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.deadline = deadline
+        self.rpc_timeout = rpc_timeout
+        self.retry_on = tuple(retry_on)
+        self.sleep = sleep
+        self._rng = random.Random(seed)
+
+    # -- construction shortcuts --------------------------------------------
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """Fail fast: one attempt, no backoff."""
+        return cls(max_attempts=1)
+
+    @classmethod
+    def from_retries(cls, retries: int) -> "RetryPolicy":
+        """Legacy flat-counter semantics: ``retries`` immediate re-sends."""
+        return cls(max_attempts=max(0, retries) + 1, base_delay=0.0,
+                   jitter=0.0)
+
+    @classmethod
+    def from_config(cls, config: dict) -> "RetryPolicy":
+        """Build from a JSON-ish dict (the connection ``client`` section)."""
+        known = {"max_attempts", "base_delay", "max_delay", "multiplier",
+                 "jitter", "deadline", "rpc_timeout", "seed"}
+        unknown = set(config) - known
+        if unknown:
+            raise ValueError(f"unknown retry settings: {sorted(unknown)}")
+        return cls(**{k: config[k] for k in known if k in config})
+
+    def to_config(self) -> dict:
+        config = {
+            "max_attempts": self.max_attempts,
+            "base_delay": self.base_delay,
+            "max_delay": self.max_delay,
+            "multiplier": self.multiplier,
+            "jitter": self.jitter,
+        }
+        if self.deadline is not None:
+            config["deadline"] = self.deadline
+        if self.rpc_timeout is not None:
+            config["rpc_timeout"] = self.rpc_timeout
+        return config
+
+    # -- behaviour ---------------------------------------------------------
+
+    def retryable(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retry_on)
+
+    def delay(self, retry_index: int) -> float:
+        """Backoff before the ``retry_index``-th retry (0-based)."""
+        base = min(self.max_delay,
+                   self.base_delay * (self.multiplier ** retry_index))
+        if base <= 0.0:
+            return 0.0
+        if self.jitter:
+            base *= 1.0 - self.jitter + 2.0 * self.jitter * self._rng.random()
+        return base
+
+    def call(self, fn: Callable[[], object],
+             on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+             on_giveup: Optional[Callable[[int, BaseException], None]] = None):
+        """Invoke ``fn`` under this policy; return its result.
+
+        ``on_retry(attempt, exc, delay)`` fires before each backoff
+        sleep; ``on_giveup(attempts, exc)`` fires right before the final
+        exception is re-raised (exhausted attempts or deadline).
+        """
+        start = time.monotonic()
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except self.retry_on as exc:
+                attempt += 1
+                if attempt >= self.max_attempts:
+                    if on_giveup is not None:
+                        on_giveup(attempt, exc)
+                    raise
+                pause = self.delay(attempt - 1)
+                if self.deadline is not None and (
+                        time.monotonic() - start + pause >= self.deadline):
+                    if on_giveup is not None:
+                        on_giveup(attempt, exc)
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc, pause)
+                if pause > 0.0:
+                    self.sleep(pause)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RetryPolicy(attempts={self.max_attempts}, "
+                f"base={self.base_delay}, max={self.max_delay}, "
+                f"deadline={self.deadline}, rpc_timeout={self.rpc_timeout})")
+
+
+def default_client_policy() -> RetryPolicy:
+    """The stock DataStore policy: mask transient faults, bound the cost.
+
+    Ten attempts with 1 ms -> 100 ms exponential backoff rides out
+    message drops and a provider crash/restart window, while a 30 s
+    per-operation deadline keeps a dead service from hanging a client
+    forever.
+    """
+    return RetryPolicy(max_attempts=10, base_delay=0.001, max_delay=0.1,
+                       deadline=30.0)

@@ -1,0 +1,190 @@
+"""FaultSchedule: a deterministic, seeded script of faults and actions.
+
+A schedule is itself a :class:`~repro.mercury.FaultModel`, installed on
+a fabric like any other.  It counts fabric send operations ("ops") and
+
+- activates *phases* -- fault models live during an op window
+  ``[start, end)`` -- built with :meth:`drop`, :meth:`delay`,
+  :meth:`corrupt`, :meth:`partition`, or :meth:`add`;
+- fires one-shot *actions* (arbitrary callables, e.g. a Bedrock server
+  crash or restart) once the op counter reaches their index.
+
+All randomness inside the phases derives from the schedule's single
+seed, so two runs over the same op sequence inject identical faults.
+Actions and per-kind injection totals are recorded in :attr:`log` and
+:attr:`counts` for the chaos report.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Iterable, Optional, Tuple
+
+from repro.mercury.address import Address
+from repro.mercury.fabric import FaultModel
+from repro.faults.models import (
+    CorruptionFault,
+    DropFault,
+    LatencyFault,
+    PartitionFault,
+)
+
+
+@dataclass
+class ScheduledFault:
+    """One fault model active while ``start <= op < end``."""
+
+    model: FaultModel
+    start: int = 0
+    end: Optional[int] = None
+
+    def active(self, op: int) -> bool:
+        return op >= self.start and (self.end is None or op < self.end)
+
+
+class _Action:
+    __slots__ = ("at", "name", "fn", "fired")
+
+    def __init__(self, at: int, name: str, fn: Callable[[], None]):
+        self.at = at
+        self.name = name
+        self.fn = fn
+        self.fired = False
+
+
+class FaultSchedule(FaultModel):
+    """A seeded, composable script of fault phases and one-shot actions."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = Random(seed)
+        self._lock = threading.Lock()
+        self._ops = 0
+        self._phases: list[ScheduledFault] = []
+        self._actions: list[_Action] = []
+        #: (op, description) entries for every fired action.
+        self.log: list[Tuple[int, str]] = []
+        #: per-kind injection totals ("drop", "delay", "corrupt").
+        self.counts: dict[str, int] = defaultdict(int)
+
+    # -- building ----------------------------------------------------------
+
+    def _derive_seed(self) -> int:
+        # Child seeds come from the master rng at *build* time, so the
+        # construction order (deterministic) fixes every model's stream.
+        return self._rng.randrange(2 ** 32)
+
+    def add(self, model: FaultModel, start: int = 0,
+            end: Optional[int] = None) -> "FaultSchedule":
+        """Activate ``model`` during ``[start, end)`` (end=None: forever)."""
+        if end is not None and end <= start:
+            raise ValueError("phase end must be after its start")
+        self._phases.append(ScheduledFault(model, start, end))
+        return self
+
+    def drop(self, probability: float, start: int = 0,
+             end: Optional[int] = None, src: Optional[str] = None,
+             dst: Optional[str] = None) -> "FaultSchedule":
+        return self.add(DropFault(probability, seed=self._derive_seed(),
+                                  src=src, dst=dst), start, end)
+
+    def delay(self, latency: float, jitter: float = 0.0, start: int = 0,
+              end: Optional[int] = None, src: Optional[str] = None,
+              dst: Optional[str] = None) -> "FaultSchedule":
+        return self.add(LatencyFault(latency, jitter=jitter,
+                                     seed=self._derive_seed(),
+                                     src=src, dst=dst), start, end)
+
+    def corruption(self, probability: float, start: int = 0,
+                   end: Optional[int] = None, src: Optional[str] = None,
+                   dst: Optional[str] = None) -> "FaultSchedule":
+        # Named ``corruption`` (not ``corrupt``) because the FaultModel
+        # interface method ``corrupt(src, dst, payload)`` already uses
+        # that name.
+        return self.add(CorruptionFault(probability,
+                                        seed=self._derive_seed(),
+                                        src=src, dst=dst), start, end)
+
+    def partition(self, group_a: Iterable[str], group_b: Iterable[str],
+                  start: int = 0,
+                  end: Optional[int] = None) -> "FaultSchedule":
+        return self.add(PartitionFault(group_a, group_b), start, end)
+
+    def at(self, op: int, fn: Callable[[], None],
+           name: str = "") -> "FaultSchedule":
+        """Run ``fn`` once, when the op counter reaches ``op``."""
+        if op < 0:
+            raise ValueError("action op must be non-negative")
+        self._actions.append(
+            _Action(op, name or getattr(fn, "__name__", "action"), fn)
+        )
+        return self
+
+    def crash_restart(self, server, crash_at: int,
+                      restart_at: int) -> "FaultSchedule":
+        """Crash a :class:`~repro.bedrock.BedrockServer` at one op and
+        restart it (same address, preserved backend state) at a later op."""
+        if restart_at <= crash_at:
+            raise ValueError("restart must come after the crash")
+        self.at(crash_at, server.crash, f"crash {server.address}")
+        self.at(restart_at, server.restart, f"restart {server.address}")
+        return self
+
+    # -- observation -------------------------------------------------------
+
+    @property
+    def ops(self) -> int:
+        """Total fabric sends observed so far."""
+        return self._ops
+
+    @property
+    def pending_actions(self) -> list[str]:
+        return [a.name for a in self._actions if not a.fired]
+
+    # -- FaultModel interface ----------------------------------------------
+
+    def should_drop(self, src: Address, dst: Address, nbytes: int) -> bool:
+        with self._lock:
+            op = self._ops
+            self._ops += 1
+            due = [a for a in self._actions if not a.fired and a.at <= op]
+            for action in due:
+                action.fired = True
+            active = [p.model for p in self._phases if p.active(op)]
+        # Fire actions outside the lock: a crash/restart walks back into
+        # fabric/runtime registration paths.
+        for action in due:
+            self.log.append((op, action.name))
+            action.fn()
+        for model in active:
+            if model.should_drop(src, dst, nbytes):
+                self.counts["drop"] += 1
+                return True
+        return False
+
+    def _active_models(self) -> list[FaultModel]:
+        with self._lock:
+            op = max(self._ops - 1, 0)
+            return [p.model for p in self._phases if p.active(op)]
+
+    def latency(self, src: Address, dst: Address, nbytes: int) -> float:
+        total = sum(m.latency(src, dst, nbytes)
+                    for m in self._active_models())
+        if total > 0.0:
+            self.counts["delay"] += 1
+        return total
+
+    def corrupt(self, src: Address, dst: Address,
+                payload: bytes) -> Optional[bytes]:
+        for model in self._active_models():
+            mutated = model.corrupt(src, dst, payload)
+            if mutated is not None:
+                self.counts["corrupt"] += 1
+                return mutated
+        return None
+
+
+__all__ = ["FaultSchedule", "ScheduledFault"]

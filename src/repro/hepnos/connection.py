@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Iterable, Union
+from typing import Iterable, Optional, Union
 
 from repro.errors import ConfigError
+from repro.faults.retry import RetryPolicy
 
 #: Container kinds, in hierarchy order.
 KINDS = ("datasets", "runs", "subruns", "events", "products")
@@ -33,9 +34,16 @@ class ConnectionInfo:
     The *order* of targets is part of the contract: placement maps a
     hash to an index into these lists, so every client must see the
     same ordering.  Targets are therefore sorted canonically.
+
+    ``client`` carries optional client-side settings shared by every
+    connecting process -- currently a ``retry`` sub-dict understood by
+    :meth:`repro.faults.RetryPolicy.from_config`.  It round-trips
+    through :meth:`to_json`/:meth:`from_json`, so operators tune retry
+    behaviour in the same file that describes the deployment.
     """
 
-    def __init__(self, targets: dict[str, Iterable[DbTarget]]):
+    def __init__(self, targets: dict[str, Iterable[DbTarget]],
+                 client: Optional[dict] = None):
         self.targets: dict[str, tuple[DbTarget, ...]] = {}
         for kind in KINDS:
             kind_targets = tuple(sorted(targets.get(kind, ())))
@@ -45,6 +53,20 @@ class ConnectionInfo:
         unknown = set(targets) - set(KINDS)
         if unknown:
             raise ConfigError(f"unknown database kinds: {sorted(unknown)}")
+        self.client = dict(client or {})
+        if self.client:
+            # Validate eagerly so a bad file fails at load, not first use.
+            self.retry_policy()
+
+    def retry_policy(self) -> Optional[RetryPolicy]:
+        """The retry policy configured for clients, or ``None``."""
+        retry = self.client.get("retry")
+        if retry is None:
+            return None
+        try:
+            return RetryPolicy.from_config(retry)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"bad client retry settings: {exc}") from None
 
     def __getitem__(self, kind: str) -> tuple[DbTarget, ...]:
         try:
@@ -58,34 +80,47 @@ class ConnectionInfo:
     # -- (de)serialization ------------------------------------------------------
 
     def to_json(self) -> str:
-        return json.dumps({
+        payload = {
             kind: [[t.address, t.provider_id, t.name] for t in targets]
             for kind, targets in self.targets.items()
-        }, indent=2)
+        }
+        if self.client:
+            payload["client"] = self.client
+        return json.dumps(payload, indent=2)
 
     @classmethod
     def from_json(cls, text: Union[str, dict]) -> "ConnectionInfo":
         raw = json.loads(text) if isinstance(text, str) else text
         if not isinstance(raw, dict):
             raise ConfigError("connection JSON must be an object")
+        raw = dict(raw)
+        client = raw.pop("client", None)
+        if client is not None and not isinstance(client, dict):
+            raise ConfigError("connection 'client' section must be an object")
         targets: dict[str, list[DbTarget]] = {}
         for kind, entries in raw.items():
             targets[kind] = [
                 DbTarget(address=e[0], provider_id=int(e[1]), name=e[2])
                 for e in entries
             ]
-        return cls(targets)
+        return cls(targets, client=client)
 
 
-def connection_from_servers(servers) -> ConnectionInfo:
+def connection_from_servers(servers,
+                            client: Optional[dict] = None) -> ConnectionInfo:
     """Build connection info from deployed :class:`BedrockServer` objects.
 
     Databases are classified by name prefix (``events-3`` -> kind
     ``events``), the convention used by
-    :func:`repro.bedrock.default_hepnos_config`.
+    :func:`repro.bedrock.default_hepnos_config`.  A ``client`` section
+    found in any server's config (or passed explicitly, which wins) is
+    carried into the connection so every client picks up the same retry
+    settings.
     """
     targets: dict[str, list[DbTarget]] = {kind: [] for kind in KINDS}
     for server in servers:
+        if client is None:
+            client = getattr(server, "client_config", None)
         for db_name, provider_id in server.database_directory.items():
             kind = db_name.rsplit("-", 1)[0]
             if kind not in KINDS:
@@ -95,4 +130,4 @@ def connection_from_servers(servers) -> ConnectionInfo:
             targets[kind].append(
                 DbTarget(str(server.address), provider_id, db_name)
             )
-    return ConnectionInfo(targets)
+    return ConnectionInfo(targets, client=client)

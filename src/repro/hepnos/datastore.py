@@ -3,15 +3,23 @@
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Iterator, Optional, Union
 
-from repro.errors import ContainerNotFound, HEPnOSError, ProductNotFound, KeyNotFound
+from repro.errors import (
+    ContainerNotFound,
+    HEPnOSError,
+    KeyNotFound,
+    ProductNotFound,
+)
+from repro.faults.retry import RETRYABLE_ERRORS, RetryPolicy, default_client_policy
 from repro.hepnos import keys
 from repro.hepnos.connection import ConnectionInfo, DbTarget, connection_from_servers
 from repro.hepnos.placement import ParentHashPlacement
 from repro.hepnos.product import product_type_name
 from repro.mercury import Engine, Fabric
 from repro.monitor import tracing as _tracing
+from repro.monitor.metrics import MetricRegistry
 from repro.serial import dumps, loads
 from repro.yokan import DatabaseHandle, YokanClient
 
@@ -24,23 +32,41 @@ class DataStore:
     Obtain one with :meth:`connect`, then navigate with
     ``datastore["path/to/dataset"]`` exactly as in the paper's
     Listing 1.
+
+    Retry behaviour resolves in priority order: an explicit
+    ``retry_policy`` argument, then the connection's ``client.retry``
+    section, then :func:`~repro.faults.default_client_policy`.  The
+    ``metrics`` registry collects client retry/giveup counters (one is
+    created per datastore when not supplied).
     """
 
     def __init__(self, fabric: Fabric, connection: ConnectionInfo,
-                 client_address: Optional[str] = None, placement=None):
+                 client_address: Optional[str] = None, placement=None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 metrics: Optional[MetricRegistry] = None):
         self.fabric = fabric
         self.connection = connection
         if client_address is None:
             client_address = f"sm://hepnos-client/{next(_client_counter)}"
         self.engine = Engine(fabric, client_address)
-        self._client = YokanClient(self.engine)
+        if retry_policy is None:
+            retry_policy = connection.retry_policy()
+        if retry_policy is None:
+            retry_policy = default_client_policy()
+        self.metrics = metrics if metrics is not None else MetricRegistry(
+            f"datastore:{client_address}"
+        )
+        self._client = YokanClient(self.engine, retry_policy=retry_policy,
+                                   metrics=self.metrics)
         self.placement = placement or ParentHashPlacement(connection)
         self._handles: dict[DbTarget, DatabaseHandle] = {}
         self._uuid_cache: dict[str, bytes] = {}
 
     @classmethod
     def connect(cls, fabric: Fabric, connection,
-                client_address: Optional[str] = None) -> "DataStore":
+                client_address: Optional[str] = None,
+                retry_policy: Optional[RetryPolicy] = None,
+                metrics: Optional[MetricRegistry] = None) -> "DataStore":
         """Connect using a :class:`ConnectionInfo`, JSON text, or a list
         of deployed :class:`~repro.bedrock.BedrockServer` objects."""
         if isinstance(connection, ConnectionInfo):
@@ -49,7 +75,16 @@ class DataStore:
             info = ConnectionInfo.from_json(connection)
         else:
             info = connection_from_servers(connection)
-        return cls(fabric, info, client_address=client_address)
+        return cls(fabric, info, client_address=client_address,
+                   retry_policy=retry_policy, metrics=metrics)
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        return self._client.retry_policy
+
+    @retry_policy.setter
+    def retry_policy(self, policy: RetryPolicy) -> None:
+        self._client.retry_policy = policy
 
     # -- database access ------------------------------------------------------
 
@@ -257,6 +292,39 @@ class DataStore:
         return self._handle(self.placement.product_database_for(container_key))
 
     # -- misc ---------------------------------------------------------------
+
+    def reconnect(self, timeout: float = 10.0, poll: float = 0.01) -> None:
+        """Re-establish contact after a provider crash/restart.
+
+        Drops cached database handles and probes every distinct service
+        endpoint until it answers (or ``timeout`` elapses).  Safe to
+        call even when nothing crashed -- a healthy service answers the
+        probes immediately.
+        """
+        self._handles.clear()
+        endpoints = sorted({
+            (t.address, t.provider_id)
+            for targets in self.connection.targets.values()
+            for t in targets
+        })
+        probe = RetryPolicy.none()
+        deadline = time.monotonic() + timeout
+        with _tracing.span("hepnos.reconnect", endpoints=len(endpoints)):
+            for address, provider_id in endpoints:
+                while True:
+                    try:
+                        probe_client = YokanClient(self.engine,
+                                                   retry_policy=probe)
+                        probe_client.list_databases(address, provider_id)
+                        break
+                    except RETRYABLE_ERRORS:
+                        if time.monotonic() >= deadline:
+                            raise HEPnOSError(
+                                f"service at {address} (provider "
+                                f"{provider_id}) did not come back within "
+                                f"{timeout:.1f}s"
+                            ) from None
+                        time.sleep(poll)
 
     def adopt(self, connection: ConnectionInfo) -> None:
         """Switch to a new service layout (after a rescale migration).

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Tuple
 
 from repro.errors import HEPnOSError, ProductNotFound
+from repro.faults.retry import RETRYABLE_ERRORS
 from repro.hepnos import keys as hkeys
 from repro.hepnos.connection import DbTarget
 from repro.hepnos.product import product_type_name
@@ -51,6 +52,12 @@ class PEPStatistics:
     total_seconds: float = 0.0
     #: reader only: events served per worker rank
     served: dict = field(default_factory=dict)
+    #: batch loads re-attempted after a transient failure
+    load_retries: int = 0
+    #: batch loads that exhausted their retry budget
+    load_failures: int = 0
+    #: subruns abandoned under ``on_load_failure="skip"``
+    subruns_skipped: int = 0
 
     @staticmethod
     def aggregate(stats_list: "list[PEPStatistics]") -> dict:
@@ -74,6 +81,9 @@ class PEPStatistics:
             ),
             "processing_seconds": sum(w.processing_seconds for w in workers),
             "waiting_seconds": sum(w.waiting_seconds for w in workers),
+            "load_retries": sum(s.load_retries for s in stats_list),
+            "load_failures": sum(s.load_failures for s in stats_list),
+            "subruns_skipped": sum(s.subruns_skipped for s in stats_list),
         }
 
 
@@ -130,11 +140,17 @@ class ParallelEventProcessor:
                  products: Sequence[Tuple[object, str]] = (),
                  num_readers: Optional[int] = None,
                  queue_depth: int = 8,
-                 worker_pipeline: int = 1):
+                 worker_pipeline: int = 1,
+                 load_retries: int = 2,
+                 on_load_failure: str = "raise"):
         if input_batch_size <= 0 or dispatch_batch_size <= 0:
             raise HEPnOSError("batch sizes must be positive")
         if worker_pipeline <= 0:
             raise HEPnOSError("worker_pipeline must be positive")
+        if load_retries < 0:
+            raise HEPnOSError("load_retries must be non-negative")
+        if on_load_failure not in ("raise", "skip"):
+            raise HEPnOSError("on_load_failure must be 'raise' or 'skip'")
         self.datastore = datastore
         self.comm = comm
         self.input_batch_size = input_batch_size
@@ -148,6 +164,14 @@ class ParallelEventProcessor:
         #: how many requests a worker keeps in flight (to distinct
         #: readers); > 1 overlaps processing with the next fetch
         self.worker_pipeline = worker_pipeline
+        #: re-attempts per batch load on top of the client-level retry
+        #: policy (which already masks individual RPC failures)
+        self.load_retries = load_retries
+        #: what to do when a batch load exhausts its retries: ``raise``
+        #: fails the run; ``skip`` abandons the rest of that subrun,
+        #: counts it in :attr:`PEPStatistics.subruns_skipped`, and keeps
+        #: going (graceful degradation).
+        self.on_load_failure = on_load_failure
 
     # -- public API --------------------------------------------------------
 
@@ -169,7 +193,7 @@ class ParallelEventProcessor:
 
     def _process_sequential(self, dataset, fn: Callable) -> PEPStatistics:
         stats = PEPStatistics(rank=0, role="sequential")
-        for batch in self._load_batches(self._all_subruns(dataset)):
+        for batch in self._load_batches(self._all_subruns(dataset), stats):
             t0 = time.monotonic()
             self._process_events(batch, fn, stats)
             stats.processing_seconds += time.monotonic() - t0
@@ -209,15 +233,45 @@ class ParallelEventProcessor:
             groups.setdefault(target, []).append(subrun)
         return groups
 
-    def _load_batches(self, subruns):
+    def _load_batches(self, subruns, stats: Optional[PEPStatistics] = None):
         """Yield lists of :class:`_EventStub` of up to input_batch_size.
 
         One ``list_keys`` page + one ``get_multi`` per product spec per
         batch: the few-RPCs/large-payload pattern from the paper.
+
+        Each batch load gets a bounded retry budget on top of the
+        client's own retry policy; exhausting it either fails the run
+        or (``on_load_failure="skip"``) abandons the remainder of the
+        subrun and moves on, with the skip recorded in ``stats``.
         """
         for subrun in subruns:
             cursor = b""
             while True:
+                try:
+                    page, batch = self._load_one_batch(subrun, cursor, stats)
+                except RETRYABLE_ERRORS:
+                    if self.on_load_failure != "skip":
+                        raise
+                    if stats is not None:
+                        stats.subruns_skipped += 1
+                    break  # abandon the remainder of this subrun
+                if not page:
+                    break
+                cursor = page[-1]
+                yield batch
+                if len(page) < self.input_batch_size:
+                    break
+
+    def _load_one_batch(self, subrun, cursor: bytes,
+                        stats: Optional[PEPStatistics]):
+        """Load one (page, stubs) pair, retrying transient failures.
+
+        Listing a page and prefetching its products are both idempotent,
+        so re-running the whole load after a partial failure is safe.
+        """
+        attempts = 0
+        while True:
+            try:
                 with _tracing.span("pep.list_events",
                                    limit=self.input_batch_size) as sp:
                     page = list(self.datastore.list_child_keys(
@@ -226,11 +280,16 @@ class ParallelEventProcessor:
                     ))
                     sp.set_tag("events", len(page))
                 if not page:
-                    break
-                cursor = page[-1]
-                yield self._materialize(subrun, page)
-                if len(page) < self.input_batch_size:
-                    break
+                    return page, []
+                return page, self._materialize(subrun, page)
+            except RETRYABLE_ERRORS:
+                attempts += 1
+                if stats is not None:
+                    stats.load_retries += 1
+                if attempts > self.load_retries:
+                    if stats is not None:
+                        stats.load_failures += 1
+                    raise
 
     def _materialize(self, subrun, event_keys: list[bytes]) -> list[_EventStub]:
         prefetched: dict[tuple[str, str], list] = {}
@@ -301,7 +360,7 @@ class ParallelEventProcessor:
 
         def loader() -> None:
             try:
-                iterator = self._load_batches(subruns)
+                iterator = self._load_batches(subruns, stats)
                 while True:
                     t0 = time.monotonic()
                     batch = next(iterator, None)

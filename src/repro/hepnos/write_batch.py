@@ -15,11 +15,13 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.argobots import Eventual
-from repro.errors import HEPnOSError
+from repro.errors import HEPnOSError, NetworkFailure
+from repro.faults.retry import RETRYABLE_ERRORS
 from repro.hepnos.connection import DbTarget
 from repro.mercury import Bulk
 from repro.monitor import tracing as _tracing
 from repro.serial import dumps
+from repro.yokan import wire
 
 
 class WriteBatch:
@@ -98,7 +100,11 @@ class AsynchronousWriteBatch(WriteBatch):
         if flush_threshold <= 0:
             raise HEPnOSError("async batches need a positive flush threshold")
         super().__init__(datastore, flush_threshold=flush_threshold)
-        self._inflight: list[Eventual] = []
+        #: (eventual, target, pairs) per in-flight flush; the pairs are
+        #: kept so a failed flush can be re-issued synchronously.
+        self._inflight: list[tuple[Eventual, DbTarget, list]] = []
+        #: number of failed background flushes recovered by re-issue.
+        self.recovered_flushes = 0
 
     def flush(self) -> None:
         buffers, self._buffers = self._buffers, {}
@@ -113,34 +119,72 @@ class AsynchronousWriteBatch(WriteBatch):
                 # Issue the batched put without waiting (cf.
                 # DatabaseHandle.put_multi, which would block on the
                 # response).
-                packed = bytearray(
-                    dumps([(bytes(k), bytes(v)) for k, v in pairs])
-                )
+                pairs = [(bytes(k), bytes(v)) for k, v in pairs]
+                packed = bytearray(dumps(pairs))
                 bulk = self.datastore.engine.expose(packed, Bulk.READ_ONLY)
                 rpc = self.datastore.engine.create_handle(
                     target.address, "yokan.put_multi"
                 )
-                eventual = rpc.iforward(
-                    dumps((target.name, bulk, len(packed))), target.provider_id
-                )
-                # Keep the bulk registration (weakly held by the fabric)
-                # and its buffer alive until the transfer completes.
-                eventual._batch_bulk = bulk  # type: ignore[attr-defined]
-                self._inflight.append(eventual)
+                try:
+                    eventual = rpc.iforward(
+                        wire.seal(dumps((target.name, bulk, len(packed),
+                                         wire.checksum(packed)))),
+                        target.provider_id,
+                    )
+                    # Keep the bulk registration (weakly held by the
+                    # fabric) and its buffer alive until the transfer
+                    # completes.
+                    eventual._batch_bulk = bulk  # type: ignore[attr-defined]
+                except RETRYABLE_ERRORS as exc:
+                    # The fault model rejected the send itself.  Record
+                    # the flush as already-failed so wait() re-issues it
+                    # through the retrying client path instead of losing
+                    # it (and the remaining targets' buffers with it).
+                    eventual = Eventual()
+                    eventual.set_exception(exc)
+                self._inflight.append((eventual, target, pairs))
                 self.items_written += len(pairs)
                 self.flushes += 1
 
     def wait(self) -> None:
-        """Block until every background flush has completed."""
+        """Block until every background flush has completed.
+
+        Every in-flight flush is drained even if an early one failed
+        (abandoning the rest would silently lose data).  A flush that
+        failed with a retryable transport error -- or was asked to
+        retry by the provider -- is re-issued synchronously through the
+        client path, which applies the retry policy.  The first
+        unrecovered failure is re-raised once everything has settled.
+        """
+        from repro.yokan.client import _Retry, _unwrap
+
         inflight, self._inflight = self._inflight, []
         if not inflight:
             return
-        with _tracing.span("hepnos.write_batch.wait", inflight=len(inflight)):
-            for eventual in inflight:
-                response = self.datastore.fabric.wait(eventual)
-                from repro.yokan.client import _unwrap
-
-                _unwrap(response)
+        failures: list[BaseException] = []
+        with _tracing.span("hepnos.write_batch.wait",
+                           inflight=len(inflight)) as sp:
+            for eventual, target, pairs in inflight:
+                try:
+                    result = _unwrap(self.datastore.fabric.wait(eventual))
+                    if isinstance(result, _Retry):
+                        raise NetworkFailure(
+                            "provider asked the batched put to retry"
+                        )
+                except RETRYABLE_ERRORS:
+                    try:
+                        self.datastore.handle_for_target(target).put_multi(pairs)
+                        self.recovered_flushes += 1
+                    except Exception as exc:  # noqa: BLE001 - collected below
+                        failures.append(exc)
+                except Exception as exc:  # noqa: BLE001 - collected below
+                    failures.append(exc)
+            sp.set_tag("recovered", self.recovered_flushes)
+            if failures:
+                sp.set_tag("error", type(failures[0]).__name__)
+                sp.set_tag("failed", len(failures))
+        if failures:
+            raise failures[0]
 
     def close(self) -> None:
         if self._active:

@@ -26,15 +26,18 @@ class MargoInstance:
     """
 
     def __init__(self, fabric: Fabric, address: Union[str, Address],
-                 argobots_config: Optional[dict] = None):
+                 argobots_config: Optional[dict] = None, tag: str = ""):
         with _tracing.span("margo.init", address=str(address)) as init_span:
-            self._init(fabric, address, argobots_config, init_span)
+            self._init(fabric, address, argobots_config, tag, init_span)
 
     def _init(self, fabric: Fabric, address: Union[str, Address],
-              argobots_config: Optional[dict], init_span) -> None:
+              argobots_config: Optional[dict], tag: str, init_span) -> None:
         self.fabric = fabric
         addr = Address.parse(address) if isinstance(address, str) else address
-        self._prefix = str(addr)
+        # The tag disambiguates runtime resource names when an instance
+        # is rebuilt at the same address (provider restart): pools and
+        # xstreams are registered once per runtime and never reused.
+        self._prefix = f"{addr}#{tag}" if tag else str(addr)
         runtime = fabric.runtime
         self.pools: dict[str, Pool] = {}
 

@@ -7,7 +7,7 @@ import threading
 from typing import Callable, Optional, Union
 
 from repro.argobots import Eventual, Pool, unwrap_wait_result
-from repro.errors import NoSuchRPCError, RPCError
+from repro.errors import NoSuchRPCError, RPCError, RPCTimeout
 from repro.mercury.address import Address
 from repro.mercury.bulk import Bulk, BulkOp
 from repro.mercury.fabric import Fabric
@@ -58,6 +58,7 @@ class RPCRequest:
         # The fault model may drop the response; check before committing so
         # the failure can still be delivered through fail().
         self.fabric.check_send(self.target, self.origin, len(payload))
+        payload = self.fabric.corrupt_payload(self.target, self.origin, payload)
         self._responded.set()
         self.fabric.stats.record_response(len(payload))
         self.response.set(payload)
@@ -90,12 +91,16 @@ class RPCRequest:
                 raise RPCError("remote bulk region is not readable")
             self.fabric.check_send(remote_bulk.owner_address, self.target, size)
             data = remote_bulk.read(remote_offset, size)
+            data = self.fabric.corrupt_payload(
+                remote_bulk.owner_address, self.target, data)
             local_bulk.write(data, local_offset)
         elif op is BulkOp.PUSH:
             if not remote_bulk.writable:
                 raise RPCError("remote bulk region is not writable")
             self.fabric.check_send(self.target, remote_bulk.owner_address, size)
             data = local_bulk.read(local_offset, size)
+            data = self.fabric.corrupt_payload(
+                self.target, remote_bulk.owner_address, data)
             remote_bulk.write(data, remote_offset)
         else:  # pragma: no cover - enum exhausted
             raise ValueError(f"unknown bulk op {op!r}")
@@ -111,17 +116,28 @@ class Handle:
         self.target = target
         self.rpc_name = rpc_name
 
-    def forward(self, payload: bytes = b"", provider_id: int = 0) -> bytes:
-        """Send the RPC and wait for the response (blocking)."""
+    def forward(self, payload: bytes = b"", provider_id: int = 0,
+                timeout: Optional[float] = None) -> bytes:
+        """Send the RPC and wait for the response (blocking).
+
+        ``timeout`` bounds the wait; on expiry the call raises
+        :class:`~repro.errors.RPCTimeout` (the response, if it ever
+        arrives, is discarded -- at-most-once from the caller's view).
+        """
         if _tracing.enabled:
             with _tracing.span("mercury.forward", rpc=self.rpc_name,
                                target=str(self.target)) as sp:
                 eventual = self.iforward(payload, provider_id)
-                response = self.engine.fabric.wait(eventual)
+                try:
+                    response = self.engine.fabric.wait(eventual, timeout=timeout)
+                except RPCTimeout:
+                    sp.set_tag("error", "RPCTimeout")
+                    sp.set_tag("timeout", timeout)
+                    raise
                 sp.set_tag("response_bytes", len(response))
                 return response
         eventual = self.iforward(payload, provider_id)
-        return self.engine.fabric.wait(eventual)
+        return self.engine.fabric.wait(eventual, timeout=timeout)
 
     def iforward(self, payload: bytes = b"", provider_id: int = 0) -> Eventual:
         """Send the RPC; return an eventual resolving to the response.
@@ -201,6 +217,10 @@ class Engine:
 
     def _forward(self, target: Address, rpc_name: str, provider_id: int,
                  payload: bytes) -> Eventual:
+        # Corrupt the application payload before the trace header wraps
+        # it, so corruption damages data (caught by wire checksums), not
+        # the tracing envelope.
+        payload = self.fabric.corrupt_payload(self.address, target, payload)
         # Inject the caller's span context (if any) as a payload header
         # so the receiving side can parent its spans across the wire.
         payload = _tracing.wrap_payload(payload)

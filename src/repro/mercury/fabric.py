@@ -9,12 +9,15 @@ mode) or blocks on an event (threaded mode).
 The fabric is also where transport behaviour is modeled:
 
 - :class:`FabricStats` counts RPCs and bytes by kind (eager RPC traffic
-  vs bulk/RDMA traffic), which the performance model and the batching
-  ablation read;
-- a :class:`FaultModel` may drop messages.  The paper reports crashes
-  caused by oversaturating the Aries NIC injection bandwidth;
-  :class:`InjectionFaultModel` reproduces that failure mode for the
-  failure-injection tests.
+  vs bulk/RDMA traffic) plus per-failure-kind injection counts, which
+  the performance model, the batching ablation, and the chaos reports
+  read;
+- a :class:`FaultModel` may drop, delay, or corrupt messages.  The
+  paper reports crashes caused by oversaturating the Aries NIC
+  injection bandwidth; :class:`InjectionFaultModel` reproduces that
+  failure mode, and :mod:`repro.faults` provides the full catalog
+  (probabilistic drops, partitions, latency, corruption, seeded
+  schedules with provider crash/restart actions).
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
 from repro.argobots import Runtime
-from repro.errors import AddressError, NetworkFailure, ReproError
+from repro.errors import AddressError, NetworkFailure, RPCTimeout
 from repro.mercury.address import Address
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -43,7 +46,14 @@ class FabricStats:
     bulk_transfers: int = 0
     bulk_bytes: int = 0
     dropped: int = 0
+    corrupted: int = 0
+    delayed: int = 0
+    delay_seconds: float = 0.0
+    timeouts: int = 0
     per_pair: dict = field(default_factory=lambda: defaultdict(int))
+    #: injected-failure totals keyed by kind ("drop", "corrupt",
+    #: "delay", "timeout") -- the chaos report reads this.
+    failures: dict = field(default_factory=lambda: defaultdict(int))
 
     def record_rpc(self, src: Address, dst: Address, nbytes: int) -> None:
         self.rpc_count += 1
@@ -58,6 +68,18 @@ class FabricStats:
         self.bulk_bytes += nbytes
         self.per_pair[(src.node, dst.node)] += nbytes
 
+    def record_failure(self, kind: str) -> None:
+        self.failures[kind] += 1
+
+    def record_delay(self, seconds: float) -> None:
+        self.delayed += 1
+        self.delay_seconds += seconds
+        self.failures["delay"] += 1
+
+    def record_timeout(self) -> None:
+        self.timeouts += 1
+        self.failures["timeout"] += 1
+
     @property
     def total_bytes(self) -> int:
         return self.rpc_bytes + self.response_bytes + self.bulk_bytes
@@ -69,14 +91,33 @@ class FabricStats:
         self.bulk_transfers = 0
         self.bulk_bytes = 0
         self.dropped = 0
+        self.corrupted = 0
+        self.delayed = 0
+        self.delay_seconds = 0.0
+        self.timeouts = 0
         self.per_pair.clear()
+        self.failures.clear()
 
 
 class FaultModel:
-    """Decides whether a message is dropped; default never drops."""
+    """Transport fault hooks; the default injects nothing.
+
+    Subclasses may drop a message (:meth:`should_drop`), delay it
+    (:meth:`latency`, seconds to inject), or damage its payload in
+    flight (:meth:`corrupt`, returning the mutated bytes or ``None`` for
+    no corruption).  The catalog of concrete models lives in
+    :mod:`repro.faults`.
+    """
 
     def should_drop(self, src: Address, dst: Address, nbytes: int) -> bool:
         return False
+
+    def latency(self, src: Address, dst: Address, nbytes: int) -> float:
+        return 0.0
+
+    def corrupt(self, src: Address, dst: Address,
+                payload: bytes) -> Optional[bytes]:
+        return None
 
 
 class InjectionFaultModel(FaultModel):
@@ -117,11 +158,16 @@ class Fabric:
     """
 
     def __init__(self, protocol: str = "sm", threaded: bool = False,
-                 fault_model: Optional[FaultModel] = None):
+                 fault_model: Optional[FaultModel] = None,
+                 idle_timeout: float = 60.0):
         self.protocol = protocol
         self.runtime = Runtime(threaded=threaded)
         self.stats = FabricStats()
         self.fault_model = fault_model or FaultModel()
+        #: Seconds the inline scheduler may stay idle while a response
+        #: is outstanding before :meth:`wait` raises :class:`RPCTimeout`
+        #: (the time-based replacement for the old fixed spin budget).
+        self.idle_timeout = idle_timeout
         self._engines: dict[Address, "Engine"] = {}
         self._lock = threading.Lock()
         # Serializes inline progress when several OS threads (MPI ranks)
@@ -158,40 +204,81 @@ class Fabric:
 
     def check_send(self, src: Address, dst: Address, nbytes: int) -> None:
         """Account for a message and apply the fault model."""
-        if self.fault_model.should_drop(src, dst, nbytes):
+        model = self.fault_model
+        if model.should_drop(src, dst, nbytes):
             self.stats.dropped += 1
+            self.stats.record_failure("drop")
             raise NetworkFailure(
                 f"fabric dropped {nbytes}B {src} -> {dst} "
                 "(injection bandwidth oversaturated)"
             )
+        delay = model.latency(src, dst, nbytes)
+        if delay > 0.0:
+            self.stats.record_delay(delay)
+            time.sleep(delay)
+
+    def corrupt_payload(self, src: Address, dst: Address,
+                        payload: bytes) -> bytes:
+        """Give the fault model a chance to damage ``payload`` in flight."""
+        mutated = self.fault_model.corrupt(src, dst, payload)
+        if mutated is None:
+            return payload
+        self.stats.corrupted += 1
+        self.stats.record_failure("corrupt")
+        return mutated
 
     # -- progress ---------------------------------------------------------
 
-    def wait(self, eventual, spin_budget: int = 2_000_000):
+    def wait(self, eventual, timeout: Optional[float] = None):
         """Drive progress until ``eventual`` is ready; return its value.
 
         In threaded mode the xstream threads make progress, so this just
         blocks.  In inline mode the calling thread becomes the scheduler;
         multiple concurrent callers take turns under a progress lock.
+
+        ``timeout`` bounds the total wait; the fabric's
+        :attr:`idle_timeout` bounds how long the inline scheduler may
+        stay idle (no runnable work anywhere) with the response still
+        outstanding.  Both raise :class:`~repro.errors.RPCTimeout`.
         """
+        deadline = None if timeout is None else time.monotonic() + timeout
         if self.runtime.threaded:
-            return eventual.get(self.runtime)
+            if deadline is None:
+                return eventual.get(self.runtime)
+            while not eventual.is_ready:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.stats.record_timeout()
+                    raise RPCTimeout(f"no response within {timeout:.3f}s")
+                eventual._event.wait(min(remaining, 0.05))
+            return eventual._unwrap()
+        idle_since = None
         spins = 0
         while not eventual.is_ready:
+            if deadline is not None and time.monotonic() >= deadline:
+                self.stats.record_timeout()
+                raise RPCTimeout(f"no response within {timeout:.3f}s")
             with self._progress_lock:
                 if eventual.is_ready:
                     break
                 progressed = self.runtime.progress_once()
-            if not progressed:
-                # Another thread may be about to publish work; give it a
-                # moment before declaring deadlock.
-                spins += 1
-                if spins > spin_budget:
-                    raise ReproError(
-                        "fabric idle while waiting for a response (deadlock?)"
-                    )
-                if spins % 1000 == 0:
-                    time.sleep(0.0001)
+            if progressed:
+                idle_since = None
+                continue
+            # Another thread may be about to publish work; give it a
+            # bounded grace period before declaring deadlock.
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            elif now - idle_since > self.idle_timeout:
+                self.stats.record_timeout()
+                raise RPCTimeout(
+                    f"fabric idle for {self.idle_timeout:.1f}s while "
+                    "waiting for a response (deadlock?)"
+                )
+            spins += 1
+            if spins % 1000 == 0:
+                time.sleep(0.0001)
         return eventual._unwrap()
 
     def flush(self) -> None:

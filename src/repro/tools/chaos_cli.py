@@ -1,0 +1,92 @@
+"""``repro-chaos``: run the NOvA workflow under a seeded fault schedule.
+
+Runs ingest + candidate selection twice -- once fault-free, once with
+drops, latency, payload corruption, a timeout-inducing latency spike,
+and a provider crash/restart -- and verifies the selected-event sets
+are identical.  Exits nonzero on a mismatch, so it doubles as a CI
+chaos smoke test::
+
+    repro-chaos --seed 7
+    repro-chaos --seed 3 --files 4 --ranks 4 --drop 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence, Tuple
+
+from repro.faults.chaos import run_nova_chaos
+
+
+def _window(text: str) -> Optional[Tuple[int, int]]:
+    if text.lower() in ("none", "off", ""):
+        return None
+    try:
+        start, end = (int(part) for part in text.split(":"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected START:END (op indices) or 'none', got {text!r}"
+        ) from None
+    if end <= start:
+        raise argparse.ArgumentTypeError("window end must be after its start")
+    return (start, end)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="Chaos-test the HEPnOS selection workflow: inject "
+                    "faults during selection and verify the physics "
+                    "result is unchanged.",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fault-schedule seed (default: 0)")
+    parser.add_argument("--files", type=int, default=2,
+                        help="synthetic input files (default: 2)")
+    parser.add_argument("--ranks", type=int, default=2,
+                        help="selection MPI ranks (default: 2)")
+    parser.add_argument("--events-per-file", type=int, default=24,
+                        help="mean events per generated file (default: 24)")
+    parser.add_argument("--drop", type=float, default=0.02,
+                        help="message drop probability (default: 0.02)")
+    parser.add_argument("--delay", type=float, default=0.0005,
+                        help="mean injected latency in seconds "
+                             "(default: 0.0005)")
+    parser.add_argument("--corrupt", type=float, default=0.01,
+                        help="payload corruption probability "
+                             "(default: 0.01)")
+    parser.add_argument("--crash-window", type=_window, default=(10, 30),
+                        metavar="START:END",
+                        help="op window for provider crash/restart, or "
+                             "'none' (default: 10:30)")
+    parser.add_argument("--spike-window", type=_window, default=(40, 44),
+                        metavar="START:END",
+                        help="op window for the timeout-inducing latency "
+                             "spike, or 'none' (default: 40:44)")
+    parser.add_argument("--workdir", default=None,
+                        help="directory for generated files "
+                             "(default: fresh temp dir)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    report = run_nova_chaos(
+        seed=args.seed,
+        files=args.files,
+        ranks=args.ranks,
+        mean_events_per_file=args.events_per_file,
+        drop=args.drop,
+        delay=args.delay,
+        corrupt=args.corrupt,
+        crash_window=args.crash_window,
+        spike_window=args.spike_window,
+        workdir=args.workdir,
+    )
+    print(report.summary())
+    return 0 if report.matches and not report.pending_actions else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

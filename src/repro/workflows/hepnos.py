@@ -53,7 +53,9 @@ class HEPnOSWorkflow:
                  input_batch_size: int = 16384,
                  dispatch_batch_size: int = 64,
                  num_readers: Optional[int] = None,
-                 output_path: Optional[str] = None):
+                 output_path: Optional[str] = None,
+                 load_retries: int = 2,
+                 on_load_failure: str = "raise"):
         self.datastore = datastore
         self.dataset_path = dataset_path
         self.cut = cut
@@ -63,6 +65,8 @@ class HEPnOSWorkflow:
         self.dispatch_batch_size = dispatch_batch_size
         self.num_readers = num_readers
         self.output_path = output_path
+        self.load_retries = load_retries
+        self.on_load_failure = on_load_failure
 
     # -- phase 1 -------------------------------------------------------------
 
@@ -104,6 +108,8 @@ class HEPnOSWorkflow:
                 dispatch_batch_size=self.dispatch_batch_size,
                 products=[(product_type, self.label)],
                 num_readers=self.num_readers,
+                load_retries=self.load_retries,
+                on_load_failure=self.on_load_failure,
             )
             accepted: list[int] = []
             counters = {"events": 0, "slices": 0}

@@ -1,25 +1,54 @@
-"""Client-side access to remote Yokan databases."""
+"""Client-side access to remote Yokan databases.
+
+Every RPC is sealed with a CRC32 envelope (:mod:`repro.yokan.wire`) and
+issued under the client's :class:`~repro.faults.RetryPolicy`: transient
+failures -- fabric drops, provider-crash address errors, per-call
+timeouts, and wire corruption -- are retried with exponential backoff
+until the policy's attempt or deadline budget runs out.  All Yokan
+operations are idempotent, so retrying is always safe.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple, Union
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
-from repro.errors import KeyNotFound, NetworkFailure, YokanError
+from repro.errors import (
+    AddressError,
+    CorruptionError,
+    KeyNotFound,
+    NetworkFailure,
+    RPCTimeout,
+    YokanError,
+)
+from repro.faults.retry import RetryPolicy
 from repro.mercury import Address, Bulk, Engine
 from repro.monitor import tracing as _tracing
 from repro.serial import dumps, loads
+from repro.yokan import wire
+
+#: Error kinds that travel over the wire and rehydrate into their
+#: original exception types client-side (so the retry policy can tell
+#: transient transport failures apart from real database errors).
+_ERROR_KINDS = {
+    "KeyNotFound": KeyNotFound,
+    "CorruptionError": CorruptionError,
+    "NetworkFailure": NetworkFailure,
+    "RPCTimeout": RPCTimeout,
+    "AddressError": AddressError,
+}
 
 
 def _unwrap(response: bytes):
-    decoded = loads(response)
+    decoded = loads(wire.unseal(response))
     status = decoded[0]
     if status == "ok":
         return decoded[1]
     if status == "retry":
         return _Retry(decoded[1])
     kind, message = decoded[1], decoded[2]
-    if kind == "KeyNotFound":
-        raise KeyNotFound(message)
+    exc_type = _ERROR_KINDS.get(kind)
+    if exc_type is not None:
+        raise exc_type(message)
     raise YokanError(f"{kind}: {message}")
 
 
@@ -45,34 +74,48 @@ class DatabaseHandle:
         self.name = name
         self._engine = client.engine
 
-    def _call(self, rpc: str, payload, **trace_tags) -> object:
-        """Forward one RPC, retrying transient fabric drops.
+    def _call(self, rpc: str, payload,
+              _validate: Optional[Callable] = None, **trace_tags) -> object:
+        """Forward one RPC under the client's retry policy.
 
-        The paper reports runs crashing on Aries injection-bandwidth
-        oversaturation; a bounded retry is the client-side mitigation.
-        All Yokan operations are idempotent, so retrying is safe.
+        ``_validate`` (if given) runs on the decoded result inside the
+        retry loop, so e.g. a bulk-buffer checksum failure re-issues the
+        whole RPC rather than surfacing to the caller.
         """
         if _tracing.enabled:
             with _tracing.span(f"yokan.client.{rpc.split('.', 1)[1]}",
                                db=self.name, target=str(self.target),
                                **trace_tags) as sp:
-                result = self._call_inner(rpc, payload, sp)
+                result = self._call_inner(rpc, payload, sp, _validate)
             return result
-        return self._call_inner(rpc, payload, None)
+        return self._call_inner(rpc, payload, None, _validate)
 
-    def _call_inner(self, rpc: str, payload, span) -> object:
+    def _call_inner(self, rpc: str, payload, span,
+                    validate: Optional[Callable] = None) -> object:
         handle = self._engine.create_handle(self.target, rpc)
-        encoded = dumps(payload)
-        attempts = self.client.retries + 1
-        for attempt in range(attempts):
-            try:
-                if span is not None and attempt:
-                    span.set_tag("retries", attempt)
-                return _unwrap(handle.forward(encoded, self.provider_id))
-            except NetworkFailure:
-                if attempt == attempts - 1:
-                    raise
-        raise AssertionError("unreachable")  # pragma: no cover
+        encoded = wire.seal(dumps(payload))
+        policy = self.client.retry_policy
+
+        def attempt():
+            result = _unwrap(handle.forward(encoded, self.provider_id,
+                                            timeout=policy.rpc_timeout))
+            if validate is not None:
+                validate(result)
+            return result
+
+        def on_retry(n, exc, pause):
+            self.client._record_retry(exc)
+            if span is not None:
+                span.set_tag("retries", n)
+                span.set_tag("error", type(exc).__name__)
+
+        def on_giveup(n, exc):
+            self.client._record_giveup(exc)
+            if span is not None:
+                span.set_tag("error", type(exc).__name__)
+                span.set_tag("gave_up", True)
+
+        return policy.call(attempt, on_retry=on_retry, on_giveup=on_giveup)
 
     # -- single-item operations ------------------------------------------------
 
@@ -118,14 +161,22 @@ class DatabaseHandle:
     # -- batched operations (bulk transfers) -----------------------------------
 
     def put_multi(self, pairs: Iterable[Tuple[bytes, bytes]]) -> int:
-        """Store many pairs with one RPC + one RDMA pull."""
+        """Store many pairs with one RPC + one RDMA pull.
+
+        The RPC carries the CRC of the packed buffer; the provider
+        verifies it after the pull, so a corrupted bulk transfer fails
+        the call (retryably) instead of storing damaged values.
+        """
         pairs = [(bytes(k), bytes(v)) for k, v in pairs]
         if not pairs:
             return 0
         packed = bytearray(dumps(pairs))
         bulk = self._engine.expose(packed, Bulk.READ_ONLY)
-        return self._call("yokan.put_multi", (self.name, bulk, len(packed)),
-                          keys=len(pairs), bytes=len(packed))
+        return self._call(
+            "yokan.put_multi",
+            (self.name, bulk, len(packed), wire.checksum(packed)),
+            keys=len(pairs), bytes=len(packed),
+        )
 
     def get_multi(self, keys: Sequence[bytes],
                   size_hint: int = 0) -> list[Optional[bytes]]:
@@ -133,6 +184,9 @@ class DatabaseHandle:
 
         Missing keys come back as ``None``.  ``size_hint`` presizes the
         landing buffer; an undersized buffer costs one retry round-trip.
+        The provider responds with the packed size and its CRC; the
+        landing buffer is verified before decoding, inside the retry
+        loop, so a corrupted push re-issues the RPC.
         """
         keys = [bytes(k) for k in keys]
         if not keys:
@@ -141,14 +195,23 @@ class DatabaseHandle:
         while True:
             buffer = bytearray(capacity)
             bulk = self._engine.expose(buffer, Bulk.READ_WRITE)
+
+            def check(result, _buffer=buffer):
+                if isinstance(result, _Retry):
+                    return
+                nbytes, crc = result
+                wire.verify_bulk(memoryview(_buffer)[:nbytes], crc,
+                                 "get_multi landing buffer")
+
             result = self._call(
                 "yokan.get_multi", (self.name, keys, bulk, capacity),
-                keys=len(keys),
+                keys=len(keys), _validate=check,
             )
             if isinstance(result, _Retry):
                 capacity = result.needed
                 continue
-            return loads(bytes(buffer[:result]))
+            nbytes, _crc = result
+            return loads(bytes(buffer[:nbytes]))
 
     # -- iteration --------------------------------------------------------
 
@@ -188,13 +251,60 @@ class DatabaseHandle:
 class YokanClient:
     """Factory for database handles, bound to a client engine.
 
-    ``retries`` bounds re-sends after transient
-    :class:`~repro.errors.NetworkFailure` drops (0 = fail fast).
+    Retry behaviour is governed by ``retry_policy``
+    (:class:`~repro.faults.RetryPolicy`).  The legacy ``retries``
+    integer is still accepted (and settable) and maps to a flat,
+    zero-delay policy of ``retries + 1`` attempts; 0 = fail fast.
+
+    ``metrics`` (a :class:`~repro.monitor.MetricRegistry`) receives
+    ``yokan.client.retries`` / ``yokan.client.giveups`` counters plus
+    per-error-kind breakdowns when provided.
     """
 
-    def __init__(self, engine: Engine, retries: int = 0):
+    def __init__(self, engine: Engine, retries: int = 0,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 metrics=None):
         self.engine = engine
-        self.retries = max(0, retries)
+        if retry_policy is None:
+            retry_policy = RetryPolicy.from_retries(max(0, retries))
+        self.retry_policy = retry_policy
+        self.metrics = metrics
+
+    @property
+    def retries(self) -> int:
+        """Legacy view of the policy: number of re-sends after the first try."""
+        return self.retry_policy.max_attempts - 1
+
+    @retries.setter
+    def retries(self, value: int) -> None:
+        self.retry_policy = RetryPolicy.from_retries(max(0, int(value)))
+
+    def _record_retry(self, exc: BaseException) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("yokan.client.retries").inc()
+            self.metrics.counter(
+                f"yokan.client.retries.{type(exc).__name__}").inc()
+
+    def _record_giveup(self, exc: BaseException) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("yokan.client.giveups").inc()
+
+    def _admin_call(self, target: Union[str, Address], rpc_name: str,
+                    payload, provider_id: int):
+        address = Address.parse(target) if isinstance(target, str) else target
+        handle = self.engine.create_handle(address, rpc_name)
+        encoded = wire.seal(dumps(payload))
+        policy = self.retry_policy
+
+        def attempt():
+            return _unwrap(handle.forward(encoded, provider_id,
+                                          timeout=policy.rpc_timeout))
+
+        return policy.call(
+            attempt,
+            on_retry=lambda n, exc, pause: self._record_retry(exc),
+            on_giveup=lambda n, exc: self._record_giveup(exc),
+        )
 
     def database_handle(self, target: Union[str, Address], provider_id: int,
                         name: str) -> DatabaseHandle:
@@ -203,14 +313,13 @@ class YokanClient:
 
     def list_databases(self, target: Union[str, Address],
                        provider_id: int = 0) -> list[str]:
-        address = Address.parse(target) if isinstance(target, str) else target
-        handle = self.engine.create_handle(address, "yokan.list_databases")
-        return _unwrap(handle.forward(dumps(None), provider_id))
+        return self._admin_call(target, "yokan.list_databases", None,
+                                provider_id)
 
     def create_database(self, target: Union[str, Address], provider_id: int,
                         name: str, kind: str = "map",
                         config: Optional[dict] = None) -> DatabaseHandle:
+        self._admin_call(target, "yokan.create_database",
+                         (name, kind, config or {}), provider_id)
         address = Address.parse(target) if isinstance(target, str) else target
-        handle = self.engine.create_handle(address, "yokan.create_database")
-        _unwrap(handle.forward(dumps((name, kind, config or {})), provider_id))
         return self.database_handle(address, provider_id, name)

@@ -12,10 +12,11 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.argobots import Pool
-from repro.errors import KeyNotFound, YokanError
+from repro.errors import CorruptionError, KeyNotFound, YokanError
 from repro.mercury import Bulk, BulkOp, Engine, RPCRequest
 from repro.monitor import tracing as _tracing
 from repro.serial import dumps, loads
+from repro.yokan import wire
 from repro.yokan.backend import Backend, open_backend
 
 #: RPC names served by every Yokan provider.
@@ -61,20 +62,32 @@ class YokanProvider:
                             provider_id=provider_id, pool=self.pool)
 
     def _traced(self, rpc_name: str, handler):
-        """Wrap a handler in a server-side span.
+        """Wrap a handler in a server-side span and the wire envelope.
 
         The span parents to the client span whose context arrived in
         the RPC payload header, so one trace covers both sides of the
-        wire.  With no tracer installed the original handler runs
+        wire.  The request envelope is unsealed after the span opens
+        (so corrupted requests still produce a provider span) and every
+        response -- including error responses -- is sealed on the way
+        out.  With no tracer installed the original handler runs
         directly (one attribute read of overhead).
         """
         op = rpc_name.split(".", 1)[1]
         provider_id = self.provider_id
         engine_address = str(self.engine.address)
 
+        def serve(req: RPCRequest) -> bytes:
+            try:
+                req.payload = wire.unseal(req.payload)
+            except CorruptionError as exc:
+                if req.trace_span is not None:
+                    req.trace_span.set_tag("error", "CorruptionError")
+                return wire.seal(_err(exc))
+            return wire.seal(handler(req))
+
         def traced_handler(req: RPCRequest) -> bytes:
             if not _tracing.enabled:
-                return handler(req)
+                return serve(req)
             parent = req.trace_context
             if parent is None:
                 parent = _tracing.NO_PARENT
@@ -83,7 +96,7 @@ class YokanProvider:
                                provider=provider_id,
                                address=engine_address) as sp:
                 req.trace_span = sp
-                return handler(req)
+                return serve(req)
 
         return traced_handler
 
@@ -119,10 +132,19 @@ class YokanProvider:
 
     def _rpc_put_multi(self, req: RPCRequest) -> bytes:
         try:
-            name, bulk, nbytes = loads(req.payload)
+            decoded = loads(req.payload)
+            # Newer clients append the CRC of the packed buffer so a
+            # corrupted bulk pull is rejected before anything is stored.
+            if len(decoded) == 4:
+                name, bulk, nbytes, crc = decoded
+            else:
+                name, bulk, nbytes = decoded
+                crc = None
             buffer = bytearray(nbytes)
             local = self.engine.expose(buffer, Bulk.READ_WRITE)
             req.bulk_transfer(BulkOp.PULL, bulk, local, size=nbytes)
+            if crc is not None:
+                wire.verify_bulk(buffer, crc, "put_multi bulk buffer")
             pairs = loads(bytes(buffer))
             if req.trace_span is not None:
                 req.trace_span.set_tag("db", name)
@@ -166,7 +188,9 @@ class YokanProvider:
                 return dumps(("retry", len(packed)))
             local = self.engine.expose(bytearray(packed), Bulk.READ_ONLY)
             req.bulk_transfer(BulkOp.PUSH, bulk, local, size=len(packed))
-            return _ok(len(packed))
+            # The client verifies its landing buffer against this CRC
+            # before decoding, retrying the RPC on a corrupted push.
+            return _ok((len(packed), wire.checksum(packed)))
         except Exception as exc:
             return _err(exc)
 

@@ -1,0 +1,61 @@
+"""Checksummed wire envelopes for the Yokan RPC path.
+
+Every Yokan RPC payload and response is *sealed*: a 4-byte big-endian
+CRC32 of the body is prepended before the bytes hit the fabric, and
+verified (*unsealed*) on receipt.  Bulk buffers are not enveloped --
+they are verified out-of-band by carrying their CRC inside the (sealed)
+RPC that accompanies the transfer.
+
+A failed check raises :class:`~repro.errors.CorruptionError`, which the
+client's :class:`~repro.faults.RetryPolicy` treats as retryable: every
+Yokan operation is idempotent, so re-issuing a corrupted request or
+re-fetching a corrupted response is always safe.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.errors import CorruptionError
+
+_CRC_SIZE = 4
+
+
+def checksum(data) -> int:
+    """CRC32 of ``data`` (bytes-like), as an unsigned 32-bit int."""
+    return zlib.crc32(bytes(data)) & 0xFFFFFFFF
+
+
+def seal(body: bytes) -> bytes:
+    """Prepend the CRC32 envelope to ``body``."""
+    return checksum(body).to_bytes(_CRC_SIZE, "big") + body
+
+
+def unseal(envelope: bytes) -> bytes:
+    """Verify and strip the CRC32 envelope; raise on any damage."""
+    if len(envelope) < _CRC_SIZE:
+        raise CorruptionError(
+            f"short wire envelope ({len(envelope)}B, need >= {_CRC_SIZE}B)"
+        )
+    expected = int.from_bytes(envelope[:_CRC_SIZE], "big")
+    body = envelope[_CRC_SIZE:]
+    actual = checksum(body)
+    if actual != expected:
+        raise CorruptionError(
+            f"wire checksum mismatch: expected {expected:#010x}, "
+            f"got {actual:#010x} over {len(body)}B"
+        )
+    return body
+
+
+def verify_bulk(data, expected_crc: int, what: str = "bulk buffer") -> None:
+    """Check a bulk region against the CRC carried in its sealed RPC."""
+    actual = checksum(data)
+    if actual != expected_crc:
+        raise CorruptionError(
+            f"{what} checksum mismatch: expected {expected_crc:#010x}, "
+            f"got {actual:#010x} over {len(data)}B"
+        )
+
+
+__all__ = ["checksum", "seal", "unseal", "verify_bulk"]

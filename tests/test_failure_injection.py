@@ -6,12 +6,26 @@ that failure mode and verify (a) errors surface cleanly at every layer
 and (b) bounded client retries mask transient drops.
 """
 
+import time
+
 import pytest
 
+from repro.argobots import Eventual
 from repro.bedrock import BedrockServer, default_hepnos_config
-from repro.errors import NetworkFailure
-from repro.hepnos import DataStore
+from repro.errors import AddressError, HEPnOSError, NetworkFailure, RPCTimeout
+from repro.faults import (
+    ComposedFaultModel,
+    CorruptionFault,
+    DropFault,
+    LatencyFault,
+    PartitionFault,
+    RetryPolicy,
+    run_nova_chaos,
+)
+from repro.hepnos import DataStore, ParallelEventProcessor
+from repro.hepnos.write_batch import AsynchronousWriteBatch
 from repro.mercury import Engine, Fabric, FaultModel, InjectionFaultModel
+from repro.mercury.address import Address
 from repro.yokan import MemoryBackend, YokanClient, YokanProvider
 
 
@@ -127,3 +141,323 @@ class TestHEPnOSLayer:
             for i in range(100):
                 event.store(b"x" * 5000, label=f"blob{i}")
         assert fabric.stats.dropped >= 1
+
+
+def _addr(node: str) -> Address:
+    return Address.parse(f"sm://{node}/x")
+
+
+class TestFaultModels:
+    def test_drop_fault_is_seeded_deterministic(self):
+        a, b = _addr("a"), _addr("b")
+        model1, model2 = DropFault(0.5, seed=42), DropFault(0.5, seed=42)
+        seq1 = [model1.should_drop(a, b, 100) for _ in range(64)]
+        seq2 = [model2.should_drop(a, b, 100) for _ in range(64)]
+        assert seq1 == seq2
+        assert any(seq1) and not all(seq1)
+
+    def test_drop_fault_node_filter(self):
+        model = DropFault(1.0, dst="server")
+        assert model.should_drop(_addr("client"), _addr("server"), 1)
+        assert not model.should_drop(_addr("server"), _addr("client"), 1)
+
+    def test_corruption_fault_mutates_exactly_one_byte(self):
+        model = CorruptionFault(1.0, seed=7)
+        payload = bytes(range(64))
+        mutated = model.corrupt(_addr("a"), _addr("b"), payload)
+        assert mutated is not None and mutated != payload
+        assert len(mutated) == len(payload)
+        assert sum(x != y for x, y in zip(payload, mutated)) == 1
+        # Same seed, same payload sequence -> identical mutations.
+        again = CorruptionFault(1.0, seed=7).corrupt(_addr("a"), _addr("b"),
+                                                     payload)
+        assert again == mutated
+
+    def test_latency_fault_jitter_bounds(self):
+        model = LatencyFault(0.1, jitter=0.5, seed=3)
+        for _ in range(32):
+            delay = model.latency(_addr("a"), _addr("b"), 1)
+            assert 0.05 <= delay <= 0.15
+
+    def test_partition_fault_groups(self):
+        model = PartitionFault(group_a={"a"}, group_b={"b"})
+        assert model.should_drop(_addr("a"), _addr("b"), 1)
+        assert model.should_drop(_addr("b"), _addr("a"), 1)
+        assert not model.should_drop(_addr("a"), _addr("c"), 1)
+
+    def test_partition_fault_links(self):
+        model = PartitionFault(links=[("a", "b")])
+        assert model.should_drop(_addr("b"), _addr("a"), 1)
+        assert not model.should_drop(_addr("a"), _addr("c"), 1)
+
+    def test_partition_fault_needs_groups_or_links(self):
+        with pytest.raises(ValueError):
+            PartitionFault()
+
+    def test_composed_model_combines(self):
+        model = ComposedFaultModel(
+            DropFault(0.0), PartitionFault(links=[("a", "b")]),
+            LatencyFault(0.01), LatencyFault(0.02),
+            CorruptionFault(1.0, seed=1),
+        )
+        assert model.should_drop(_addr("a"), _addr("b"), 1)
+        assert not model.should_drop(_addr("a"), _addr("c"), 1)
+        assert model.latency(_addr("a"), _addr("c"), 1) == pytest.approx(0.03)
+        assert model.corrupt(_addr("a"), _addr("c"), b"xyz") != b"xyz"
+
+
+class TestRetryPolicy:
+    def test_backoff_sequence_without_jitter(self):
+        pauses = []
+        policy = RetryPolicy(max_attempts=5, base_delay=0.01, max_delay=0.04,
+                             multiplier=2.0, jitter=0.0, sleep=pauses.append)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            raise NetworkFailure("drop")
+
+        with pytest.raises(NetworkFailure):
+            policy.call(flaky)
+        assert calls["n"] == 5
+        # 0.01, 0.02, 0.04, then capped at max_delay.
+        assert pauses == [0.01, 0.02, 0.04, 0.04]
+
+    def test_deadline_gives_up_early(self):
+        giveups = []
+        policy = RetryPolicy(max_attempts=100, base_delay=10.0,
+                             max_delay=10.0, jitter=0.0,
+                             deadline=1.0, sleep=lambda s: None)
+        with pytest.raises(NetworkFailure):
+            policy.call(lambda: (_ for _ in ()).throw(NetworkFailure("x")),
+                        on_giveup=lambda n, exc: giveups.append(n))
+        # The first 10 s backoff already exceeds the 1 s deadline.
+        assert giveups == [1]
+
+    def test_non_retryable_errors_pass_through(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0)
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            policy.call(broken)
+        assert calls["n"] == 1
+
+    def test_from_retries_legacy_semantics(self):
+        policy = RetryPolicy.from_retries(3)
+        assert policy.max_attempts == 4
+        assert policy.delay(0) == 0.0
+
+    def test_config_round_trip(self):
+        policy = RetryPolicy(max_attempts=7, base_delay=0.002, deadline=5.0,
+                             rpc_timeout=0.5)
+        rebuilt = RetryPolicy.from_config(policy.to_config())
+        assert rebuilt.max_attempts == 7
+        assert rebuilt.deadline == 5.0
+        assert rebuilt.rpc_timeout == 0.5
+
+    def test_from_config_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            RetryPolicy.from_config({"max_attempts": 2, "typo": 1})
+
+
+class TestTimeouts:
+    def test_slow_handler_times_out(self):
+        fabric = Fabric(threaded=True)
+        server = Engine(fabric, "sm://server/0")
+
+        def slow(req):
+            time.sleep(0.5)
+            return b"late"
+
+        server.register("slow", slow)
+        client = Engine(fabric, "sm://client/0")
+        fabric.runtime.start()
+        try:
+            handle = client.create_handle("sm://server/0", "slow")
+            with pytest.raises(RPCTimeout):
+                handle.forward(b"", timeout=0.05)
+            assert fabric.stats.timeouts == 1
+        finally:
+            fabric.runtime.shutdown()
+
+    def test_inline_idle_deadlock_raises_rpc_timeout(self):
+        """The old generic deadlock error is now a typed RPCTimeout."""
+        fabric = Fabric(idle_timeout=0.1)
+        with pytest.raises(RPCTimeout, match="idle"):
+            fabric.wait(Eventual())  # nothing will ever satisfy it
+
+    def test_explicit_timeout_in_inline_mode(self):
+        fabric = Fabric(idle_timeout=60.0)
+        with pytest.raises(RPCTimeout, match="no response"):
+            fabric.wait(Eventual(), timeout=0.05)
+
+    def test_rpc_timeout_is_retryable(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        calls = {"n": 0}
+
+        def slow_then_fast():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RPCTimeout("no response within 0.020s")
+            return "ok"
+
+        assert policy.call(slow_then_fast) == "ok"
+
+
+def _hepnos_world(fault_model=None, **config_kwargs):
+    fabric = Fabric(fault_model=fault_model)
+    server = BedrockServer(fabric, default_hepnos_config(
+        "sm://node0/hepnos", num_providers=2, event_databases=2,
+        product_databases=2, run_databases=1, subrun_databases=1,
+        **config_kwargs,
+    ))
+    return fabric, server
+
+
+class TestWriteBatchRecovery:
+    def test_wait_reissues_dropped_flushes(self):
+        fabric, server = _hepnos_world()
+        datastore = DataStore.connect(fabric, [server])
+        ds = datastore.create_dataset("batchy")
+        # Drop the next few sends: the async flush RPCs go down, the
+        # synchronous re-issue (which retries) recovers them.
+        batch = AsynchronousWriteBatch(datastore, flush_threshold=10_000)
+        subrun = ds.create_run(1, batch=batch).create_subrun(1, batch=batch)
+        for e in range(40):
+            subrun.create_event(e, batch=batch)
+        fabric.fault_model = FlakyModel(2)
+        batch.flush()
+        batch.wait()
+        fabric.fault_model = FaultModel()
+        assert batch.recovered_flushes >= 1
+        assert [ev.number for ev in subrun] == list(range(40))
+
+    def test_wait_drains_all_inflight_before_raising(self):
+        fabric, server = _hepnos_world()
+        datastore = DataStore.connect(fabric, [server])
+        datastore.retry_policy = RetryPolicy.none()
+        ds = datastore.create_dataset("draining")
+        batch = AsynchronousWriteBatch(datastore, flush_threshold=10_000)
+        subrun = ds.create_run(1, batch=batch).create_subrun(1, batch=batch)
+        for e in range(40):
+            subrun.create_event(e, batch=batch)
+        # Everything dropped, no retries: wait() must still settle every
+        # in-flight flush and then surface the failure.
+        fabric.fault_model = FlakyModel(1_000_000)
+        batch.flush()
+        with pytest.raises(NetworkFailure):
+            batch.wait()
+        fabric.fault_model = FaultModel()
+        assert batch._inflight == []
+
+
+class TestDegradation:
+    def test_pep_skips_unreachable_subruns(self):
+        fabric = Fabric()
+        # Metadata (datasets/runs/subruns) on node0; event and product
+        # data on node1, which we will partition away from the client.
+        meta = BedrockServer(fabric, default_hepnos_config(
+            "sm://node0/hepnos", num_providers=1, event_databases=0,
+            product_databases=0, run_databases=1, subrun_databases=1,
+        ))
+        data = BedrockServer(fabric, default_hepnos_config(
+            "sm://node1/hepnos", num_providers=1, event_databases=2,
+            product_databases=2, run_databases=0, subrun_databases=0,
+            dataset_databases=0,
+        ))
+        datastore = DataStore.connect(
+            fabric, [meta, data],
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0,
+                                     jitter=0.0),
+        )
+        ds = datastore.create_dataset("degraded")
+        run = ds.create_run(1)
+        for s in range(3):
+            subrun = run.create_subrun(s)
+            for e in range(5):
+                subrun.create_event(e)
+
+        fabric.fault_model = PartitionFault(group_a={"hepnos-client"},
+                                            group_b={"node1"})
+        pep = ParallelEventProcessor(datastore, load_retries=1,
+                                     on_load_failure="skip")
+        seen = []
+        stats = pep.process(ds, seen.append)
+        fabric.fault_model = FaultModel()
+        assert seen == []  # every event database was unreachable
+        assert stats.subruns_skipped == 3
+        assert stats.load_retries >= 3
+        assert stats.load_failures >= 3
+
+    def test_pep_raise_mode_propagates(self):
+        fabric = Fabric()
+        server = BedrockServer(fabric, default_hepnos_config(
+            "sm://node0/hepnos", num_providers=2, event_databases=2,
+            product_databases=2, run_databases=1, subrun_databases=1,
+        ))
+        datastore = DataStore.connect(fabric, [server],
+                                      retry_policy=RetryPolicy.none())
+        ds = datastore.create_dataset("strict")
+        subrun = ds.create_run(1).create_subrun(1)
+        for e in range(5):
+            subrun.create_event(e)
+        fabric.fault_model = FlakyModel(1_000_000)
+        pep = ParallelEventProcessor(datastore, load_retries=1)
+        with pytest.raises(NetworkFailure):
+            pep.process(ds, lambda ev: None)
+        fabric.fault_model = FaultModel()
+
+    def test_pep_rejects_bad_failure_mode(self):
+        fabric, server = _hepnos_world()
+        datastore = DataStore.connect(fabric, [server])
+        with pytest.raises(HEPnOSError):
+            ParallelEventProcessor(datastore, on_load_failure="explode")
+
+
+class TestCrashRestart:
+    def test_data_survives_crash_and_restart(self):
+        fabric, server = _hepnos_world()
+        datastore = DataStore.connect(fabric, [server],
+                                      retry_policy=RetryPolicy.none())
+        ds = datastore.create_dataset("durable")
+        subrun = ds.create_run(1).create_subrun(1)
+        for e in range(5):
+            subrun.create_event(e)
+
+        server.crash()
+        with pytest.raises(AddressError):
+            list(subrun)
+
+        server.restart()
+        datastore.reconnect(timeout=5.0)
+        assert [ev.number for ev in subrun] == list(range(5))
+
+    def test_retry_policy_masks_crash_window(self):
+        fabric, server = _hepnos_world()
+        datastore = DataStore.connect(fabric, [server])
+        ds = datastore.create_dataset("masked")
+        subrun = ds.create_run(1).create_subrun(1)
+        subrun.create_event(0)
+        # Crash and restart between two operations: the default policy's
+        # backoff rides across the gap without the caller noticing.
+        server.crash()
+        server.restart()
+        subrun.create_event(1)
+        assert [ev.number for ev in subrun] == [0, 1]
+
+
+class TestChaosHarness:
+    def test_nova_chaos_run_matches_baseline(self):
+        report = run_nova_chaos(seed=1)
+        assert report.matches, report.summary()
+        assert report.pending_actions == []
+        fired = [name for _, name in report.schedule_log]
+        assert any(name.startswith("crash") for name in fired)
+        assert any(name.startswith("restart") for name in fired)
+        # The spike window is sized to force at least one timeout.
+        assert report.timeouts >= 1
+        assert report.client_retries >= 1
