@@ -78,12 +78,13 @@ def main():
               f"batches={stats.batches_received}")
 
     # -- a CAFAna-style spectrum of the candidates --------------------------------
-    from repro.hepnos import ParallelEventProcessor, vector_of
+    from repro.hepnos import ParallelEventProcessor, PEPOptions, vector_of
     from repro.serial import registered_type
 
     slc = registered_type("rec.slc")
     spectrum = Spectrum(Var("cal_e"), bins=np.linspace(0.0, 5.0, 21))
-    pep = ParallelEventProcessor(datastore, input_batch_size=128,
+    pep = ParallelEventProcessor(datastore,
+                                 options=PEPOptions(input_batch_size=128),
                                  products=[(vector_of(slc), "")])
     pep.process(datastore["nova/prod5"],
                 lambda ev: spectrum.fill_slices(ev.load(vector_of(slc))))

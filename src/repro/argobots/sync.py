@@ -31,10 +31,26 @@ class Eventual:
         self._exception: Optional[BaseException] = None
         self._waiters: deque[ULT] = deque()
         self._event = threading.Event()
+        self._done_callbacks: list = []
 
     @property
     def is_ready(self) -> bool:
         return self._ready
+
+    def add_done_callback(self, callback) -> None:
+        """Run ``callback(eventual)`` once the value is set.
+
+        Fires immediately if the eventual is already ready.  Callbacks
+        run on whichever thread calls :meth:`set` /
+        :meth:`set_exception`, so they must be cheap and non-blocking
+        (the async I/O layer uses them to timestamp completions and
+        advance its in-flight window).
+        """
+        with self._lock:
+            if not self._ready:
+                self._done_callbacks.append(callback)
+                return
+        callback(self)
 
     def set(self, value=None) -> None:
         with self._lock:
@@ -43,9 +59,12 @@ class Eventual:
             self._ready = True
             self._value = value
             waiters, self._waiters = self._waiters, deque()
+            callbacks, self._done_callbacks = self._done_callbacks, []
         self._event.set()
         for ult in waiters:
             ult.resume(value)
+        for callback in callbacks:
+            callback(self)
 
     def set_exception(self, exc: BaseException) -> None:
         with self._lock:
@@ -54,10 +73,13 @@ class Eventual:
             self._ready = True
             self._exception = exc
             waiters, self._waiters = self._waiters, deque()
+            callbacks, self._done_callbacks = self._done_callbacks, []
         self._event.set()
         for ult in waiters:
             # Deliver by resuming; the value raises on unwrap.
             ult.resume(_Raiser(exc))
+        for callback in callbacks:
+            callback(self)
 
     def _unwrap(self):
         if self._exception is not None:

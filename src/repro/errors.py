@@ -50,6 +50,16 @@ class RPCTimeout(RPCError):
     """
 
 
+class OperationCancelled(RPCError):
+    """A non-blocking operation was cancelled before it was dispatched.
+
+    Raised when waiting on an
+    :class:`~repro.yokan.OperationFuture` whose :meth:`cancel` succeeded
+    while the operation was still queued behind an
+    :class:`~repro.hepnos.AsyncEngine`'s in-flight window.
+    """
+
+
 class YokanError(ReproError):
     """A key-value database operation failed."""
 
@@ -93,3 +103,30 @@ class HDF5LiteError(ReproError):
 
 class SimulationError(ReproError):
     """An error in the discrete-event simulation engine."""
+
+
+#: The complete public hierarchy.  Every exception the repro packages
+#: raise -- across ``yokan``, ``mercury``, ``faults``, ``hepnos``, the
+#: simulator, and the tools -- is importable from here and derives from
+#: :class:`ReproError`.
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SerializationError",
+    "RPCError",
+    "NoSuchRPCError",
+    "AddressError",
+    "NetworkFailure",
+    "RPCTimeout",
+    "OperationCancelled",
+    "YokanError",
+    "KeyNotFound",
+    "DatabaseClosed",
+    "CorruptionError",
+    "HEPnOSError",
+    "ContainerNotFound",
+    "ProductNotFound",
+    "MPIError",
+    "HDF5LiteError",
+    "SimulationError",
+]

@@ -11,6 +11,7 @@ from typing import Iterator, Sequence, Tuple
 
 from repro.errors import ProductNotFound
 from repro.framework.modules import EventContext
+from repro.hepnos.options import PEPOptions
 from repro.hepnos.product import product_type_name, vector_of
 from repro.hepnos.write_batch import WriteBatch
 from repro.nova.files import iter_file_events
@@ -81,7 +82,7 @@ class HEPnOSSource:
 
         pep = ParallelEventProcessor(
             self.datastore, comm=None,
-            input_batch_size=self.input_batch_size,
+            options=PEPOptions(input_batch_size=self.input_batch_size),
             products=self.products,
         )
         dataset = self.datastore[self.dataset_path]
@@ -98,8 +99,10 @@ class HEPnOSSource:
 
         pep = ParallelEventProcessor(
             self.datastore, comm=self.comm,
-            input_batch_size=self.input_batch_size,
-            dispatch_batch_size=self.dispatch_batch_size,
+            options=PEPOptions(
+                input_batch_size=self.input_batch_size,
+                dispatch_batch_size=self.dispatch_batch_size,
+            ),
             products=self.products,
         )
         dataset = self.datastore[self.dataset_path]
@@ -117,16 +120,11 @@ class HEPnOSSink:
         self.products_written = 0
 
     def write(self, event: EventContext) -> None:
-        from repro.hepnos import keys as hkeys
-
-        run_key = hkeys.run_key(self.dataset.uuid, event.run)
-        subrun_key = hkeys.subrun_key(run_key, event.subrun)
-        event_key = hkeys.event_key(subrun_key, event.event)
+        handle = (self.dataset.run(event.run)
+                  .subrun(event.subrun)
+                  .event(event.event))
         for (tname, label), obj in event.produced.items():
-            self.datastore.store_product(
-                event_key, obj, label=label, type_name=tname,
-                batch=self.batch,
-            )
+            handle.store(obj, label=label, type_name=tname, batch=self.batch)
             self.products_written += 1
 
     def close(self) -> None:

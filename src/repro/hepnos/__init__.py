@@ -22,9 +22,23 @@ Usage mirrors the paper's Listing 1::
 
 Performance features (section II-D): :class:`WriteBatch` and
 :class:`AsynchronousWriteBatch` group updates per target database;
-:class:`Prefetcher` streams container iteration; and
+:class:`Prefetcher` streams container iteration;
 :class:`ParallelEventProcessor` gives a group of MPI ranks
-load-balanced parallel iteration over a dataset's events.
+load-balanced parallel iteration over a dataset's events; and
+:class:`AsyncEngine` pipelines all of the above through a bounded
+window of non-blocking operations (futures with wait/test/then/cancel
+semantics, retired under the client retry policy).
+
+This module is the complete public client surface: handle types
+(:class:`DataStore`, :class:`DataSet`, :class:`Run`, :class:`SubRun`,
+:class:`Event`, :class:`ProductID`), the async layer
+(:class:`AsyncEngine`, :class:`OperationFuture`, :class:`FutureGroup`),
+the performance objects, and their configuration dataclasses
+(:class:`PEPOptions`, :class:`PrefetchOptions`).  Application code
+never needs raw ``container_key`` bytes: store and load products
+through the typed handles (``event.store(obj, label)``,
+``event.load(Type, label)``).  The exception hierarchy is importable
+from :mod:`repro.errors`.
 """
 
 from repro.hepnos.connection import (
@@ -35,8 +49,10 @@ from repro.hepnos.connection import (
 from repro.hepnos.datastore import DataStore
 from repro.hepnos.containers import DataSet, Run, SubRun, Event
 from repro.hepnos.product import ProductID, product_type_name, vector_of
+from repro.hepnos.async_engine import AsyncEngine, AsyncEngineStats, FutureGroup
+from repro.hepnos.options import PEPOptions, PrefetchOptions
 from repro.hepnos.write_batch import WriteBatch, AsynchronousWriteBatch
-from repro.hepnos.prefetcher import Prefetcher
+from repro.hepnos.prefetcher import Prefetcher, PrefetchedEvent
 from repro.hepnos.parallel_event_processor import (
     ParallelEventProcessor,
     PEPStatistics,
@@ -48,6 +64,7 @@ from repro.hepnos.loader import (
     build_product_class,
 )
 from repro.hepnos.exporter import DatasetExporter, ExportStats
+from repro.yokan.nonblocking import OperationFuture
 
 __all__ = [
     "ConnectionInfo",
@@ -61,9 +78,16 @@ __all__ = [
     "ProductID",
     "product_type_name",
     "vector_of",
+    "AsyncEngine",
+    "AsyncEngineStats",
+    "FutureGroup",
+    "OperationFuture",
+    "PEPOptions",
+    "PrefetchOptions",
     "WriteBatch",
     "AsynchronousWriteBatch",
     "Prefetcher",
+    "PrefetchedEvent",
     "ParallelEventProcessor",
     "PEPStatistics",
     "DataLoader",

@@ -68,6 +68,15 @@ class DataSet:
         key = keys.run_key(self.uuid, number)
         return self.datastore.container_exists("runs", self.uuid, key)
 
+    def run(self, number: int) -> "Run":
+        """A handle for run ``number`` without an existence check.
+
+        No RPC is issued; loading from (or storing to) a run that was
+        never created raises at access time.  Use ``ds[number]`` when
+        validation matters.
+        """
+        return Run(self.datastore, self, number, keys.run_key(self.uuid, number))
+
     def runs(self, start_after: Optional[int] = None,
              limit: int = 0) -> Iterator["Run"]:
         """Runs in ascending order (one database's ordered iterator)."""
@@ -125,6 +134,11 @@ class Run(_ProductHolder):
         key = keys.subrun_key(self.key, number)
         return self.datastore.container_exists("subruns", self.key, key)
 
+    def subrun(self, number: int) -> "SubRun":
+        """A handle for subrun ``number`` without an existence check."""
+        return SubRun(self.datastore, self, number,
+                      keys.subrun_key(self.key, number))
+
     def subruns(self, limit: int = 0) -> Iterator["SubRun"]:
         for key in self.datastore.list_child_keys("subruns", self.key,
                                                   limit=limit):
@@ -168,6 +182,11 @@ class SubRun(_ProductHolder):
     def __contains__(self, number: int) -> bool:
         key = keys.event_key(self.key, number)
         return self.datastore.container_exists("events", self.key, key)
+
+    def event(self, number: int) -> "Event":
+        """A handle for event ``number`` without an existence check."""
+        return Event(self.datastore, self, number,
+                     keys.event_key(self.key, number))
 
     def events(self, limit: int = 0) -> Iterator["Event"]:
         for key in self.datastore.list_child_keys("events", self.key,

@@ -43,7 +43,8 @@ class DataStore:
     def __init__(self, fabric: Fabric, connection: ConnectionInfo,
                  client_address: Optional[str] = None, placement=None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 metrics: Optional[MetricRegistry] = None):
+                 metrics: Optional[MetricRegistry] = None,
+                 async_engine=None):
         self.fabric = fabric
         self.connection = connection
         if client_address is None:
@@ -61,12 +62,18 @@ class DataStore:
         self.placement = placement or ParentHashPlacement(connection)
         self._handles: dict[DbTarget, DatabaseHandle] = {}
         self._uuid_cache: dict[str, bytes] = {}
+        #: optional AsyncEngine pipelining this client's I/O; the
+        #: Prefetcher, the PEP, and WriteBatch pick it up automatically.
+        self.async_engine = None
+        if async_engine is not None:
+            async_engine.attach(self)
 
     @classmethod
     def connect(cls, fabric: Fabric, connection,
                 client_address: Optional[str] = None,
                 retry_policy: Optional[RetryPolicy] = None,
-                metrics: Optional[MetricRegistry] = None) -> "DataStore":
+                metrics: Optional[MetricRegistry] = None,
+                async_engine=None) -> "DataStore":
         """Connect using a :class:`ConnectionInfo`, JSON text, or a list
         of deployed :class:`~repro.bedrock.BedrockServer` objects."""
         if isinstance(connection, ConnectionInfo):
@@ -76,7 +83,8 @@ class DataStore:
         else:
             info = connection_from_servers(connection)
         return cls(fabric, info, client_address=client_address,
-                   retry_policy=retry_policy, metrics=metrics)
+                   retry_policy=retry_policy, metrics=metrics,
+                   async_engine=async_engine)
 
     @property
     def retry_policy(self) -> RetryPolicy:
@@ -282,6 +290,51 @@ class DataStore:
                     out[i] = loads(value) if value is not None else None
             return out
 
+    def load_products_bulk_nb(self, container_keys, product_type,
+                              label: str = ""):
+        """Non-blocking :meth:`load_products_bulk`.
+
+        Issues one ``get_multi_nb`` per involved database and returns a
+        :class:`~repro.hepnos.FutureGroup` whose ``wait()`` yields the
+        same aligned list the blocking call would -- missing products
+        ``None``, values deserialized.  When an :class:`AsyncEngine` is
+        attached the per-database futures go through its bounded
+        in-flight window; otherwise they dispatch immediately.
+        """
+        from repro.hepnos.async_engine import FutureGroup
+
+        container_keys = list(container_keys)
+        tname = product_type_name(product_type)
+        engine = self.async_engine
+        with _tracing.span("hepnos.load_products_bulk_nb", type=tname,
+                           label=label, containers=len(container_keys)) as sp:
+            by_target: dict[DbTarget, list[tuple[int, bytes]]] = {}
+            for i, ckey in enumerate(container_keys):
+                target = self.placement.product_database_for(ckey)
+                pkey = keys.product_key(ckey, label, tname)
+                by_target.setdefault(target, []).append((i, pkey))
+            sp.set_tag("databases", len(by_target))
+            slots = [entries for entries in by_target.values()]
+
+            def assemble(per_db_values: list) -> list:
+                out = [None] * len(container_keys)
+                for entries, values in zip(slots, per_db_values):
+                    for (i, _), value in zip(entries, values):
+                        out[i] = loads(value) if value is not None else None
+                return out
+
+            group = FutureGroup(assemble=assemble)
+            for target, entries in by_target.items():
+                handle = self._handle(target)
+                future = handle.get_multi_nb(
+                    [pkey for _, pkey in entries],
+                    dispatch=engine is None,
+                )
+                if engine is not None:
+                    engine.submit(future)
+                group.add(future)
+            return group
+
     def product_exists(self, container_key: bytes, product_type,
                        label: str = "") -> bool:
         tname = product_type_name(product_type)
@@ -337,6 +390,15 @@ class DataStore:
         self._handles.clear()
 
     def shutdown(self) -> None:
+        """Finalize the client engine.
+
+        With an attached :class:`AsyncEngine`, its completion queue is
+        drained first so no in-flight non-blocking operation is
+        abandoned mid-wire (failures surface here rather than being
+        silently dropped).
+        """
+        if self.async_engine is not None:
+            self.async_engine.drain(raise_errors=True)
         self.engine.finalize()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -15,7 +15,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import HEPnOSError
+from repro.errors import HEPnOSError, ProductNotFound
 from repro.hdf5lite import H5LiteFile
 from repro.hepnos.product import vector_of
 from repro.serial import registered_type
@@ -78,7 +78,7 @@ class DatasetExporter:
             for name, cls in classes.items():
                 try:
                     products = event.load(vector_of(cls), label=self.label)
-                except Exception:
+                except ProductNotFound:
                     continue
                 table = columns[name]
                 if field_names[name] is None and products:

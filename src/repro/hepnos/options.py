@@ -1,0 +1,109 @@
+"""Client-side configuration dataclasses (PEPOptions, PrefetchOptions).
+
+The ParallelEventProcessor and the Prefetcher accumulated a grab-bag of
+tuning keyword arguments over time.  These keyword-only dataclasses are
+now the public way to configure them::
+
+    pep = ParallelEventProcessor(
+        datastore, options=PEPOptions(input_batch_size=4096),
+        products=[(Hit, "reco")],
+    )
+
+The legacy keyword arguments are still accepted for one release and
+forward into the corresponding options field, with a
+``DeprecationWarning`` naming the replacement.  ``products`` and
+``comm`` are not configuration -- they describe *what* to process, not
+*how* -- and remain first-class parameters.
+
+Validation lives here (``__post_init__``) so a bad value fails at
+construction whichever spelling the caller used, with the same
+exception types the processors historically raised.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.errors import HEPnOSError
+
+
+@dataclass(frozen=True)
+class PEPOptions:
+    """Tuning knobs for :class:`~repro.hepnos.ParallelEventProcessor`.
+
+    All fields are keyword-only.  The defaults reproduce the paper's
+    configuration: large input batches (few RPCs, big transfers), small
+    dispatch batches (fine-grained load balancing).
+    """
+
+    #: events fetched per reader RPC round (paper default 16384)
+    input_batch_size: int = 16384
+    #: events handed to a worker per pull (paper default 64)
+    dispatch_batch_size: int = 64
+    #: reader ranks; ``None`` = one per event database (bounded)
+    num_readers: Optional[int] = None
+    #: input batches a reader may buffer ahead of the workers
+    queue_depth: int = 8
+    #: concurrent pull requests a worker keeps in flight
+    worker_pipeline: int = 1
+    #: batch-load re-attempts on top of the client retry policy
+    load_retries: int = 2
+    #: ``"raise"`` fails the run; ``"skip"`` abandons the subrun
+    on_load_failure: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.input_batch_size <= 0 or self.dispatch_batch_size <= 0:
+            raise HEPnOSError("batch sizes must be positive")
+        if self.worker_pipeline <= 0:
+            raise HEPnOSError("worker_pipeline must be positive")
+        if self.load_retries < 0:
+            raise HEPnOSError("load_retries must be non-negative")
+        if self.on_load_failure not in ("raise", "skip"):
+            raise HEPnOSError("on_load_failure must be 'raise' or 'skip'")
+
+
+@dataclass(frozen=True)
+class PrefetchOptions:
+    """Tuning knobs for :class:`~repro.hepnos.Prefetcher`."""
+
+    #: events per key page / per batched product load
+    batch_size: int = 1024
+    #: pages of product loads kept in flight ahead of consumption
+    #: (only effective with an AsyncEngine; 0 disables lookahead)
+    lookahead: int = 1
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.lookahead < 0:
+            raise ValueError("lookahead must be non-negative")
+
+
+def resolve_options(options, legacy: dict, options_type, owner: str):
+    """Merge legacy kwargs into an options dataclass, warning once.
+
+    ``legacy`` maps field names to caller-supplied values; unknown names
+    raise ``TypeError`` like any bad keyword argument would.  Passing
+    both ``options`` and legacy kwargs is ambiguous and rejected.
+    """
+    known = {f.name for f in fields(options_type)}
+    unknown = set(legacy) - known
+    if unknown:
+        raise TypeError(
+            f"{owner} got unexpected keyword arguments: {sorted(unknown)}"
+        )
+    if not legacy:
+        return options if options is not None else options_type()
+    if options is not None:
+        raise HEPnOSError(
+            f"pass either options= or the legacy keyword arguments "
+            f"{sorted(legacy)}, not both"
+        )
+    warnings.warn(
+        f"the {sorted(legacy)} keyword arguments of {owner} are "
+        f"deprecated; pass options={options_type.__name__}(...) instead",
+        DeprecationWarning, stacklevel=3,
+    )
+    return options_type(**legacy)

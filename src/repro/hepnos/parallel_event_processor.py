@@ -30,6 +30,7 @@ from repro.errors import HEPnOSError, ProductNotFound
 from repro.faults.retry import RETRYABLE_ERRORS
 from repro.hepnos import keys as hkeys
 from repro.hepnos.connection import DbTarget
+from repro.hepnos.options import PEPOptions, resolve_options
 from repro.hepnos.product import product_type_name
 from repro.monitor import tracing as _tracing
 
@@ -58,6 +59,10 @@ class PEPStatistics:
     load_failures: int = 0
     #: subruns abandoned under ``on_load_failure="skip"``
     subruns_skipped: int = 0
+    #: product-load latency hidden behind processing (async pipeline)
+    overlap_seconds: float = 0.0
+    #: time blocked on in-flight product loads at consumption
+    prefetch_wait_seconds: float = 0.0
 
     @staticmethod
     def aggregate(stats_list: "list[PEPStatistics]") -> dict:
@@ -84,6 +89,10 @@ class PEPStatistics:
             "load_retries": sum(s.load_retries for s in stats_list),
             "load_failures": sum(s.load_failures for s in stats_list),
             "subruns_skipped": sum(s.subruns_skipped for s in stats_list),
+            "overlap_seconds": sum(s.overlap_seconds for s in stats_list),
+            "prefetch_wait_seconds": sum(
+                s.prefetch_wait_seconds for s in stats_list
+            ),
         }
 
 
@@ -130,48 +139,56 @@ class _EventStub:
             return value
         return self.datastore.load_product(self.key, product_type, label=label)
 
+    def store(self, obj, label: str = "", type_name=None, batch=None):
+        """Store a product on this event (same API as :class:`Event`).
+
+        Lets analysis callables write derived products back without
+        touching raw container keys.
+        """
+        return self.datastore.store_product(self.key, obj, label=label,
+                                            type_name=type_name, batch=batch)
+
 
 class ParallelEventProcessor:
     """Parallel, load-balanced ``for each event`` over a dataset."""
 
-    def __init__(self, datastore, comm=None,
-                 input_batch_size: int = 16384,
-                 dispatch_batch_size: int = 64,
+    def __init__(self, datastore, comm=None, *,
+                 options: Optional[PEPOptions] = None,
                  products: Sequence[Tuple[object, str]] = (),
-                 num_readers: Optional[int] = None,
-                 queue_depth: int = 8,
-                 worker_pipeline: int = 1,
-                 load_retries: int = 2,
-                 on_load_failure: str = "raise"):
-        if input_batch_size <= 0 or dispatch_batch_size <= 0:
-            raise HEPnOSError("batch sizes must be positive")
-        if worker_pipeline <= 0:
-            raise HEPnOSError("worker_pipeline must be positive")
-        if load_retries < 0:
-            raise HEPnOSError("load_retries must be non-negative")
-        if on_load_failure not in ("raise", "skip"):
-            raise HEPnOSError("on_load_failure must be 'raise' or 'skip'")
+                 async_engine=None, **legacy):
+        options = resolve_options(options, legacy, PEPOptions,
+                                  "ParallelEventProcessor")
+        self.options = options
         self.datastore = datastore
         self.comm = comm
-        self.input_batch_size = input_batch_size
+        self.input_batch_size = options.input_batch_size
         # A dispatch batch never exceeds one input batch.
-        self.dispatch_batch_size = min(dispatch_batch_size, input_batch_size)
+        self.dispatch_batch_size = min(options.dispatch_batch_size,
+                                       options.input_batch_size)
         self.products = [
             (product_type_name(ptype), label) for ptype, label in products
         ]
-        self.num_readers = num_readers
-        self.queue_depth = queue_depth
+        self.num_readers = options.num_readers
+        self.queue_depth = options.queue_depth
         #: how many requests a worker keeps in flight (to distinct
         #: readers); > 1 overlaps processing with the next fetch
-        self.worker_pipeline = worker_pipeline
+        self.worker_pipeline = options.worker_pipeline
         #: re-attempts per batch load on top of the client-level retry
         #: policy (which already masks individual RPC failures)
-        self.load_retries = load_retries
+        self.load_retries = options.load_retries
         #: what to do when a batch load exhausts its retries: ``raise``
         #: fails the run; ``skip`` abandons the rest of that subrun,
         #: counts it in :attr:`PEPStatistics.subruns_skipped`, and keeps
         #: going (graceful degradation).
-        self.on_load_failure = on_load_failure
+        self.on_load_failure = options.on_load_failure
+        self._async_engine = async_engine
+
+    @property
+    def async_engine(self):
+        """The engine pipelining batch loads, if one is available."""
+        if self._async_engine is not None:
+            return self._async_engine
+        return getattr(self.datastore, "async_engine", None)
 
     # -- public API --------------------------------------------------------
 
@@ -243,7 +260,14 @@ class ParallelEventProcessor:
         client's own retry policy; exhausting it either fails the run
         or (``on_load_failure="skip"``) abandons the remainder of the
         subrun and moves on, with the skip recorded in ``stats``.
+
+        With an :class:`~repro.hepnos.AsyncEngine` available (and
+        products to prefetch), loading pipelines instead: batch N+1's
+        product loads are in flight while batch N is consumed.
         """
+        if self.async_engine is not None and self.products:
+            yield from self._load_batches_pipelined(subruns, stats)
+            return
         for subrun in subruns:
             cursor = b""
             while True:
@@ -299,6 +323,10 @@ class ParallelEventProcessor:
                 prefetched[(tname, label)] = self.datastore.load_products_bulk(
                     event_keys, tname, label=label
                 )
+        return self._stubs_from(subrun, event_keys, prefetched)
+
+    def _stubs_from(self, subrun, event_keys: list[bytes],
+                    prefetched: dict) -> list[_EventStub]:
         run_number = subrun.run.number
         subrun_number = subrun.number
         stubs = []
@@ -310,6 +338,132 @@ class ParallelEventProcessor:
                 products,
             ))
         return stubs
+
+    # -- pipelined loading (AsyncEngine) -----------------------------------
+
+    def _list_page(self, subrun, cursor: bytes,
+                   stats: Optional[PEPStatistics]) -> list[bytes]:
+        """One key-page listing under the batch retry budget."""
+        attempts = 0
+        while True:
+            try:
+                with _tracing.span("pep.list_events",
+                                   limit=self.input_batch_size) as sp:
+                    page = list(self.datastore.list_child_keys(
+                        "events", subrun.key, start_after=cursor,
+                        limit=self.input_batch_size,
+                    ))
+                    sp.set_tag("events", len(page))
+                return page
+            except RETRYABLE_ERRORS:
+                attempts += 1
+                if stats is not None:
+                    stats.load_retries += 1
+                if attempts > self.load_retries:
+                    if stats is not None:
+                        stats.load_failures += 1
+                    raise
+
+    def _load_batches_pipelined(self, subruns,
+                                stats: Optional[PEPStatistics] = None):
+        """Double-buffered batch loading over the AsyncEngine.
+
+        Key pages list synchronously (cheap), but each page's product
+        loads are issued as ``get_multi_nb`` futures the moment the
+        page is known -- so while batch N's stubs are being processed,
+        batch N+1's products are already on the wire.  Failure
+        semantics match the synchronous path: a page whose async
+        retirement exhausts the client policy re-runs through the
+        blocking loader under the remaining ``load_retries`` budget,
+        and ``on_load_failure="skip"`` abandons the rest of the subrun
+        (in-flight pages of a poisoned subrun are discarded).
+        """
+        window: deque = deque()
+        poisoned: set[int] = set()
+
+        def pages():
+            for subrun in subruns:
+                cursor = b""
+                while True:
+                    if id(subrun) in poisoned:
+                        break
+                    try:
+                        page = self._list_page(subrun, cursor, stats)
+                    except RETRYABLE_ERRORS:
+                        if self.on_load_failure != "skip":
+                            raise
+                        if stats is not None:
+                            stats.subruns_skipped += 1
+                        break
+                    if not page:
+                        break
+                    cursor = page[-1]
+                    yield subrun, page
+                    if len(page) < self.input_batch_size:
+                        break
+
+        for subrun, page in pages():
+            groups = {
+                spec: self.datastore.load_products_bulk_nb(
+                    page, spec[0], label=spec[1]
+                )
+                for spec in self.products
+            }
+            window.append((subrun, page, groups))
+            if len(window) > 1:
+                batch = self._finish_pipelined(*window.popleft(),
+                                               stats, poisoned)
+                if batch is not None:
+                    yield batch
+        while window:
+            batch = self._finish_pipelined(*window.popleft(), stats, poisoned)
+            if batch is not None:
+                yield batch
+
+    def _finish_pipelined(self, subrun, page, groups,
+                          stats: Optional[PEPStatistics],
+                          poisoned: set) -> Optional[list]:
+        if id(subrun) in poisoned:
+            return None
+        wait_start = time.monotonic()
+        overlap = sum(g.overlap_seconds(wait_start) for g in groups.values())
+        try:
+            with _tracing.span("pep.pipeline.finish", events=len(page)) as sp:
+                prefetched = {spec: groups[spec].wait() for spec in groups}
+                sp.set_tag("overlap_seconds", round(overlap, 6))
+        except RETRYABLE_ERRORS:
+            # Async retirement gave up; re-run this page through the
+            # synchronous retrying loader before declaring failure.
+            if stats is not None:
+                stats.load_retries += 1
+            try:
+                return self._materialize_retrying(subrun, page, stats)
+            except RETRYABLE_ERRORS:
+                if self.on_load_failure != "skip":
+                    raise
+                if stats is not None:
+                    stats.subruns_skipped += 1
+                poisoned.add(id(subrun))
+                return None
+        if stats is not None:
+            stats.overlap_seconds += overlap
+            stats.prefetch_wait_seconds += time.monotonic() - wait_start
+        return self._stubs_from(subrun, page, prefetched)
+
+    def _materialize_retrying(self, subrun, page,
+                              stats: Optional[PEPStatistics]) -> list:
+        attempts = 0
+        while True:
+            try:
+                return self._materialize(subrun, page)
+            except RETRYABLE_ERRORS:
+                attempts += 1
+                if stats is not None:
+                    stats.load_retries += 1
+                if attempts > self.load_retries:
+                    if stats is not None:
+                        stats.load_failures += 1
+                    raise
 
     # -- parallel mode ---------------------------------------------------------
 

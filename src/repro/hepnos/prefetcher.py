@@ -5,14 +5,25 @@ one ``get`` per product.  The Prefetcher fetches key pages ahead of
 consumption and gang-loads requested products with batched ``get_multi``
 RPCs, the access pattern the ParallelEventProcessor's readers rely on
 (paper section II-D).
+
+With an :class:`~repro.hepnos.AsyncEngine` attached to the datastore
+(or passed explicitly) the Prefetcher double-buffers: page N+1's
+product loads are issued with ``get_multi_nb`` while page N's events
+are being consumed, so the store's latency hides behind the analysis
+compute.  The realized overlap is accumulated in
+:attr:`Prefetcher.overlap_seconds` and traced as
+``hepnos.prefetch.overlap`` spans.
 """
 
 from __future__ import annotations
 
+import time
+from collections import deque
 from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.hepnos import keys as hkeys
 from repro.hepnos.containers import Event, SubRun
+from repro.hepnos.options import PrefetchOptions, resolve_options
 from repro.hepnos.product import product_type_name
 from repro.monitor import tracing as _tracing
 
@@ -21,21 +32,48 @@ class Prefetcher:
     """Iterate a subrun's events with products loaded in batches.
 
     ``products`` lists (type, label) pairs to prefetch for every event;
-    access them through the yielded :class:`PrefetchedEvent`.
+    access them through the yielded :class:`PrefetchedEvent`.  Tuning
+    lives in ``options`` (:class:`~repro.hepnos.PrefetchOptions`); the
+    legacy ``batch_size`` keyword still works but warns.
     """
 
-    def __init__(self, datastore, batch_size: int = 1024,
-                 products: Sequence[Tuple[object, str]] = ()):
-        if batch_size <= 0:
-            raise ValueError("batch_size must be positive")
+    def __init__(self, datastore, *,
+                 options: Optional[PrefetchOptions] = None,
+                 products: Sequence[Tuple[object, str]] = (),
+                 async_engine=None, **legacy):
+        self.options = resolve_options(options, legacy, PrefetchOptions,
+                                       "Prefetcher")
         self.datastore = datastore
-        self.batch_size = batch_size
+        self.batch_size = self.options.batch_size
         self.products = [
             (product_type_name(ptype), label) for ptype, label in products
         ]
+        self._async_engine = async_engine
+        #: seconds of product-load latency hidden behind consumption
+        #: (double-buffered mode only)
+        self.overlap_seconds = 0.0
+        #: seconds spent blocked on product loads at consumption time
+        self.wait_seconds = 0.0
+        #: key pages whose loads were issued ahead of consumption
+        self.pages_prefetched = 0
+
+    @property
+    def async_engine(self):
+        """The engine pipelining this prefetcher's loads, if any."""
+        if self._async_engine is not None:
+            return self._async_engine
+        return getattr(self.datastore, "async_engine", None)
 
     def events(self, subrun: SubRun) -> Iterator["PrefetchedEvent"]:
         """Events of ``subrun`` in order, with products pre-loaded."""
+        engine = self.async_engine
+        if engine is None or not self.products or self.options.lookahead == 0:
+            for page in self._key_pages(subrun):
+                yield from self._materialize(subrun, page)
+            return
+        yield from self._events_pipelined(subrun)
+
+    def _key_pages(self, subrun: SubRun) -> Iterator[list]:
         cursor = b""
         while True:
             page = list(self.datastore.list_child_keys(
@@ -45,9 +83,11 @@ class Prefetcher:
             if not page:
                 return
             cursor = page[-1]
-            yield from self._materialize(subrun, page)
+            yield page
             if len(page) < self.batch_size:
                 return
+
+    # -- synchronous path --------------------------------------------------
 
     def _materialize(self, subrun: SubRun,
                      event_keys: list[bytes]) -> Iterator["PrefetchedEvent"]:
@@ -58,11 +98,52 @@ class Prefetcher:
                 products[(tname, label)] = self.datastore.load_products_bulk(
                     event_keys, tname, label=label
                 )
+        yield from self._emit(subrun, event_keys, products)
+
+    # -- double-buffered path ----------------------------------------------
+
+    def _events_pipelined(self, subrun: SubRun
+                          ) -> Iterator["PrefetchedEvent"]:
+        """Issue page N+1's loads while page N is consumed.
+
+        The in-flight window holds up to ``options.lookahead`` pages of
+        non-blocking product loads (each bounded further by the
+        AsyncEngine's own in-flight cap).
+        """
+        window: deque = deque()
+        for page in self._key_pages(subrun):
+            groups = {
+                (tname, label): self.datastore.load_products_bulk_nb(
+                    page, tname, label=label
+                )
+                for tname, label in self.products
+            }
+            window.append((page, groups))
+            if len(window) > self.options.lookahead:
+                yield from self._finish_page(subrun, *window.popleft())
+            self.pages_prefetched += 1
+        while window:
+            yield from self._finish_page(subrun, *window.popleft())
+
+    def _finish_page(self, subrun: SubRun, event_keys: list[bytes],
+                     groups: dict) -> Iterator["PrefetchedEvent"]:
+        wait_start = time.monotonic()
+        overlap = sum(g.overlap_seconds(wait_start) for g in groups.values())
+        with _tracing.span("hepnos.prefetch.overlap",
+                           events=len(event_keys)) as sp:
+            products = {spec: group.wait() for spec, group in groups.items()}
+            waited = time.monotonic() - wait_start
+            sp.set_tag("overlap_seconds", round(overlap, 6))
+            sp.set_tag("wait_seconds", round(waited, 6))
+        self.overlap_seconds += overlap
+        self.wait_seconds += waited
+        yield from self._emit(subrun, event_keys, products)
+
+    def _emit(self, subrun: SubRun, event_keys: list[bytes],
+              products: dict) -> Iterator["PrefetchedEvent"]:
         for i, key in enumerate(event_keys):
             event = Event(self.datastore, subrun, hkeys.child_number(key), key)
-            loaded = {
-                spec: products[spec][i] for spec in products
-            }
+            loaded = {spec: products[spec][i] for spec in products}
             yield PrefetchedEvent(event, loaded)
 
 

@@ -7,7 +7,11 @@ dramatic reduction in RPC count when storing millions of small items.
 
 An :class:`AsynchronousWriteBatch` additionally issues those batched
 RPCs in the background as thresholds fill, and guarantees completion
-when its destructor (``__exit__`` / :meth:`wait`) runs.
+when its destructor (``__exit__`` / :meth:`wait`) runs.  With an
+:class:`~repro.hepnos.AsyncEngine` available, flushes go through the
+engine's bounded in-flight window as ``put_multi_nb`` futures, retiring
+under the client retry policy; without one, flushes issue raw forwards
+and :meth:`wait` recovers failures synchronously.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.argobots import Eventual
-from repro.errors import HEPnOSError, NetworkFailure
+from repro.errors import HEPnOSError, NetworkFailure, ReproError
 from repro.faults.retry import RETRYABLE_ERRORS
 from repro.hepnos.connection import DbTarget
 from repro.mercury import Bulk
@@ -96,17 +100,31 @@ class AsynchronousWriteBatch(WriteBatch):
     update has completed and re-raises the first failure.
     """
 
-    def __init__(self, datastore, flush_threshold: int = 1024):
+    def __init__(self, datastore, flush_threshold: int = 1024,
+                 async_engine=None):
         if flush_threshold <= 0:
             raise HEPnOSError("async batches need a positive flush threshold")
         super().__init__(datastore, flush_threshold=flush_threshold)
         #: (eventual, target, pairs) per in-flight flush; the pairs are
         #: kept so a failed flush can be re-issued synchronously.
         self._inflight: list[tuple[Eventual, DbTarget, list]] = []
+        #: (future, target, pairs) per in-flight engine-path flush.
+        self._nb_inflight: list = []
+        self._async_engine = async_engine
         #: number of failed background flushes recovered by re-issue.
         self.recovered_flushes = 0
 
+    @property
+    def async_engine(self):
+        if self._async_engine is not None:
+            return self._async_engine
+        return getattr(self.datastore, "async_engine", None)
+
     def flush(self) -> None:
+        engine = self.async_engine
+        if engine is not None:
+            self._flush_engine(engine)
+            return
         buffers, self._buffers = self._buffers, {}
         pending, self._pending = self._pending, 0
         if not buffers:
@@ -146,6 +164,25 @@ class AsynchronousWriteBatch(WriteBatch):
                 self.items_written += len(pairs)
                 self.flushes += 1
 
+    def _flush_engine(self, engine) -> None:
+        """Flush through the AsyncEngine's bounded in-flight window."""
+        buffers, self._buffers = self._buffers, {}
+        pending, self._pending = self._pending, 0
+        if not buffers:
+            return
+        with _tracing.span("hepnos.write_batch.flush", items=pending,
+                           databases=len(buffers), asynchronous=True,
+                           engine=True):
+            for target, pairs in buffers.items():
+                if not pairs:
+                    continue
+                handle = self.datastore.handle_for_target(target)
+                future = handle.put_multi_nb(pairs, dispatch=False)
+                engine.submit(future)
+                self._nb_inflight.append((future, target, pairs))
+                self.items_written += len(pairs)
+                self.flushes += 1
+
     def wait(self) -> None:
         """Block until every background flush has completed.
 
@@ -158,6 +195,7 @@ class AsynchronousWriteBatch(WriteBatch):
         """
         from repro.yokan.client import _Retry, _unwrap
 
+        self._wait_engine()
         inflight, self._inflight = self._inflight, []
         if not inflight:
             return
@@ -175,9 +213,44 @@ class AsynchronousWriteBatch(WriteBatch):
                     try:
                         self.datastore.handle_for_target(target).put_multi(pairs)
                         self.recovered_flushes += 1
-                    except Exception as exc:  # noqa: BLE001 - collected below
+                    except ReproError as exc:
                         failures.append(exc)
-                except Exception as exc:  # noqa: BLE001 - collected below
+                except ReproError as exc:
+                    failures.append(exc)
+            sp.set_tag("recovered", self.recovered_flushes)
+            if failures:
+                sp.set_tag("error", type(failures[0]).__name__)
+                sp.set_tag("failed", len(failures))
+        if failures:
+            raise failures[0]
+
+    def _wait_engine(self) -> None:
+        """Retire engine-path flushes (no-op when none are in flight)."""
+        from repro.yokan.client import _Retry
+
+        nb_inflight, self._nb_inflight = self._nb_inflight, []
+        if not nb_inflight:
+            return
+        failures: list[BaseException] = []
+        with _tracing.span("hepnos.write_batch.wait",
+                           inflight=len(nb_inflight), engine=True) as sp:
+            for future, target, pairs in nb_inflight:
+                try:
+                    result = future.wait()
+                    if isinstance(result, _Retry):
+                        # Provider asked to retry after the window
+                        # closed; re-issue through the blocking path.
+                        self.datastore.handle_for_target(target).put_multi(
+                            pairs)
+                        self.recovered_flushes += 1
+                except RETRYABLE_ERRORS:
+                    try:
+                        self.datastore.handle_for_target(target).put_multi(
+                            pairs)
+                        self.recovered_flushes += 1
+                    except ReproError as exc:
+                        failures.append(exc)
+                except ReproError as exc:
                     failures.append(exc)
             sp.set_tag("recovered", self.recovered_flushes)
             if failures:

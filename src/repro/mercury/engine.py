@@ -7,7 +7,7 @@ import threading
 from typing import Callable, Optional, Union
 
 from repro.argobots import Eventual, Pool, unwrap_wait_result
-from repro.errors import NoSuchRPCError, RPCError, RPCTimeout
+from repro.errors import NoSuchRPCError, ReproError, RPCError, RPCTimeout
 from repro.mercury.address import Address
 from repro.mercury.bulk import Bulk, BulkOp
 from repro.mercury.fabric import Fabric
@@ -256,7 +256,7 @@ class Engine:
             if isinstance(result, (bytes, bytearray)):
                 try:
                     request.respond(bytes(result))
-                except Exception as exc:  # fault model may drop the response
+                except ReproError as exc:  # fault model may drop the response
                     request.fail(exc)
             else:
                 request.fail(RPCError(

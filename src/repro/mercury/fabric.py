@@ -281,6 +281,31 @@ class Fabric:
                 time.sleep(0.0001)
         return eventual._unwrap()
 
+    def poll(self, max_steps: int = 64) -> bool:
+        """Make bounded, non-blocking progress; return whether any ran.
+
+        In threaded mode the xstream threads already make progress, so
+        this is a no-op returning ``False``.  In inline mode it steps
+        the scheduler up to ``max_steps`` times (skipping entirely if
+        another thread currently holds the progress lock), which lets
+        non-blocking callers -- :meth:`OperationFuture.test
+        <repro.yokan.OperationFuture.test>` in particular -- advance
+        outstanding RPCs without committing to a blocking wait.
+        """
+        if self.runtime.threaded:
+            return False
+        if not self._progress_lock.acquire(blocking=False):
+            return False
+        try:
+            progressed = False
+            for _ in range(max_steps):
+                if not self.runtime.progress_once():
+                    break
+                progressed = True
+            return progressed
+        finally:
+            self._progress_lock.release()
+
     def flush(self) -> None:
         """Run the inline scheduler until every pool is drained."""
         if not self.runtime.threaded:

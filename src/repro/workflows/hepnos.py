@@ -20,7 +20,13 @@ import threading
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.hepnos import DataLoader, DataStore, ParallelEventProcessor, vector_of
+from repro.hepnos import (
+    DataLoader,
+    DataStore,
+    ParallelEventProcessor,
+    PEPOptions,
+    vector_of,
+)
 from repro.minimpi import SUM, Wtime, mpirun
 from repro.monitor import tracing as _tracing
 from repro.nova.cafana import Cut, nue_candidate_cut
@@ -55,18 +61,25 @@ class HEPnOSWorkflow:
                  num_readers: Optional[int] = None,
                  output_path: Optional[str] = None,
                  load_retries: int = 2,
-                 on_load_failure: str = "raise"):
+                 on_load_failure: str = "raise",
+                 pep_options: Optional[PEPOptions] = None,
+                 async_engine=None):
         self.datastore = datastore
         self.dataset_path = dataset_path
         self.cut = cut
         self.label = label
         self.slice_class = slice_class
-        self.input_batch_size = input_batch_size
-        self.dispatch_batch_size = dispatch_batch_size
-        self.num_readers = num_readers
         self.output_path = output_path
-        self.load_retries = load_retries
-        self.on_load_failure = on_load_failure
+        #: processor tuning; explicit ``pep_options`` wins over the
+        #: individual convenience keywords.
+        self.pep_options = pep_options or PEPOptions(
+            input_batch_size=input_batch_size,
+            dispatch_batch_size=dispatch_batch_size,
+            num_readers=num_readers,
+            load_retries=load_retries,
+            on_load_failure=on_load_failure,
+        )
+        self.async_engine = async_engine
 
     # -- phase 1 -------------------------------------------------------------
 
@@ -104,12 +117,9 @@ class HEPnOSWorkflow:
             pep = ParallelEventProcessor(
                 self.datastore,
                 comm=comm if comm.size > 1 else None,
-                input_batch_size=self.input_batch_size,
-                dispatch_batch_size=self.dispatch_batch_size,
+                options=self.pep_options,
                 products=[(product_type, self.label)],
-                num_readers=self.num_readers,
-                load_retries=self.load_retries,
-                on_load_failure=self.on_load_failure,
+                async_engine=self.async_engine,
             )
             accepted: list[int] = []
             counters = {"events": 0, "slices": 0}

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.errors import HEPnOSError
-from repro.hepnos import ParallelEventProcessor, WriteBatch
+from repro.hepnos import ParallelEventProcessor, PEPOptions, WriteBatch
 from repro.hepnos.product import product_type_name
 
 
@@ -82,7 +82,7 @@ class HEPnOSPipeline:
         pep = ParallelEventProcessor(
             self.datastore,
             comm=comm if comm is not None and comm.size > 1 else None,
-            input_batch_size=self.input_batch_size,
+            options=PEPOptions(input_batch_size=self.input_batch_size),
             products=list(step.reads),
         )
         batch = WriteBatch(self.datastore, flush_threshold=1024)
@@ -99,9 +99,7 @@ class HEPnOSPipeline:
                 return
             from repro.serial import dumps
 
-            self.datastore.store_product(
-                event.key, output, label=step.out_label, batch=batch
-            )
+            event.store(output, label=step.out_label, batch=batch)
             report.products_written += 1
             report.bytes_written += len(dumps(output))
 

@@ -20,6 +20,7 @@ from repro.yokan.backends.lsm import LSMBackend
 from repro.yokan.backends.btree import BTreeBackend
 from repro.yokan.provider import YokanProvider
 from repro.yokan.client import YokanClient, DatabaseHandle
+from repro.yokan.nonblocking import OperationFuture
 
 __all__ = [
     "Backend",
@@ -31,4 +32,5 @@ __all__ = [
     "YokanProvider",
     "YokanClient",
     "DatabaseHandle",
+    "OperationFuture",
 ]

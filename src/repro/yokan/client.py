@@ -25,6 +25,7 @@ from repro.mercury import Address, Bulk, Engine
 from repro.monitor import tracing as _tracing
 from repro.serial import dumps, loads
 from repro.yokan import wire
+from repro.yokan.nonblocking import OperationFuture, _ResizeNeeded
 
 #: Error kinds that travel over the wire and rehydrate into their
 #: original exception types client-side (so the retry policy can tell
@@ -212,6 +213,139 @@ class DatabaseHandle:
                 continue
             nbytes, _crc = result
             return loads(bytes(buffer[:nbytes]))
+
+    # -- non-blocking operations ------------------------------------------
+
+    def _future(self, issue, finish, description: str,
+                dispatch: bool = True) -> OperationFuture:
+        client = self.client
+        future = OperationFuture(
+            self._engine.fabric, client.retry_policy, issue, finish,
+            description=description,
+            on_retry=lambda n, exc, pause: client._record_retry(exc),
+            on_giveup=lambda n, exc: client._record_giveup(exc),
+        )
+        # dispatch=False leaves the future PENDING (still cancellable);
+        # an AsyncEngine dispatches it when its in-flight window allows.
+        return future.dispatch() if dispatch else future
+
+    def get_nb(self, key: bytes, *, dispatch: bool = True
+               ) -> OperationFuture:
+        """Non-blocking :meth:`get`: forward now, retire later.
+
+        Returns an :class:`~repro.yokan.OperationFuture` resolving to
+        the value bytes.  A value above :attr:`BULK_THRESHOLD` switches
+        to the bulk protocol on re-issue, exactly like the blocking
+        two-phase ``get``; retirement runs under the client's retry
+        policy.
+        """
+        key = bytes(key)
+        h_inline = self._engine.create_handle(self.target, "yokan.get")
+        h_bulk = self._engine.create_handle(self.target, "yokan.get_multi")
+        state = {"mode": "inline", "capacity": 0, "buffer": None}
+
+        def issue():
+            if state["mode"] == "inline":
+                payload = wire.seal(dumps((self.name, key,
+                                           self.BULK_THRESHOLD)))
+                return h_inline.iforward(payload, self.provider_id)
+            buffer = bytearray(state["capacity"])
+            # The Bulk object must outlive the RPC: regions are tracked
+            # weakly (see repro.mercury.bulk), so pin it in the closure.
+            state["buffer"] = buffer
+            state["bulk"] = self._engine.expose(buffer, Bulk.READ_WRITE)
+            payload = wire.seal(dumps((self.name, [key], state["bulk"],
+                                       state["capacity"])))
+            return h_bulk.iforward(payload, self.provider_id)
+
+        def finish(raw):
+            result = _unwrap(raw)
+            if state["mode"] == "inline":
+                if isinstance(result, tuple) and result and result[0] == "large":
+                    state["mode"] = "bulk"
+                    state["capacity"] = result[1] + 64
+                    raise _ResizeNeeded()
+                return result
+            if isinstance(result, _Retry):
+                state["capacity"] = result.needed
+                raise _ResizeNeeded()
+            nbytes, crc = result
+            wire.verify_bulk(memoryview(state["buffer"])[:nbytes], crc,
+                             "get landing buffer")
+            (value,) = loads(bytes(state["buffer"][:nbytes]))
+            if value is None:
+                raise KeyNotFound(repr(key))
+            return value
+
+        return self._future(issue, finish, f"get@{self.name}",
+                            dispatch=dispatch)
+
+    def get_multi_nb(self, keys: Sequence[bytes], size_hint: int = 0,
+                     *, dispatch: bool = True) -> OperationFuture:
+        """Non-blocking :meth:`get_multi`.
+
+        The landing buffer lives in the future's closure; an undersized
+        buffer re-issues with the provider's requested capacity (not
+        charged against the retry budget), and the landing-buffer CRC is
+        verified inside the retirement loop so a corrupted RDMA push
+        re-issues the RPC like the blocking path.
+        """
+        keys = [bytes(k) for k in keys]
+        if not keys:
+            return OperationFuture.completed([], f"get_multi[0]@{self.name}")
+        handle = self._engine.create_handle(self.target, "yokan.get_multi")
+        state = {"capacity": size_hint or (64 * len(keys) + 1024),
+                 "buffer": None, "bulk": None}
+
+        def issue():
+            buffer = bytearray(state["capacity"])
+            # Pin the Bulk in the closure: regions are weakly tracked,
+            # and the provider's RDMA push may land long after issue.
+            state["buffer"] = buffer
+            state["bulk"] = self._engine.expose(buffer, Bulk.READ_WRITE)
+            payload = wire.seal(dumps((self.name, keys, state["bulk"],
+                                       state["capacity"])))
+            return handle.iforward(payload, self.provider_id)
+
+        def finish(raw):
+            result = _unwrap(raw)
+            if isinstance(result, _Retry):
+                state["capacity"] = result.needed
+                raise _ResizeNeeded()
+            nbytes, crc = result
+            wire.verify_bulk(memoryview(state["buffer"])[:nbytes], crc,
+                             "get_multi landing buffer")
+            return loads(bytes(state["buffer"][:nbytes]))
+
+        return self._future(issue, finish,
+                            f"get_multi[{len(keys)}]@{self.name}",
+                            dispatch=dispatch)
+
+    def put_multi_nb(self, pairs: Iterable[Tuple[bytes, bytes]],
+                     *, dispatch: bool = True) -> OperationFuture:
+        """Non-blocking :meth:`put_multi`; resolves to the pair count.
+
+        The packed source buffer (and its bulk descriptor) stay alive in
+        the future's closure until retirement, so the provider's RDMA
+        pull always finds them -- including on policy-driven re-issues.
+        """
+        pairs = [(bytes(k), bytes(v)) for k, v in pairs]
+        if not pairs:
+            return OperationFuture.completed(0, f"put_multi[0]@{self.name}")
+        handle = self._engine.create_handle(self.target, "yokan.put_multi")
+        packed = bytearray(dumps(pairs))
+        bulk = self._engine.expose(packed, Bulk.READ_ONLY)
+        payload = wire.seal(dumps((self.name, bulk, len(packed),
+                                   wire.checksum(packed))))
+
+        def issue(_pinned=(packed, bulk)):
+            # Default arg pins the packed buffer and its (weakly
+            # tracked) bulk region for the life of the future.
+            return handle.iforward(payload, self.provider_id)
+
+        return self._future(issue, _unwrap,
+                            f"put_multi[{len(pairs)}]@{self.name}",
+                            dispatch=dispatch)
 
     # -- iteration --------------------------------------------------------
 

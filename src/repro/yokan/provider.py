@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.argobots import Pool
-from repro.errors import CorruptionError, KeyNotFound, YokanError
+from repro.errors import CorruptionError, KeyNotFound, ReproError, YokanError
 from repro.mercury import Bulk, BulkOp, Engine, RPCRequest
 from repro.monitor import tracing as _tracing
 from repro.serial import dumps, loads
@@ -35,6 +35,12 @@ RPC_NAMES = (
     "yokan.list_databases",
     "yokan.create_database",
 )
+
+
+#: what a handler converts into a wire error response: the service's
+#: own exception hierarchy plus malformed-payload decode errors.
+#: Anything else (a genuine server bug) propagates and fails the RPC.
+_HANDLED_ERRORS = (ReproError, ValueError, TypeError, KeyError)
 
 
 def _ok(value=None) -> bytes:
@@ -127,7 +133,7 @@ class YokanProvider:
                 req.trace_span.set_tag("db", name)
             self._db(name).put(key, value)
             return _ok()
-        except Exception as exc:
+        except _HANDLED_ERRORS as exc:
             return _err(exc)
 
     def _rpc_put_multi(self, req: RPCRequest) -> bytes:
@@ -151,7 +157,7 @@ class YokanProvider:
                 req.trace_span.set_tag("keys", len(pairs))
             count = self._db(name).put_multi(pairs)
             return _ok(count)
-        except Exception as exc:
+        except _HANDLED_ERRORS as exc:
             return _err(exc)
 
     def _rpc_get(self, req: RPCRequest) -> bytes:
@@ -171,7 +177,7 @@ class YokanProvider:
             if max_inline is not None and len(value) > max_inline:
                 return _ok(("large", len(value)))
             return _ok(value)
-        except Exception as exc:
+        except _HANDLED_ERRORS as exc:
             return _err(exc)
 
     def _rpc_get_multi(self, req: RPCRequest) -> bytes:
@@ -191,14 +197,14 @@ class YokanProvider:
             # The client verifies its landing buffer against this CRC
             # before decoding, retrying the RPC on a corrupted push.
             return _ok((len(packed), wire.checksum(packed)))
-        except Exception as exc:
+        except _HANDLED_ERRORS as exc:
             return _err(exc)
 
     def _rpc_exists(self, req: RPCRequest) -> bytes:
         try:
             name, key = loads(req.payload)
             return _ok(self._db(name).exists(key))
-        except Exception as exc:
+        except _HANDLED_ERRORS as exc:
             return _err(exc)
 
     def _rpc_erase(self, req: RPCRequest) -> bytes:
@@ -206,21 +212,21 @@ class YokanProvider:
             name, key = loads(req.payload)
             self._db(name).erase(key)
             return _ok()
-        except Exception as exc:
+        except _HANDLED_ERRORS as exc:
             return _err(exc)
 
     def _rpc_erase_multi(self, req: RPCRequest) -> bytes:
         try:
             name, keys = loads(req.payload)
             return _ok(self._db(name).erase_multi(list(keys)))
-        except Exception as exc:
+        except _HANDLED_ERRORS as exc:
             return _err(exc)
 
     def _rpc_length(self, req: RPCRequest) -> bytes:
         try:
             name = loads(req.payload)
             return _ok(len(self._db(name)))
-        except Exception as exc:
+        except _HANDLED_ERRORS as exc:
             return _err(exc)
 
     def _rpc_list_keys(self, req: RPCRequest) -> bytes:
@@ -228,7 +234,7 @@ class YokanProvider:
             name, prefix, start_after, limit = loads(req.payload)
             keys = self._db(name).list_keys(prefix, start_after, limit)
             return _ok(keys)
-        except Exception as exc:
+        except _HANDLED_ERRORS as exc:
             return _err(exc)
 
     def _rpc_list_keyvals(self, req: RPCRequest) -> bytes:
@@ -239,14 +245,14 @@ class YokanProvider:
             for key in db.list_keys(prefix, start_after, limit):
                 out.append((key, db.get(key)))
             return _ok(out)
-        except Exception as exc:
+        except _HANDLED_ERRORS as exc:
             return _err(exc)
 
     def _rpc_count_prefix(self, req: RPCRequest) -> bytes:
         try:
             name, prefix = loads(req.payload)
             return _ok(self._db(name).count_prefix(prefix))
-        except Exception as exc:
+        except _HANDLED_ERRORS as exc:
             return _err(exc)
 
     def _rpc_list_databases(self, req: RPCRequest) -> bytes:
@@ -259,5 +265,5 @@ class YokanProvider:
                 raise YokanError(f"database {name!r} already exists")
             self.databases[name] = open_backend(kind, **dict(config))
             return _ok()
-        except Exception as exc:
+        except _HANDLED_ERRORS as exc:
             return _err(exc)
