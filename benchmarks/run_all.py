@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Run the data-plane bench suite and write the ``BENCH_PR5.json`` baseline.
+
+Every entry under ``benches`` reports at least ``ops_per_s`` and
+``bytes_per_s`` so successive baselines (``BENCH_*.json``) can be
+diffed mechanically; the format is documented in ``EXPERIMENTS.md``.
+The suite is the gated :mod:`bench_dataplane` measurements plus two
+micro-benchmarks of the wire-level codecs::
+
+    PYTHONPATH=src python benchmarks/run_all.py              # quick, writes BENCH_PR5.json
+    PYTHONPATH=src python benchmarks/run_all.py --full -o /tmp/bench.json
+
+Exits nonzero if any data-plane gate fails, so the baseline can never
+be regenerated from a regressed tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Optional, Sequence
+
+import bench_dataplane
+from repro.yokan import packed, wire
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_PR5.json")
+
+
+def _best_of(fn, rounds: int = 5) -> float:
+    fn()  # warm-up
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_packed_codec() -> dict:
+    """Pack + unpack of a typical prefix-scan result set."""
+    groups = [
+        [(b"ev%04d#slices" % g, bytes(range(256)) * 2),
+         (b"ev%04d#header" % g, bytes(64))]
+        for g in range(64)
+    ]
+    nbytes = len(packed.pack_groups(groups))
+    npairs = sum(len(g) for g in groups)
+
+    def roundtrip() -> None:
+        buf = packed.pack_groups(groups)
+        out = packed.unpack_groups(memoryview(buf), len(groups))
+        assert len(out) == len(groups)
+
+    best = _best_of(roundtrip)
+    print(f"[packed-codec] {npairs} pairs, {nbytes} bytes: "
+          f"{best * 1e3:.2f}ms/roundtrip")
+    return {"ops_per_s": npairs / best, "bytes_per_s": 2 * nbytes / best,
+            "pairs": npairs, "bytes_per_pass": nbytes}
+
+
+def bench_wire_seal_unseal() -> dict:
+    """One sealed (checksummed) envelope round trip on a 4 KiB body."""
+    body = bytes(range(256)) * 16
+
+    def roundtrip() -> None:
+        assert wire.unseal(wire.seal(body)) == body
+
+    def hundred() -> None:
+        for _ in range(100):
+            roundtrip()
+
+    best = _best_of(hundred) / 100
+    print(f"[wire-seal] {len(body)} bytes: {best * 1e6:.1f}us/roundtrip")
+    return {"ops_per_s": 1 / best, "bytes_per_s": 2 * len(body) / best,
+            "bytes_per_pass": len(body)}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the bench suite and emit the BENCH_PR5.json "
+                    "perf baseline.")
+    parser.add_argument("--full", action="store_true",
+                        help="full corpus and the 2x acceptance gates "
+                             "(default: quick)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="chaos seed for the identity check")
+    parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT,
+                        help="output path (default: repo-root "
+                             "BENCH_PR5.json)")
+    args = parser.parse_args(argv)
+
+    results = bench_dataplane.run_benches(quick=not args.full,
+                                          seed=args.seed)
+    failures = bench_dataplane.evaluate_gates(results)
+    benches = {name: data
+               for name, data in results["benches"].items()
+               if name != "workflow_identity"}
+    benches["packed_codec"] = bench_packed_codec()
+    benches["wire_seal_unseal"] = bench_wire_seal_unseal()
+    doc = {
+        "schema": "hepnos-bench/v1",
+        "baseline": "PR5",
+        "generated_by": "benchmarks/run_all.py"
+                        + (" --full" if args.full else ""),
+        "quick": not args.full,
+        "speedup_gate": results["speedup_gate"],
+        "cache_overhead_gate": results["cache_overhead_gate"],
+        "gates_passed": not failures,
+        "benches": benches,
+        "checks": {"workflow_identity":
+                   results["benches"]["workflow_identity"]},
+    }
+    with open(args.output, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"baseline written to {args.output}")
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,7 +50,12 @@ from repro.hepnos.datastore import DataStore
 from repro.hepnos.containers import DataSet, Run, SubRun, Event
 from repro.hepnos.product import ProductID, product_type_name, vector_of
 from repro.hepnos.async_engine import AsyncEngine, AsyncEngineStats, FutureGroup
-from repro.hepnos.options import PEPOptions, PrefetchOptions
+from repro.hepnos.options import (
+    PEPOptions,
+    PrefetchOptions,
+    ProductCacheOptions,
+)
+from repro.hepnos.product_cache import ProductCache
 from repro.hepnos.write_batch import WriteBatch, AsynchronousWriteBatch
 from repro.hepnos.prefetcher import Prefetcher, PrefetchedEvent
 from repro.hepnos.parallel_event_processor import (
@@ -84,6 +89,8 @@ __all__ = [
     "OperationFuture",
     "PEPOptions",
     "PrefetchOptions",
+    "ProductCacheOptions",
+    "ProductCache",
     "WriteBatch",
     "AsynchronousWriteBatch",
     "Prefetcher",

@@ -15,8 +15,10 @@ from repro.errors import (
 from repro.faults.retry import RETRYABLE_ERRORS, RetryPolicy, default_client_policy
 from repro.hepnos import keys
 from repro.hepnos.connection import ConnectionInfo, DbTarget, connection_from_servers
+from repro.hepnos.options import ProductCacheOptions
 from repro.hepnos.placement import ParentHashPlacement
 from repro.hepnos.product import product_type_name
+from repro.hepnos.product_cache import ProductCache
 from repro.mercury import Engine, Fabric
 from repro.monitor import tracing as _tracing
 from repro.monitor.metrics import MetricRegistry
@@ -44,7 +46,8 @@ class DataStore:
                  client_address: Optional[str] = None, placement=None,
                  retry_policy: Optional[RetryPolicy] = None,
                  metrics: Optional[MetricRegistry] = None,
-                 async_engine=None):
+                 async_engine=None,
+                 product_cache: Optional[ProductCacheOptions] = None):
         self.fabric = fabric
         self.connection = connection
         if client_address is None:
@@ -62,6 +65,23 @@ class DataStore:
         self.placement = placement or ParentHashPlacement(connection)
         self._handles: dict[DbTarget, DatabaseHandle] = {}
         self._uuid_cache: dict[str, bytes] = {}
+        #: bounded LRU over serialized product bytes (products are
+        #: immutable once written, so no invalidation is ever needed).
+        #: ``None`` when disabled -- the load paths then take the exact
+        #: pre-cache code path, so disabled overhead is one ``is None``.
+        self.product_cache_options = (
+            product_cache if product_cache is not None
+            else ProductCacheOptions()
+        )
+        self._product_cache: Optional[ProductCache] = None
+        if self.product_cache_options.enabled:
+            self._product_cache = ProductCache(
+                self.product_cache_options.max_bytes,
+                self.product_cache_options.max_entries,
+                metrics=self.metrics,
+            )
+        #: EMA of packed bytes per container, to presize landing buffers.
+        self._packed_bytes_ema = 0.0
         #: optional AsyncEngine pipelining this client's I/O; the
         #: Prefetcher, the PEP, and WriteBatch pick it up automatically.
         self.async_engine = None
@@ -73,7 +93,9 @@ class DataStore:
                 client_address: Optional[str] = None,
                 retry_policy: Optional[RetryPolicy] = None,
                 metrics: Optional[MetricRegistry] = None,
-                async_engine=None) -> "DataStore":
+                async_engine=None,
+                product_cache: Optional[ProductCacheOptions] = None
+                ) -> "DataStore":
         """Connect using a :class:`ConnectionInfo`, JSON text, or a list
         of deployed :class:`~repro.bedrock.BedrockServer` objects."""
         if isinstance(connection, ConnectionInfo):
@@ -84,7 +106,7 @@ class DataStore:
             info = connection_from_servers(connection)
         return cls(fabric, info, client_address=client_address,
                    retry_policy=retry_policy, metrics=metrics,
-                   async_engine=async_engine)
+                   async_engine=async_engine, product_cache=product_cache)
 
     @property
     def retry_policy(self) -> RetryPolicy:
@@ -250,19 +272,33 @@ class DataStore:
                 )
             else:
                 self._product_db(container_key).put(key, value)
+                # Write-through: the bytes in hand are exactly what a
+                # later load would fetch (products are immutable).
+                if self._product_cache is not None:
+                    self._product_cache.put(key, value)
             return key
 
     def load_product(self, container_key: bytes, product_type, label: str = ""):
         """Load one product; raises :class:`ProductNotFound` if absent."""
         tname = product_type_name(product_type)
         key = keys.product_key(container_key, label, tname)
-        with _tracing.span("hepnos.load_product", label=label, type=tname):
+        cache = self._product_cache
+        with _tracing.span("hepnos.load_product", label=label,
+                           type=tname) as sp:
+            if cache is not None:
+                cached = cache.get(key)
+                if cached is not None:
+                    sp.set_tag("cache", "hit")
+                    return loads(cached)
+                sp.set_tag("cache", "miss")
             try:
                 value = self._product_db(container_key).get(key)
             except KeyNotFound:
                 raise ProductNotFound(
                     f"no product label={label!r} type={tname!r} in container"
                 ) from None
+            if cache is not None:
+                cache.put(key, value)
         return loads(value)
 
     def load_products_bulk(self, container_keys, product_type, label: str = ""):
@@ -274,20 +310,119 @@ class DataStore:
         """
         container_keys = list(container_keys)
         tname = product_type_name(product_type)
+        cache = self._product_cache
         with _tracing.span("hepnos.load_products_bulk", type=tname,
                            label=label, containers=len(container_keys)) as sp:
+            out = [None] * len(container_keys)
             by_target: dict[DbTarget, list[tuple[int, bytes]]] = {}
+            hits = 0
             for i, ckey in enumerate(container_keys):
-                target = self.placement.product_database_for(ckey)
                 pkey = keys.product_key(ckey, label, tname)
+                if cache is not None:
+                    cached = cache.get(pkey)
+                    if cached is not None:
+                        out[i] = loads(cached)
+                        hits += 1
+                        continue
+                target = self.placement.product_database_for(ckey)
                 by_target.setdefault(target, []).append((i, pkey))
             sp.set_tag("databases", len(by_target))
-            out = [None] * len(container_keys)
+            if cache is not None:
+                sp.set_tag("cache_hits", hits)
             for target, entries in by_target.items():
                 handle = self._handle(target)
                 values = handle.get_multi([pkey for _, pkey in entries])
-                for (i, _), value in zip(entries, values):
+                for (i, pkey), value in zip(entries, values):
+                    # Scan resistance: batch loads stream each event once,
+                    # so inserting here would evict genuinely hot products.
+                    # Batch paths read the cache but never populate it.
                     out[i] = loads(value) if value is not None else None
+            return out
+
+    def load_products_packed(self, container_keys, specs):
+        """Load several product specs for many containers at once.
+
+        ``specs`` is a list of ``(product_type, label)`` pairs.  Instead
+        of one ``get_multi`` per spec, each involved database serves a
+        single ``load_prefix_packed`` RPC: an ordered server-side scan
+        per container key returning *every* product of the event in one
+        packed bulk transfer.  Returns ``{(type_name, label): [obj or
+        None, ...]}``, each list aligned with ``container_keys``.
+
+        Intended for *event* containers: event keys are fixed-width
+        (:data:`~repro.hepnos.keys.EVENT_KEY_LEN`), so a prefix scan on
+        one cannot leak a sibling's products.  Pairs outside the
+        requested specs are ignored (the scan may surface products of
+        labels/types the caller did not ask for).
+
+        A container whose specs are *all* cache hits is skipped
+        entirely; one miss refetches the whole event (the packed scan
+        has per-event granularity).
+        """
+        container_keys = list(container_keys)
+        resolved = [(product_type_name(pt), label) for pt, label in specs]
+        cache = self._product_cache
+        out = {spec: [None] * len(container_keys) for spec in resolved}
+        with _tracing.span("hepnos.load_products_packed",
+                           containers=len(container_keys),
+                           specs=len(resolved)) as sp:
+            # pkey -> list of (spec index, container index) slots to fill
+            want: dict[bytes, list[tuple[int, int]]] = {}
+            fetch: list[int] = []
+            hits = 0
+            for i, ckey in enumerate(container_keys):
+                misses = 0
+                for si, (tname, label) in enumerate(resolved):
+                    pkey = keys.product_key(ckey, label, tname)
+                    want.setdefault(pkey, []).append((si, i))
+                    if cache is not None:
+                        cached = cache.get(pkey)
+                        if cached is not None:
+                            out[resolved[si]][i] = loads(cached)
+                            hits += 1
+                            continue
+                    misses += 1
+                if misses:
+                    fetch.append(i)
+            if cache is not None:
+                sp.set_tag("cache_hits", hits)
+            by_target: dict[DbTarget, list[int]] = {}
+            for i in fetch:
+                target = self.placement.product_database_for(
+                    container_keys[i])
+                by_target.setdefault(target, []).append(i)
+            sp.set_tag("databases", len(by_target))
+            total_bytes = 0
+            for target, indices in by_target.items():
+                handle = self._handle(target)
+                hint = 0
+                if self._packed_bytes_ema:
+                    hint = int(self._packed_bytes_ema * len(indices) * 1.5
+                               ) + 1024
+                groups = handle.load_prefix_packed(
+                    [container_keys[i] for i in indices], size_hint=hint)
+                for pairs in groups:
+                    for pkey, view in pairs:
+                        # Wire footprint of the pair, not just the value:
+                        # the EMA presizes whole landing buffers.
+                        total_bytes += len(pkey) + len(view) + 10
+                        slots = want.get(pkey)
+                        if slots is None:
+                            continue
+                        # Scan resistance: like load_products_bulk, batch
+                        # loads read the cache but never populate it.
+                        obj = loads(view)
+                        for si, i in slots:
+                            out[resolved[si]][i] = obj
+            if fetch:
+                per_container = total_bytes / len(fetch)
+                if self._packed_bytes_ema:
+                    self._packed_bytes_ema = (
+                        0.7 * self._packed_bytes_ema + 0.3 * per_container
+                    )
+                else:
+                    self._packed_bytes_ema = per_container
+                sp.set_tag("bytes", total_bytes)
             return out
 
     def load_products_bulk_nb(self, container_keys, product_type,

@@ -52,6 +52,10 @@ class PEPOptions:
     load_retries: int = 2
     #: ``"raise"`` fails the run; ``"skip"`` abandons the subrun
     on_load_failure: str = "raise"
+    #: load whole events with one packed prefix-scan RPC per database
+    #: instead of one ``get_multi`` per product spec (blocking path only;
+    #: the pipelined non-blocking path keeps per-spec ``get_multi_nb``)
+    packed_loads: bool = True
 
     def __post_init__(self) -> None:
         if self.input_batch_size <= 0 or self.dispatch_batch_size <= 0:
@@ -73,12 +77,38 @@ class PrefetchOptions:
     #: pages of product loads kept in flight ahead of consumption
     #: (only effective with an AsyncEngine; 0 disables lookahead)
     lookahead: int = 1
+    #: load whole events with one packed prefix-scan RPC per database
+    #: instead of one ``get_multi`` per product spec (blocking path only)
+    packed_loads: bool = True
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if self.lookahead < 0:
             raise ValueError("lookahead must be non-negative")
+
+
+@dataclass(frozen=True)
+class ProductCacheOptions:
+    """Configuration for the :class:`DataStore` product cache.
+
+    Products are immutable once written, so the cache never needs
+    invalidation; these knobs only bound its footprint.  Disabling the
+    cache removes it entirely (the load paths skip every cache branch).
+    """
+
+    #: whether the datastore keeps a client-side product cache at all
+    enabled: bool = True
+    #: total serialized bytes the cache may hold
+    max_bytes: int = 64 * 1024 * 1024
+    #: maximum number of cached products
+    max_entries: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.max_bytes <= 0:
+            raise HEPnOSError("max_bytes must be positive")
+        if self.max_entries <= 0:
+            raise HEPnOSError("max_entries must be positive")
 
 
 def resolve_options(options, legacy: dict, options_type, owner: str):

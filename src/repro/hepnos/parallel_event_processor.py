@@ -319,10 +319,19 @@ class ParallelEventProcessor:
         prefetched: dict[tuple[str, str], list] = {}
         with _tracing.span("pep.materialize", events=len(event_keys),
                            products=len(self.products)):
-            for tname, label in self.products:
-                prefetched[(tname, label)] = self.datastore.load_products_bulk(
-                    event_keys, tname, label=label
+            if self.products and self.options.packed_loads:
+                # One packed prefix-scan RPC per database covers every
+                # event and every product spec at once.
+                prefetched = self.datastore.load_products_packed(
+                    event_keys, self.products
                 )
+            else:
+                for tname, label in self.products:
+                    prefetched[(tname, label)] = (
+                        self.datastore.load_products_bulk(
+                            event_keys, tname, label=label
+                        )
+                    )
         return self._stubs_from(subrun, event_keys, prefetched)
 
     def _stubs_from(self, subrun, event_keys: list[bytes],

@@ -94,10 +94,19 @@ class Prefetcher:
         products: dict[tuple[str, str], list] = {}
         with _tracing.span("hepnos.prefetch.page", events=len(event_keys),
                            products=len(self.products)):
-            for tname, label in self.products:
-                products[(tname, label)] = self.datastore.load_products_bulk(
-                    event_keys, tname, label=label
+            if self.products and self.options.packed_loads:
+                # One packed prefix-scan RPC per database covers every
+                # event and every product spec at once.
+                products = self.datastore.load_products_packed(
+                    event_keys, self.products
                 )
+            else:
+                for tname, label in self.products:
+                    products[(tname, label)] = (
+                        self.datastore.load_products_bulk(
+                            event_keys, tname, label=label
+                        )
+                    )
         yield from self._emit(subrun, event_keys, products)
 
     # -- double-buffered path ----------------------------------------------

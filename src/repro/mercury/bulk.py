@@ -89,6 +89,22 @@ class Bulk:
             )
         return bytes(self._buffer[offset : offset + size])
 
+    def view(self, offset: int = 0, size: Optional[int] = None) -> memoryview:
+        """Zero-copy window into the region (same bounds as :meth:`read`).
+
+        The fabric's transfer path reads through views so an RDMA-style
+        move is one copy (into the destination region), not two.  The
+        view pins the backing buffer while it is alive.
+        """
+        if size is None:
+            size = len(self._buffer) - offset
+        if offset < 0 or offset + size > len(self._buffer):
+            raise ValueError(
+                f"bulk view [{offset}, {offset + size}) out of bounds "
+                f"(region is {len(self._buffer)} bytes)"
+            )
+        return memoryview(self._buffer)[offset : offset + size]
+
     def write(self, data: bytes, offset: int = 0) -> None:
         """Owner-or-fabric access: copy bytes into the region."""
         if offset < 0 or offset + len(data) > len(self._buffer):

@@ -86,11 +86,13 @@ class RPCRequest:
                        len(local_bulk) - local_offset)
         if size < 0:
             raise ValueError("negative transfer size")
+        # Source data moves as a zero-copy view; the fault model only
+        # materializes a mutable copy when it actually corrupts bytes.
         if op is BulkOp.PULL:
             if not remote_bulk.readable:
                 raise RPCError("remote bulk region is not readable")
             self.fabric.check_send(remote_bulk.owner_address, self.target, size)
-            data = remote_bulk.read(remote_offset, size)
+            data = remote_bulk.view(remote_offset, size)
             data = self.fabric.corrupt_payload(
                 remote_bulk.owner_address, self.target, data)
             local_bulk.write(data, local_offset)
@@ -98,7 +100,7 @@ class RPCRequest:
             if not remote_bulk.writable:
                 raise RPCError("remote bulk region is not writable")
             self.fabric.check_send(self.target, remote_bulk.owner_address, size)
-            data = local_bulk.read(local_offset, size)
+            data = local_bulk.view(local_offset, size)
             data = self.fabric.corrupt_payload(
                 self.target, remote_bulk.owner_address, data)
             remote_bulk.write(data, remote_offset)

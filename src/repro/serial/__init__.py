@@ -23,6 +23,10 @@ from repro.serial.archive import (
     type_name,
     class_version,
     serializable,
+    compiled_for,
+    fast_path,
+    fast_path_enabled,
+    set_fast_path,
 )
 
 __all__ = [
@@ -35,4 +39,8 @@ __all__ = [
     "type_name",
     "class_version",
     "serializable",
+    "compiled_for",
+    "fast_path",
+    "fast_path_enabled",
+    "set_fast_path",
 ]

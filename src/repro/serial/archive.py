@@ -24,14 +24,33 @@ typical implementation is::
 
 Plain ``@dataclass`` types need no ``serialize`` method: their fields
 are visited in declaration order.
+
+Two implementations produce this format.  The *interpreted* path in
+this module handles every serializable value and is the reference
+semantics.  Registration additionally tries to build a *compiled*
+per-class encoder/decoder pair (:mod:`repro.serial.compiled`) that
+emits byte-identical output with the per-field dispatch specialized
+away; the archives consult the compiled tables first and fall back to
+the interpreted path for anything the compiler declined.  The fast
+path can be pinned off (e.g. to use the interpreted path as a
+differential-test oracle) with :func:`set_fast_path` or the
+:class:`fast_path` context manager.
+
+Decoding is zero-copy friendly: :class:`InputArchive` (and
+:func:`loads`) accept ``bytes``, ``bytearray`` or ``memoryview`` and
+read by position instead of copying the input into a stream.  Passing
+a view decodes straight out of the caller's buffer -- the archive
+holds a ``memoryview`` over it, which also pins the backing buffer for
+the life of the decode.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import inspect
 import io
 import struct
-from typing import Any, Callable, Optional, Type
+from typing import Any, Callable, Optional, Union
 
 import numpy as np
 
@@ -55,6 +74,22 @@ _T_OBJECT = 12
 _T_COMPLEX = 13
 _T_FROZENSET = 14
 
+_TAG_NONE = bytes((_T_NONE,))
+_TAG_FALSE = bytes((_T_FALSE,))
+_TAG_TRUE = bytes((_T_TRUE,))
+_TAG_INT = bytes((_T_INT,))
+_TAG_FLOAT = bytes((_T_FLOAT,))
+_TAG_STR = bytes((_T_STR,))
+_TAG_BYTES = bytes((_T_BYTES,))
+_TAG_LIST = bytes((_T_LIST,))
+_TAG_TUPLE = bytes((_T_TUPLE,))
+_TAG_DICT = bytes((_T_DICT,))
+_TAG_SET = bytes((_T_SET,))
+_TAG_NDARRAY = bytes((_T_NDARRAY,))
+_TAG_OBJECT = bytes((_T_OBJECT,))
+_TAG_COMPLEX = bytes((_T_COMPLEX,))
+_TAG_FROZENSET = bytes((_T_FROZENSET,))
+
 _FLOAT_STRUCT = struct.Struct("<d")
 _COMPLEX_STRUCT = struct.Struct("<dd")
 
@@ -64,6 +99,69 @@ _BY_NAME: dict[str, type] = {}
 _BY_TYPE: dict[type, str] = {}
 _VERSIONS: dict[type, int] = {}
 _TAKES_VERSION: dict[type, bool] = {}
+
+# -- compiled serializer tables ----------------------------------------------
+#
+# ``_ALL_*`` hold every compiled function ever built; ``_ENCODERS`` /
+# ``_DECODERS`` are the tables the hot path actually consults.  When
+# the fast path is enabled they alias the ``_ALL_*`` tables; disabling
+# rebinds them to empty dicts, so the interpreted path runs with no
+# per-value flag check.
+
+_ALL_ENCODERS: dict[type, Callable] = {}
+_ALL_DECODERS: dict[type, tuple[int, Callable]] = {}
+_ENCODERS: dict[type, Callable] = _ALL_ENCODERS
+_DECODERS: dict[type, tuple[int, Callable]] = _ALL_DECODERS
+#: (name, version) each class was last compiled (or found uncompilable)
+#: against, so re-registration is a no-op and version bumps recompile.
+_COMPILE_KEY: dict[type, tuple[str, int]] = {}
+
+_FAST_PATH = True
+
+
+def fast_path_enabled() -> bool:
+    """Whether compiled serializers are currently dispatched."""
+    return _FAST_PATH
+
+
+def set_fast_path(enabled: bool) -> bool:
+    """Enable/disable the compiled fast path; returns the previous state.
+
+    Disabling routes every encode/decode through the interpreted
+    reference implementation (the differential-test oracle).  The wire
+    format is identical either way.
+    """
+    global _FAST_PATH, _ENCODERS, _DECODERS
+    previous = _FAST_PATH
+    _FAST_PATH = bool(enabled)
+    if _FAST_PATH:
+        _ENCODERS = _ALL_ENCODERS
+        _DECODERS = _ALL_DECODERS
+    else:
+        _ENCODERS = {}
+        _DECODERS = {}
+    return previous
+
+
+class fast_path:
+    """Context manager pinning the compiled fast path on or off."""
+
+    def __init__(self, enabled: bool):
+        self._enabled = enabled
+        self._previous: Optional[bool] = None
+
+    def __enter__(self) -> "fast_path":
+        self._previous = set_fast_path(self._enabled)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        set_fast_path(self._previous)
+        return False
+
+
+def compiled_for(cls: type) -> tuple[bool, bool]:
+    """(has compiled encoder, has compiled decoder) for ``cls``."""
+    return cls in _ALL_ENCODERS, cls in _ALL_DECODERS
 
 
 def register_type(cls: type, name: Optional[str] = None,
@@ -80,6 +178,11 @@ def register_type(cls: type, name: Optional[str] = None,
     method declared as ``serialize(self, ar, version)`` receives it on
     input (and the current version on output), so newer code can read
     older data.
+
+    Registration is also when the fast path is set up: the signature of
+    ``serialize`` is inspected once (not lazily on first encode), and a
+    compiled encoder/decoder pair is generated when the class is
+    eligible (see :mod:`repro.serial.compiled`).
     """
     label = name if name is not None else cls.__qualname__
     existing = _BY_NAME.get(label)
@@ -92,7 +195,33 @@ def register_type(cls: type, name: Optional[str] = None,
     _BY_NAME[label] = cls
     _BY_TYPE[cls] = label
     _VERSIONS[cls] = version
+    if cls not in _TAKES_VERSION:
+        _TAKES_VERSION[cls] = _compute_takes_version(cls)
+    _maybe_compile(cls, label, version)
     return cls
+
+
+def _maybe_compile(cls: type, label: str, version: int) -> None:
+    key = (label, version)
+    if _COMPILE_KEY.get(cls) == key:
+        return
+    _COMPILE_KEY[cls] = key
+    _ALL_ENCODERS.pop(cls, None)
+    _ALL_DECODERS.pop(cls, None)
+    # Late import: the compiler needs this module's constants.
+    from repro.serial import compiled as _compiled
+
+    try:
+        plan = _compiled.compile_class(cls, label, version)
+    except Exception:  # pragma: no cover - compilation is best-effort
+        plan = None
+    if plan is None:
+        return
+    encoder, decoder = plan
+    if encoder is not None:
+        _ALL_ENCODERS[cls] = encoder
+    if decoder is not None:
+        _ALL_DECODERS[cls] = (version, decoder)
 
 
 def class_version(cls: type) -> int:
@@ -100,21 +229,22 @@ def class_version(cls: type) -> int:
     return _VERSIONS.get(cls, 0)
 
 
+def _compute_takes_version(cls: type) -> bool:
+    serialize = getattr(cls, "serialize", None)
+    if serialize is None:
+        return False
+    try:
+        parameters = inspect.signature(serialize).parameters
+        # self, ar, version
+        return len(parameters) >= 3
+    except (TypeError, ValueError):  # pragma: no cover - builtins
+        return False
+
+
 def _serialize_takes_version(cls: type) -> bool:
     cached = _TAKES_VERSION.get(cls)
     if cached is None:
-        import inspect
-
-        serialize = getattr(cls, "serialize", None)
-        if serialize is None:
-            cached = False
-        else:
-            try:
-                parameters = inspect.signature(serialize).parameters
-                # self, ar, version
-                cached = len(parameters) >= 3
-            except (TypeError, ValueError):  # pragma: no cover - builtins
-                cached = False
+        cached = _compute_takes_version(cls)
         _TAKES_VERSION[cls] = cached
     return cached
 
@@ -160,20 +290,6 @@ def _write_uvarint(buf: io.BytesIO, value: int) -> None:
             return
 
 
-def _read_uvarint(buf: io.BytesIO) -> int:
-    shift = 0
-    result = 0
-    while True:
-        raw = buf.read(1)
-        if not raw:
-            raise SerializationError("truncated varint")
-        byte = raw[0]
-        result |= (byte & 0x7F) << shift
-        if not byte & 0x80:
-            return result
-        shift += 7
-
-
 def _zigzag(value: int) -> int:
     # Generalized zigzag: works for arbitrary-precision Python ints.
     return (value << 1) if value >= 0 else ((-value << 1) - 1)
@@ -211,53 +327,60 @@ class OutputArchive:
     def _write_value(self, value: Any) -> None:
         buf = self._buf
         if value is None:
-            buf.write(bytes((_T_NONE,)))
-        elif value is True:
-            buf.write(bytes((_T_TRUE,)))
-        elif value is False:
-            buf.write(bytes((_T_FALSE,)))
-        elif isinstance(value, (int, np.integer)) and not isinstance(value, bool):
-            buf.write(bytes((_T_INT,)))
+            buf.write(_TAG_NONE)
+            return
+        if value is True:
+            buf.write(_TAG_TRUE)
+            return
+        if value is False:
+            buf.write(_TAG_FALSE)
+            return
+        encoder = _ENCODERS.get(value.__class__)
+        if encoder is not None:
+            encoder(value, self)
+            return
+        if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+            buf.write(_TAG_INT)
             _write_uvarint(buf, _zigzag(int(value)))
         elif isinstance(value, (float, np.floating)):
-            buf.write(bytes((_T_FLOAT,)))
+            buf.write(_TAG_FLOAT)
             buf.write(_FLOAT_STRUCT.pack(float(value)))
         elif isinstance(value, complex):
-            buf.write(bytes((_T_COMPLEX,)))
+            buf.write(_TAG_COMPLEX)
             buf.write(_COMPLEX_STRUCT.pack(value.real, value.imag))
         elif isinstance(value, str):
             data = value.encode("utf-8")
-            buf.write(bytes((_T_STR,)))
+            buf.write(_TAG_STR)
             _write_uvarint(buf, len(data))
             buf.write(data)
         elif isinstance(value, (bytes, bytearray, memoryview)):
             data = bytes(value)
-            buf.write(bytes((_T_BYTES,)))
+            buf.write(_TAG_BYTES)
             _write_uvarint(buf, len(data))
             buf.write(data)
         elif isinstance(value, np.ndarray):
             self._write_ndarray(value)
         elif isinstance(value, list):
-            buf.write(bytes((_T_LIST,)))
+            buf.write(_TAG_LIST)
             _write_uvarint(buf, len(value))
             for item in value:
                 self._write_value(item)
         elif isinstance(value, tuple):
-            buf.write(bytes((_T_TUPLE,)))
+            buf.write(_TAG_TUPLE)
             _write_uvarint(buf, len(value))
             for item in value:
                 self._write_value(item)
         elif isinstance(value, dict):
-            buf.write(bytes((_T_DICT,)))
+            buf.write(_TAG_DICT)
             _write_uvarint(buf, len(value))
             for key, item in value.items():
                 self._write_value(key)
                 self._write_value(item)
         elif isinstance(value, frozenset):
-            buf.write(bytes((_T_FROZENSET,)))
+            buf.write(_TAG_FROZENSET)
             self._write_set_body(value)
         elif isinstance(value, set):
-            buf.write(bytes((_T_SET,)))
+            buf.write(_TAG_SET)
             self._write_set_body(value)
         elif _is_user_object(value):
             self._write_object(value)
@@ -283,7 +406,7 @@ class OutputArchive:
         if arr.dtype.hasobject:
             raise SerializationError("object-dtype arrays are not serializable")
         buf = self._buf
-        buf.write(bytes((_T_NDARRAY,)))
+        buf.write(_TAG_NDARRAY)
         dtype_str = arr.dtype.str.encode("ascii")
         _write_uvarint(buf, len(dtype_str))
         buf.write(dtype_str)
@@ -296,10 +419,12 @@ class OutputArchive:
 
     def _write_object(self, value: Any) -> None:
         buf = self._buf
-        buf.write(bytes((_T_OBJECT,)))
+        buf.write(_TAG_OBJECT)
         name = type_name(value)
         if name not in _BY_NAME:
-            # Auto-register so round-trips within one process always work.
+            # Auto-register so round-trips within one process always
+            # work (later encodes of this class may then dispatch to
+            # the just-compiled encoder -- same bytes either way).
             register_type(type(value), name)
         encoded = name.encode("utf-8")
         _write_uvarint(buf, len(encoded))
@@ -310,13 +435,22 @@ class OutputArchive:
 
 
 class InputArchive:
-    """Deserializes values from a byte string."""
+    """Deserializes values from a bytes-like buffer.
+
+    Accepts ``bytes``, ``bytearray`` or ``memoryview``.  Reads are
+    positional -- nothing is copied up front, and a view input is
+    decoded in place (the archive's reference pins the backing buffer).
+    """
 
     is_output = False
     is_input = True
 
-    def __init__(self, data: bytes) -> None:
-        self._buf = io.BytesIO(data)
+    def __init__(self, data: Union[bytes, bytearray, memoryview]) -> None:
+        if isinstance(data, (bytearray, memoryview)):
+            data = memoryview(data)
+        self._data = data
+        self._len = len(data)
+        self._pos = 0
 
     def io(self, _ignored: Any = None) -> Any:
         """Read and return the next value (argument is ignored)."""
@@ -325,84 +459,164 @@ class InputArchive:
     __call__ = io
 
     def at_end(self) -> bool:
-        pos = self._buf.tell()
-        more = self._buf.read(1)
-        self._buf.seek(pos)
-        return not more
+        return self._pos >= self._len
 
     # -- decoders ---------------------------------------------------------
 
-    def _read_exact(self, n: int) -> bytes:
-        data = self._buf.read(n)
-        if len(data) != n:
+    def _read_exact(self, n: int):
+        pos = self._pos
+        end = pos + n
+        if end > self._len:
             raise SerializationError(f"truncated archive: wanted {n} bytes")
-        return data
+        self._pos = end
+        return self._data[pos:end]
+
+    def _read_uvarint(self) -> int:
+        data = self._data
+        length = self._len
+        pos = self._pos
+        shift = 0
+        result = 0
+        while True:
+            if pos >= length:
+                raise SerializationError("truncated varint")
+            byte = data[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                self._pos = pos
+                return result
+            shift += 7
 
     def _read_value(self) -> Any:
-        tag = self._read_exact(1)[0]
-        if tag == _T_NONE:
-            return None
-        if tag == _T_TRUE:
-            return True
-        if tag == _T_FALSE:
-            return False
-        if tag == _T_INT:
-            return _unzigzag(_read_uvarint(self._buf))
-        if tag == _T_FLOAT:
-            return _FLOAT_STRUCT.unpack(self._read_exact(8))[0]
-        if tag == _T_COMPLEX:
-            real, imag = _COMPLEX_STRUCT.unpack(self._read_exact(16))
-            return complex(real, imag)
-        if tag == _T_STR:
-            n = _read_uvarint(self._buf)
-            return self._read_exact(n).decode("utf-8")
-        if tag == _T_BYTES:
-            n = _read_uvarint(self._buf)
-            return self._read_exact(n)
-        if tag == _T_LIST:
-            n = _read_uvarint(self._buf)
-            return [self._read_value() for _ in range(n)]
-        if tag == _T_TUPLE:
-            n = _read_uvarint(self._buf)
-            return tuple(self._read_value() for _ in range(n))
-        if tag == _T_DICT:
-            n = _read_uvarint(self._buf)
-            return {self._read_value(): self._read_value() for _ in range(n)}
-        if tag == _T_SET:
-            n = _read_uvarint(self._buf)
-            return {self._read_value() for _ in range(n)}
-        if tag == _T_FROZENSET:
-            n = _read_uvarint(self._buf)
-            return frozenset(self._read_value() for _ in range(n))
-        if tag == _T_NDARRAY:
-            return self._read_ndarray()
-        if tag == _T_OBJECT:
-            return self._read_object()
-        raise SerializationError(f"unknown type tag {tag}")
+        pos = self._pos
+        if pos >= self._len:
+            raise SerializationError("truncated archive: wanted 1 bytes")
+        tag = self._data[pos]
+        self._pos = pos + 1
+        if tag >= len(_READERS):
+            raise SerializationError(f"unknown type tag {tag}")
+        return _READERS[tag](self)
 
-    def _read_ndarray(self) -> np.ndarray:
-        n = _read_uvarint(self._buf)
-        dtype = np.dtype(self._read_exact(n).decode("ascii"))
-        ndim = _read_uvarint(self._buf)
-        shape = tuple(_read_uvarint(self._buf) for _ in range(ndim))
-        nbytes = _read_uvarint(self._buf)
-        data = self._read_exact(nbytes)
-        return np.frombuffer(data, dtype=dtype).reshape(shape).copy()
 
-    def _read_object(self) -> Any:
-        n = _read_uvarint(self._buf)
-        name = self._read_exact(n).decode("utf-8")
-        cls = registered_type(name)
-        stored_version = _read_uvarint(self._buf)
-        # Like Boost, deserialization prefers default construction so the
-        # object's serialize method can read its own (default) members;
-        # fall back to allocation-only for types without a no-arg init.
-        try:
-            obj = cls()
-        except TypeError:
-            obj = cls.__new__(cls)
-        _visit_fields(obj, self, stored_version)
-        return obj
+def _read_none(ar: InputArchive):
+    return None
+
+
+def _read_false(ar: InputArchive):
+    return False
+
+
+def _read_true(ar: InputArchive):
+    return True
+
+
+def _read_int(ar: InputArchive):
+    value = ar._read_uvarint()
+    return (value >> 1) ^ -(value & 1)
+
+
+_FLOAT_UNPACK_FROM = _FLOAT_STRUCT.unpack_from
+
+
+def _read_float(ar: InputArchive):
+    pos = ar._pos
+    end = pos + 8
+    if end > ar._len:
+        raise SerializationError("truncated archive: wanted 8 bytes")
+    ar._pos = end
+    return _FLOAT_UNPACK_FROM(ar._data, pos)[0]
+
+
+def _read_complex(ar: InputArchive):
+    real, imag = _COMPLEX_STRUCT.unpack(ar._read_exact(16))
+    return complex(real, imag)
+
+
+def _read_str(ar: InputArchive):
+    n = ar._read_uvarint()
+    return str(ar._read_exact(n), "utf-8")
+
+
+def _read_bytes(ar: InputArchive):
+    return bytes(ar._read_exact(ar._read_uvarint()))
+
+
+def _read_list(ar: InputArchive):
+    read = ar._read_value
+    return [read() for _ in range(ar._read_uvarint())]
+
+
+def _read_tuple(ar: InputArchive):
+    read = ar._read_value
+    return tuple(read() for _ in range(ar._read_uvarint()))
+
+
+def _read_dict(ar: InputArchive):
+    read = ar._read_value
+    return {read(): read() for _ in range(ar._read_uvarint())}
+
+
+def _read_set(ar: InputArchive):
+    read = ar._read_value
+    return {read() for _ in range(ar._read_uvarint())}
+
+
+def _read_frozenset(ar: InputArchive):
+    read = ar._read_value
+    return frozenset(read() for _ in range(ar._read_uvarint()))
+
+
+def _read_ndarray(ar: InputArchive) -> np.ndarray:
+    n = ar._read_uvarint()
+    dtype = np.dtype(str(ar._read_exact(n), "ascii"))
+    ndim = ar._read_uvarint()
+    shape = tuple(ar._read_uvarint() for _ in range(ndim))
+    nbytes = ar._read_uvarint()
+    data = ar._read_exact(nbytes)
+    return np.frombuffer(data, dtype=dtype).reshape(shape).copy()
+
+
+def _read_object(ar: InputArchive) -> Any:
+    n = ar._read_uvarint()
+    name = str(ar._read_exact(n), "utf-8")
+    cls = registered_type(name)
+    stored_version = ar._read_uvarint()
+    entry = _DECODERS.get(cls)
+    if entry is not None and entry[0] == stored_version:
+        # A compiled decoder only exists for the version it was built
+        # against; any other stored version (schema evolution) takes
+        # the interpreted path below.
+        return entry[1](ar)
+    # Like Boost, deserialization prefers default construction so the
+    # object's serialize method can read its own (default) members;
+    # fall back to allocation-only for types without a no-arg init.
+    try:
+        obj = cls()
+    except TypeError:
+        obj = cls.__new__(cls)
+    _visit_fields(obj, ar, stored_version)
+    return obj
+
+
+#: tag-indexed dispatch table (index == tag value).
+_READERS = (
+    _read_none,       # _T_NONE
+    _read_false,      # _T_FALSE
+    _read_true,       # _T_TRUE
+    _read_int,        # _T_INT
+    _read_float,      # _T_FLOAT
+    _read_str,        # _T_STR
+    _read_bytes,      # _T_BYTES
+    _read_list,       # _T_LIST
+    _read_tuple,      # _T_TUPLE
+    _read_dict,       # _T_DICT
+    _read_set,        # _T_SET
+    _read_ndarray,    # _T_NDARRAY
+    _read_object,     # _T_OBJECT
+    _read_complex,    # _T_COMPLEX
+    _read_frozenset,  # _T_FROZENSET
+)
 
 
 def _visit_fields(obj: Any, ar, version: int = 0) -> None:
@@ -440,10 +654,14 @@ def dumps(value: Any) -> bytes:
     return ar.getvalue()
 
 
-def loads(data: bytes) -> Any:
-    """Deserialize a single value from bytes."""
+def loads(data: Union[bytes, bytearray, memoryview]) -> Any:
+    """Deserialize a single value from a bytes-like buffer.
+
+    Zero-copy: a ``memoryview`` argument is decoded in place, without
+    materializing the buffer as ``bytes`` first.
+    """
     ar = InputArchive(data)
-    value = ar.io()
-    if not ar.at_end():
+    value = ar._read_value()
+    if ar._pos != ar._len:
         raise SerializationError("trailing bytes after value")
     return value

@@ -23,6 +23,7 @@ import json
 import os
 import struct
 import zlib
+from collections import OrderedDict
 from typing import Iterator, Optional, Tuple
 
 from repro.errors import CorruptionError, KeyNotFound
@@ -62,7 +63,7 @@ class BTreeBackend(Backend):
         os.makedirs(path, exist_ok=True)
         self._data_path = os.path.join(path, "btree.dat")
         self._head_path = os.path.join(path, "btree.head")
-        self._cache: dict[int, _Node] = {}
+        self._cache: "OrderedDict[int, _Node]" = OrderedDict()
         self._root: Optional[int] = None
         self._count = 0
         self._pending = 0
@@ -110,6 +111,7 @@ class BTreeBackend(Backend):
     def _read_node(self, offset: int) -> _Node:
         node = self._cache.get(offset)
         if node is not None:
+            self._cache.move_to_end(offset)
             return node
         # Reads may hit the tail still in the write buffer.
         self._data.flush()
@@ -128,10 +130,10 @@ class BTreeBackend(Backend):
         return node
 
     def _cache_put(self, offset: int, node: _Node) -> None:
-        if len(self._cache) >= self._cache_limit:
-            # Drop an arbitrary ~quarter of entries; fine for a cache.
-            for stale in list(self._cache)[: self._cache_limit // 4]:
-                del self._cache[stale]
+        existing = self._cache.pop(offset, None)
+        if existing is None:
+            while len(self._cache) >= self._cache_limit:
+                self._cache.popitem(last=False)
         self._cache[offset] = node
 
     # -- tree ops ---------------------------------------------------------

@@ -24,7 +24,7 @@ from repro.faults.retry import RetryPolicy
 from repro.mercury import Address, Bulk, Engine
 from repro.monitor import tracing as _tracing
 from repro.serial import dumps, loads
-from repro.yokan import wire
+from repro.yokan import packed, wire
 from repro.yokan.nonblocking import OperationFuture, _ResizeNeeded
 
 #: Error kinds that travel over the wire and rehydrate into their
@@ -212,7 +212,47 @@ class DatabaseHandle:
                 capacity = result.needed
                 continue
             nbytes, _crc = result
-            return loads(bytes(buffer[:nbytes]))
+            # Zero-copy decode straight out of the landing buffer; only
+            # the individual values are materialized as bytes.
+            return loads(memoryview(buffer)[:nbytes])
+
+    def load_prefix_packed(self, prefixes: Sequence[bytes],
+                           size_hint: int = 0
+                           ) -> list[list[Tuple[bytes, memoryview]]]:
+        """Fetch *all* pairs under each prefix: one RPC, one RDMA push.
+
+        Returns one group per prefix, in request order; values are
+        zero-copy ``memoryview`` slices of the landing buffer (the views
+        pin it, copy if you need the bytes to outlive the result).  The
+        packed buffer's CRC is verified inside the retry loop, so a
+        corrupted push re-issues the RPC; an undersized landing buffer
+        costs one retry round-trip with the provider's requested size.
+        """
+        prefixes = [bytes(p) for p in prefixes]
+        if not prefixes:
+            return []
+        capacity = size_hint or (4096 * len(prefixes))
+        while True:
+            buffer = bytearray(capacity)
+            bulk = self._engine.expose(buffer, Bulk.READ_WRITE)
+
+            def check(result, _buffer=buffer):
+                if isinstance(result, _Retry):
+                    return
+                _ngroups, nbytes, crc = result
+                wire.verify_bulk(memoryview(_buffer)[:nbytes], crc,
+                                 "load_prefix_packed landing buffer")
+
+            result = self._call(
+                "yokan.load_prefix_packed",
+                (self.name, prefixes, bulk, capacity),
+                prefixes=len(prefixes), _validate=check,
+            )
+            if isinstance(result, _Retry):
+                capacity = result.needed
+                continue
+            ngroups, nbytes, _crc = result
+            return packed.unpack_groups(memoryview(buffer)[:nbytes], ngroups)
 
     # -- non-blocking operations ------------------------------------------
 
@@ -272,7 +312,7 @@ class DatabaseHandle:
             nbytes, crc = result
             wire.verify_bulk(memoryview(state["buffer"])[:nbytes], crc,
                              "get landing buffer")
-            (value,) = loads(bytes(state["buffer"][:nbytes]))
+            (value,) = loads(memoryview(state["buffer"])[:nbytes])
             if value is None:
                 raise KeyNotFound(repr(key))
             return value
@@ -315,7 +355,7 @@ class DatabaseHandle:
             nbytes, crc = result
             wire.verify_bulk(memoryview(state["buffer"])[:nbytes], crc,
                              "get_multi landing buffer")
-            return loads(bytes(state["buffer"][:nbytes]))
+            return loads(memoryview(state["buffer"])[:nbytes])
 
         return self._future(issue, finish,
                             f"get_multi[{len(keys)}]@{self.name}",

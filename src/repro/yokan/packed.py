@@ -1,0 +1,96 @@
+"""Length-prefixed packing for prefix-scan batch loads.
+
+The ``yokan.load_prefix_packed`` RPC moves every key/value pair under a
+list of key prefixes in a single bulk transfer.  The buffer layout is
+deliberately dumber than the general archive format so both ends can
+stream it without object overhead:
+
+- one *group* per requested prefix, in request order;
+- each group is ``uvarint(npairs)`` followed by ``npairs`` entries of
+  ``uvarint(klen) + key + uvarint(vlen) + value``.
+
+:func:`unpack_groups` returns values as ``memoryview`` slices over the
+caller's buffer -- the landing buffer is decoded zero-copy and the
+views pin it alive.  Callers that outlive the buffer must copy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import CorruptionError
+
+
+def _append_uvarint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def pack_groups(groups: Sequence[Iterable[Tuple[bytes, bytes]]]) -> bytes:
+    """Pack per-prefix ``(key, value)`` pair groups into one buffer."""
+    out = bytearray()
+    for pairs in groups:
+        pairs = list(pairs)
+        _append_uvarint(out, len(pairs))
+        for key, value in pairs:
+            _append_uvarint(out, len(key))
+            out += key
+            _append_uvarint(out, len(value))
+            out += value
+    return bytes(out)
+
+
+def _read_uvarint(data, pos: int, end: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= end:
+            raise CorruptionError("truncated varint in packed buffer")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def unpack_groups(buffer, ngroups: int) -> List[List[Tuple[bytes, memoryview]]]:
+    """Decode ``ngroups`` packed pair groups out of ``buffer``.
+
+    Keys come back as ``bytes`` (they are small and get used as dict
+    keys); values are zero-copy ``memoryview`` slices of ``buffer``.
+    """
+    view = buffer if isinstance(buffer, memoryview) else memoryview(buffer)
+    end = len(view)
+    pos = 0
+    groups: List[List[Tuple[bytes, memoryview]]] = []
+    for _ in range(ngroups):
+        npairs, pos = _read_uvarint(view, pos, end)
+        pairs: List[Tuple[bytes, memoryview]] = []
+        for _ in range(npairs):
+            klen, pos = _read_uvarint(view, pos, end)
+            if pos + klen > end:
+                raise CorruptionError("truncated key in packed buffer")
+            key = bytes(view[pos:pos + klen])
+            pos += klen
+            vlen, pos = _read_uvarint(view, pos, end)
+            if pos + vlen > end:
+                raise CorruptionError("truncated value in packed buffer")
+            pairs.append((key, view[pos:pos + vlen]))
+            pos += vlen
+        groups.append(pairs)
+    if pos != end:
+        raise CorruptionError(
+            f"trailing bytes in packed buffer ({end - pos} after "
+            f"{ngroups} groups)"
+        )
+    return groups
+
+
+__all__ = ["pack_groups", "unpack_groups"]

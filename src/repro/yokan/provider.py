@@ -16,7 +16,7 @@ from repro.errors import CorruptionError, KeyNotFound, ReproError, YokanError
 from repro.mercury import Bulk, BulkOp, Engine, RPCRequest
 from repro.monitor import tracing as _tracing
 from repro.serial import dumps, loads
-from repro.yokan import wire
+from repro.yokan import packed, wire
 from repro.yokan.backend import Backend, open_backend
 
 #: RPC names served by every Yokan provider.
@@ -25,6 +25,7 @@ RPC_NAMES = (
     "yokan.put_multi",
     "yokan.get",
     "yokan.get_multi",
+    "yokan.load_prefix_packed",
     "yokan.exists",
     "yokan.erase",
     "yokan.erase_multi",
@@ -197,6 +198,32 @@ class YokanProvider:
             # The client verifies its landing buffer against this CRC
             # before decoding, retrying the RPC on a corrupted push.
             return _ok((len(packed), wire.checksum(packed)))
+        except _HANDLED_ERRORS as exc:
+            return _err(exc)
+
+    def _rpc_load_prefix_packed(self, req: RPCRequest) -> bytes:
+        """Scan every requested prefix and push one packed buffer back.
+
+        Where ``get_multi`` needs the client to already know each key,
+        this serves *whole events*: one server-side ordered scan per
+        prefix, all pairs length-prefix packed (:mod:`repro.yokan.packed`)
+        and moved in a single RDMA push.  The response carries the group
+        count, packed size, and CRC for client-side verification.
+        """
+        try:
+            name, prefixes, bulk, capacity = loads(req.payload)
+            db = self._db(name)
+            groups = [list(db.scan_prefix(bytes(p))) for p in prefixes]
+            buffer = packed.pack_groups(groups)
+            if req.trace_span is not None:
+                req.trace_span.set_tag("db", name)
+                req.trace_span.set_tag("prefixes", len(groups))
+                req.trace_span.set_tag("bytes", len(buffer))
+            if len(buffer) > capacity:
+                return dumps(("retry", len(buffer)))
+            local = self.engine.expose(bytearray(buffer), Bulk.READ_ONLY)
+            req.bulk_transfer(BulkOp.PUSH, bulk, local, size=len(buffer))
+            return _ok((len(groups), len(buffer), wire.checksum(buffer)))
         except _HANDLED_ERRORS as exc:
             return _err(exc)
 

@@ -22,23 +22,35 @@ _CRC_SIZE = 4
 
 
 def checksum(data) -> int:
-    """CRC32 of ``data`` (bytes-like), as an unsigned 32-bit int."""
-    return zlib.crc32(bytes(data)) & 0xFFFFFFFF
+    """CRC32 of ``data`` (any buffer), as an unsigned 32-bit int.
+
+    Zero-copy: ``zlib.crc32`` consumes the buffer protocol directly, so
+    passing a ``memoryview`` checksums in place.
+    """
+    return zlib.crc32(data) & 0xFFFFFFFF
 
 
 def seal(body: bytes) -> bytes:
     """Prepend the CRC32 envelope to ``body``."""
+    if not isinstance(body, bytes):
+        body = bytes(body)
     return checksum(body).to_bytes(_CRC_SIZE, "big") + body
 
 
-def unseal(envelope: bytes) -> bytes:
-    """Verify and strip the CRC32 envelope; raise on any damage."""
-    if len(envelope) < _CRC_SIZE:
+def unseal(envelope) -> memoryview:
+    """Verify and strip the CRC32 envelope; raise on any damage.
+
+    Returns a ``memoryview`` over the envelope's body -- no copy.  The
+    view keeps the envelope's buffer alive, and feeds straight into the
+    positional decoder (:func:`repro.serial.loads`).
+    """
+    view = envelope if isinstance(envelope, memoryview) else memoryview(envelope)
+    if len(view) < _CRC_SIZE:
         raise CorruptionError(
-            f"short wire envelope ({len(envelope)}B, need >= {_CRC_SIZE}B)"
+            f"short wire envelope ({len(view)}B, need >= {_CRC_SIZE}B)"
         )
-    expected = int.from_bytes(envelope[:_CRC_SIZE], "big")
-    body = envelope[_CRC_SIZE:]
+    expected = int.from_bytes(view[:_CRC_SIZE], "big")
+    body = view[_CRC_SIZE:]
     actual = checksum(body)
     if actual != expected:
         raise CorruptionError(

@@ -1,0 +1,292 @@
+"""Tests for the data-plane fast paths: packed prefix loads, the
+client-side product cache, and the btree node-cache LRU."""
+
+import pytest
+
+from conftest import deploy
+from repro.errors import CorruptionError, ProductNotFound
+from repro.hepnos import (
+    DataStore,
+    ParallelEventProcessor,
+    PEPOptions,
+    Prefetcher,
+    PrefetchOptions,
+    ProductCache,
+    ProductCacheOptions,
+    WriteBatch,
+    vector_of,
+)
+from repro.serial import serializable
+from repro.yokan import packed
+from repro.yokan.backends.btree import BTreeBackend
+
+
+@serializable("dp.Hit")
+class Hit:
+    def __init__(self, adc=0.0):
+        self.adc = adc
+
+    def serialize(self, ar):
+        self.adc = ar.io(self.adc)
+
+    def __eq__(self, other):
+        return self.adc == other.adc
+
+
+# -- packed codec ------------------------------------------------------------
+
+
+class TestPackedCodec:
+    def test_roundtrip(self):
+        groups = [
+            [(b"k1", b"v1"), (b"key-two", b"x" * 300)],
+            [],
+            [(b"", b""), (b"k", b"v" * 70000)],
+        ]
+        buf = packed.pack_groups(groups)
+        back = packed.unpack_groups(buf, len(groups))
+        assert [[(k, bytes(v)) for k, v in g] for g in back] == groups
+
+    def test_values_are_views_over_the_buffer(self):
+        buf = packed.pack_groups([[(b"k", b"hello")]])
+        [[(_, view)]] = packed.unpack_groups(buf, 1)
+        assert isinstance(view, memoryview)
+        assert bytes(view) == b"hello"
+
+    def test_truncation_detected(self):
+        buf = packed.pack_groups([[(b"key", b"value")]])
+        for cut in (1, len(buf) // 2, len(buf) - 1):
+            with pytest.raises(CorruptionError):
+                packed.unpack_groups(buf[:cut], 1)
+
+    def test_trailing_bytes_detected(self):
+        buf = packed.pack_groups([[(b"k", b"v")]])
+        with pytest.raises(CorruptionError, match="trailing"):
+            packed.unpack_groups(buf + b"\x00", 1)
+
+
+# -- load_prefix_packed RPC --------------------------------------------------
+
+
+class TestLoadPrefixPacked:
+    def test_groups_align_with_prefixes(self, datastore):
+        db = datastore._handle(datastore.target_for("products", b"x"))
+        db.put(b"ev1#a", b"alpha")
+        db.put(b"ev1#b", b"beta")
+        db.put(b"ev2#c", b"gamma")
+        groups = db.load_prefix_packed([b"ev1", b"ev2", b"none"])
+        assert [[(k, bytes(v)) for k, v in g] for g in groups] == [
+            [(b"ev1#a", b"alpha"), (b"ev1#b", b"beta")],
+            [(b"ev2#c", b"gamma")],
+            [],
+        ]
+
+    def test_undersized_buffer_retries_transparently(self, datastore):
+        db = datastore._handle(datastore.target_for("products", b"x"))
+        db.put(b"big#k", b"B" * 50000)
+        groups = db.load_prefix_packed([b"big"], size_hint=16)
+        assert bytes(groups[0][0][1]) == b"B" * 50000
+
+    def test_empty_prefix_list(self, datastore):
+        db = datastore._handle(datastore.target_for("products", b"x"))
+        assert db.load_prefix_packed([]) == []
+
+
+# -- ProductCache ------------------------------------------------------------
+
+
+class TestProductCache:
+    def test_lru_eviction_by_entries(self):
+        cache = ProductCache(max_bytes=1 << 20, max_entries=2)
+        cache.put(b"a", b"1")
+        cache.put(b"b", b"2")
+        assert cache.get(b"a") == b"1"  # refreshes a
+        cache.put(b"c", b"3")  # evicts b (least recently used)
+        assert cache.get(b"b") is None
+        assert cache.get(b"a") == b"1"
+        assert cache.get(b"c") == b"3"
+
+    def test_byte_bound_evicts(self):
+        cache = ProductCache(max_bytes=10, max_entries=100)
+        cache.put(b"a", b"x" * 6)
+        cache.put(b"b", b"y" * 6)  # 12 > 10: evicts a
+        assert cache.get(b"a") is None
+        assert cache.get(b"b") == b"y" * 6
+        assert cache.cached_bytes == 6
+
+    def test_oversized_value_skipped(self):
+        cache = ProductCache(max_bytes=4, max_entries=8)
+        cache.put(b"k", b"toolarge")
+        assert cache.get(b"k") is None
+        assert len(cache) == 0
+
+    def test_replacement_updates_bytes(self):
+        cache = ProductCache(max_bytes=100, max_entries=8)
+        cache.put(b"k", b"x" * 50)
+        cache.put(b"k", b"y" * 10)
+        assert cache.cached_bytes == 10
+        assert cache.get(b"k") == b"y" * 10
+
+    def test_metrics(self):
+        from repro.monitor.metrics import MetricRegistry
+
+        metrics = MetricRegistry("test")
+        cache = ProductCache(max_bytes=1 << 20, max_entries=2, metrics=metrics)
+        cache.put(b"a", b"12345")
+        cache.get(b"a")
+        cache.get(b"missing")
+        cache.put(b"b", b"x")
+        cache.put(b"c", b"y")  # evicts a
+        get = lambda name: metrics.counter(f"hepnos.product_cache.{name}").value
+        assert get("hits") == 1
+        assert get("misses") == 1
+        assert get("hit_bytes") == 5
+        assert get("insertions") == 3
+        assert get("evictions") == 1
+        assert metrics.gauge("hepnos.product_cache.entries").value == 2
+
+    def test_bounds_validated(self):
+        from repro.errors import HEPnOSError
+
+        with pytest.raises(ValueError):
+            ProductCache(max_bytes=0, max_entries=1)
+        with pytest.raises(HEPnOSError):
+            ProductCacheOptions(max_entries=0)
+
+
+# -- DataStore integration ---------------------------------------------------
+
+
+class TestDataStoreCache:
+    def test_repeated_load_served_from_cache(self, fabric, datastore):
+        event = (datastore.create_dataset("dc").create_run(1)
+                 .create_subrun(1).create_event(1))
+        event.store(Hit(4.25), label="h")
+        assert event.load(Hit, label="h") == Hit(4.25)
+        fabric.stats.reset()
+        for _ in range(5):
+            assert event.load(Hit, label="h") == Hit(4.25)
+        # Store-side write-through + load-side insert: all hits, no RPCs.
+        assert fabric.stats.rpc_count == 0
+        hits = datastore.metrics.counter("hepnos.product_cache.hits").value
+        assert hits >= 5
+
+    def test_disabled_cache_always_fetches(self, fabric, service):
+        datastore = DataStore.connect(
+            fabric, service,
+            product_cache=ProductCacheOptions(enabled=False),
+        )
+        assert datastore._product_cache is None
+        event = (datastore.create_dataset("dc2").create_run(1)
+                 .create_subrun(1).create_event(1))
+        event.store(Hit(1.0), label="h")
+        fabric.stats.reset()
+        event.load(Hit, label="h")
+        event.load(Hit, label="h")
+        assert fabric.stats.rpc_count == 2
+
+    def test_batch_loads_read_but_do_not_populate(self, fabric, datastore):
+        subrun = (datastore.create_dataset("dc3").create_run(1)
+                  .create_subrun(1))
+        with WriteBatch(datastore) as batch:
+            for i in range(8):
+                event = subrun.create_event(i, batch=batch)
+                event.store(Hit(float(i)), label="h", batch=batch)
+        keys = [ev.key for ev in subrun]
+        out = datastore.load_products_bulk(keys, Hit, label="h")
+        assert [h.adc for h in out] == [float(i) for i in range(8)]
+        # Scan resistance: the streaming load inserted nothing.
+        assert len(datastore._product_cache) == 0
+
+
+class TestLoadProductsPacked:
+    def test_matches_bulk_loads(self, datastore):
+        subrun = (datastore.create_dataset("pk").create_run(1)
+                  .create_subrun(1))
+        with WriteBatch(datastore) as batch:
+            for i in range(20):
+                event = subrun.create_event(i, batch=batch)
+                event.store([Hit(float(i)), Hit(-float(i))], label="hits",
+                            batch=batch)
+                if i % 2 == 0:
+                    event.store(Hit(99.0), label="flag", batch=batch)
+        keys = [ev.key for ev in subrun]
+        specs = [(vector_of(Hit), "hits"), (Hit, "flag")]
+        out = datastore.load_products_packed(keys, specs)
+        for spec in specs:
+            from repro.hepnos import product_type_name
+
+            resolved = (product_type_name(spec[0]), spec[1])
+            bulk = datastore.load_products_bulk(keys, spec[0], label=spec[1])
+            assert out[resolved] == bulk
+
+    def test_pep_packed_and_unpacked_agree(self, datastore):
+        ds = datastore.create_dataset("pk2")
+        with WriteBatch(datastore) as batch:
+            subrun = ds.create_run(1, batch=batch).create_subrun(1,
+                                                                 batch=batch)
+            for i in range(30):
+                event = subrun.create_event(i, batch=batch)
+                event.store([Hit(float(i))], label="hits", batch=batch)
+
+        def run(options):
+            seen = []
+            pep = ParallelEventProcessor(
+                datastore, options=options,
+                products=[(vector_of(Hit), "hits")],
+            )
+            pep.process(ds, lambda ev: seen.append(
+                (ev.triple(), [h.adc for h in ev.load(vector_of(Hit),
+                                                      label="hits")])
+            ))
+            return sorted(seen)
+
+        fast = run(PEPOptions(input_batch_size=16))
+        slow = run(PEPOptions(input_batch_size=16, packed_loads=False))
+        assert fast == slow
+        assert len(fast) == 30
+
+    def test_prefetcher_packed_and_unpacked_agree(self, datastore):
+        subrun = (datastore.create_dataset("pk3").create_run(1)
+                  .create_subrun(1))
+        with WriteBatch(datastore) as batch:
+            for i in range(12):
+                event = subrun.create_event(i, batch=batch)
+                if i % 3:
+                    event.store(Hit(float(i)), label="h", batch=batch)
+
+        def run(options):
+            out = []
+            prefetcher = Prefetcher(datastore, options=options,
+                                    products=[(Hit, "h")])
+            for ev in prefetcher.events(subrun):
+                try:
+                    out.append((ev.number, ev.load(Hit, label="h").adc))
+                except ProductNotFound:
+                    out.append((ev.number, None))
+            return out
+
+        fast = run(PrefetchOptions(batch_size=5))
+        slow = run(PrefetchOptions(batch_size=5, packed_loads=False))
+        assert fast == slow
+        assert len(fast) == 12
+
+
+# -- btree node-cache LRU ----------------------------------------------------
+
+
+class TestBTreeNodeCache:
+    def test_cache_bounded_and_lru(self, tmp_path):
+        db = BTreeBackend(str(tmp_path / "bt"), order=4, cache_nodes=8)
+        for i in range(200):
+            db.put(b"k%04d" % i, b"v%d" % i)
+        assert len(db._cache) <= 8
+        # A freshly read node must be resident and most-recently-used.
+        assert db.get(b"k0000") == b"v0"
+        hot = next(reversed(db._cache))
+        db.get(b"k0199")
+        assert hot in db._cache or db.get(b"k0000") == b"v0"
+        # Reading everything back works regardless of evictions.
+        for i in range(0, 200, 17):
+            assert db.get(b"k%04d" % i) == b"v%d" % i
+        db.close()

@@ -240,8 +240,9 @@ def test_pep_emits_batch_and_event_spans(datastore):
                            for e in events)
     materialize = collector.find("pep.materialize")
     assert materialize
-    # The prefetch get_multi spans hang off pep.materialize's trace.
-    bulk_loads = collector.find("hepnos.load_products_bulk")
+    # The prefetch load spans hang off pep.materialize's trace (the
+    # default PEP configuration prefetches with packed prefix loads).
+    bulk_loads = collector.find("hepnos.load_products_packed")
     assert bulk_loads
     assert {s.trace_id for s in bulk_loads} <= {m.trace_id
                                                 for m in materialize}
