@@ -1,17 +1,18 @@
 #!/usr/bin/env python
-"""Run the data-plane bench suite and write the ``BENCH_PR5.json`` baseline.
+"""Run the bench suite and write the ``BENCH_PR6.json`` baseline.
 
 Every entry under ``benches`` reports at least ``ops_per_s`` and
 ``bytes_per_s`` so successive baselines (``BENCH_*.json``) can be
 diffed mechanically; the format is documented in ``EXPERIMENTS.md``.
-The suite is the gated :mod:`bench_dataplane` measurements plus two
-micro-benchmarks of the wire-level codecs::
+The suite is the gated :mod:`bench_dataplane` measurements, the gated
+:mod:`bench_scaling` provider curves, and two micro-benchmarks of the
+wire-level codecs::
 
-    PYTHONPATH=src python benchmarks/run_all.py              # quick, writes BENCH_PR5.json
+    PYTHONPATH=src python benchmarks/run_all.py              # quick, writes BENCH_PR6.json
     PYTHONPATH=src python benchmarks/run_all.py --full -o /tmp/bench.json
 
-Exits nonzero if any data-plane gate fails, so the baseline can never
-be regenerated from a regressed tree.
+Exits nonzero if any gate fails, so the baseline can never be
+regenerated from a regressed tree.
 """
 
 from __future__ import annotations
@@ -24,11 +25,12 @@ import time
 from typing import Optional, Sequence
 
 import bench_dataplane
+import bench_scaling
 from repro.yokan import packed, wire
 
 DEFAULT_OUTPUT = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "BENCH_PR5.json")
+    "BENCH_PR6.json")
 
 
 def _best_of(fn, rounds: int = 5) -> float:
@@ -82,7 +84,7 @@ def bench_wire_seal_unseal() -> dict:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Run the bench suite and emit the BENCH_PR5.json "
+        description="Run the bench suite and emit the BENCH_PR6.json "
                     "perf baseline.")
     parser.add_argument("--full", action="store_true",
                         help="full corpus and the 2x acceptance gates "
@@ -91,12 +93,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="chaos seed for the identity check")
     parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT,
                         help="output path (default: repo-root "
-                             "BENCH_PR5.json)")
+                             "BENCH_PR6.json)")
     args = parser.parse_args(argv)
 
     results = bench_dataplane.run_benches(quick=not args.full,
                                           seed=args.seed)
     failures = bench_dataplane.evaluate_gates(results)
+    scaling_params = bench_scaling.FULL if args.full \
+        else bench_scaling.COMMITTED
+    scaling = bench_scaling.run_scaling(scaling_params)
+    failures += bench_scaling.evaluate_gates(scaling)
     benches = {name: data
                for name, data in results["benches"].items()
                if name != "workflow_identity"}
@@ -104,7 +110,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     benches["wire_seal_unseal"] = bench_wire_seal_unseal()
     doc = {
         "schema": "hepnos-bench/v1",
-        "baseline": "PR5",
+        "baseline": "PR6",
         "generated_by": "benchmarks/run_all.py"
                         + (" --full" if args.full else ""),
         "quick": not args.full,
@@ -112,6 +118,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "cache_overhead_gate": results["cache_overhead_gate"],
         "gates_passed": not failures,
         "benches": benches,
+        "scaling": scaling,
         "checks": {"workflow_identity":
                    results["benches"]["workflow_identity"]},
     }

@@ -93,6 +93,17 @@ class ProductNotFound(HEPnOSError):
     """A product (label, type) pair does not exist in its container."""
 
 
+class ShardMapStale(HEPnOSError):
+    """The client's shard map advanced while an operation was in flight.
+
+    Raised when a lookup misses *and* the datastore notices its
+    placement epoch changed mid-operation (a live rescale began or
+    committed).  Retryable: re-running the operation re-resolves every
+    key under the new shard map, and all involved operations are
+    idempotent.
+    """
+
+
 class MPIError(ReproError):
     """An error in the in-process MPI substrate."""
 
@@ -126,6 +137,7 @@ __all__ = [
     "HEPnOSError",
     "ContainerNotFound",
     "ProductNotFound",
+    "ShardMapStale",
     "MPIError",
     "HDF5LiteError",
     "SimulationError",

@@ -13,6 +13,8 @@ stack: retries, checksums, and reconnection must make injected faults
 from __future__ import annotations
 
 import tempfile
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -24,6 +26,7 @@ from repro.hepnos.parallel_event_processor import PEPStatistics
 from repro.mercury import Fabric
 from repro.mercury.fabric import FaultModel
 from repro.nova import GeneratorConfig, generate_file_set
+from repro.serial import dumps
 from repro.workflows import HEPnOSWorkflow
 
 
@@ -96,11 +99,13 @@ class ChaosReport:
         return "\n".join(lines)
 
 
-def _deploy(fabric: Fabric, num_servers: int = 2):
+def _deploy(fabric: Fabric, num_servers: int = 2, **overrides):
+    config = dict(num_providers=2, event_databases=2, product_databases=2,
+                  run_databases=1, subrun_databases=1)
+    config.update(overrides)
     servers = [
         BedrockServer(fabric, default_hepnos_config(
-            f"sm://node{i}/hepnos", num_providers=2, event_databases=2,
-            product_databases=2, run_databases=1, subrun_databases=1,
+            f"sm://node{i}/hepnos", **config,
         ))
         for i in range(num_servers)
     ]
@@ -122,7 +127,12 @@ def build_schedule(seed: int, servers, drop: float, delay: float,
     if spike_window is not None:
         # A latency spike far above the client's rpc_timeout: every call
         # in the window times out and is retried (each retry advances
-        # the op counter, so the window always drains).
+        # the op counter, so the window always drains).  The window must
+        # span several request/response pairs: a delayed *request* send
+        # sleeps on the caller's thread before its wait starts, so only
+        # a delayed *response* produces an observable timeout -- and the
+        # concurrent shard fan-out can issue several requests
+        # back-to-back within a narrow window.
         start, end = spike_window
         schedule.delay(0.05, start=start, end=end)
     if crash_window is not None and len(servers) > 1:
@@ -136,7 +146,7 @@ def run_nova_chaos(seed: int = 0, files: int = 2, ranks: int = 2,
                    drop: float = 0.02, delay: float = 0.0005,
                    corrupt: float = 0.01,
                    crash_window: Optional[Tuple[int, int]] = (10, 30),
-                   spike_window: Optional[Tuple[int, int]] = (40, 44),
+                   spike_window: Optional[Tuple[int, int]] = (40, 50),
                    retry_policy: Optional[RetryPolicy] = None,
                    workdir: Optional[str] = None) -> ChaosReport:
     """Run NOvA ingest+selection fault-free and under chaos; compare.
@@ -208,5 +218,176 @@ def run_nova_chaos(seed: int = 0, files: int = 2, ranks: int = 2,
     return report
 
 
-__all__ = ["ChaosReport", "build_schedule", "chaos_client_policy",
-           "run_nova_chaos"]
+# -- sharding / live-rescale chaos -------------------------------------------
+
+
+@dataclass
+class RescaleChaosReport:
+    """Selection parity across shard topologies, including a live grow.
+
+    Three runs over identical input files: one provider group
+    (single shard), the full multi-provider deployment, and the
+    multi-provider deployment with a *new provider joining mid-
+    selection* (a live rescale driven concurrently with the query
+    traffic) under the chaos schedule.  The physics selection must be
+    byte-identical across all three.
+    """
+
+    seed: int
+    matches: bool
+    single_shard_accepted: frozenset
+    multi_shard_accepted: frozenset
+    migrated_accepted: frozenset
+    #: epoch observed after the live run committed (0 -> 2: one
+    #: migration epoch plus its commit)
+    final_epoch: int = 0
+    keys_moved: int = 0
+    moves_by_kind: dict = field(default_factory=dict)
+    stale_retries: int = 0
+    #: fabric counters from the chaos (migrated) run
+    dropped: int = 0
+    corrupted: int = 0
+    delayed: int = 0
+    timeouts: int = 0
+    schedule_counts: dict = field(default_factory=dict)
+    pending_actions: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        verdict = "MATCH" if self.matches else "MISMATCH"
+        lines = [
+            f"rescale chaos (seed={self.seed}): {verdict}",
+            f"  selected: single={len(self.single_shard_accepted)} "
+            f"multi={len(self.multi_shard_accepted)} "
+            f"migrated={len(self.migrated_accepted)}",
+            f"  migration: epoch={self.final_epoch} "
+            f"keys_moved={self.keys_moved} by_kind={self.moves_by_kind} "
+            f"stale_retries={self.stale_retries}",
+            f"  injected: dropped={self.dropped} corrupted={self.corrupted} "
+            f"delayed={self.delayed} timeouts={self.timeouts}",
+            f"  schedule: counts={dict(self.schedule_counts)}",
+        ]
+        if self.pending_actions:
+            lines.append(f"  NEVER FIRED: {self.pending_actions}")
+        return "\n".join(lines)
+
+
+def _selection_bytes(result) -> bytes:
+    """Canonical serialized selection: byte-identity is the verdict."""
+    return dumps(sorted(result.accepted_ids))
+
+
+def run_rescale_chaos(seed: int = 0, files: int = 2, ranks: int = 2,
+                      mean_events_per_file: int = 24,
+                      drop: float = 0.01, delay: float = 0.0003,
+                      corrupt: float = 0.005,
+                      crash_window: Optional[Tuple[int, int]] = (30, 60),
+                      retry_policy: Optional[RetryPolicy] = None,
+                      workdir: Optional[str] = None) -> RescaleChaosReport:
+    """NOvA selection parity: 1 shard vs N shards vs N+1 mid-run.
+
+    The third run begins a :class:`~repro.rescale.LiveRescaler` toward
+    a joining server *while selection is executing* and drives
+    migration steps from a concurrent thread, with the chaos schedule
+    installed (including a provider crash/restart that can land inside
+    the migration window).  Dual-read, write-forwarding and
+    ``ShardMapStale`` retries must keep the selected-event set
+    byte-identical to the quiet single-shard run.
+    """
+    from repro.rescale import LiveRescaler, add_server
+
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="hepnos-rescale-chaos-")
+    sample = generate_file_set(
+        f"{workdir}/files", num_files=files,
+        mean_events_per_file=mean_events_per_file,
+        config=GeneratorConfig(signal_fraction=0.05, events_per_subrun=16,
+                               subruns_per_run=4),
+    )
+    policy = retry_policy or chaos_client_policy()
+
+    def select_once(num_servers: int, live_grow: bool, with_faults: bool):
+        fabric = Fabric(threaded=True)
+        if num_servers == 1:
+            # A genuine single shard: one provider, one database per kind.
+            servers = _deploy(fabric, num_servers=1, num_providers=1,
+                              event_databases=1, product_databases=1)
+        else:
+            servers = _deploy(fabric, num_servers=num_servers)
+        datastore = DataStore.connect(fabric, servers, retry_policy=policy)
+        workflow = HEPnOSWorkflow(datastore, "nova/rescale",
+                                  input_batch_size=64,
+                                  dispatch_batch_size=8)
+        workflow.ingest(sample.paths, num_ranks=1)
+        schedule = None
+        migration = {"stats": None, "error": None}
+        thread = None
+        if with_faults:
+            schedule = build_schedule(seed, servers, drop, delay, corrupt,
+                                      crash_window, spike_window=None)
+            fabric.stats.reset()
+            fabric.fault_model = schedule
+        if live_grow:
+            joining = BedrockServer(fabric, default_hepnos_config(
+                "sm://joining/hepnos", num_providers=2, event_databases=2,
+                product_databases=2, run_databases=1, subrun_databases=1,
+            ))
+            rescaler = LiveRescaler(
+                datastore, add_server(datastore.connection, joining),
+                batch_size=16,
+            )
+
+            def migrate() -> None:
+                try:
+                    rescaler.begin()
+                    while rescaler.step():
+                        # Let selection traffic interleave with handoff.
+                        time.sleep(0.002)
+                    migration["stats"] = rescaler.commit()
+                except BaseException as exc:  # noqa: BLE001 - reported
+                    migration["error"] = exc
+
+            thread = threading.Thread(target=migrate, daemon=True,
+                                      name="live-rescaler")
+            thread.start()
+        try:
+            result = workflow.select(num_ranks=ranks)
+        finally:
+            if thread is not None:
+                thread.join(timeout=120.0)
+            fabric.fault_model = FaultModel()
+        if thread is not None and migration["error"] is not None:
+            raise migration["error"]
+        stale = datastore.metrics.counter("hepnos.shard.stale_retries").value
+        epoch = datastore.placement.epoch
+        stats = fabric.stats
+        fabric.runtime.shutdown()
+        return result, migration["stats"], schedule, stats, stale, epoch
+
+    single, _, _, _, _, _ = select_once(1, live_grow=False, with_faults=False)
+    multi, _, _, _, _, _ = select_once(2, live_grow=False, with_faults=False)
+    migrated, mstats, schedule, fstats, stale, epoch = select_once(
+        2, live_grow=True, with_faults=True)
+
+    matches = (_selection_bytes(single) == _selection_bytes(multi)
+               == _selection_bytes(migrated))
+    return RescaleChaosReport(
+        seed=seed,
+        matches=matches,
+        single_shard_accepted=frozenset(single.accepted_ids),
+        multi_shard_accepted=frozenset(multi.accepted_ids),
+        migrated_accepted=frozenset(migrated.accepted_ids),
+        final_epoch=epoch,
+        keys_moved=mstats.keys_moved if mstats else 0,
+        moves_by_kind=dict(mstats.moves_by_kind) if mstats else {},
+        stale_retries=stale,
+        dropped=fstats.dropped,
+        corrupted=fstats.corrupted,
+        delayed=fstats.delayed,
+        timeouts=fstats.timeouts,
+        schedule_counts=dict(schedule.counts) if schedule else {},
+        pending_actions=schedule.pending_actions if schedule else [],
+    )
+
+
+__all__ = ["ChaosReport", "RescaleChaosReport", "build_schedule",
+           "chaos_client_policy", "run_nova_chaos", "run_rescale_chaos"]

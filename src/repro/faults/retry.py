@@ -19,19 +19,23 @@ from repro.errors import (
     CorruptionError,
     NetworkFailure,
     RPCTimeout,
+    ShardMapStale,
 )
 
 #: Exception types that are safe to retry: the fabric dropped the
 #: message (:class:`NetworkFailure`), the target engine was not
 #: registered -- e.g. a crashed provider that Bedrock will restart
 #: (:class:`AddressError`), the call timed out (:class:`RPCTimeout`),
-#: or the payload was damaged in flight (:class:`CorruptionError`).
-#: All Yokan operations are idempotent, so re-sending is always safe.
+#: the payload was damaged in flight (:class:`CorruptionError`), or the
+#: shard map advanced mid-operation during a live rescale
+#: (:class:`ShardMapStale`).  All Yokan operations are idempotent, so
+#: re-sending is always safe.
 RETRYABLE_ERRORS: Tuple[type, ...] = (
     NetworkFailure,
     AddressError,
     RPCTimeout,
     CorruptionError,
+    ShardMapStale,
 )
 
 

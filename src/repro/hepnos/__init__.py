@@ -47,6 +47,11 @@ from repro.hepnos.connection import (
     connection_from_servers,
 )
 from repro.hepnos.datastore import DataStore
+from repro.hepnos.placement import (
+    FullKeyPlacement,
+    ParentHashPlacement,
+    ShardMap,
+)
 from repro.hepnos.containers import DataSet, Run, SubRun, Event
 from repro.hepnos.product import ProductID, product_type_name, vector_of
 from repro.hepnos.async_engine import AsyncEngine, AsyncEngineStats, FutureGroup
@@ -76,6 +81,9 @@ __all__ = [
     "DbTarget",
     "connection_from_servers",
     "DataStore",
+    "ParentHashPlacement",
+    "FullKeyPlacement",
+    "ShardMap",
     "DataSet",
     "Run",
     "SubRun",

@@ -4,19 +4,20 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import Iterator, Optional, Union
+from typing import Iterator, Optional
 
 from repro.errors import (
     ContainerNotFound,
     HEPnOSError,
     KeyNotFound,
     ProductNotFound,
+    ShardMapStale,
 )
 from repro.faults.retry import RETRYABLE_ERRORS, RetryPolicy, default_client_policy
 from repro.hepnos import keys
 from repro.hepnos.connection import ConnectionInfo, DbTarget, connection_from_servers
 from repro.hepnos.options import ProductCacheOptions
-from repro.hepnos.placement import ParentHashPlacement
+from repro.hepnos.placement import ParentHashPlacement, ShardMap
 from repro.hepnos.product import product_type_name
 from repro.hepnos.product_cache import ProductCache
 from repro.mercury import Engine, Fabric
@@ -62,7 +63,24 @@ class DataStore:
         )
         self._client = YokanClient(self.engine, retry_policy=retry_policy,
                                    metrics=self.metrics)
-        self.placement = placement or ParentHashPlacement(connection)
+        #: the versioned shard map every lookup goes through.  A raw
+        #: strategy (e.g. ParentHashPlacement) is wrapped at epoch 0.
+        strategy = placement or ParentHashPlacement(connection)
+        self.placement: ShardMap = (
+            strategy if isinstance(strategy, ShardMap)
+            else ShardMap(connection, strategy=strategy)
+        )
+        self.metrics.gauge(
+            "hepnos.shard.epoch",
+            help="current shard map epoch of this client",
+        ).set(self.placement.epoch)
+        #: retries operations that observed a shard map epoch swap
+        #: mid-flight; separate from the transport policy because the
+        #: stale window is bounded by the rescaler, not the network.
+        self._stale_retry = RetryPolicy(
+            max_attempts=6, base_delay=0.001, max_delay=0.05,
+            retry_on=(ShardMapStale,),
+        )
         self._handles: dict[DbTarget, DatabaseHandle] = {}
         self._uuid_cache: dict[str, bytes] = {}
         #: bounded LRU over serialized product bytes (products are
@@ -136,6 +154,75 @@ class DataStore:
     def handle_for_target(self, target: DbTarget) -> DatabaseHandle:
         return self._handle(target)
 
+    # -- shard map plumbing ----------------------------------------------
+
+    def _with_shard_retry(self, fn):
+        """Run ``fn``, retrying if the shard map went stale under it."""
+        return self._stale_retry.call(
+            fn,
+            on_retry=lambda n, exc, pause: self.metrics.counter(
+                "hepnos.shard.stale_retries",
+                help="operations re-run after an epoch swap",
+            ).inc(),
+        )
+
+    def _previous_get(self, kind: str, parent_key: bytes,
+                      key: bytes) -> Optional[bytes]:
+        """Dual-read fallback: fetch from the pre-migration shard."""
+        prev = self.placement.previous_database_for(kind, parent_key)
+        if prev is None:
+            return None
+        try:
+            return self._handle(prev).get(key)
+        except KeyNotFound:
+            return None
+
+    def _put_forwarded(self, kind: str, parent_key: bytes, key: bytes,
+                       value: bytes) -> None:
+        """Single put with write-forwarding across an epoch swap.
+
+        If a live rescale swapped the shard map while the put was on
+        the wire and the key's group moved, the value is re-sent to the
+        new shard and the stale copy erased -- so a migration that
+        already scanned the group cannot strand it on the old shard.
+        """
+        smap = self.placement
+        target = smap.database_for(kind, parent_key)
+        self._handle(target).put(key, value)
+        current = self.placement
+        if current is not smap:
+            moved = current.database_for(kind, parent_key)
+            if moved != target:
+                self._handle(moved).put(key, value)
+                self._handle(target).erase(key)
+
+    def begin_migration(self, connection: ConnectionInfo) -> int:
+        """Enter a migration epoch targeting ``connection``.
+
+        Placement resolves to the new layout immediately (writes are
+        forwarded there); reads that miss fall back to the previous
+        epoch's shard until :meth:`commit_migration` (dual-read).
+        Normally called by :class:`repro.rescale.LiveRescaler`.
+        """
+        smap = self.placement.advance(connection)
+        self.connection = connection
+        self.placement = smap
+        self.metrics.gauge("hepnos.shard.epoch").set(smap.epoch)
+        with _tracing.span("hepnos.shard.begin_migration", epoch=smap.epoch,
+                           shards=len(connection["events"])):
+            pass
+        return smap.epoch
+
+    def commit_migration(self) -> int:
+        """Leave the migration epoch: drop the dual-read fallback."""
+        smap = self.placement.settle()
+        self.placement = smap
+        self._handles.clear()
+        self.metrics.gauge("hepnos.shard.epoch").set(smap.epoch)
+        with _tracing.span("hepnos.shard.commit_migration", epoch=smap.epoch):
+            pass
+        return smap.epoch
+
     # -- datasets ---------------------------------------------------------
 
     def create_dataset(self, path: str) -> "DataSet":
@@ -156,15 +243,17 @@ class DataStore:
         cached = self._uuid_cache.get(path)
         if cached is not None:
             return cached
-        db = self._db("datasets", parent.encode("utf-8"))
+        parent_key = parent.encode("utf-8")
         key = keys.dataset_key(path)
         try:
-            uuid = db.get(key)
+            uuid = self._db("datasets", parent_key).get(key)
         except KeyNotFound:
-            # Deterministic identity: concurrent creators of the same
-            # path write the same value, so this needs no atomicity.
-            uuid = keys.new_dataset_uuid(path)
-            db.put(key, uuid)
+            uuid = self._previous_get("datasets", parent_key, key)
+            if uuid is None:
+                # Deterministic identity: concurrent creators of the
+                # same path write the same value, so no atomicity needed.
+                uuid = keys.new_dataset_uuid(path)
+                self._put_forwarded("datasets", parent_key, key, uuid)
         self._uuid_cache[path] = uuid
         return uuid
 
@@ -174,11 +263,25 @@ class DataStore:
         cached = self._uuid_cache.get(path)
         if cached is not None:
             return cached
-        db = self._db("datasets", keys.parent_path(path).encode("utf-8"))
-        try:
-            uuid = db.get(keys.dataset_key(path))
-        except KeyNotFound:
-            raise ContainerNotFound(f"no dataset {path!r}") from None
+        parent_key = keys.parent_path(path).encode("utf-8")
+        key = keys.dataset_key(path)
+
+        def attempt():
+            smap = self.placement
+            try:
+                return self._db("datasets", parent_key).get(key)
+            except KeyNotFound:
+                uuid = self._previous_get("datasets", parent_key, key)
+                if uuid is not None:
+                    return uuid
+                if self.placement is not smap:
+                    raise ShardMapStale(
+                        f"shard map advanced to epoch "
+                        f"{self.placement.epoch} resolving {path!r}"
+                    ) from None
+                raise ContainerNotFound(f"no dataset {path!r}") from None
+
+        uuid = self._with_shard_retry(attempt)
         self._uuid_cache[path] = uuid
         return uuid
 
@@ -208,9 +311,19 @@ class DataStore:
 
         if parent:
             parent = keys.normalize_path(parent)
-        db = self._db("datasets", parent.encode("utf-8"))
+        parent_key = parent.encode("utf-8")
+        smap = self.placement
+        db = self._db("datasets", parent_key)
         prefix = (parent + "/").encode("utf-8") if parent else b""
-        for key in db.iter_keys(prefix=prefix):
+        entries = db.iter_keys(prefix=prefix)
+        prev = smap.previous_database_for("datasets", parent_key)
+        if prev is not None:
+            # Dual-read: merge the pre-migration shard's entries
+            # (dataset directories are small, no paging needed).
+            merged = sorted(set(db.list_keys(prefix=prefix))
+                            | set(self._handle(prev).list_keys(prefix=prefix)))
+            entries = iter(merged)
+        for key in entries:
             path = key.decode("utf-8")
             tail = path[len(parent) + 1 :] if parent else path
             if "/" in tail:
@@ -224,24 +337,42 @@ class DataStore:
                          batch=None) -> None:
         """Insert a container key (empty value: presence == existence)."""
         if batch is not None:
-            batch.append(self.target_for(kind, parent_key), key, b"")
+            batch.append_placed(kind, parent_key, key, b"")
         else:
-            self._db(kind, parent_key).put(key, b"")
+            self._put_forwarded(kind, parent_key, key, b"")
 
     def container_exists(self, kind: str, parent_key: bytes, key: bytes) -> bool:
-        return self._db(kind, parent_key).exists(key)
+        def attempt():
+            smap = self.placement
+            if self._db(kind, parent_key).exists(key):
+                return True
+            prev = smap.previous_database_for(kind, parent_key)
+            if prev is not None and self._handle(prev).exists(key):
+                return True
+            if self.placement is not smap:
+                raise ShardMapStale(
+                    f"shard map advanced to epoch {self.placement.epoch} "
+                    f"during a {kind} existence check"
+                )
+            return False
+
+        return self._with_shard_retry(attempt)
 
     def list_child_keys(self, kind: str, parent_key: bytes,
                         start_after: bytes = b"", limit: int = 0,
                         page: int = 4096) -> Iterator[bytes]:
-        """Ordered child keys of ``parent_key`` in one database."""
-        db = self._db(kind, parent_key)
+        """Ordered child keys of ``parent_key``.
+
+        Normally served by one database (all children of a parent
+        colocate); while a migration is in flight, each page merges the
+        old and new shards so children split across them are not missed.
+        """
         produced = 0
         cursor = start_after
         while True:
             want = page if not limit else min(page, limit - produced)
-            keys_page = db.list_keys(prefix=parent_key, start_after=cursor,
-                                     limit=want)
+            keys_page = self._with_shard_retry(
+                lambda: self._list_page(kind, parent_key, cursor, want))
             if not keys_page:
                 return
             for key in keys_page:
@@ -250,6 +381,25 @@ class DataStore:
                 if limit and produced >= limit:
                     return
             cursor = keys_page[-1]
+
+    def _list_page(self, kind: str, parent_key: bytes, cursor: bytes,
+                   want: int) -> list[bytes]:
+        """One dual-read listing page, checked against epoch swaps."""
+        smap = self.placement
+        merged = self._db(kind, parent_key).list_keys(
+            prefix=parent_key, start_after=cursor, limit=want)
+        prev = smap.previous_database_for(kind, parent_key)
+        if prev is not None:
+            older = self._handle(prev).list_keys(
+                prefix=parent_key, start_after=cursor, limit=want)
+            if older:
+                merged = sorted(set(merged) | set(older))[:want]
+        if self.placement is not smap:
+            raise ShardMapStale(
+                f"shard map advanced to epoch {self.placement.epoch} "
+                f"during a {kind} listing page"
+            )
+        return merged
 
     # -- products ---------------------------------------------------------
 
@@ -262,16 +412,17 @@ class DataStore:
             )
             key = keys.product_key(container_key, label, tname)
             value = dumps(obj)
+            smap = self.placement
             sp.set_tag("type", tname)
             sp.set_tag("bytes", len(value))
             sp.set_tag("batched", batch is not None)
+            sp.set_tag("epoch", smap.epoch)
+            sp.set_tag("shard", smap.shard_id(
+                "products", smap.product_database_for(container_key)))
             if batch is not None:
-                batch.append(
-                    self.placement.product_database_for(container_key),
-                    key, value,
-                )
+                batch.append_placed("products", container_key, key, value)
             else:
-                self._product_db(container_key).put(key, value)
+                self._put_forwarded("products", container_key, key, value)
                 # Write-through: the bytes in hand are exactly what a
                 # later load would fetch (products are immutable).
                 if self._product_cache is not None:
@@ -291,12 +442,30 @@ class DataStore:
                     sp.set_tag("cache", "hit")
                     return loads(cached)
                 sp.set_tag("cache", "miss")
-            try:
-                value = self._product_db(container_key).get(key)
-            except KeyNotFound:
-                raise ProductNotFound(
-                    f"no product label={label!r} type={tname!r} in container"
-                ) from None
+            smap0 = self.placement
+            sp.set_tag("epoch", smap0.epoch)
+            sp.set_tag("shard", smap0.shard_id(
+                "products", smap0.product_database_for(container_key)))
+
+            def attempt():
+                smap = self.placement
+                try:
+                    return self._product_db(container_key).get(key)
+                except KeyNotFound:
+                    value = self._previous_get("products", container_key, key)
+                    if value is not None:
+                        return value
+                    if self.placement is not smap:
+                        raise ShardMapStale(
+                            f"shard map advanced to epoch "
+                            f"{self.placement.epoch} during a product load"
+                        ) from None
+                    raise ProductNotFound(
+                        f"no product label={label!r} type={tname!r} "
+                        f"in container"
+                    ) from None
+
+            value = self._with_shard_retry(attempt)
             if cache is not None:
                 cache.put(key, value)
         return loads(value)
@@ -313,31 +482,65 @@ class DataStore:
         cache = self._product_cache
         with _tracing.span("hepnos.load_products_bulk", type=tname,
                            label=label, containers=len(container_keys)) as sp:
-            out = [None] * len(container_keys)
-            by_target: dict[DbTarget, list[tuple[int, bytes]]] = {}
-            hits = 0
-            for i, ckey in enumerate(container_keys):
-                pkey = keys.product_key(ckey, label, tname)
-                if cache is not None:
-                    cached = cache.get(pkey)
-                    if cached is not None:
-                        out[i] = loads(cached)
-                        hits += 1
-                        continue
-                target = self.placement.product_database_for(ckey)
-                by_target.setdefault(target, []).append((i, pkey))
-            sp.set_tag("databases", len(by_target))
+            return self._with_shard_retry(
+                lambda: self._load_products_bulk_once(
+                    container_keys, tname, label, cache, sp))
+
+    def _load_products_bulk_once(self, container_keys, tname, label,
+                                 cache, sp):
+        smap = self.placement
+        out = [None] * len(container_keys)
+        by_target: dict[DbTarget, list[tuple[int, bytes]]] = {}
+        fetched: list[tuple[int, bytes]] = []
+        hits = 0
+        for i, ckey in enumerate(container_keys):
+            pkey = keys.product_key(ckey, label, tname)
             if cache is not None:
-                sp.set_tag("cache_hits", hits)
-            for target, entries in by_target.items():
-                handle = self._handle(target)
-                values = handle.get_multi([pkey for _, pkey in entries])
+                cached = cache.get(pkey)
+                if cached is not None:
+                    out[i] = loads(cached)
+                    hits += 1
+                    continue
+            target = smap.product_database_for(ckey)
+            by_target.setdefault(target, []).append((i, pkey))
+            fetched.append((i, pkey))
+        sp.set_tag("databases", len(by_target))
+        sp.set_tag("epoch", smap.epoch)
+        if cache is not None:
+            sp.set_tag("cache_hits", hits)
+        for target, entries in by_target.items():
+            handle = self._handle(target)
+            values = handle.get_multi([pkey for _, pkey in entries])
+            for (i, pkey), value in zip(entries, values):
+                # Scan resistance: batch loads stream each event once,
+                # so inserting here would evict genuinely hot products.
+                # Batch paths read the cache but never populate it.
+                out[i] = loads(value) if value is not None else None
+        if smap.migrating:
+            # Dual-read: refetch the misses from the pre-migration
+            # shards (the migrator copies before it erases, so one of
+            # the two locations always has every stored product).
+            by_prev: dict[DbTarget, list[tuple[int, bytes]]] = {}
+            for i, pkey in fetched:
+                if out[i] is None:
+                    prev = smap.previous_product_database_for(
+                        container_keys[i])
+                    if prev is not None:
+                        by_prev.setdefault(prev, []).append((i, pkey))
+            for target, entries in by_prev.items():
+                values = self._handle(target).get_multi(
+                    [pkey for _, pkey in entries])
                 for (i, pkey), value in zip(entries, values):
-                    # Scan resistance: batch loads stream each event once,
-                    # so inserting here would evict genuinely hot products.
-                    # Batch paths read the cache but never populate it.
-                    out[i] = loads(value) if value is not None else None
-            return out
+                    if value is not None:
+                        out[i] = loads(value)
+            sp.set_tag("fallback_databases", len(by_prev))
+        if self.placement is not smap and any(
+                out[i] is None for i, _ in fetched):
+            raise ShardMapStale(
+                f"shard map advanced to epoch {self.placement.epoch} "
+                f"during a bulk product load"
+            )
+        return out
 
     def load_products_packed(self, container_keys, specs):
         """Load several product specs for many containers at once.
@@ -386,34 +589,9 @@ class DataStore:
                     fetch.append(i)
             if cache is not None:
                 sp.set_tag("cache_hits", hits)
-            by_target: dict[DbTarget, list[int]] = {}
-            for i in fetch:
-                target = self.placement.product_database_for(
-                    container_keys[i])
-                by_target.setdefault(target, []).append(i)
-            sp.set_tag("databases", len(by_target))
-            total_bytes = 0
-            for target, indices in by_target.items():
-                handle = self._handle(target)
-                hint = 0
-                if self._packed_bytes_ema:
-                    hint = int(self._packed_bytes_ema * len(indices) * 1.5
-                               ) + 1024
-                groups = handle.load_prefix_packed(
-                    [container_keys[i] for i in indices], size_hint=hint)
-                for pairs in groups:
-                    for pkey, view in pairs:
-                        # Wire footprint of the pair, not just the value:
-                        # the EMA presizes whole landing buffers.
-                        total_bytes += len(pkey) + len(view) + 10
-                        slots = want.get(pkey)
-                        if slots is None:
-                            continue
-                        # Scan resistance: like load_products_bulk, batch
-                        # loads read the cache but never populate it.
-                        obj = loads(view)
-                        for si, i in slots:
-                            out[resolved[si]][i] = obj
+            total_bytes = self._with_shard_retry(
+                lambda: self._load_packed_once(
+                    container_keys, resolved, fetch, want, out, sp))
             if fetch:
                 per_container = total_bytes / len(fetch)
                 if self._packed_bytes_ema:
@@ -424,6 +602,57 @@ class DataStore:
                     self._packed_bytes_ema = per_container
                 sp.set_tag("bytes", total_bytes)
             return out
+
+    def _load_packed_once(self, container_keys, resolved, fetch, want,
+                          out, sp) -> int:
+        """One packed fan-out round: concurrent per-shard scans, merged.
+
+        Each involved database gets its own ``load_prefix_packed`` RPC,
+        issued non-blocking so the shards serve them *concurrently* --
+        this is where multi-provider read scaling comes from.  During a
+        migration the pre-migration shards are scanned too (dual-read);
+        duplicate pairs are harmless because products are immutable.
+        """
+        smap = self.placement
+        by_target: dict[DbTarget, list[int]] = {}
+        for i in fetch:
+            target = smap.product_database_for(container_keys[i])
+            by_target.setdefault(target, []).append(i)
+            prev = smap.previous_product_database_for(container_keys[i])
+            if prev is not None:
+                by_target.setdefault(prev, []).append(i)
+        sp.set_tag("databases", len(by_target))
+        sp.set_tag("epoch", smap.epoch)
+        futures = []
+        for target, indices in by_target.items():
+            hint = 0
+            if self._packed_bytes_ema:
+                hint = int(self._packed_bytes_ema * len(indices) * 1.5
+                           ) + 1024
+            futures.append(self._handle(target).load_prefix_packed_nb(
+                [container_keys[i] for i in indices], size_hint=hint))
+        total_bytes = 0
+        for future in futures:
+            for pairs in future.wait():
+                for pkey, view in pairs:
+                    # Wire footprint of the pair, not just the value:
+                    # the EMA presizes whole landing buffers.
+                    total_bytes += len(pkey) + len(view) + 10
+                    slots = want.get(pkey)
+                    if slots is None:
+                        continue
+                    # Scan resistance: like load_products_bulk, batch
+                    # loads read the cache but never populate it.
+                    obj = loads(view)
+                    for si, i in slots:
+                        out[resolved[si]][i] = obj
+        if self.placement is not smap and any(
+                out[spec][i] is None for spec in resolved for i in fetch):
+            raise ShardMapStale(
+                f"shard map advanced to epoch {self.placement.epoch} "
+                f"during a packed product load"
+            )
+        return total_bytes
 
     def load_products_bulk_nb(self, container_keys, product_type,
                               label: str = ""):
@@ -443,19 +672,48 @@ class DataStore:
         engine = self.async_engine
         with _tracing.span("hepnos.load_products_bulk_nb", type=tname,
                            label=label, containers=len(container_keys)) as sp:
+            smap = self.placement
             by_target: dict[DbTarget, list[tuple[int, bytes]]] = {}
             for i, ckey in enumerate(container_keys):
-                target = self.placement.product_database_for(ckey)
+                target = smap.product_database_for(ckey)
                 pkey = keys.product_key(ckey, label, tname)
                 by_target.setdefault(target, []).append((i, pkey))
             sp.set_tag("databases", len(by_target))
+            sp.set_tag("epoch", smap.epoch)
             slots = [entries for entries in by_target.values()]
 
             def assemble(per_db_values: list) -> list:
                 out = [None] * len(container_keys)
+                missing: list[tuple[int, bytes]] = []
                 for entries, values in zip(slots, per_db_values):
-                    for (i, _), value in zip(entries, values):
+                    for (i, pkey), value in zip(entries, values):
                         out[i] = loads(value) if value is not None else None
+                        if value is None:
+                            missing.append((i, pkey))
+                if missing and smap.migrating:
+                    # Dual-read at retirement: blocking refetch of the
+                    # misses from the pre-migration shards.
+                    by_prev: dict[DbTarget, list[tuple[int, bytes]]] = {}
+                    for i, pkey in missing:
+                        prev = smap.previous_product_database_for(
+                            container_keys[i])
+                        if prev is not None:
+                            by_prev.setdefault(prev, []).append((i, pkey))
+                    for prev, entries in by_prev.items():
+                        values = self._handle(prev).get_multi(
+                            [pkey for _, pkey in entries])
+                        for (i, _), value in zip(entries, values):
+                            if value is not None:
+                                out[i] = loads(value)
+                if self.placement is not smap and any(
+                        out[i] is None for i, _ in missing):
+                    # Surfaces from wait() as a retryable error; callers
+                    # (PEP readers, prefetcher) re-issue under the new map.
+                    raise ShardMapStale(
+                        f"shard map advanced to epoch "
+                        f"{self.placement.epoch} during a non-blocking "
+                        f"bulk product load"
+                    )
                 return out
 
             group = FutureGroup(assemble=assemble)
@@ -474,7 +732,22 @@ class DataStore:
                        label: str = "") -> bool:
         tname = product_type_name(product_type)
         key = keys.product_key(container_key, label, tname)
-        return self._product_db(container_key).exists(key)
+
+        def attempt():
+            smap = self.placement
+            if self._product_db(container_key).exists(key):
+                return True
+            prev = smap.previous_product_database_for(container_key)
+            if prev is not None and self._handle(prev).exists(key):
+                return True
+            if self.placement is not smap:
+                raise ShardMapStale(
+                    f"shard map advanced to epoch {self.placement.epoch} "
+                    f"during a product existence check"
+                )
+            return False
+
+        return self._with_shard_retry(attempt)
 
     def _product_db(self, container_key: bytes) -> DatabaseHandle:
         return self._handle(self.placement.product_database_for(container_key))
@@ -515,14 +788,18 @@ class DataStore:
                         time.sleep(poll)
 
     def adopt(self, connection: ConnectionInfo) -> None:
-        """Switch to a new service layout (after a rescale migration).
+        """Switch to a new service layout (after an offline rescale).
 
-        Replaces the placement function and drops cached handles; the
-        UUID cache survives (dataset identities are layout-independent).
+        Replaces the shard map (bumping its epoch) and drops cached
+        handles; the UUID cache survives (dataset identities are
+        layout-independent).  Live rescales use
+        :meth:`begin_migration` / :meth:`commit_migration` instead.
         """
         self.connection = connection
-        self.placement = ParentHashPlacement(connection)
+        self.placement = ShardMap(connection,
+                                  epoch=self.placement.epoch + 1)
         self._handles.clear()
+        self.metrics.gauge("hepnos.shard.epoch").set(self.placement.epoch)
 
     def shutdown(self) -> None:
         """Finalize the client engine.

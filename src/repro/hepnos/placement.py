@@ -48,6 +48,132 @@ class ParentHashPlacement:
         return self.database_for("products", container_key)
 
 
+class ShardMap:
+    """A versioned placement map: an epoch counter over a strategy.
+
+    The datastore consults one of these per key.  Outside a migration
+    it simply delegates to its strategy.  During a live rescale the map
+    is *migrating*: it holds both the new strategy (``strategy``) and
+    the previous epoch's (``previous``).  Writes resolve to the new
+    layout immediately (write-forwarding); reads that miss fall back to
+    the previous shard (dual-read), which is safe because the migrator
+    copies before it erases and every stored value is immutable.
+
+    Epoch transitions:
+
+    - :meth:`advance` enters a migration epoch (``epoch + 1``,
+      ``previous`` populated) for a new connection;
+    - :meth:`settle` commits it (``epoch + 1``, ``previous`` dropped).
+
+    A client that notices the epoch changed mid-operation raises
+    :class:`~repro.errors.ShardMapStale` and retries under the new map.
+    """
+
+    def __init__(self, connection: ConnectionInfo, strategy=None,
+                 epoch: int = 0, previous=None,
+                 previous_connection: ConnectionInfo | None = None):
+        self.connection = connection
+        self.strategy = strategy if strategy is not None \
+            else ParentHashPlacement(connection)
+        self.epoch = epoch
+        self.previous = previous
+        self.previous_connection = previous_connection
+
+    @property
+    def name(self) -> str:
+        return self.strategy.name
+
+    @property
+    def migrating(self) -> bool:
+        return self.previous is not None
+
+    # -- epoch transitions --------------------------------------------------
+
+    def advance(self, connection: ConnectionInfo) -> "ShardMap":
+        """The migration epoch targeting ``connection``."""
+        return ShardMap(connection, epoch=self.epoch + 1,
+                        previous=self.strategy,
+                        previous_connection=self.connection)
+
+    def settle(self) -> "ShardMap":
+        """The committed epoch after a migration finishes."""
+        return ShardMap(self.connection, strategy=self.strategy,
+                        epoch=self.epoch + 1)
+
+    # -- lookups (same interface as ParentHashPlacement) --------------------
+
+    def database_for(self, kind: str, parent_key: bytes) -> DbTarget:
+        return self.strategy.database_for(kind, parent_key)
+
+    def product_database_for(self, container_key: bytes) -> DbTarget:
+        return self.strategy.product_database_for(container_key)
+
+    def databases_for_listing(self, kind: str, parent_key: bytes
+                              ) -> list[DbTarget]:
+        """Databases to interrogate when listing: both shards while a
+        migration may have left the parent's children split across the
+        old and new layouts."""
+        targets = list(self.strategy.databases_for_listing(kind, parent_key))
+        prev = self.previous_database_for(kind, parent_key)
+        if prev is not None:
+            targets.append(prev)
+        return targets
+
+    # -- dual-read helpers --------------------------------------------------
+
+    def previous_database_for(self, kind: str, parent_key: bytes
+                              ) -> DbTarget | None:
+        """The pre-migration shard, when it differs from the current one."""
+        if self.previous is None:
+            return None
+        old = self.previous.database_for(kind, parent_key)
+        if old == self.strategy.database_for(kind, parent_key):
+            return None
+        return old
+
+    def previous_product_database_for(self, container_key: bytes
+                                      ) -> DbTarget | None:
+        return self.previous_database_for("products", container_key)
+
+    # -- observability ------------------------------------------------------
+
+    def shard_id(self, kind: str, target: DbTarget) -> int:
+        """A small stable integer identifying ``target`` for trace tags.
+
+        Indices follow the current connection's sorted target list; a
+        target only present in the pre-migration connection reports the
+        complement of its old index (so old and new shards are
+        distinguishable in spans for the duration of the migration).
+        """
+        targets = self.connection[kind]
+        if target in targets:
+            return targets.index(target)
+        if self.previous_connection is not None:
+            old_targets = self.previous_connection[kind]
+            if target in old_targets:
+                return -1 - old_targets.index(target)
+        return -1
+
+    def describe(self) -> dict:
+        out = {
+            "epoch": self.epoch,
+            "migrating": self.migrating,
+            "strategy": self.name,
+            "shards": {kind: len(targets)
+                       for kind, targets in self.connection.targets.items()},
+        }
+        if self.previous_connection is not None:
+            out["previous_shards"] = {
+                kind: len(targets)
+                for kind, targets in self.previous_connection.targets.items()
+            }
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "migrating" if self.migrating else "settled"
+        return f"ShardMap(epoch={self.epoch}, {state})"
+
+
 class FullKeyPlacement:
     """The rejected alternative: place every key by its own hash.
 

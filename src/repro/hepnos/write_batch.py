@@ -16,8 +16,6 @@ and :meth:`wait` recovers failures synchronously.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.argobots import Eventual
 from repro.errors import HEPnOSError, NetworkFailure, ReproError
 from repro.faults.retry import RETRYABLE_ERRORS
@@ -40,19 +38,36 @@ class WriteBatch:
 
     def __init__(self, datastore, flush_threshold: int = 0):
         self.datastore = datastore
-        #: per-target update buffers
+        #: per-target update buffers (direct-target append path)
         self._buffers: dict[DbTarget, list[tuple[bytes, bytes]]] = {}
+        #: (kind, parent_key) -> pairs, resolved to a target at *flush*
+        #: time so a long-lived batch stays correct across a live
+        #: rescale epoch swap.
+        self._placed: dict[tuple[str, bytes], list[tuple[bytes, bytes]]] = {}
         self._pending = 0
         self.flush_threshold = flush_threshold
         self.flushes = 0
         self.items_written = 0
+        #: pairs re-sent because their group's shard moved mid-flush.
+        self.forwarded_writes = 0
         self._active = True
 
     def append(self, target: DbTarget, key: bytes, value: bytes) -> None:
-        """Queue one update (called by the datastore layer)."""
+        """Queue one update bound to an explicit target database."""
         if not self._active:
             raise HEPnOSError("write batch already closed")
         self._buffers.setdefault(target, []).append((key, value))
+        self._pending += 1
+        if self.flush_threshold and self._pending >= self.flush_threshold:
+            self.flush()
+
+    def append_placed(self, kind: str, parent_key: bytes, key: bytes,
+                      value: bytes) -> None:
+        """Queue one update placed by (kind, parent) at flush time."""
+        if not self._active:
+            raise HEPnOSError("write batch already closed")
+        self._placed.setdefault((kind, bytes(parent_key)), []).append(
+            (key, value))
         self._pending += 1
         if self.flush_threshold and self._pending >= self.flush_threshold:
             self.flush()
@@ -61,21 +76,69 @@ class WriteBatch:
     def pending(self) -> int:
         return self._pending
 
-    def flush(self) -> None:
-        """Send all buffered updates, one batched RPC per database."""
+    def _drain(self):
+        """Take the buffered updates, resolved under the current map.
+
+        Returns ``(epoch, groups, pending)`` where each group is
+        ``(placement_key_or_None, target, pairs)``; the placement key is
+        kept so :meth:`_forward_moved` can re-check each group after the
+        flush lands.
+        """
+        placed, self._placed = self._placed, {}
         buffers, self._buffers = self._buffers, {}
         pending, self._pending = self._pending, 0
-        if not buffers:
+        placement = self.datastore.placement
+        groups = []
+        for (kind, parent), pairs in placed.items():
+            target = placement.database_for(kind, parent)
+            groups.append(((kind, parent), target, pairs))
+        for target, pairs in buffers.items():
+            if pairs:
+                groups.append((None, target, pairs))
+        return placement.epoch, groups, pending
+
+    def _forward_moved(self, epoch: int, groups) -> None:
+        """Write-forwarding: re-send groups whose shard moved mid-flush.
+
+        If a live rescale swapped the shard map while this flush was on
+        the wire, a group's pairs may have landed on a shard the
+        migration plan has already scanned.  Re-sending them to their
+        new shard (and erasing the stale copies) guarantees the data
+        survives the migration's final erase of the old shard.
+        """
+        placement = self.datastore.placement
+        if placement.epoch == epoch:
             return
+        moved = 0
+        for placed_key, target, pairs in groups:
+            if placed_key is None:
+                continue
+            kind, parent = placed_key
+            now = placement.database_for(kind, parent)
+            if now != target:
+                self.datastore.handle_for_target(now).put_multi(pairs)
+                self.datastore.handle_for_target(target).erase_multi(
+                    [k for k, _ in pairs])
+                moved += len(pairs)
+        if moved:
+            self.forwarded_writes += moved
+
+    def flush(self) -> None:
+        """Send all buffered updates, one batched RPC per database."""
+        epoch, groups, pending = self._drain()
+        if not groups:
+            return
+        merged: dict[DbTarget, list] = {}
+        for _, target, pairs in groups:
+            merged.setdefault(target, []).extend(pairs)
         with _tracing.span("hepnos.write_batch.flush", items=pending,
-                           databases=len(buffers)):
-            for target, pairs in buffers.items():
-                if not pairs:
-                    continue
+                           databases=len(merged), epoch=epoch):
+            for target, pairs in merged.items():
                 handle = self.datastore.handle_for_target(target)
                 written = handle.put_multi(pairs)
                 self.items_written += written
                 self.flushes += 1
+            self._forward_moved(epoch, groups)
 
     def close(self) -> None:
         if self._active:
@@ -110,6 +173,9 @@ class AsynchronousWriteBatch(WriteBatch):
         self._inflight: list[tuple[Eventual, DbTarget, list]] = []
         #: (future, target, pairs) per in-flight engine-path flush.
         self._nb_inflight: list = []
+        #: (epoch, groups) per issued flush, checked for shard moves
+        #: once :meth:`wait` has drained everything.
+        self._sent_groups: list = []
         self._async_engine = async_engine
         #: number of failed background flushes recovered by re-issue.
         self.recovered_flushes = 0
@@ -125,15 +191,17 @@ class AsynchronousWriteBatch(WriteBatch):
         if engine is not None:
             self._flush_engine(engine)
             return
-        buffers, self._buffers = self._buffers, {}
-        pending, self._pending = self._pending, 0
-        if not buffers:
+        epoch, groups, pending = self._drain()
+        if not groups:
             return
+        merged: dict[DbTarget, list] = {}
+        for _, target, pairs in groups:
+            merged.setdefault(target, []).extend(pairs)
+        self._sent_groups.append((epoch, groups))
         with _tracing.span("hepnos.write_batch.flush", items=pending,
-                           databases=len(buffers), asynchronous=True):
-            for target, pairs in buffers.items():
-                if not pairs:
-                    continue
+                           databases=len(merged), asynchronous=True,
+                           epoch=epoch):
+            for target, pairs in merged.items():
                 # Issue the batched put without waiting (cf.
                 # DatabaseHandle.put_multi, which would block on the
                 # response).
@@ -166,16 +234,17 @@ class AsynchronousWriteBatch(WriteBatch):
 
     def _flush_engine(self, engine) -> None:
         """Flush through the AsyncEngine's bounded in-flight window."""
-        buffers, self._buffers = self._buffers, {}
-        pending, self._pending = self._pending, 0
-        if not buffers:
+        epoch, groups, pending = self._drain()
+        if not groups:
             return
+        merged: dict[DbTarget, list] = {}
+        for _, target, pairs in groups:
+            merged.setdefault(target, []).extend(pairs)
+        self._sent_groups.append((epoch, groups))
         with _tracing.span("hepnos.write_batch.flush", items=pending,
-                           databases=len(buffers), asynchronous=True,
-                           engine=True):
-            for target, pairs in buffers.items():
-                if not pairs:
-                    continue
+                           databases=len(merged), asynchronous=True,
+                           engine=True, epoch=epoch):
+            for target, pairs in merged.items():
                 handle = self.datastore.handle_for_target(target)
                 future = handle.put_multi_nb(pairs, dispatch=False)
                 engine.submit(future)
@@ -198,6 +267,7 @@ class AsynchronousWriteBatch(WriteBatch):
         self._wait_engine()
         inflight, self._inflight = self._inflight, []
         if not inflight:
+            self._forward_sent()
             return
         failures: list[BaseException] = []
         with _tracing.span("hepnos.write_batch.wait",
@@ -221,8 +291,15 @@ class AsynchronousWriteBatch(WriteBatch):
             if failures:
                 sp.set_tag("error", type(failures[0]).__name__)
                 sp.set_tag("failed", len(failures))
+        self._forward_sent()
         if failures:
             raise failures[0]
+
+    def _forward_sent(self) -> None:
+        """Re-check every landed flush for mid-flight shard moves."""
+        sent, self._sent_groups = self._sent_groups, []
+        for epoch, groups in sent:
+            self._forward_moved(epoch, groups)
 
     def _wait_engine(self) -> None:
         """Retire engine-path flushes (no-op when none are in flight)."""

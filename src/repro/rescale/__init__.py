@@ -14,14 +14,20 @@ implements that capability for this reproduction:
   adopt;
 - :func:`add_server` / :func:`remove_server` -- connection surgery
   helpers building the target connection from a BedrockServer joining
-  or leaving.
+  or leaving;
+- :class:`LiveRescaler` / :func:`migrate_live` -- *live* rescaling:
+  the shard map enters a migration epoch (dual-read + write
+  forwarding) and keys move in idempotent steps while ingest and
+  queries keep running.
 """
 
 from repro.rescale.migrate import (
+    LiveRescaler,
     MigrationPlan,
     MigrationStats,
     add_server,
     execute_rescale,
+    migrate_live,
     plan_rescale,
     remove_server,
 )
@@ -29,8 +35,10 @@ from repro.rescale.migrate import (
 __all__ = [
     "MigrationPlan",
     "MigrationStats",
+    "LiveRescaler",
     "plan_rescale",
     "execute_rescale",
+    "migrate_live",
     "add_server",
     "remove_server",
 ]

@@ -1,21 +1,36 @@
-"""Rescale planning and execution.
+"""Rescale planning and execution -- offline and live.
 
 Rescaling walks the container hierarchy (parents determine placement),
 compares each parent group's database under the old and new layouts,
 and moves only the groups whose target changed.  Because placement uses
 consistent hashing, adding one database relocates roughly ``1/n`` of
 the groups -- Pufferscale's minimal-migration property.
+
+Two modes:
+
+- **offline** (:func:`plan_rescale` + :func:`execute_rescale`): plan
+  against a quiesced datastore, stream the moves, then ``adopt`` the
+  new layout;
+- **live** (:class:`LiveRescaler` / :func:`migrate_live`): swap the
+  client's shard map into a *migration epoch* first, then move keys in
+  small steps while ingest and queries keep running.  Reads fall back
+  to the old shard until :meth:`LiveRescaler.commit` (dual-read);
+  writes resolve to the new layout from the start (write-forwarding);
+  every step is copy-then-erase and idempotent, so a provider crash
+  mid-migration is survived by the ordinary retry policy.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable, Optional
 
 from repro.errors import ConfigError
 from repro.hepnos import keys as hkeys
 from repro.hepnos.connection import KINDS, ConnectionInfo, DbTarget
 from repro.hepnos.placement import ParentHashPlacement
+from repro.monitor import tracing as _tracing
 
 
 @dataclass(frozen=True)
@@ -31,12 +46,25 @@ class MigrationStats:
     keys_moved: int = 0
     keys_stayed: int = 0
     bytes_moved: int = 0
-    moves_by_kind: dict = field(default_factory=dict)
+    #: pairs actually moved, per container kind ("events", "products",
+    #: ...).  Counts what landed on the destination, not what the plan
+    #: intended -- the two differ when keys vanish mid-migration (live
+    #: traffic) -- so ``sum(moves_by_kind.values()) == keys_moved``
+    #: holds by construction.
+    moves_by_kind: dict[str, int] = field(default_factory=dict)
 
     @property
     def moved_fraction(self) -> float:
         total = self.keys_moved + self.keys_stayed
         return self.keys_moved / total if total else 0.0
+
+    def describe(self) -> str:
+        by_kind = ", ".join(f"{kind}={count}" for kind, count
+                            in sorted(self.moves_by_kind.items()))
+        return (f"moved {self.keys_moved} keys "
+                f"({self.bytes_moved} bytes, "
+                f"{self.moved_fraction:.1%} of {self.keys_moved + self.keys_stayed}) "
+                f"[{by_kind or 'nothing'}]")
 
 
 @dataclass
@@ -150,16 +178,26 @@ def _product_group(datastore, container_key: bytes, child_keys):
     theoretically possible but needs a label starting with that exact
     8-byte sequence.
     """
-    target = datastore.placement.product_database_for(container_key)
-    handle = datastore.handle_for_target(target)
+    placement = datastore.placement
+    targets = {placement.product_database_for(container_key)}
+    previous = getattr(placement, "previous_product_database_for", None)
+    if previous is not None:
+        # Mid-migration the products may be split across the old and
+        # new shards; scan both and merge.
+        old = previous(container_key)
+        if old is not None:
+            targets.add(old)
     child_set = set(child_keys)
     width = len(container_key) + 8
-    product_keys = [
-        key for key in handle.list_keys(prefix=container_key)
-        if not (len(key) > width and key[:width] in child_set)
-    ]
-    if product_keys:
-        yield ("products", container_key, product_keys)
+    seen: set[bytes] = set()
+    for target in targets:
+        handle = datastore.handle_for_target(target)
+        seen.update(
+            key for key in handle.list_keys(prefix=container_key)
+            if not (len(key) > width and key[:width] in child_set)
+        )
+    if seen:
+        yield ("products", container_key, sorted(seen))
 
 
 def plan_rescale(datastore, new_connection: ConnectionInfo) -> MigrationPlan:
@@ -190,19 +228,166 @@ def execute_rescale(datastore, plan: MigrationPlan,
     products) are copied verbatim.
     """
     stats = MigrationStats(keys_stayed=plan.keys_stayed)
-    for move in plan.moves:
-        source = datastore.handle_for_target(move.source)
-        destination = datastore.handle_for_target(move.destination)
-        for start in range(0, len(move.keys), batch_size):
-            chunk = list(move.keys[start : start + batch_size])
-            values = source.get_multi(chunk)
-            pairs = [(k, v) for k, v in zip(chunk, values) if v is not None]
-            destination.put_multi(pairs)
-            source.erase_multi([k for k, _ in pairs])
-            stats.keys_moved += len(pairs)
-            stats.bytes_moved += sum(len(k) + len(v) for k, v in pairs)
-        stats.moves_by_kind[move.kind] = (
-            stats.moves_by_kind.get(move.kind, 0) + len(move.keys)
-        )
-    datastore.adopt(plan.new_connection)
+    with _tracing.span("rescale.execute", moves=len(plan.moves)) as sp:
+        for move in plan.moves:
+            source = datastore.handle_for_target(move.source)
+            destination = datastore.handle_for_target(move.destination)
+            for start in range(0, len(move.keys), batch_size):
+                chunk = list(move.keys[start : start + batch_size])
+                values = source.get_multi(chunk)
+                pairs = [(k, v) for k, v in zip(chunk, values)
+                         if v is not None]
+                destination.put_multi(pairs)
+                source.erase_multi([k for k, _ in pairs])
+                stats.keys_moved += len(pairs)
+                stats.bytes_moved += sum(len(k) + len(v) for k, v in pairs)
+                # Count pairs that actually landed, not planned keys:
+                # the plan can overcount when keys vanish mid-migration.
+                stats.moves_by_kind[move.kind] = (
+                    stats.moves_by_kind.get(move.kind, 0) + len(pairs)
+                )
+        datastore.adopt(plan.new_connection)
+        sp.set_tag("keys_moved", stats.keys_moved)
+        sp.set_tag("bytes_moved", stats.bytes_moved)
+        for kind, count in sorted(stats.moves_by_kind.items()):
+            sp.set_tag(f"moved_{kind}", count)
     return stats
+
+
+# -- live rescaling -----------------------------------------------------------
+
+
+class LiveRescaler:
+    """Add or remove storage while clients keep reading and writing.
+
+    Protocol (see ARCHITECTURE.md, "Sharding & live rescaling"):
+
+    1. :meth:`begin` swaps the datastore's shard map into a migration
+       epoch targeting ``new_connection`` -- from this instant writes
+       resolve to the new layout and reads dual-read -- and *then*
+       plans the key movements by scanning the old placement (so
+       nothing written before the swap can be missed).
+    2. :meth:`step` moves one batch: ``get_multi`` from the old shard,
+       ``put_multi`` to the new, ``erase_multi`` the copies.
+       Copy-then-erase plus immutable values make every step idempotent
+       and safe to retry (including across a provider crash/restart).
+    3. :meth:`commit` bumps the epoch once more and drops the
+       dual-read fallback.
+
+    :meth:`run` drives all three, optionally yielding to a callback
+    between steps so callers can interleave live traffic.
+    """
+
+    def __init__(self, datastore, new_connection: ConnectionInfo,
+                 batch_size: int = 1024):
+        self.datastore = datastore
+        self.new_connection = new_connection
+        self.batch_size = batch_size
+        self.stats = MigrationStats()
+        self.epoch: Optional[int] = None
+        self._chunks: Optional[deque] = None
+
+    @property
+    def started(self) -> bool:
+        return self._chunks is not None
+
+    @property
+    def remaining_keys(self) -> int:
+        return sum(len(chunk) for _, _, _, chunk in self._chunks or ())
+
+    def begin(self) -> int:
+        """Enter the migration epoch and plan the moves; returns it."""
+        if self.started:
+            raise ConfigError("live rescale already begun")
+        ds = self.datastore
+        with _tracing.span("rescale.begin") as sp:
+            self.epoch = ds.begin_migration(self.new_connection)
+            old = ds.placement.previous
+            new = ds.placement.strategy
+            chunks: deque = deque()
+            stayed = 0
+            for kind, parent_key, child_keys in _parent_groups(ds):
+                source = old.database_for(kind, parent_key)
+                destination = new.database_for(kind, parent_key)
+                if source == destination:
+                    stayed += len(child_keys)
+                    continue
+                for start in range(0, len(child_keys), self.batch_size):
+                    chunks.append((kind, source, destination,
+                                   tuple(child_keys[
+                                       start:start + self.batch_size])))
+            self.stats.keys_stayed = stayed
+            self._chunks = chunks
+            sp.set_tag("epoch", self.epoch)
+            sp.set_tag("chunks", len(chunks))
+            sp.set_tag("keys_stayed", stayed)
+        return self.epoch
+
+    def step(self) -> bool:
+        """Move one batch of keys; False once nothing is left."""
+        if not self.started:
+            raise ConfigError("live rescale not begun")
+        if not self._chunks:
+            return False
+        kind, source, destination, chunk = self._chunks[0]
+        ds = self.datastore
+        with _tracing.span("rescale.step", kind=kind, epoch=self.epoch,
+                           keys=len(chunk)) as sp:
+            smap = ds.placement
+            sp.set_tag("source_shard", smap.shard_id(kind, source))
+            sp.set_tag("destination_shard",
+                       smap.shard_id(kind, destination))
+            src = ds.handle_for_target(source)
+            dst = ds.handle_for_target(destination)
+            values = src.get_multi(list(chunk))
+            pairs = [(k, v) for k, v in zip(chunk, values)
+                     if v is not None]
+            dst.put_multi(pairs)
+            src.erase_multi([k for k, _ in pairs])
+            # Dequeue only after the move landed: a retried step just
+            # re-copies (idempotent) instead of losing the chunk.
+            self._chunks.popleft()
+            self.stats.keys_moved += len(pairs)
+            self.stats.bytes_moved += sum(len(k) + len(v)
+                                          for k, v in pairs)
+            self.stats.moves_by_kind[kind] = (
+                self.stats.moves_by_kind.get(kind, 0) + len(pairs)
+            )
+            sp.set_tag("moved", len(pairs))
+        return True
+
+    def commit(self) -> MigrationStats:
+        """Drop the dual-read fallback; the migration is complete."""
+        if not self.started:
+            raise ConfigError("live rescale not begun")
+        if self._chunks:
+            raise ConfigError(
+                f"{self.remaining_keys} keys still queued; "
+                f"drain step() before commit()"
+            )
+        with _tracing.span("rescale.commit", epoch=self.epoch) as sp:
+            committed = self.datastore.commit_migration()
+            sp.set_tag("committed_epoch", committed)
+            sp.set_tag("keys_moved", self.stats.keys_moved)
+            for kind, count in sorted(self.stats.moves_by_kind.items()):
+                sp.set_tag(f"moved_{kind}", count)
+        return self.stats
+
+    def run(self, step_callback: Optional[Callable[[], None]] = None
+            ) -> MigrationStats:
+        """begin -> step* -> commit, yielding to ``step_callback``
+        between steps so live traffic can interleave."""
+        self.begin()
+        while self.step():
+            if step_callback is not None:
+                step_callback()
+        return self.commit()
+
+
+def migrate_live(datastore, new_connection: ConnectionInfo,
+                 batch_size: int = 1024,
+                 step_callback: Optional[Callable[[], None]] = None
+                 ) -> MigrationStats:
+    """Convenience wrapper: run a full live rescale to completion."""
+    return LiveRescaler(datastore, new_connection,
+                        batch_size=batch_size).run(step_callback)

@@ -60,18 +60,39 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="START:END",
                         help="op window for provider crash/restart, or "
                              "'none' (default: 10:30)")
-    parser.add_argument("--spike-window", type=_window, default=(40, 44),
+    parser.add_argument("--spike-window", type=_window, default=(40, 50),
                         metavar="START:END",
                         help="op window for the timeout-inducing latency "
-                             "spike, or 'none' (default: 40:44)")
+                             "spike, or 'none' (default: 40:50)")
     parser.add_argument("--workdir", default=None,
                         help="directory for generated files "
                              "(default: fresh temp dir)")
+    parser.add_argument("--rescale", action="store_true",
+                        help="instead of the stock chaos run, check "
+                             "selection parity across shard counts with "
+                             "a provider joining mid-selection (live "
+                             "rescale under chaos)")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.rescale:
+        from repro.faults.chaos import run_rescale_chaos
+
+        report = run_rescale_chaos(
+            seed=args.seed,
+            files=args.files,
+            ranks=args.ranks,
+            mean_events_per_file=args.events_per_file,
+            drop=args.drop,
+            delay=args.delay,
+            corrupt=args.corrupt,
+            crash_window=args.crash_window,
+            workdir=args.workdir,
+        )
+        print(report.summary())
+        return 0 if report.matches and not report.pending_actions else 1
     report = run_nova_chaos(
         seed=args.seed,
         files=args.files,

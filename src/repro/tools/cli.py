@@ -111,6 +111,63 @@ def _cmd_demo_export(args) -> int:
     return 0
 
 
+def _cmd_rescale(args) -> int:
+    """Demo a live rescale: grow the service under ingest traffic."""
+    from repro.bedrock import BedrockServer, default_hepnos_config
+    from repro.hepnos import DataStore
+    from repro.mercury import Fabric
+    from repro.nova import GeneratorConfig, generate_file_set
+    from repro.rescale import LiveRescaler, add_server
+    from repro.workflows import HEPnOSWorkflow
+
+    workdir = tempfile.mkdtemp(prefix="hepnos-rescale-")
+    sample = generate_file_set(
+        f"{workdir}/files", num_files=args.files, mean_events_per_file=24,
+        config=GeneratorConfig(signal_fraction=0.05, events_per_subrun=16,
+                               subruns_per_run=4),
+    )
+    fabric = Fabric(threaded=True)
+    servers = [
+        BedrockServer(fabric, default_hepnos_config(
+            f"sm://node{i}/hepnos", num_providers=2, event_databases=2,
+            product_databases=2, run_databases=1, subrun_databases=1,
+        ))
+        for i in range(args.servers)
+    ]
+    fabric.runtime.start()
+    datastore = DataStore.connect(fabric, servers)
+    workflow = HEPnOSWorkflow(datastore, "nova/rescale", input_batch_size=64,
+                              dispatch_batch_size=8)
+    workflow.ingest(sample.paths, num_ranks=1)
+    print(f"ingested {sample.total_events} events into "
+          f"{len(servers)} servers; shard map: "
+          f"{datastore.placement.describe()}")
+
+    joining = BedrockServer(fabric, default_hepnos_config(
+        "sm://joining/hepnos", num_providers=2, event_databases=2,
+        product_databases=2, run_databases=1, subrun_databases=1,
+    ))
+    rescaler = LiveRescaler(datastore, add_server(datastore.connection,
+                                                  joining),
+                            batch_size=args.batch_size)
+    steps = {"n": 0}
+
+    def tick() -> None:
+        steps["n"] += 1
+
+    stats = rescaler.run(step_callback=tick)
+    print(f"live rescale: epoch {datastore.placement.epoch}, "
+          f"{steps['n']} steps")
+    print(f"  {stats.describe()}")
+    for kind, count in sorted(stats.moves_by_kind.items()):
+        print(f"    moved {kind}: {count}")
+    result = workflow.select(num_ranks=2)
+    print(f"post-rescale selection: {len(result.accepted_ids)} of "
+          f"{result.slices_examined} slices accepted")
+    fabric.runtime.shutdown()
+    return 0
+
+
 def _cmd_scaling(args) -> int:
     from repro.perf import (
         LARGE,
@@ -179,6 +236,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("export", help="demo: ingest then export a dataset")
     p.add_argument("output", help="output hdf5lite path")
     p.set_defaults(fn=_cmd_demo_export)
+
+    p = sub.add_parser("rescale",
+                       help="demo a live rescale under traffic")
+    p.add_argument("--servers", type=int, default=2)
+    p.add_argument("--files", type=int, default=2)
+    p.add_argument("--batch-size", type=int, default=64)
+    p.set_defaults(fn=_cmd_rescale)
 
     p = sub.add_parser("scaling", help="regenerate the paper's figures")
     p.add_argument("--scale", type=float, default=1.0,

@@ -22,7 +22,7 @@ while HEPnOS writes each product once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 from repro.errors import HEPnOSError
 from repro.hepnos import ParallelEventProcessor, PEPOptions, WriteBatch
@@ -105,6 +105,12 @@ class HEPnOSPipeline:
 
         pep.process(dataset, handle)
         batch.close()
+        if comm is not None and comm.size > 1:
+            # Step boundary: every rank's batched writes must be flushed
+            # and visible before any rank starts prefetching the next
+            # step's inputs, or a fast rank reads a product that a slow
+            # rank has not stored yet.
+            comm.barrier()
         return report
 
     def run(self, steps: Sequence[StepSpec], comm=None) -> PipelineReport:

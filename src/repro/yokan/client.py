@@ -361,6 +361,53 @@ class DatabaseHandle:
                             f"get_multi[{len(keys)}]@{self.name}",
                             dispatch=dispatch)
 
+    def load_prefix_packed_nb(self, prefixes: Sequence[bytes],
+                              size_hint: int = 0, *, dispatch: bool = True
+                              ) -> OperationFuture:
+        """Non-blocking :meth:`load_prefix_packed`.
+
+        Resolves to the same list of per-prefix groups.  The landing
+        buffer lives in the future's closure (the zero-copy views pin
+        it); an undersized buffer re-issues with the provider's
+        requested capacity, and the packed buffer's CRC is verified
+        inside the retirement loop.  The datastore issues one of these
+        per involved shard so packed scans fan out concurrently.
+        """
+        prefixes = [bytes(p) for p in prefixes]
+        if not prefixes:
+            return OperationFuture.completed(
+                [], f"load_prefix_packed[0]@{self.name}")
+        handle = self._engine.create_handle(self.target,
+                                            "yokan.load_prefix_packed")
+        state = {"capacity": size_hint or (4096 * len(prefixes)),
+                 "buffer": None, "bulk": None}
+
+        def issue():
+            buffer = bytearray(state["capacity"])
+            # Pin the Bulk in the closure: regions are weakly tracked,
+            # and the provider's RDMA push may land long after issue.
+            state["buffer"] = buffer
+            state["bulk"] = self._engine.expose(buffer, Bulk.READ_WRITE)
+            payload = wire.seal(dumps((self.name, prefixes, state["bulk"],
+                                       state["capacity"])))
+            return handle.iforward(payload, self.provider_id)
+
+        def finish(raw):
+            result = _unwrap(raw)
+            if isinstance(result, _Retry):
+                state["capacity"] = result.needed
+                raise _ResizeNeeded()
+            ngroups, nbytes, crc = result
+            wire.verify_bulk(memoryview(state["buffer"])[:nbytes], crc,
+                             "load_prefix_packed landing buffer")
+            return packed.unpack_groups(
+                memoryview(state["buffer"])[:nbytes], ngroups)
+
+        return self._future(issue, finish,
+                            f"load_prefix_packed[{len(prefixes)}]"
+                            f"@{self.name}",
+                            dispatch=dispatch)
+
     def put_multi_nb(self, pairs: Iterable[Tuple[bytes, bytes]],
                      *, dispatch: bool = True) -> OperationFuture:
         """Non-blocking :meth:`put_multi`; resolves to the pair count.

@@ -461,3 +461,14 @@ class TestChaosHarness:
         # The spike window is sized to force at least one timeout.
         assert report.timeouts >= 1
         assert report.client_retries >= 1
+
+    def test_rescale_chaos_selection_is_byte_identical(self):
+        from repro.faults.chaos import run_rescale_chaos
+
+        report = run_rescale_chaos(seed=2)
+        assert report.matches, report.summary()
+        assert report.pending_actions == [], report.summary()
+        # The live grow really happened: one migration epoch + commit.
+        assert report.final_epoch == 2
+        assert report.keys_moved > 0
+        assert sum(report.moves_by_kind.values()) == report.keys_moved

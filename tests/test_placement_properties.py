@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) for placement and sharding.
+
+The rescaling design rests on two exact properties of consistent
+hashing -- adding a target steals keys *only for itself*, removing one
+relocates *only its own* keys -- plus the placement invariant that all
+children of one parent colocate.  Unit tests spot-check these; the
+properties here assert them for arbitrary key sets and ring sizes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hepnos.connection import KINDS, ConnectionInfo, DbTarget
+from repro.hepnos.placement import (
+    FullKeyPlacement,
+    ParentHashPlacement,
+    ShardMap,
+)
+from repro.utils import ConsistentHashRing
+
+
+def make_targets(count: int, kind: str = "events") -> list[DbTarget]:
+    return [DbTarget(f"sm://node{i}/hepnos", i % 4, f"{kind}-{i}")
+            for i in range(count)]
+
+
+def make_connection(count: int) -> ConnectionInfo:
+    return ConnectionInfo({
+        kind: make_targets(count, kind) for kind in KINDS
+    })
+
+
+keys_strategy = st.lists(st.binary(min_size=1, max_size=24),
+                         min_size=1, max_size=80, unique=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(min_value=2, max_value=8), keys=keys_strategy)
+def test_ring_add_target_steals_only_for_itself(n, keys):
+    """Adding one target relocates keys ONLY onto the new target: every
+    key either keeps its owner or moves to the newcomer."""
+    targets = make_targets(n)
+    newcomer = DbTarget("sm://extra/hepnos", 0, "events-extra")
+    before = ConsistentHashRing(targets)
+    after = ConsistentHashRing(targets + [newcomer])
+    moved = 0
+    for key in keys:
+        old, new = before.locate(key), after.locate(key)
+        if old != new:
+            assert new == newcomer
+            moved += 1
+    # Minimal disruption: the newcomer's expected share is 1/(n+1);
+    # allow generous statistical slack but reject wholesale reshuffles.
+    assert moved <= max(4, len(keys) * 3.0 / (n + 1))
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(min_value=3, max_value=8), keys=keys_strategy)
+def test_ring_remove_target_relocates_only_its_keys(n, keys):
+    targets = make_targets(n)
+    victim = targets[-1]
+    before = ConsistentHashRing(targets)
+    after = ConsistentHashRing(targets[:-1])
+    for key in keys:
+        old, new = before.locate(key), after.locate(key)
+        if old != victim:
+            assert new == old
+        else:
+            assert new != victim
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=1, max_value=6),
+       parent=st.binary(min_size=1, max_size=24),
+       children=st.lists(st.binary(min_size=1, max_size=8),
+                         min_size=1, max_size=20))
+def test_parent_hash_children_colocate(n, parent, children):
+    """All children of one parent land in one database, and listing
+    interrogates exactly that database."""
+    placement = ParentHashPlacement(make_connection(n))
+    for kind in KINDS:
+        owner = placement.database_for(kind, parent)
+        assert placement.databases_for_listing(kind, parent) == [owner]
+        # Placement keys on the parent, so any child key shares it.
+        for child in children:
+            assert placement.database_for(kind, parent) == owner
+    assert placement.product_database_for(parent) == \
+        placement.database_for("products", parent)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=2, max_value=6), parents=keys_strategy)
+def test_parent_hash_rescale_moves_to_new_shard_only(n, parents):
+    """Across a grow rescale, a parent's children either stay put or
+    move (as a group) to a database of the enlarged layout that the old
+    layout did not have."""
+    old_conn = make_connection(n)
+    new_conn = ConnectionInfo({
+        kind: make_targets(n, kind) + [
+            DbTarget("sm://extra/hepnos", 0, f"{kind}-extra")
+        ]
+        for kind in KINDS
+    })
+    old = ParentHashPlacement(old_conn)
+    new = ParentHashPlacement(new_conn)
+    for parent in parents:
+        for kind in KINDS:
+            src = old.database_for(kind, parent)
+            dst = new.database_for(kind, parent)
+            if src != dst:
+                assert dst not in old_conn[kind]
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=2, max_value=6), parents=keys_strategy)
+def test_shard_map_dual_read_is_exact(n, parents):
+    """While migrating, previous_database_for is non-None exactly when
+    the owner changed, and listing covers both shards."""
+    old_conn = make_connection(n)
+    new_conn = ConnectionInfo({
+        kind: make_targets(n, kind) + [
+            DbTarget("sm://extra/hepnos", 0, f"{kind}-extra")
+        ]
+        for kind in KINDS
+    })
+    settled = ShardMap(old_conn)
+    migrating = settled.advance(new_conn)
+    assert migrating.epoch == settled.epoch + 1
+    assert migrating.migrating
+    for parent in parents:
+        for kind in KINDS:
+            current = migrating.database_for(kind, parent)
+            fallback = migrating.previous_database_for(kind, parent)
+            old_owner = ShardMap(old_conn).database_for(kind, parent)
+            if old_owner == current:
+                assert fallback is None
+                assert migrating.databases_for_listing(kind, parent) == \
+                    [current]
+            else:
+                assert fallback == old_owner
+                assert migrating.databases_for_listing(kind, parent) == \
+                    [current, old_owner]
+    committed = migrating.settle()
+    assert committed.epoch == migrating.epoch + 1
+    assert not committed.migrating
+    for parent in parents:
+        assert committed.previous_database_for("events", parent) is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=1, max_value=6),
+       parent=st.binary(min_size=1, max_size=24))
+def test_full_key_placement_lists_every_database(n, parent):
+    """The rejected design must interrogate ALL databases to list."""
+    connection = make_connection(n)
+    placement = FullKeyPlacement(connection)
+    for kind in KINDS:
+        listed = placement.databases_for_listing(kind, parent)
+        assert sorted(listed) == sorted(connection[kind])
+        assert len(listed) == n

@@ -3,11 +3,14 @@
 import pytest
 
 from repro.bedrock import BedrockServer, default_hepnos_config
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ShardMapStale
+from repro.faults.retry import RETRYABLE_ERRORS
 from repro.hepnos import DataStore, WriteBatch, vector_of
 from repro.rescale import (
+    LiveRescaler,
     add_server,
     execute_rescale,
+    migrate_live,
     plan_rescale,
     remove_server,
 )
@@ -154,3 +157,140 @@ class TestExecute:
         stats = execute_rescale(datastore, plan_rescale(datastore, joined))
         assert 0.0 < stats.moved_fraction < 1.0
         assert sum(stats.moves_by_kind.values()) == stats.keys_moved
+        assert set(stats.moves_by_kind) <= {
+            "datasets", "runs", "subruns", "events", "products"
+        }
+        assert stats.describe().startswith("moved ")
+
+
+class TestLiveRescale:
+    def test_stale_shard_map_is_retryable(self, datastore):
+        assert issubclass(ShardMapStale, RETRYABLE_ERRORS)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ShardMapStale("epoch moved")
+            return "ok"
+
+        assert datastore._with_shard_retry(flaky) == "ok"
+        assert calls["n"] == 3
+
+    def test_dual_read_covers_unmoved_keys(self, fabric, service, datastore):
+        """After begin() -- before a single key has moved -- every read
+        and listing must still succeed via the old-shard fallback."""
+        _, expected = populate(datastore, "dual")
+        joined = add_server(datastore.connection, new_server(fabric, 8))
+        rescaler = LiveRescaler(datastore, joined, batch_size=16)
+        epoch0 = datastore.placement.epoch
+        rescaler.begin()
+        assert datastore.placement.epoch == epoch0 + 1
+        assert datastore.placement.migrating
+        verify(datastore, "dual", expected)  # nothing moved yet
+        while rescaler.step():
+            pass
+        stats = rescaler.commit()
+        assert datastore.placement.epoch == epoch0 + 2
+        assert not datastore.placement.migrating
+        assert sum(stats.moves_by_kind.values()) == stats.keys_moved
+        verify(datastore, "dual", expected)
+
+    def test_grow_under_live_traffic(self, fabric, service, datastore):
+        """Interleave ingest and reads with migration steps; both the
+        pre-existing and the concurrently written data must survive."""
+        ds, expected = populate(datastore, "live")
+        joined = add_server(datastore.connection, new_server(fabric, 9))
+        run = ds.create_run(77)
+        written = {}
+        state = {"i": 0}
+
+        def traffic():
+            i = state["i"]
+            state["i"] += 1
+            event = run.create_subrun(i).create_event(0)
+            value = [Blob(70000 + i)]
+            event.store(value, label="blob")
+            written[i] = value
+            # Read back something written before the migration began.
+            old = ds[0][0][i % 20].load(vector_of(Blob), label="blob")
+            assert old == expected[(0, 0, i % 20)]
+
+        stats = LiveRescaler(datastore, joined,
+                             batch_size=8).run(step_callback=traffic)
+        assert state["i"] > 0
+        assert stats.keys_moved > 0
+        combined = dict(expected)
+        combined.update({(77, i, 0): value for i, value in written.items()})
+        verify(datastore, "live", combined)
+
+    def test_write_forwarding_lands_on_new_shard(self, fabric, service,
+                                                 datastore):
+        """A write issued mid-migration resolves against the new layout:
+        after commit (fallback dropped) it must still be readable, and
+        its bytes must live on the new placement's target database."""
+        ds, _ = populate(datastore, "fwd", runs=1, subruns=1, events=4)
+        joined = add_server(datastore.connection, new_server(fabric, 10))
+        rescaler = LiveRescaler(datastore, joined, batch_size=16)
+        rescaler.begin()
+        while rescaler.step():
+            pass
+        # All planned chunks moved; now write while still in the
+        # migration epoch.
+        event = ds.create_run(5).create_subrun(6).create_event(7)
+        value = [Blob(567)]
+        event.store(value, label="blob")
+        rescaler.commit()
+        assert datastore["rescale/fwd"][5][6][7].load(
+            vector_of(Blob), label="blob") == value
+        # The product key must physically live on the database the new
+        # placement selects (no dangling copy needing the fallback).
+        ck = event.key
+        target = datastore.placement.product_database_for(ck)
+        handle = datastore.handle_for_target(target)
+        assert any(k.startswith(ck) for k in handle.list_keys(prefix=ck))
+
+    def test_provider_crash_mid_migration(self, fabric, service, datastore):
+        """Crash/restart the joining provider between steps: copy-then-
+        erase steps plus the retry policy make the migration survive."""
+        _, expected = populate(datastore, "crash")
+        server = new_server(fabric, 11)
+        joined = add_server(datastore.connection, server)
+        rescaler = LiveRescaler(datastore, joined, batch_size=8)
+        rescaler.begin()
+        assert rescaler.step()  # at least one chunk lands pre-crash
+        server.crash()
+        server.restart()
+        while rescaler.step():
+            pass
+        stats = rescaler.commit()
+        assert stats.keys_moved > 0
+        verify(datastore, "crash", expected)
+
+    def test_grow_then_shrink_live_roundtrip(self, fabric, service,
+                                             datastore):
+        _, expected = populate(datastore, "liveshrink")
+        server = new_server(fabric, 12)
+        joined = add_server(datastore.connection, server)
+        migrate_live(datastore, joined, batch_size=32)
+        verify(datastore, "liveshrink", expected)
+        shrunk = remove_server(datastore.connection, str(server.address))
+        stats = migrate_live(datastore, shrunk, batch_size=32)
+        verify(datastore, "liveshrink", expected)
+        assert sum(stats.moves_by_kind.values()) == stats.keys_moved
+        for provider in server.providers.values():
+            for backend in provider.databases.values():
+                assert len(backend) == 0
+
+    def test_commit_refuses_with_pending_chunks(self, fabric, service,
+                                                datastore):
+        populate(datastore, "refuse")
+        joined = add_server(datastore.connection, new_server(fabric, 13))
+        rescaler = LiveRescaler(datastore, joined, batch_size=4)
+        rescaler.begin()
+        if rescaler.remaining_keys:
+            with pytest.raises(ConfigError, match="still queued"):
+                rescaler.commit()
+        while rescaler.step():
+            pass
+        rescaler.commit()
