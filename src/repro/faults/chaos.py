@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.bedrock import BedrockServer, default_hepnos_config
+from repro.errors import HEPnOSError
 from repro.faults.retry import RetryPolicy
 from repro.faults.schedule import FaultSchedule
 from repro.hepnos import DataStore
@@ -355,6 +356,15 @@ def run_rescale_chaos(seed: int = 0, files: int = 2, ranks: int = 2,
             if thread is not None:
                 thread.join(timeout=120.0)
             fabric.fault_model = FaultModel()
+        if thread is not None and thread.is_alive():
+            # A wedged migration (e.g. blocked on a crashed provider)
+            # must be a test failure, not a silently accepted run over
+            # a half-migrated store.
+            raise HEPnOSError(
+                "live-rescaler thread still running after 120s join; "
+                "aborting the rescale-chaos run instead of reporting "
+                "parity against a half-migrated store"
+            )
         if thread is not None and migration["error"] is not None:
             raise migration["error"]
         stale = datastore.metrics.counter("hepnos.shard.stale_retries").value

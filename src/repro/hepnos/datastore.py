@@ -168,12 +168,26 @@ class DataStore:
 
     def _previous_get(self, kind: str, parent_key: bytes,
                       key: bytes) -> Optional[bytes]:
-        """Dual-read fallback: fetch from the pre-migration shard."""
+        """Dual-read fallback: the pre-migration shard, then the
+        current one *again*.
+
+        The caller already missed the current shard once, but a
+        concurrent migration step may have copied the key to the
+        current shard and erased it from the old one between the two
+        reads.  Copy-before-erase guarantees that at every instant at
+        least one of the two locations holds the key, so after an
+        old-shard miss a final re-read of the current shard closes the
+        window: ``None`` here really means absent.
+        """
         prev = self.placement.previous_database_for(kind, parent_key)
         if prev is None:
             return None
         try:
             return self._handle(prev).get(key)
+        except KeyNotFound:
+            pass
+        try:
+            return self._db(kind, parent_key).get(key)
         except KeyNotFound:
             return None
 
@@ -320,9 +334,14 @@ class DataStore:
         if prev is not None:
             # Dual-read: merge the pre-migration shard's entries
             # (dataset directories are small, no paging needed).
-            merged = sorted(set(db.list_keys(prefix=prefix))
-                            | set(self._handle(prev).list_keys(prefix=prefix)))
-            entries = iter(merged)
+            seen = set(db.list_keys(prefix=prefix))
+            seen |= set(self._handle(prev).list_keys(prefix=prefix))
+            # A key mid-move can be absent from both lists above
+            # (copied after the first, erased before the second);
+            # copy-before-erase means a final re-read of the current
+            # shard closes that window.
+            seen |= set(db.list_keys(prefix=prefix))
+            entries = iter(sorted(seen))
         for key in entries:
             path = key.decode("utf-8")
             tail = path[len(parent) + 1 :] if parent else path
@@ -347,8 +366,14 @@ class DataStore:
             if self._db(kind, parent_key).exists(key):
                 return True
             prev = smap.previous_database_for(kind, parent_key)
-            if prev is not None and self._handle(prev).exists(key):
-                return True
+            if prev is not None:
+                if self._handle(prev).exists(key):
+                    return True
+                # A migration step may have moved the key between the
+                # two checks (copy-before-erase): re-check the current
+                # shard before concluding absence.
+                if self._db(kind, parent_key).exists(key):
+                    return True
             if self.placement is not smap:
                 raise ShardMapStale(
                     f"shard map advanced to epoch {self.placement.epoch} "
@@ -392,8 +417,15 @@ class DataStore:
         if prev is not None:
             older = self._handle(prev).list_keys(
                 prefix=parent_key, start_after=cursor, limit=want)
-            if older:
-                merged = sorted(set(merged) | set(older))[:want]
+            # A migration step may have moved keys between the two
+            # pages (copy-before-erase): such a key is absent from the
+            # first current-shard page and already erased from the old
+            # one.  Re-running the current-shard page last closes the
+            # window -- any key moved mid-listing is on the current
+            # shard by now.
+            newer = self._db(kind, parent_key).list_keys(
+                prefix=parent_key, start_after=cursor, limit=want)
+            merged = sorted(set(merged) | set(older) | set(newer))[:want]
         if self.placement is not smap:
             raise ShardMapStale(
                 f"shard map advanced to epoch {self.placement.epoch} "
@@ -534,6 +566,21 @@ class DataStore:
                     if value is not None:
                         out[i] = loads(value)
             sp.set_tag("fallback_databases", len(by_prev))
+            # A migration step may have moved a key between the first
+            # read and the fallback (copy-before-erase): re-fetch the
+            # remaining misses from the current shards before treating
+            # them as genuinely absent.
+            by_cur: dict[DbTarget, list[tuple[int, bytes]]] = {}
+            for i, pkey in fetched:
+                if out[i] is None:
+                    target = smap.product_database_for(container_keys[i])
+                    by_cur.setdefault(target, []).append((i, pkey))
+            for target, entries in by_cur.items():
+                values = self._handle(target).get_multi(
+                    [pkey for _, pkey in entries])
+                for (i, pkey), value in zip(entries, values):
+                    if value is not None:
+                        out[i] = loads(value)
         if self.placement is not smap and any(
                 out[i] is None for i, _ in fetched):
             raise ShardMapStale(
@@ -623,6 +670,34 @@ class DataStore:
                 by_target.setdefault(prev, []).append(i)
         sp.set_tag("databases", len(by_target))
         sp.set_tag("epoch", smap.epoch)
+        total_bytes = self._packed_scan_round(by_target, container_keys,
+                                              want, resolved, out)
+        if smap.migrating:
+            # The per-shard scans run concurrently, so a migration step
+            # can move an event's products after the current shard was
+            # scanned but before the old shard was (copy-before-erase
+            # leaves them visible to neither scan).  Re-scan the current
+            # shards for containers still missing a requested product.
+            retry = [i for i in fetch
+                     if any(out[spec][i] is None for spec in resolved)]
+            if retry:
+                by_cur: dict[DbTarget, list[int]] = {}
+                for i in retry:
+                    target = smap.product_database_for(container_keys[i])
+                    by_cur.setdefault(target, []).append(i)
+                total_bytes += self._packed_scan_round(
+                    by_cur, container_keys, want, resolved, out)
+        if self.placement is not smap and any(
+                out[spec][i] is None for spec in resolved for i in fetch):
+            raise ShardMapStale(
+                f"shard map advanced to epoch {self.placement.epoch} "
+                f"during a packed product load"
+            )
+        return total_bytes
+
+    def _packed_scan_round(self, by_target, container_keys, want, resolved,
+                           out) -> int:
+        """One concurrent fan-out of ``load_prefix_packed`` scans."""
         futures = []
         for target, indices in by_target.items():
             hint = 0
@@ -646,12 +721,6 @@ class DataStore:
                     obj = loads(view)
                     for si, i in slots:
                         out[resolved[si]][i] = obj
-        if self.placement is not smap and any(
-                out[spec][i] is None for spec in resolved for i in fetch):
-            raise ShardMapStale(
-                f"shard map advanced to epoch {self.placement.epoch} "
-                f"during a packed product load"
-            )
         return total_bytes
 
     def load_products_bulk_nb(self, container_keys, product_type,
@@ -705,6 +774,21 @@ class DataStore:
                         for (i, _), value in zip(entries, values):
                             if value is not None:
                                 out[i] = loads(value)
+                    # Copy-before-erase: a key moved between the first
+                    # read and the fallback is on the current shard by
+                    # now -- re-fetch remaining misses from there.
+                    by_cur: dict[DbTarget, list[tuple[int, bytes]]] = {}
+                    for i, pkey in missing:
+                        if out[i] is None:
+                            target = smap.product_database_for(
+                                container_keys[i])
+                            by_cur.setdefault(target, []).append((i, pkey))
+                    for target, entries in by_cur.items():
+                        values = self._handle(target).get_multi(
+                            [pkey for _, pkey in entries])
+                        for (i, _), value in zip(entries, values):
+                            if value is not None:
+                                out[i] = loads(value)
                 if self.placement is not smap and any(
                         out[i] is None for i, _ in missing):
                     # Surfaces from wait() as a retryable error; callers
@@ -738,8 +822,14 @@ class DataStore:
             if self._product_db(container_key).exists(key):
                 return True
             prev = smap.previous_product_database_for(container_key)
-            if prev is not None and self._handle(prev).exists(key):
-                return True
+            if prev is not None:
+                if self._handle(prev).exists(key):
+                    return True
+                # Copy-before-erase: a product moved between the two
+                # checks is on the current shard by now -- re-check it
+                # before concluding absence.
+                if self._product_db(container_key).exists(key):
+                    return True
             if self.placement is not smap:
                 raise ShardMapStale(
                     f"shard map advanced to epoch {self.placement.epoch} "

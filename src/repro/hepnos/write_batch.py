@@ -155,6 +155,24 @@ class WriteBatch:
             self._active = False  # don't flush partial state on error
 
 
+class _FlushRecord:
+    """One issued flush's groups, write-forwarded once it fully lands.
+
+    ``outstanding`` counts the flush's per-database transfers still in
+    flight; when the last one retires the groups are re-checked for
+    mid-flight shard moves (:meth:`WriteBatch._forward_moved`) -- so
+    forwarding happens as each flush retires rather than only at
+    :meth:`AsynchronousWriteBatch.wait`.
+    """
+
+    __slots__ = ("epoch", "groups", "outstanding")
+
+    def __init__(self, epoch: int, groups, outstanding: int):
+        self.epoch = epoch
+        self.groups = groups
+        self.outstanding = outstanding
+
+
 class AsynchronousWriteBatch(WriteBatch):
     """A WriteBatch whose flushes run in the background.
 
@@ -168,14 +186,22 @@ class AsynchronousWriteBatch(WriteBatch):
         if flush_threshold <= 0:
             raise HEPnOSError("async batches need a positive flush threshold")
         super().__init__(datastore, flush_threshold=flush_threshold)
-        #: (eventual, target, pairs) per in-flight flush; the pairs are
-        #: kept so a failed flush can be re-issued synchronously.
-        self._inflight: list[tuple[Eventual, DbTarget, list]] = []
-        #: (future, target, pairs) per in-flight engine-path flush.
+        #: (eventual, target, pairs, record) per in-flight flush; the
+        #: pairs are kept so a failed flush can be re-issued
+        #: synchronously.
+        self._inflight: list[tuple[Eventual, DbTarget, list,
+                                   _FlushRecord]] = []
+        #: (future, target, pairs, record) per in-flight engine-path
+        #: flush.
         self._nb_inflight: list = []
-        #: (epoch, groups) per issued flush, checked for shard moves
-        #: once :meth:`wait` has drained everything.
-        self._sent_groups: list = []
+        #: per-flush records awaiting write-forwarding; each is dropped
+        #: as its last transfer retires, so this stays bounded by the
+        #: genuinely in-flight flushes instead of growing across the
+        #: batch's lifetime.
+        self._sent_groups: list[_FlushRecord] = []
+        #: failures swept up opportunistically by :meth:`flush`,
+        #: re-raised by the next :meth:`wait`.
+        self._swept_failures: list[BaseException] = []
         self._async_engine = async_engine
         #: number of failed background flushes recovered by re-issue.
         self.recovered_flushes = 0
@@ -187,6 +213,14 @@ class AsynchronousWriteBatch(WriteBatch):
         return getattr(self.datastore, "async_engine", None)
 
     def flush(self) -> None:
+        self._sweep_retired()
+        if any(rec.epoch != self.datastore.placement.epoch
+               for rec in self._sent_groups):
+            # A live rescale swapped the shard map under an in-flight
+            # flush: drain synchronously so its pairs are forwarded
+            # *now*, before the migration can commit and strand them on
+            # a shard the migrator already scanned.
+            self.wait()
         engine = self.async_engine
         if engine is not None:
             self._flush_engine(engine)
@@ -197,7 +231,8 @@ class AsynchronousWriteBatch(WriteBatch):
         merged: dict[DbTarget, list] = {}
         for _, target, pairs in groups:
             merged.setdefault(target, []).extend(pairs)
-        self._sent_groups.append((epoch, groups))
+        record = _FlushRecord(epoch, groups, len(merged))
+        self._sent_groups.append(record)
         with _tracing.span("hepnos.write_batch.flush", items=pending,
                            databases=len(merged), asynchronous=True,
                            epoch=epoch):
@@ -228,7 +263,7 @@ class AsynchronousWriteBatch(WriteBatch):
                     # it (and the remaining targets' buffers with it).
                     eventual = Eventual()
                     eventual.set_exception(exc)
-                self._inflight.append((eventual, target, pairs))
+                self._inflight.append((eventual, target, pairs, record))
                 self.items_written += len(pairs)
                 self.flushes += 1
 
@@ -240,7 +275,8 @@ class AsynchronousWriteBatch(WriteBatch):
         merged: dict[DbTarget, list] = {}
         for _, target, pairs in groups:
             merged.setdefault(target, []).extend(pairs)
-        self._sent_groups.append((epoch, groups))
+        record = _FlushRecord(epoch, groups, len(merged))
+        self._sent_groups.append(record)
         with _tracing.span("hepnos.write_batch.flush", items=pending,
                            databases=len(merged), asynchronous=True,
                            engine=True, epoch=epoch):
@@ -248,7 +284,7 @@ class AsynchronousWriteBatch(WriteBatch):
                 handle = self.datastore.handle_for_target(target)
                 future = handle.put_multi_nb(pairs, dispatch=False)
                 engine.submit(future)
-                self._nb_inflight.append((future, target, pairs))
+                self._nb_inflight.append((future, target, pairs, record))
                 self.items_written += len(pairs)
                 self.flushes += 1
 
@@ -260,81 +296,120 @@ class AsynchronousWriteBatch(WriteBatch):
         failed with a retryable transport error -- or was asked to
         retry by the provider -- is re-issued synchronously through the
         client path, which applies the retry policy.  The first
-        unrecovered failure is re-raised once everything has settled.
+        unrecovered failure is re-raised once everything has settled
+        (including failures swept up by an intervening :meth:`flush`).
         """
-        from repro.yokan.client import _Retry, _unwrap
-
-        self._wait_engine()
+        failures, self._swept_failures = self._swept_failures, []
+        self._wait_engine(failures)
         inflight, self._inflight = self._inflight, []
-        if not inflight:
-            self._forward_sent()
-            return
-        failures: list[BaseException] = []
-        with _tracing.span("hepnos.write_batch.wait",
-                           inflight=len(inflight)) as sp:
-            for eventual, target, pairs in inflight:
-                try:
-                    result = _unwrap(self.datastore.fabric.wait(eventual))
-                    if isinstance(result, _Retry):
-                        raise NetworkFailure(
-                            "provider asked the batched put to retry"
-                        )
-                except RETRYABLE_ERRORS:
-                    try:
-                        self.datastore.handle_for_target(target).put_multi(pairs)
-                        self.recovered_flushes += 1
-                    except ReproError as exc:
-                        failures.append(exc)
-                except ReproError as exc:
-                    failures.append(exc)
-            sp.set_tag("recovered", self.recovered_flushes)
-            if failures:
-                sp.set_tag("error", type(failures[0]).__name__)
-                sp.set_tag("failed", len(failures))
-        self._forward_sent()
+        if inflight:
+            with _tracing.span("hepnos.write_batch.wait",
+                               inflight=len(inflight)) as sp:
+                for eventual, target, pairs, record in inflight:
+                    self._retire_eventual(eventual, target, pairs, failures)
+                    self._record_done(record)
+                sp.set_tag("recovered", self.recovered_flushes)
+                if failures:
+                    sp.set_tag("error", type(failures[0]).__name__)
+                    sp.set_tag("failed", len(failures))
         if failures:
             raise failures[0]
 
-    def _forward_sent(self) -> None:
-        """Re-check every landed flush for mid-flight shard moves."""
-        sent, self._sent_groups = self._sent_groups, []
-        for epoch, groups in sent:
-            self._forward_moved(epoch, groups)
+    def _record_done(self, record: _FlushRecord) -> None:
+        """Count one retired transfer; forward the flush once complete."""
+        record.outstanding -= 1
+        if record.outstanding == 0:
+            try:
+                self._sent_groups.remove(record)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            self._forward_moved(record.epoch, record.groups)
 
-    def _wait_engine(self) -> None:
-        """Retire engine-path flushes (no-op when none are in flight)."""
+    def _sweep_retired(self) -> None:
+        """Opportunistically retire flushes whose transfers have landed.
+
+        Runs at every :meth:`flush`, so write-forwarding across an
+        epoch swap happens as each in-flight flush retires rather than
+        waiting for :meth:`wait`, and ``_sent_groups`` cannot grow
+        across repeated flushes.  Failures found here are deferred to
+        the next :meth:`wait`.
+        """
+        still: list = []
+        for entry in self._inflight:
+            eventual, target, pairs, record = entry
+            if eventual.is_ready:
+                self._retire_eventual(eventual, target, pairs,
+                                      self._swept_failures)
+                self._record_done(record)
+            else:
+                still.append(entry)
+        self._inflight = still
+        still_nb: list = []
+        for entry in self._nb_inflight:
+            future, target, pairs, record = entry
+            if future.test():
+                self._retire_future(future, target, pairs,
+                                    self._swept_failures)
+                self._record_done(record)
+            else:
+                still_nb.append(entry)
+        self._nb_inflight = still_nb
+
+    def _retire_eventual(self, eventual, target, pairs,
+                         failures: list) -> None:
+        """Settle one raw-forward flush, recovering retryable failures."""
+        from repro.yokan.client import _Retry, _unwrap
+
+        try:
+            result = _unwrap(self.datastore.fabric.wait(eventual))
+            if isinstance(result, _Retry):
+                raise NetworkFailure(
+                    "provider asked the batched put to retry"
+                )
+        except RETRYABLE_ERRORS:
+            try:
+                self.datastore.handle_for_target(target).put_multi(pairs)
+                self.recovered_flushes += 1
+            except ReproError as exc:
+                failures.append(exc)
+        except ReproError as exc:
+            failures.append(exc)
+
+    def _retire_future(self, future, target, pairs,
+                       failures: list) -> None:
+        """Settle one engine-path flush, recovering retryable failures."""
         from repro.yokan.client import _Retry
 
+        try:
+            result = future.wait()
+            if isinstance(result, _Retry):
+                # Provider asked to retry after the window closed;
+                # re-issue through the blocking path.
+                self.datastore.handle_for_target(target).put_multi(pairs)
+                self.recovered_flushes += 1
+        except RETRYABLE_ERRORS:
+            try:
+                self.datastore.handle_for_target(target).put_multi(pairs)
+                self.recovered_flushes += 1
+            except ReproError as exc:
+                failures.append(exc)
+        except ReproError as exc:
+            failures.append(exc)
+
+    def _wait_engine(self, failures: list) -> None:
+        """Retire engine-path flushes (no-op when none are in flight)."""
         nb_inflight, self._nb_inflight = self._nb_inflight, []
         if not nb_inflight:
             return
-        failures: list[BaseException] = []
         with _tracing.span("hepnos.write_batch.wait",
                            inflight=len(nb_inflight), engine=True) as sp:
-            for future, target, pairs in nb_inflight:
-                try:
-                    result = future.wait()
-                    if isinstance(result, _Retry):
-                        # Provider asked to retry after the window
-                        # closed; re-issue through the blocking path.
-                        self.datastore.handle_for_target(target).put_multi(
-                            pairs)
-                        self.recovered_flushes += 1
-                except RETRYABLE_ERRORS:
-                    try:
-                        self.datastore.handle_for_target(target).put_multi(
-                            pairs)
-                        self.recovered_flushes += 1
-                    except ReproError as exc:
-                        failures.append(exc)
-                except ReproError as exc:
-                    failures.append(exc)
+            for future, target, pairs, record in nb_inflight:
+                self._retire_future(future, target, pairs, failures)
+                self._record_done(record)
             sp.set_tag("recovered", self.recovered_flushes)
             if failures:
                 sp.set_tag("error", type(failures[0]).__name__)
                 sp.set_tag("failed", len(failures))
-        if failures:
-            raise failures[0]
 
     def close(self) -> None:
         if self._active:

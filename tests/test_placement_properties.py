@@ -43,15 +43,31 @@ def test_ring_add_target_steals_only_for_itself(n, keys):
     newcomer = DbTarget("sm://extra/hepnos", 0, "events-extra")
     before = ConsistentHashRing(targets)
     after = ConsistentHashRing(targets + [newcomer])
-    moved = 0
     for key in keys:
         old, new = before.locate(key), after.locate(key)
         if old != new:
             assert new == newcomer
-            moved += 1
-    # Minimal disruption: the newcomer's expected share is 1/(n+1);
-    # allow generous statistical slack but reject wholesale reshuffles.
-    assert moved <= max(4, len(keys) * 3.0 / (n + 1))
+    # Note: the ~1/(n+1) *share* bound is deliberately NOT asserted
+    # here -- hypothesis searches the key space and can construct key
+    # sets whose consistent-hash share of the newcomer exceeds any
+    # statistical slack.  test_ring_add_target_share_is_bounded checks
+    # the share on a fixed, deterministic key population instead.
+
+
+def test_ring_add_target_share_is_bounded():
+    """Minimal disruption, deterministically: over a fixed key
+    population, the newcomer steals roughly its 1/(n+1) expected share
+    (never a wholesale reshuffle), and every stolen key lands on it."""
+    n = 6
+    targets = make_targets(n)
+    newcomer = DbTarget("sm://extra/hepnos", 0, "events-extra")
+    before = ConsistentHashRing(targets)
+    after = ConsistentHashRing(targets + [newcomer])
+    keys = [b"subrun-%06d" % i for i in range(4096)]
+    moved = [k for k in keys if before.locate(k) != after.locate(k)]
+    assert all(after.locate(k) == newcomer for k in moved)
+    expected = len(keys) / (n + 1)
+    assert 0 < len(moved) <= 3.0 * expected
 
 
 @settings(max_examples=40, deadline=None)
