@@ -1,14 +1,15 @@
 #!/usr/bin/env python
-"""Run the bench suite and write the ``BENCH_PR6.json`` baseline.
+"""Run the bench suite and write the ``BENCH_PR7.json`` baseline.
 
 Every entry under ``benches`` reports at least ``ops_per_s`` and
 ``bytes_per_s`` so successive baselines (``BENCH_*.json``) can be
 diffed mechanically; the format is documented in ``EXPERIMENTS.md``.
 The suite is the gated :mod:`bench_dataplane` measurements, the gated
-:mod:`bench_scaling` provider curves, and two micro-benchmarks of the
+:mod:`bench_scaling` provider curves, the gated :mod:`bench_columnar`
+projection/selection measurements, and two micro-benchmarks of the
 wire-level codecs::
 
-    PYTHONPATH=src python benchmarks/run_all.py              # quick, writes BENCH_PR6.json
+    PYTHONPATH=src python benchmarks/run_all.py              # quick, writes BENCH_PR7.json
     PYTHONPATH=src python benchmarks/run_all.py --full -o /tmp/bench.json
 
 Exits nonzero if any gate fails, so the baseline can never be
@@ -24,13 +25,14 @@ import sys
 import time
 from typing import Optional, Sequence
 
+import bench_columnar
 import bench_dataplane
 import bench_scaling
 from repro.yokan import packed, wire
 
 DEFAULT_OUTPUT = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "BENCH_PR6.json")
+    "BENCH_PR7.json")
 
 
 def _best_of(fn, rounds: int = 5) -> float:
@@ -93,7 +95,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="chaos seed for the identity check")
     parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT,
                         help="output path (default: repo-root "
-                             "BENCH_PR6.json)")
+                             "BENCH_PR7.json)")
     args = parser.parse_args(argv)
 
     results = bench_dataplane.run_benches(quick=not args.full,
@@ -103,24 +105,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else bench_scaling.COMMITTED
     scaling = bench_scaling.run_scaling(scaling_params)
     failures += bench_scaling.evaluate_gates(scaling)
+    columnar = bench_columnar.run_benches(quick=not args.full,
+                                          seed=args.seed)
+    failures += bench_columnar.evaluate_gates(columnar)
     benches = {name: data
                for name, data in results["benches"].items()
                if name != "workflow_identity"}
+    for name, data in columnar["benches"].items():
+        if name != "columnar_identity":
+            benches[name] = data
     benches["packed_codec"] = bench_packed_codec()
     benches["wire_seal_unseal"] = bench_wire_seal_unseal()
     doc = {
         "schema": "hepnos-bench/v1",
-        "baseline": "PR6",
+        "baseline": "PR7",
         "generated_by": "benchmarks/run_all.py"
                         + (" --full" if args.full else ""),
         "quick": not args.full,
         "speedup_gate": results["speedup_gate"],
         "cache_overhead_gate": results["cache_overhead_gate"],
+        "columnar_speedup_gate": columnar["speedup_gate"],
+        "columnar_bytes_gate": columnar["bytes_gate"],
         "gates_passed": not failures,
         "benches": benches,
         "scaling": scaling,
         "checks": {"workflow_identity":
-                   results["benches"]["workflow_identity"]},
+                   results["benches"]["workflow_identity"],
+                   "columnar_identity":
+                   columnar["benches"]["columnar_identity"]},
     }
     with open(args.output, "w") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)

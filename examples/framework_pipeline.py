@@ -7,7 +7,13 @@ shows what that looks like: the physics modules below are written once
 and know nothing about storage; swapping ``FileSource`` for
 ``HEPnOSSource`` (and adding ``HEPnOSSink``) is the entire migration.
 
-Pipeline: CalibProducer -> NueCandidateFilter -> SpectrumAnalyzer.
+Pipeline: NueCandidateFilter -> CalibProducer -> SpectrumAnalyzer.
+
+The leading filter is a :class:`CutFilter` over the declared
+``nue_candidate_cut``, and the source runs in columnar mode -- so the
+selection is evaluated *vectorized* over server-projected column
+arrays (one ``scan_columns`` RPC per database per batch), and only
+surviving events ever materialize objects for the downstream modules.
 
 Run:  python examples/framework_pipeline.py
 """
@@ -19,7 +25,7 @@ import numpy as np
 from repro.bedrock import BedrockServer, default_hepnos_config
 from repro.framework import (
     Analyzer,
-    Filter,
+    CutFilter,
     HEPnOSSink,
     HEPnOSSource,
     Pipeline,
@@ -53,10 +59,6 @@ def build_modules(slc_cls):
                 n_candidates=len(candidates),
             ), label="calib")
 
-    class NueCandidateFilter(Filter):
-        def filter(self, event):
-            return event.get(CalibSummary, label="calib").n_candidates > 0
-
     class SpectrumAnalyzer(Analyzer):
         def __init__(self):
             super().__init__()
@@ -72,7 +74,12 @@ def build_modules(slc_cls):
             with self.lock:
                 self.counts += hist
 
-    return CalibProducer(), NueCandidateFilter(), SpectrumAnalyzer()
+    # The filter leads the path so the columnar source can vectorize it:
+    # the cut declares its columns, so batches are prefiltered from
+    # projected arrays and only candidates reach the producer.
+    nue_filter = CutFilter(nue_candidate_cut, vector_of(slc_cls),
+                           module_label="NueCandidateFilter")
+    return nue_filter, CalibProducer(), SpectrumAnalyzer()
 
 
 def main():
@@ -92,17 +99,17 @@ def main():
     DataLoader(datastore, "fw/run1").ingest(sample.paths)
     slc = registered_type("rec.slc")
 
-    producer, nue_filter, spectrum = build_modules(slc)
+    nue_filter, producer, spectrum = build_modules(slc)
 
     def rank_body(comm):
         # Every rank persists what it processes (batched independently).
         pipeline = Pipeline(
-            [producer, nue_filter, spectrum],
+            [nue_filter, producer, spectrum],
             sink=HEPnOSSink(datastore, "fw/run1"),
         )
         source = HEPnOSSource(
             datastore, "fw/run1", products=[(vector_of(slc), "")],
-            input_batch_size=64, dispatch_batch_size=8,
+            input_batch_size=64, dispatch_batch_size=8, columnar=True,
         )
         return pipeline.run(source, comm=comm)
 

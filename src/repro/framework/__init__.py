@@ -22,6 +22,7 @@ file-based and HEPnOS-based I/O -- only the source/sink changes.
 
 from repro.framework.modules import (
     Analyzer,
+    CutFilter,
     EventContext,
     Filter,
     Module,
@@ -43,6 +44,7 @@ __all__ = [
     "Module",
     "Producer",
     "Filter",
+    "CutFilter",
     "Analyzer",
     "EventContext",
     "Pipeline",

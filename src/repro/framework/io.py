@@ -57,13 +57,16 @@ class HEPnOSSource:
     def __init__(self, datastore, dataset_path: str,
                  products: Sequence[Tuple[object, str]] = (),
                  comm=None, input_batch_size: int = 1024,
-                 dispatch_batch_size: int = 64):
+                 dispatch_batch_size: int = 64, columnar: bool = False):
         self.datastore = datastore
         self.dataset_path = dataset_path
         self.products = list(products)
         self.comm = comm
         self.input_batch_size = input_batch_size
         self.dispatch_batch_size = dispatch_batch_size
+        #: opt-in: let a leading CutFilter with declared columns be
+        #: evaluated over server-projected arrays (scan_columns)
+        self.columnar = columnar
 
     def _context_for(self, stub) -> EventContext:
         def loader(tname, label):
@@ -107,6 +110,82 @@ class HEPnOSSource:
         )
         dataset = self.datastore[self.dataset_path]
         return pep.process(dataset, lambda stub: handle(self._context_for(stub)))
+
+    # -- columnar fast path -------------------------------------------------
+
+    def supports_columnar(self, cut_filter) -> bool:
+        """Whether this source can vectorize ``cut_filter``.
+
+        Requires the columnar opt-in, a cut with declared columns, and
+        the filter's product spec to be the source's single prefetched
+        spec (the projection covers exactly that product).
+        """
+        if not self.columnar or cut_filter.columns is None:
+            return False
+        if len(self.products) != 1:
+            return False
+        ptype, label = self.products[0]
+        return (product_type_name(ptype)
+                == product_type_name(cut_filter.product_type)
+                and label == cut_filter.product_label)
+
+    def process_batches(self, cut_filter, handle, observe=None) -> object:
+        """Vectorized prefilter: evaluate ``cut_filter`` over projected
+        columns, then invoke ``handle(EventContext)`` on survivors only.
+
+        Batch semantics match the per-event filter exactly: an event
+        survives iff any of its records passes the cut; events the
+        server could not project are evaluated object-by-object from
+        the shipped row-wise values; events without the product fail.
+        ``observe(total, passed, seconds)`` reports each batch's
+        prefilter accounting.  Collective over ``comm`` when set.
+        """
+        import time as _time
+
+        import numpy as np
+
+        from repro.hepnos.parallel_event_processor import (
+            ParallelEventProcessor,
+        )
+
+        cut = cut_filter.cut
+        fields = sorted(cut.columns)
+        pep = ParallelEventProcessor(
+            self.datastore,
+            comm=self.comm if self.comm is not None
+            and self.comm.size > 1 else None,
+            options=PEPOptions(
+                input_batch_size=self.input_batch_size,
+                dispatch_batch_size=self.dispatch_batch_size,
+                columnar_loads=True,
+            ),
+            products=self.products,
+            columns=fields,
+        )
+
+        def handle_batch(batch):
+            t0 = _time.monotonic()
+            block = batch.block
+            if block.rows:
+                ev_pass = block.event_any(cut.mask(block.table))
+            else:
+                ev_pass = np.zeros(len(block), dtype=bool)
+            raw_pass = {
+                i: any(cut(record) for record in records)
+                for i, records in block.raw.items()
+            }
+            survivors = [
+                i for i in range(len(batch))
+                if bool(ev_pass[i]) or raw_pass.get(i, False)
+            ]
+            seconds = _time.monotonic() - t0
+            if observe is not None:
+                observe(len(batch), len(survivors), seconds)
+            for i in survivors:
+                handle(self._context_for(batch.items[i]))
+
+        dataset = self.datastore[self.dataset_path]
+        return pep.process_batches(dataset, handle_batch)
 
 
 class HEPnOSSink:

@@ -121,3 +121,35 @@ class Analyzer(Module):
     @abc.abstractmethod
     def analyze(self, event: EventContext) -> None:
         """Inspect the event; must not add products."""
+
+
+class CutFilter(Filter):
+    """Keeps an event iff any record of a product passes a CAFAna cut.
+
+    Because the cut and the product spec are declared (not buried in an
+    opaque ``filter`` body), a columnar source can vectorize this module:
+    when it leads the pipeline and its cut declares ``columns``, the
+    source evaluates the cut over server-projected arrays for a whole
+    batch at once instead of calling :meth:`filter` per event.  Both
+    paths implement the same predicate: *any* record passes; an event
+    without the product fails.
+    """
+
+    def __init__(self, cut, product_type, label: str = "",
+                 module_label: Optional[str] = None):
+        super().__init__(module_label)
+        self.cut = cut
+        self.product_type = product_type
+        self.product_label = label
+
+    @property
+    def columns(self) -> Optional[frozenset]:
+        """Fields the cut reads (None = not vectorizable)."""
+        return self.cut.columns
+
+    def filter(self, event: EventContext) -> bool:
+        try:
+            records = event.get(self.product_type, self.product_label)
+        except ProductNotFound:
+            return False
+        return any(self.cut(record) for record in records)

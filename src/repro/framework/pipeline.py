@@ -7,7 +7,14 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.errors import HEPnOSError
-from repro.framework.modules import Analyzer, EventContext, Filter, Module, Producer
+from repro.framework.modules import (
+    Analyzer,
+    CutFilter,
+    EventContext,
+    Filter,
+    Module,
+    Producer,
+)
 
 
 @dataclass
@@ -88,9 +95,9 @@ class Pipeline:
 
     # -- event processing --------------------------------------------------
 
-    def _process_one(self, event: EventContext) -> bool:
+    def _process_one(self, event: EventContext, start: int = 0) -> bool:
         """Run one event through the module path; True if it survived."""
-        for module, report in zip(self.modules, self.reports):
+        for module, report in zip(self.modules[start:], self.reports[start:]):
             report.events_seen += 1
             event._current_module = module.label
             before = len(event.produced)
@@ -130,8 +137,35 @@ class Pipeline:
                 if self.sink is not None:
                     self.sink.write(event)
 
-        if comm is not None and comm.size > 1 and hasattr(source,
-                                                          "process_parallel"):
+        # Vectorized fast path: a leading CutFilter whose cut declares
+        # its columns can be evaluated by a columnar source over whole
+        # batches; only survivors run the rest of the module path.
+        head = self.modules[0]
+        vectorized = (
+            isinstance(head, CutFilter)
+            and hasattr(source, "supports_columnar")
+            and source.supports_columnar(head)
+        )
+        if vectorized:
+            head_report = self.reports[0]
+
+            def observe(total: int, passed: int, seconds: float) -> None:
+                report.events_read += total
+                head_report.events_seen += total
+                head_report.events_passed += passed
+                head_report.seconds += seconds
+
+            def handle_survivor(event: EventContext) -> None:
+                if self._process_one(event, start=1):
+                    report.events_completed += 1
+                    if self.sink is not None:
+                        self.sink.write(event)
+
+            if comm is not None and comm.size > 1:
+                source.comm = comm
+            source.process_batches(head, handle_survivor, observe)
+        elif comm is not None and comm.size > 1 and hasattr(
+                source, "process_parallel"):
             source.comm = comm
             source.process_parallel(handle)
         else:

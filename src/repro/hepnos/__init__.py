@@ -41,6 +41,7 @@ through the typed handles (``event.store(obj, label)``,
 from :mod:`repro.errors`.
 """
 
+from repro.hepnos.column_block import ColumnBlock, EventBatch
 from repro.hepnos.connection import (
     ConnectionInfo,
     DbTarget,
@@ -81,6 +82,8 @@ __all__ = [
     "DbTarget",
     "connection_from_servers",
     "DataStore",
+    "ColumnBlock",
+    "EventBatch",
     "ParentHashPlacement",
     "FullKeyPlacement",
     "ShardMap",

@@ -1,0 +1,249 @@
+"""Client-side struct-of-arrays views over projected product columns.
+
+A ``scan_columns`` fan-out returns, per event, either projected columns
+(the product was stored list-of-records and the server materialized the
+requested fields), a raw serialized value (stored row-wise, or a field
+was not projectable), or nothing (no such product).  This module merges
+those per-event answers into one :class:`ColumnBlock`: each requested
+field becomes a single array concatenated over every columnar event,
+with an ``offsets`` vector mapping events to row ranges -- exactly the
+shape a vectorized Cut/Var evaluates in one numpy pass.
+
+Events that could not be projected stay available row-wise (``raw``)
+and are handled by the caller's per-event fallback; events with no
+product occupy zero rows and simply never pass a selection.
+
+:class:`EventBatch` pairs a block with the event descriptors it was
+loaded for, sliceable like a list so batch consumers (the PEP dispatch
+loop) can chunk it without reassembling arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+#: per-event status inside a block
+PRESENT = True       #: projected into the arrays
+RAW = "raw"          #: present but only as a row-wise object list
+ABSENT = False       #: no such product in the event
+
+
+def _concat_column(pieces: Sequence[object]) -> np.ndarray:
+    """One array over all columnar events' pieces of a field.
+
+    Uniform numeric pieces concatenate zero-copy-ish; anything mixed or
+    list-typed (a guard-degraded column) falls back to an object array,
+    which still evaluates element-wise under Cut/Var at python speed.
+    """
+    if not pieces:
+        return np.empty(0, dtype=np.float64)
+    if all(isinstance(p, np.ndarray) for p in pieces):
+        dtypes = {p.dtype for p in pieces}
+        if len(dtypes) == 1:
+            return np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
+    flat: List[object] = []
+    for piece in pieces:
+        flat.extend(piece.tolist() if isinstance(piece, np.ndarray)
+                    else piece)
+    out = np.empty(len(flat), dtype=object)
+    out[:] = flat
+    return out
+
+
+class ColumnBlock:
+    """Struct-of-arrays over one product spec for a batch of events."""
+
+    __slots__ = ("fields", "arrays", "offsets", "present", "raw")
+
+    def __init__(self, fields: Sequence[str],
+                 arrays: Dict[str, np.ndarray],
+                 offsets: np.ndarray,
+                 present: List[object],
+                 raw: Dict[int, list]):
+        self.fields = list(fields)
+        self.arrays = arrays
+        #: int64, ``len(present) + 1``; event ``i`` owns rows
+        #: ``offsets[i]:offsets[i+1]`` (zero rows when raw or absent)
+        self.offsets = offsets
+        self.present = present
+        self.raw = raw
+
+    @classmethod
+    def from_results(cls, fields: Sequence[str],
+                     results: Sequence[object]) -> "ColumnBlock":
+        """Assemble from per-event answers.
+
+        ``results[i]`` is ``None`` (absent), ``("raw", objects)``, or
+        ``("cols", rowcount, {field: piece})``.
+        """
+        fields = list(fields)
+        offsets = np.zeros(len(results) + 1, dtype=np.int64)
+        present: List[object] = []
+        raw: Dict[int, list] = {}
+        pieces: Dict[str, List[object]] = {f: [] for f in fields}
+        rows = 0
+        for i, result in enumerate(results):
+            if result is None:
+                present.append(ABSENT)
+            elif result[0] == "raw":
+                present.append(RAW)
+                raw[i] = result[1]
+            else:
+                _, count, cols = result
+                present.append(PRESENT)
+                rows += count
+                for f in fields:
+                    pieces[f].append(cols[f])
+            offsets[i + 1] = rows
+        arrays = {f: _concat_column(pieces[f]) for f in fields}
+        return cls(fields, arrays, offsets, present, raw)
+
+    @classmethod
+    def from_groups(cls, fields: Sequence[str], n_events: int,
+                    groups: Sequence[tuple], raw: Dict[int, list]
+                    ) -> "ColumnBlock":
+        """Assemble from whole-scan answer groups.
+
+        Each group is ``(event_indices, counts, {field: rows})`` -- the
+        projected slots of one scan answer (or one cache hit) kept as
+        whole arrays, rows ordered to match ``event_indices`` repeated
+        by ``counts``.  Building from groups avoids the per-event
+        slicing of :meth:`from_results`: columns concatenate once per
+        group and a single stable permutation restores event order.
+        """
+        fields = list(fields)
+        present: List[object] = [ABSENT] * n_events
+        for i in raw:
+            present[i] = RAW
+        if not groups:
+            offsets = np.zeros(n_events + 1, dtype=np.int64)
+            arrays = {f: np.empty(0, dtype=np.float64) for f in fields}
+            return cls(fields, arrays, offsets, present, dict(raw))
+        evt_idx = np.concatenate(
+            [np.asarray(g[0], dtype=np.int64) for g in groups])
+        counts = np.concatenate(
+            [np.asarray(g[1], dtype=np.int64) for g in groups])
+        for i in evt_idx.tolist():
+            present[i] = PRESENT
+        per_event = np.zeros(n_events, dtype=np.int64)
+        per_event[evt_idx] = counts
+        offsets = np.empty(n_events + 1, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(per_event, out=offsets[1:])
+        row_event = np.repeat(evt_idx, counts)
+        # Rows arrive group-by-group; one stable argsort restores
+        # event order (identity -- and skipped -- for the common
+        # single-shard answer, whose slots already come back sorted).
+        perm = None
+        if row_event.size and np.any(np.diff(row_event) < 0):
+            perm = np.argsort(row_event, kind="stable")
+        arrays = {}
+        for f in fields:
+            col = _concat_column([g[2][f] for g in groups])
+            arrays[f] = col if perm is None else col[perm]
+        return cls(fields, arrays, offsets, present, dict(raw))
+
+    # -- shape -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.present)
+
+    @property
+    def rows(self) -> int:
+        return int(self.offsets[-1])
+
+    @property
+    def table(self) -> Dict[str, np.ndarray]:
+        return self.arrays
+
+    def column(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    # -- event-level reductions -------------------------------------------
+
+    def event_any(self, row_mask) -> np.ndarray:
+        """Per-event bool: does any of the event's rows pass ``row_mask``?
+
+        Raw and absent events own zero rows and come out ``False``; the
+        caller folds raw events in through :meth:`raw` separately.
+        """
+        mask = np.asarray(row_mask, dtype=bool)
+        if mask.shape != (self.rows,):
+            raise ValueError(
+                f"row mask has shape {mask.shape}, block has {self.rows} rows"
+            )
+        passed = np.concatenate(
+            ([0], np.cumsum(mask, dtype=np.int64)))
+        return (passed[self.offsets[1:]] - passed[self.offsets[:-1]]) > 0
+
+    def event_rows(self, index: int) -> Tuple[int, int]:
+        return int(self.offsets[index]), int(self.offsets[index + 1])
+
+    # -- slicing -----------------------------------------------------------
+
+    def slice(self, lo: int, hi: int) -> "ColumnBlock":
+        """Zero-copy view over events ``lo:hi`` (arrays are row slices)."""
+        lo, hi, _ = slice(lo, hi).indices(len(self.present))
+        row_lo = int(self.offsets[lo])
+        row_hi = int(self.offsets[hi])
+        offsets = self.offsets[lo:hi + 1] - row_lo
+        arrays = {f: arr[row_lo:row_hi] for f, arr in self.arrays.items()}
+        raw = {i - lo: objs for i, objs in self.raw.items()
+               if lo <= i < hi}
+        return ColumnBlock(self.fields, arrays, offsets,
+                           self.present[lo:hi], raw)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ColumnBlock(events={len(self.present)}, rows={self.rows}, "
+                f"fields={self.fields}, raw={len(self.raw)})")
+
+
+class EventBatch:
+    """A batch of events plus the column block loaded for them.
+
+    Slicing returns an :class:`EventBatch` over the same arrays, so the
+    dispatch loop can hand workers contiguous chunks without copying.
+    """
+
+    __slots__ = ("items", "block")
+
+    def __init__(self, items: Sequence[object], block: ColumnBlock):
+        if len(items) != len(block):
+            raise ValueError(
+                f"{len(items)} events but block covers {len(block)}")
+        self.items = list(items)
+        self.block = block
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            lo, hi, step = index.indices(len(self.items))
+            if step != 1:
+                raise ValueError("EventBatch slices must be contiguous")
+            return EventBatch(self.items[lo:hi], self.block.slice(lo, hi))
+        return self.items[index]
+
+    @property
+    def table(self) -> Dict[str, np.ndarray]:
+        return self.block.table
+
+    def fallback_items(self) -> Iterator[Tuple[object, list]]:
+        """``(item, row-wise objects)`` for events the server could not
+        project; the caller runs its per-event path over these."""
+        for i, objs in sorted(self.block.raw.items()):
+            yield self.items[i], objs
+
+    def missing_indices(self) -> List[int]:
+        """Indices of events with no product at all."""
+        return [i for i, status in enumerate(self.block.present)
+                if status is ABSENT]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventBatch(events={len(self.items)}, block={self.block!r})"
+
+
+__all__ = ["ABSENT", "ColumnBlock", "EventBatch", "PRESENT", "RAW"]

@@ -15,6 +15,9 @@ from repro.errors import (
 )
 from repro.faults.retry import RETRYABLE_ERRORS, RetryPolicy, default_client_policy
 from repro.hepnos import keys
+import numpy as np
+
+from repro.hepnos.column_block import PRESENT, ColumnBlock
 from repro.hepnos.connection import ConnectionInfo, DbTarget, connection_from_servers
 from repro.hepnos.options import ProductCacheOptions
 from repro.hepnos.placement import ParentHashPlacement, ShardMap
@@ -23,10 +26,15 @@ from repro.hepnos.product_cache import ProductCache
 from repro.mercury import Engine, Fabric
 from repro.monitor import tracing as _tracing
 from repro.monitor.metrics import MetricRegistry
+from repro.serial import columnar as _columnar  # noqa: F401  (registers ColumnarBatch)
 from repro.serial import dumps, loads
 from repro.yokan import DatabaseHandle, YokanClient
 
 _client_counter = itertools.count()
+
+#: marks a columnar slot as answered (its rows live in a group, or in
+#: the raw dict) so dual-read partners know not to answer it again
+_ANSWERED = object()
 
 
 class DataStore:
@@ -100,6 +108,8 @@ class DataStore:
             )
         #: EMA of packed bytes per container, to presize landing buffers.
         self._packed_bytes_ema = 0.0
+        #: EMA of projected column bytes per container (columnar loads).
+        self._columnar_bytes_ema = 0.0
         #: optional AsyncEngine pipelining this client's I/O; the
         #: Prefetcher, the PEP, and WriteBatch pick it up automatically.
         self.async_engine = None
@@ -453,11 +463,15 @@ class DataStore:
                 "products", smap.product_database_for(container_key)))
             if batch is not None:
                 batch.append_placed("products", container_key, key, value)
+                if self._product_cache is not None:
+                    self._product_cache.invalidate(key)
             else:
                 self._put_forwarded("products", container_key, key, value)
                 # Write-through: the bytes in hand are exactly what a
-                # later load would fetch (products are immutable).
+                # later load would fetch (products are immutable).  An
+                # overwrite must also drop any projected columns.
                 if self._product_cache is not None:
+                    self._product_cache.invalidate(key)
                     self._product_cache.put(key, value)
             return key
 
@@ -662,12 +676,15 @@ class DataStore:
         """
         smap = self.placement
         by_target: dict[DbTarget, list[int]] = {}
+        migrating = smap.migrating
+        locate = smap.strategy.product_database_for
         for i in fetch:
-            target = smap.product_database_for(container_keys[i])
+            target = locate(container_keys[i])
             by_target.setdefault(target, []).append(i)
-            prev = smap.previous_product_database_for(container_keys[i])
-            if prev is not None:
-                by_target.setdefault(prev, []).append(i)
+            if migrating:
+                prev = smap.previous_product_database_for(container_keys[i])
+                if prev is not None:
+                    by_target.setdefault(prev, []).append(i)
         sp.set_tag("databases", len(by_target))
         sp.set_tag("epoch", smap.epoch)
         total_bytes = self._packed_scan_round(by_target, container_keys,
@@ -721,6 +738,189 @@ class DataStore:
                     obj = loads(view)
                     for si, i in slots:
                         out[resolved[si]][i] = obj
+        return total_bytes
+
+    def load_products_columnar(self, container_keys, product_type, fields,
+                               label: str = "") -> ColumnBlock:
+        """Project ``fields`` of one product spec across many containers.
+
+        Instead of shipping whole serialized products, each involved
+        database serves one ``scan_columns`` RPC that materializes only
+        the requested columns server-side; the per-shard pages merge
+        into a single :class:`~repro.hepnos.column_block.ColumnBlock`
+        aligned with ``container_keys``.  Events whose product could
+        not be projected (stored row-wise, or a field degraded) come
+        back raw and surface through the block's per-event fallback;
+        absent products occupy zero rows.
+
+        Shard-aware exactly like :meth:`load_products_packed`: during a
+        live migration the pre-migration shards are scanned too
+        (dual-read), missing answers re-scan the current shards, and an
+        epoch swap mid-flight retries under the new map.
+        """
+        container_keys = list(container_keys)
+        fields = [str(f) for f in fields]
+        if not fields:
+            raise HEPnOSError("columnar load needs at least one field")
+        tname = product_type_name(product_type)
+        suffix = label.encode("utf-8") + b"#" + tname.encode("utf-8")
+        cache = self._product_cache
+        results: list = [None] * len(container_keys)
+        groups: list = []
+        raw_objs: dict[int, list] = {}
+        with _tracing.span("hepnos.load_products_columnar", type=tname,
+                           label=label, containers=len(container_keys),
+                           fields=len(fields)) as sp:
+            fetch: list[int] = []
+            hits = 0
+            for i, ckey in enumerate(container_keys):
+                if cache is not None:
+                    pkey = ckey + suffix
+                    cols = cache.get_columns(pkey, fields)
+                    if cols is not None:
+                        count = len(cols[fields[0]])
+                        groups.append(([i], [count], cols))
+                        hits += 1
+                        continue
+                fetch.append(i)
+            if cache is not None:
+                sp.set_tag("cache_hits", hits)
+            n_hit_groups = len(groups)
+            if fetch:
+                def attempt():
+                    # A stale-map retry rebuilds every fetched answer:
+                    # drop this round's groups, keep the cache hits.
+                    del groups[n_hit_groups:]
+                    raw_objs.clear()
+                    return self._columnar_once(
+                        container_keys, suffix, fields, fetch, results,
+                        groups, raw_objs, sp)
+                total_bytes = self._with_shard_retry(attempt)
+                per_container = total_bytes / len(fetch)
+                if self._columnar_bytes_ema:
+                    self._columnar_bytes_ema = (
+                        0.7 * self._columnar_bytes_ema + 0.3 * per_container
+                    )
+                else:
+                    self._columnar_bytes_ema = per_container
+                sp.set_tag("bytes", total_bytes)
+            block = ColumnBlock.from_groups(
+                fields, len(container_keys), groups, raw_objs)
+            if cache is not None and fetch:
+                # Columns are small (that is the point of projection),
+                # so unlike the packed path they are worth caching:
+                # repeated analysis passes skip the wire entirely.
+                for i in fetch:
+                    if block.present[i] is PRESENT:
+                        lo, hi = block.event_rows(i)
+                        cache.put_columns(
+                            container_keys[i] + suffix,
+                            {f: block.arrays[f][lo:hi] for f in fields})
+            return block
+
+    def _columnar_once(self, container_keys, suffix, fields, fetch,
+                       results, groups, raw_objs, sp) -> int:
+        """One columnar fan-out round: concurrent per-shard projections."""
+        smap = self.placement
+        for i in fetch:
+            # Reset answers from a stale round so dual-read merging
+            # ("first non-absent wins") starts clean under the new map.
+            results[i] = None
+        by_target: dict[DbTarget, list[int]] = {}
+        migrating = smap.migrating
+        locate = smap.strategy.product_database_for
+        for i in fetch:
+            target = locate(container_keys[i])
+            by_target.setdefault(target, []).append(i)
+            if migrating:
+                prev = smap.previous_product_database_for(container_keys[i])
+                if prev is not None:
+                    by_target.setdefault(prev, []).append(i)
+        sp.set_tag("databases", len(by_target))
+        sp.set_tag("epoch", smap.epoch)
+        total_bytes = self._columnar_scan_round(
+            by_target, container_keys, suffix, fields, results,
+            groups, raw_objs)
+        if smap.migrating:
+            # Same window as the packed path: a migration step can move
+            # an event's product between the two concurrent scans
+            # (copy-before-erase leaves it visible to neither).  Re-scan
+            # the current shards for containers still unanswered.
+            retry = [i for i in fetch if results[i] is None]
+            if retry:
+                by_cur: dict[DbTarget, list[int]] = {}
+                for i in retry:
+                    target = smap.product_database_for(container_keys[i])
+                    by_cur.setdefault(target, []).append(i)
+                total_bytes += self._columnar_scan_round(
+                    by_cur, container_keys, suffix, fields, results,
+                    groups, raw_objs)
+        if self.placement is not smap and any(
+                results[i] is None for i in fetch):
+            raise ShardMapStale(
+                f"shard map advanced to epoch {self.placement.epoch} "
+                f"during a columnar product load"
+            )
+        return total_bytes
+
+    def _columnar_scan_round(self, by_target, container_keys, suffix,
+                             fields, results, groups, raw_objs) -> int:
+        """One concurrent fan-out of ``scan_columns`` projections.
+
+        Projected answers are kept whole: per scan, the unanswered
+        slots become one group ``(event_indices, counts, columns)``
+        appended to ``groups`` -- sliced out with a single fancy index
+        per field only when a dual-read partner already answered some
+        slot.  ``results`` tracks which slots are answered so the
+        "first non-absent wins" merge still holds under migration.
+        """
+        futures = []
+        for target, indices in by_target.items():
+            hint = 0
+            if self._columnar_bytes_ema:
+                hint = int(self._columnar_bytes_ema * len(indices) * 1.5
+                           ) + 1024
+            futures.append((indices, self._handle(target).scan_columns_nb(
+                [container_keys[i] for i in indices], suffix, fields,
+                size_hint=hint)))
+        total_bytes = 0
+        for indices, future in futures:
+            statuses, blocks = future.wait()
+            total_rows = sum(s for s in statuses if isinstance(s, int))
+            total_bytes += sum(len(payload) for _, payload in blocks)
+            taken_i: list[int] = []
+            taken_counts: list[int] = []
+            spans: list[tuple[int, int]] = []
+            pos = 0
+            for j, status in enumerate(statuses):
+                if status is None:
+                    # Absent from this shard; a dual-read partner may
+                    # still answer, so leave the slot undecided.
+                    continue
+                i = indices[j]
+                if isinstance(status, int):
+                    if results[i] is None:
+                        results[i] = _ANSWERED
+                        taken_i.append(i)
+                        taken_counts.append(status)
+                        spans.append((pos, pos + status))
+                    pos += status
+                else:
+                    total_bytes += len(status)
+                    if results[i] is None:
+                        results[i] = _ANSWERED
+                        raw_objs[i] = loads(status)
+            if not taken_i:
+                continue
+            cols = [_columnar.column_from_block(dtype, payload, total_rows)
+                    for dtype, payload in blocks]
+            if sum(taken_counts) == total_rows:
+                taken = dict(zip(fields, cols))
+            else:
+                sel = np.concatenate(
+                    [np.arange(lo, hi) for lo, hi in spans])
+                taken = {f: col[sel] for f, col in zip(fields, cols)}
+            groups.append((taken_i, taken_counts, taken))
         return total_bytes
 
     def load_products_bulk_nb(self, container_keys, product_type,

@@ -56,6 +56,11 @@ class PEPOptions:
     #: instead of one ``get_multi`` per product spec (blocking path only;
     #: the pipelined non-blocking path keeps per-spec ``get_multi_nb``)
     packed_loads: bool = True
+    #: fetch only the columns a vectorized ``process_batches`` handler
+    #: declared, via the server-side ``scan_columns`` projection, and
+    #: hand the handler struct-of-arrays event batches; requires exactly
+    #: one product spec and has no effect on per-event ``process()``
+    columnar_loads: bool = False
 
     def __post_init__(self) -> None:
         if self.input_batch_size <= 0 or self.dispatch_batch_size <= 0:
@@ -80,6 +85,9 @@ class PrefetchOptions:
     #: load whole events with one packed prefix-scan RPC per database
     #: instead of one ``get_multi`` per product spec (blocking path only)
     packed_loads: bool = True
+    #: project declared columns server-side (``scan_columns``) instead of
+    #: shipping whole products; events still load lazily per product
+    columnar_loads: bool = False
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:

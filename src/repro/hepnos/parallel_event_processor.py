@@ -29,6 +29,7 @@ from typing import Callable, Optional, Sequence, Tuple
 from repro.errors import HEPnOSError, ProductNotFound
 from repro.faults.retry import RETRYABLE_ERRORS
 from repro.hepnos import keys as hkeys
+from repro.hepnos.column_block import EventBatch
 from repro.hepnos.connection import DbTarget
 from repro.hepnos.options import PEPOptions, resolve_options
 from repro.hepnos.product import product_type_name
@@ -155,6 +156,7 @@ class ParallelEventProcessor:
     def __init__(self, datastore, comm=None, *,
                  options: Optional[PEPOptions] = None,
                  products: Sequence[Tuple[object, str]] = (),
+                 columns: Optional[Sequence[str]] = None,
                  async_engine=None, **legacy):
         options = resolve_options(options, legacy, PEPOptions,
                                   "ParallelEventProcessor")
@@ -181,6 +183,21 @@ class ParallelEventProcessor:
         #: counts it in :attr:`PEPStatistics.subruns_skipped`, and keeps
         #: going (graceful degradation).
         self.on_load_failure = options.on_load_failure
+        #: fields to project in columnar mode (``process_batches`` with
+        #: ``options.columnar_loads``); ``None`` otherwise
+        self.columns = list(columns) if columns is not None else None
+        if options.columnar_loads:
+            if len(self.products) != 1:
+                raise HEPnOSError(
+                    "columnar_loads projects one product spec; got "
+                    f"{len(self.products)}"
+                )
+            if not self.columns:
+                raise HEPnOSError(
+                    "columnar_loads needs the columns to project "
+                    "(pass columns=[...])"
+                )
+        self._batch_mode = False
         self._async_engine = async_engine
 
     @property
@@ -206,6 +223,27 @@ class ParallelEventProcessor:
         stats.total_seconds = time.monotonic() - start
         return stats
 
+    def process_batches(self, dataset, fn: Callable) -> PEPStatistics:
+        """Invoke ``fn`` once per dispatched *batch* instead of per event.
+
+        With ``options.columnar_loads`` each batch is an
+        :class:`~repro.hepnos.column_block.EventBatch` whose projected
+        columns were fetched server-side (one ``scan_columns`` per
+        database); otherwise ``fn`` receives the plain stub lists.
+        Collective over the communicator, like :meth:`process`.
+        """
+        start = time.monotonic()
+        self._batch_mode = True
+        try:
+            if self.comm is None or self.comm.size == 1:
+                stats = self._process_sequential(dataset, fn)
+            else:
+                stats = self._process_parallel(dataset, fn)
+        finally:
+            self._batch_mode = False
+        stats.total_seconds = time.monotonic() - start
+        return stats
+
     # -- sequential fallback ------------------------------------------------
 
     def _process_sequential(self, dataset, fn: Callable) -> PEPStatistics:
@@ -223,6 +261,18 @@ class ParallelEventProcessor:
         Per-event spans only exist while a tracer is installed; the
         disabled path adds a single module-attribute read per batch.
         """
+        if self._batch_mode:
+            # Batch dispatch: one call covers the whole chunk (the
+            # vectorized analysis path -- fn sees an EventBatch or a
+            # stub list, never individual events).
+            if _tracing.enabled:
+                with _tracing.span("pep.process_batch", events=len(batch),
+                                   columnar=isinstance(batch, EventBatch)):
+                    fn(batch)
+            else:
+                fn(batch)
+            stats.events_processed += len(batch)
+            return
         if _tracing.enabled:
             with _tracing.span("pep.process_batch", events=len(batch)):
                 for stub in batch:
@@ -265,7 +315,11 @@ class ParallelEventProcessor:
         products to prefetch), loading pipelines instead: batch N+1's
         product loads are in flight while batch N is consumed.
         """
-        if self.async_engine is not None and self.products:
+        if (self.async_engine is not None and self.products
+                and not self._columnar):
+            # Columnar loads already fan out non-blocking inside one
+            # load_products_columnar call; the per-spec get_multi_nb
+            # pipeline would refetch whole objects, defeating projection.
             yield from self._load_batches_pipelined(subruns, stats)
             return
         for subrun in subruns:
@@ -315,10 +369,23 @@ class ParallelEventProcessor:
                         stats.load_failures += 1
                     raise
 
-    def _materialize(self, subrun, event_keys: list[bytes]) -> list[_EventStub]:
+    @property
+    def _columnar(self) -> bool:
+        return self._batch_mode and self.options.columnar_loads
+
+    def _materialize(self, subrun, event_keys: list[bytes]):
         prefetched: dict[tuple[str, str], list] = {}
         with _tracing.span("pep.materialize", events=len(event_keys),
                            products=len(self.products)):
+            if self._columnar:
+                tname, label = self.products[0]
+                block = self.datastore.load_products_columnar(
+                    event_keys, tname, self.columns, label=label)
+                # Stubs carry no prefetched objects: a columnar batch's
+                # consumers read the arrays; anything else (raw
+                # fallback aside) loads per event on demand.
+                stubs = self._stubs_from(subrun, event_keys, {})
+                return EventBatch(stubs, block)
             if self.products and self.options.packed_loads:
                 # One packed prefix-scan RPC per database covers every
                 # event and every product spec at once.

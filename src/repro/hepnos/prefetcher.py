@@ -40,6 +40,7 @@ class Prefetcher:
     def __init__(self, datastore, *,
                  options: Optional[PrefetchOptions] = None,
                  products: Sequence[Tuple[object, str]] = (),
+                 columns: Optional[Sequence[str]] = None,
                  async_engine=None, **legacy):
         self.options = resolve_options(options, legacy, PrefetchOptions,
                                        "Prefetcher")
@@ -48,6 +49,21 @@ class Prefetcher:
         self.products = [
             (product_type_name(ptype), label) for ptype, label in products
         ]
+        #: fields to project server-side with ``options.columnar_loads``
+        self.columns = list(columns) if columns is not None else None
+        if self.options.columnar_loads:
+            from repro.errors import HEPnOSError
+
+            if len(self.products) != 1:
+                raise HEPnOSError(
+                    "columnar_loads projects one product spec; got "
+                    f"{len(self.products)}"
+                )
+            if not self.columns:
+                raise HEPnOSError(
+                    "columnar_loads needs the columns to project "
+                    "(pass columns=[...])"
+                )
         self._async_engine = async_engine
         #: seconds of product-load latency hidden behind consumption
         #: (double-buffered mode only)
@@ -66,6 +82,13 @@ class Prefetcher:
 
     def events(self, subrun: SubRun) -> Iterator["PrefetchedEvent"]:
         """Events of ``subrun`` in order, with products pre-loaded."""
+        if self.options.columnar_loads:
+            # Columnar pages fan out non-blocking inside the datastore
+            # already; the get_multi pipeline would refetch whole
+            # objects, defeating the projection.
+            for page in self._key_pages(subrun):
+                yield from self._materialize_columnar(subrun, page)
+            return
         engine = self.async_engine
         if engine is None or not self.products or self.options.lookahead == 0:
             for page in self._key_pages(subrun):
@@ -108,6 +131,34 @@ class Prefetcher:
                         )
                     )
         yield from self._emit(subrun, event_keys, products)
+
+    def _materialize_columnar(self, subrun: SubRun, event_keys: list[bytes]
+                              ) -> Iterator["PrefetchedEvent"]:
+        """One ``scan_columns`` projection per page.
+
+        Projected events expose their columns through
+        :meth:`PrefetchedEvent.columns`; events the server could not
+        project carry the row-wise objects instead, and ``load`` of
+        anything unprojected falls back to a per-event RPC.
+        """
+        tname, label = self.products[0]
+        spec = (tname, label)
+        with _tracing.span("hepnos.prefetch.columnar_page",
+                           events=len(event_keys),
+                           fields=len(self.columns)):
+            block = self.datastore.load_products_columnar(
+                event_keys, tname, self.columns, label=label)
+        for i, key in enumerate(event_keys):
+            event = Event(self.datastore, subrun, hkeys.child_number(key), key)
+            status = block.present[i]
+            if status is True:
+                lo, hi = block.event_rows(i)
+                cols = {f: block.arrays[f][lo:hi] for f in block.fields}
+                yield PrefetchedEvent(event, {}, cols)
+            elif status == "raw":
+                yield PrefetchedEvent(event, {spec: block.raw[i]}, None)
+            else:
+                yield PrefetchedEvent(event, {spec: None}, None)
 
     # -- double-buffered path ----------------------------------------------
 
@@ -163,11 +214,13 @@ class PrefetchedEvent:
     falls back to the datastore for anything else.
     """
 
-    __slots__ = ("event", "_products")
+    __slots__ = ("event", "_products", "_columns")
 
-    def __init__(self, event: Event, products: dict):
+    def __init__(self, event: Event, products: dict,
+                 columns: Optional[dict] = None):
         self.event = event
         self._products = products
+        self._columns = columns
 
     @property
     def number(self) -> int:
@@ -193,3 +246,8 @@ class PrefetchedEvent:
     def prefetched(self, product_type, label: str = "") -> Optional[object]:
         """The prefetched product or None (no fallback RPC)."""
         return self._products.get((product_type_name(product_type), label))
+
+    def columns(self) -> Optional[dict]:
+        """Projected field arrays for this event (columnar prefetch
+        only); ``None`` when the event was not projected."""
+        return self._columns

@@ -10,13 +10,34 @@ work in two modes sharing one definition:
   workflow's vectorized scan over slice tables.
 
 Cuts compose with ``&``, ``|`` and ``~``.
+
+Vars and Cuts additionally carry a ``columns`` declaration: the set of
+table fields their columnar evaluation reads.  Plain attribute Vars
+(``Var("cal_e")``) declare themselves, constants declare nothing, and
+composition takes unions -- so a fully declared cut like
+``nue_candidate_cut`` knows exactly which columns a server-side
+projection must fetch.  A Var built from an opaque callable without an
+explicit ``columns=`` argument propagates ``None`` ("unknown"), which
+tells batch loaders to fall back to whole-object, per-event evaluation.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
+
+_UNSET = object()
+
+
+def _merge_columns(*parts) -> Optional[frozenset]:
+    """Union of declarations; any unknown (None) poisons the result."""
+    out: frozenset = frozenset()
+    for part in parts:
+        if part is None:
+            return None
+        out |= part
+    return out
 
 
 class Var:
@@ -28,10 +49,19 @@ class Var:
     """
 
     def __init__(self, name: str, fn: Callable = None,
-                 cfn: Optional[Callable] = None):
+                 cfn: Optional[Callable] = None,
+                 columns: Optional[Iterable[str]] = _UNSET):
         self.name = name
         self._fn = fn if fn is not None else (lambda s: getattr(s, name))
         self._cfn = cfn
+        if columns is _UNSET:
+            # A plain attribute Var reads exactly its own column; an
+            # opaque callable reads who-knows-what.
+            columns = frozenset({name}) if fn is None else None
+        #: table fields the columnar evaluation reads (None = unknown)
+        self.columns: Optional[frozenset] = (
+            None if columns is None else frozenset(columns)
+        )
 
     def __call__(self, slice_data) -> float:
         return self._fn(slice_data)
@@ -49,7 +79,8 @@ class Var:
     def _lift(value) -> "Var":
         if isinstance(value, Var):
             return value
-        return Var(repr(value), lambda s: value, lambda t: value)
+        return Var(repr(value), lambda s: value, lambda t: value,
+                   columns=frozenset())
 
     def _binary(self, other, op, symbol: str, reflected: bool = False) -> "Var":
         other = Var._lift(other)
@@ -58,6 +89,7 @@ class Var:
             f"({left.name}{symbol}{right.name})",
             lambda s: op(left(s), right(s)),
             lambda t: op(left.column(t), right.column(t)),
+            columns=_merge_columns(left.columns, right.columns),
         )
 
     def __add__(self, other) -> "Var":
@@ -88,31 +120,41 @@ class Var:
     def __gt__(self, value) -> "Cut":
         return Cut(f"{self.name}>{value}",
                    lambda s: self(s) > value,
-                   lambda t: self.column(t) > value)
+                   lambda t: self.column(t) > value,
+                   columns=self.columns)
 
     def __ge__(self, value) -> "Cut":
         return Cut(f"{self.name}>={value}",
                    lambda s: self(s) >= value,
-                   lambda t: self.column(t) >= value)
+                   lambda t: self.column(t) >= value,
+                   columns=self.columns)
 
     def __lt__(self, value) -> "Cut":
         return Cut(f"{self.name}<{value}",
                    lambda s: self(s) < value,
-                   lambda t: self.column(t) < value)
+                   lambda t: self.column(t) < value,
+                   columns=self.columns)
 
     def __le__(self, value) -> "Cut":
         return Cut(f"{self.name}<={value}",
                    lambda s: self(s) <= value,
-                   lambda t: self.column(t) <= value)
+                   lambda t: self.column(t) <= value,
+                   columns=self.columns)
 
 
 class Cut:
     """A boolean selection over slices, composable with & | ~."""
 
-    def __init__(self, name: str, fn: Callable, vfn: Optional[Callable] = None):
+    def __init__(self, name: str, fn: Callable, vfn: Optional[Callable] = None,
+                 columns: Optional[Iterable[str]] = None):
         self.name = name
         self._fn = fn
         self._vfn = vfn
+        #: table fields :meth:`mask` reads (None = unknown; such cuts
+        #: cannot drive a server-side column projection)
+        self.columns: Optional[frozenset] = (
+            None if columns is None else frozenset(columns)
+        )
 
     def __call__(self, slice_data) -> bool:
         return bool(self._fn(slice_data))
@@ -135,6 +177,7 @@ class Cut:
             f"({self.name} && {other.name})",
             lambda s: self._fn(s) and other._fn(s),
             (lambda t: self.mask(t) & other.mask(t)),
+            columns=_merge_columns(self.columns, other.columns),
         )
 
     def __or__(self, other: "Cut") -> "Cut":
@@ -142,6 +185,7 @@ class Cut:
             f"({self.name} || {other.name})",
             lambda s: self._fn(s) or other._fn(s),
             (lambda t: self.mask(t) | other.mask(t)),
+            columns=_merge_columns(self.columns, other.columns),
         )
 
     def __invert__(self) -> "Cut":
@@ -149,6 +193,7 @@ class Cut:
             f"!{self.name}",
             lambda s: not self._fn(s),
             (lambda t: ~self.mask(t)),
+            columns=self.columns,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

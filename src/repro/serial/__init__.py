@@ -28,6 +28,12 @@ from repro.serial.archive import (
     fast_path_enabled,
     set_fast_path,
 )
+from repro.serial.columnar import (
+    ColumnarBatch,
+    column_fields,
+    column_plan,
+    to_columns,
+)
 
 __all__ = [
     "OutputArchive",
@@ -43,4 +49,8 @@ __all__ = [
     "fast_path",
     "fast_path_enabled",
     "set_fast_path",
+    "ColumnarBatch",
+    "column_fields",
+    "column_plan",
+    "to_columns",
 ]

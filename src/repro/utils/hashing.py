@@ -77,6 +77,10 @@ class ConsistentHashRing:
         self._points: list[int] = []
         self._owners: list[object] = []
         self._targets: set[object] = set()
+        #: key -> owner memo; placement hashes the same container keys
+        #: on every batch load, and the ring only changes on membership
+        #: events, which clear it.
+        self._memo: dict[bytes, object] = {}
         for target in targets:
             self.add_target(target)
 
@@ -95,6 +99,7 @@ class ConsistentHashRing:
         if target in self._targets:
             raise ValueError(f"target {target!r} already on the ring")
         self._targets.add(target)
+        self._memo.clear()
         for replica in range(self._vnodes):
             point = self._vnode_hash(target, replica)
             idx = bisect.bisect_left(self._points, point)
@@ -108,6 +113,7 @@ class ConsistentHashRing:
         if target not in self._targets:
             raise KeyError(target)
         self._targets.discard(target)
+        self._memo.clear()
         keep_points, keep_owners = [], []
         for point, owner in zip(self._points, self._owners):
             if owner != target:
@@ -117,13 +123,20 @@ class ConsistentHashRing:
 
     def locate(self, key: bytes) -> object:
         """Return the target owning ``key``."""
+        owner = self._memo.get(key)
+        if owner is not None:
+            return owner
         if not self._points:
             raise ValueError("hash ring has no targets")
         point = mix64(fnv1a_64(key))
         idx = bisect.bisect_right(self._points, point)
         if idx == len(self._points):
             idx = 0
-        return self._owners[idx]
+        owner = self._owners[idx]
+        if len(self._memo) >= 1 << 16:
+            self._memo.clear()
+        self._memo[bytes(key)] = owner
+        return owner
 
     def locate_index(self, key: bytes, count: int) -> int:
         """Convenience: locate ``key`` on an implicit ring of ``range(count)``.

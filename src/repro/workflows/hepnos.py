@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import os
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
+from repro.errors import ProductNotFound
 from repro.hepnos import (
     DataLoader,
     DataStore,
@@ -112,13 +113,28 @@ class HEPnOSWorkflow:
         result = HEPnOSResult()
         lock = threading.Lock()
         timestamps: list[tuple[float, float]] = []
+        # The columnar fast path needs to know which columns to project:
+        # a cut built from an opaque callable declares None, and then the
+        # whole selection transparently falls back to per-event mode.
+        use_columnar = (self.pep_options.columnar_loads
+                        and self.cut.columns is not None)
+        if use_columnar:
+            fields = sorted(set(self.cut.columns) | {"slice_id"})
+            pep_options = self.pep_options
+        else:
+            fields = None
+            pep_options = (
+                replace(self.pep_options, columnar_loads=False)
+                if self.pep_options.columnar_loads else self.pep_options
+            )
 
         def rank_body(comm):
             pep = ParallelEventProcessor(
                 self.datastore,
                 comm=comm if comm.size > 1 else None,
-                options=self.pep_options,
+                options=pep_options,
                 products=[(product_type, self.label)],
+                columns=fields,
                 async_engine=self.async_engine,
             )
             accepted: list[int] = []
@@ -132,10 +148,38 @@ class HEPnOSWorkflow:
                     s.slice_id for s in slices if self.cut(s)
                 )
 
+            def handle_batch(batch):
+                missing = batch.missing_indices()
+                if missing:
+                    stub = batch.items[missing[0]]
+                    # Same semantics as the per-event path, where
+                    # event.load raises on an absent product.
+                    raise ProductNotFound(
+                        f"no product label={self.label!r} "
+                        f"type={product_type.name!r} in event "
+                        f"{stub.triple()}"
+                    )
+                table = batch.table
+                mask = self.cut.mask(table)
+                counters["events"] += len(batch)
+                counters["slices"] += batch.block.rows
+                accepted.extend(int(x) for x in table["slice_id"][mask])
+                # Events the server could not project (stored row-wise
+                # or a degraded column) evaluate object-by-object.
+                for _stub, slices in batch.fallback_items():
+                    counters["slices"] += len(slices)
+                    accepted.extend(
+                        s.slice_id for s in slices if self.cut(s)
+                    )
+
             t_start = Wtime()
             with _tracing.span("workflow.select", parent=_tracing.NO_PARENT,
-                               rank=comm.rank, ranks=comm.size):
-                stats = pep.process(dataset, handle)
+                               rank=comm.rank, ranks=comm.size,
+                               columnar=use_columnar):
+                if use_columnar:
+                    stats = pep.process_batches(dataset, handle_batch)
+                else:
+                    stats = pep.process(dataset, handle)
             t_end = Wtime()
             with lock:
                 timestamps.append((t_start, t_end))

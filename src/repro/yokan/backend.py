@@ -32,6 +32,18 @@ def open_backend(kind: str, **config) -> "Backend":
     return cls(**config)
 
 
+def prefix_upper_bound(prefix: bytes) -> Optional[bytes]:
+    """The smallest key greater than every key with ``prefix``.
+
+    ``None`` when no such bound exists (empty prefix or all-0xFF), in
+    which case a prefix scan is unbounded to the right.
+    """
+    trimmed = prefix.rstrip(b"\xff")
+    if not trimmed:
+        return None
+    return trimmed[:-1] + bytes([trimmed[-1] + 1])
+
+
 class Backend(abc.ABC):
     """An ordered byte-key / byte-value store.
 

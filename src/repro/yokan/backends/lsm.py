@@ -29,7 +29,7 @@ from typing import Iterator, Optional, Tuple
 
 from repro.errors import CorruptionError, KeyNotFound
 from repro.utils import SkipListMap, fnv1a_64, mix64
-from repro.yokan.backend import Backend, register_backend
+from repro.yokan.backend import Backend, prefix_upper_bound, register_backend
 
 _WAL_HEADER = struct.Struct("<II")  # payload length, crc32
 _SST_MAGIC = b"SSTB0001"
@@ -92,6 +92,9 @@ class LSMStats:
     memtable_hits: int = 0
     sstable_reads: int = 0
     bloom_skips: int = 0
+    #: entries pulled through the scan merge heap (bounded prefix scans
+    #: should keep this proportional to the prefix range, not the store)
+    scan_entries: int = 0
 
     @property
     def write_amplification(self) -> float:
@@ -212,9 +215,17 @@ class SSTable:
                     break
         return False, None
 
-    def scan(self, start: bytes = b"") -> Iterator[Tuple[bytes, Optional[bytes]]]:
-        """Ordered iteration including tombstones, from ``start``."""
+    def scan(self, start: bytes = b"", end: Optional[bytes] = None
+             ) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """Ordered iteration including tombstones, from ``start``.
+
+        With ``end``, iteration (and the underlying file reads) stop at
+        the first key ``>= end`` -- prefix-bounded scans never pay for
+        the rest of the sorted run.
+        """
         if self.num_entries == 0:
+            return
+        if end is not None and self.min_key >= end:
             return
         # Seek via the sparse index.
         offset = self.index[0][1]
@@ -232,6 +243,8 @@ class SSTable:
                 key, value = entry
                 if key < start:
                     continue
+                if end is not None and key >= end:
+                    return
                 yield key, value
 
 
@@ -454,18 +467,26 @@ class LSMBackend(Backend):
             self._live_keys = sum(1 for _ in self.scan())
         return self._live_keys
 
-    def scan(self, start: bytes = b"", inclusive: bool = True
-             ) -> Iterator[Tuple[bytes, bytes]]:
+    def scan(self, start: bytes = b"", inclusive: bool = True,
+             end: Optional[bytes] = None) -> Iterator[Tuple[bytes, bytes]]:
+        """Merged ordered iteration from ``start``.
+
+        With ``end``, the merge stops at the first key ``>= end`` and
+        every source iterator is bounded too: a prefix-bounded scan
+        reads only the prefix's slice of each sorted run, not the tail
+        of the store (tombstone and shadowed-key runs past the bound
+        are never pulled through the heap).
+        """
         self._check_open()
         # Merge memtable (age -1: newest) with all sstables.
         heap: list = []
         mem_iter = self._memtable.scan(start, inclusive=inclusive)
         first = next(mem_iter, None)
-        if first is not None:
+        if first is not None and (end is None or first[0] < end):
             heap.append((first[0], -len(self._sstables) - 1,
                          None if first[1] is _TOMBSTONE else first[1], mem_iter))
         for age, table in enumerate(self._sstables):
-            it = table.scan(start)
+            it = table.scan(start, end=end)
             entry = next(it, None)
             while entry is not None and not inclusive and entry[0] == start:
                 entry = next(it, None)
@@ -475,8 +496,9 @@ class LSMBackend(Backend):
         current_key = None
         while heap:
             key, neg_age, value, it = heapq.heappop(heap)
+            self.stats.scan_entries += 1
             nxt = next(it, None)
-            if nxt is not None:
+            if nxt is not None and (end is None or nxt[0] < end):
                 if inclusive or nxt[0] != start:
                     raw = nxt[1]
                     if raw is _TOMBSTONE:
@@ -488,6 +510,30 @@ class LSMBackend(Backend):
             if value is None or value is _TOMBSTONE:
                 continue  # tombstone shadows older values
             yield key, value
+
+    def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """Prefix scan with an explicit upper bound on every sorted run."""
+        end = prefix_upper_bound(prefix)
+        for key, value in self.scan(prefix, end=end):
+            if end is None and not key.startswith(prefix):
+                return
+            yield key, value
+
+    def list_keys(self, prefix: bytes = b"", start_after: bytes = b"",
+                  limit: int = 0) -> list[bytes]:
+        end = prefix_upper_bound(prefix)
+        out: list[bytes] = []
+        if start_after and start_after >= prefix:
+            iterator = self.scan(start_after, inclusive=False, end=end)
+        else:
+            iterator = self.scan(prefix, inclusive=True, end=end)
+        for key, _ in iterator:
+            if end is None and not key.startswith(prefix):
+                break
+            out.append(key)
+            if limit and len(out) >= limit:
+                break
+        return out
 
     # -- lifecycle ---------------------------------------------------------
 

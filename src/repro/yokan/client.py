@@ -254,6 +254,51 @@ class DatabaseHandle:
             ngroups, nbytes, _crc = result
             return packed.unpack_groups(memoryview(buffer)[:nbytes], ngroups)
 
+    def scan_columns(self, prefixes: Sequence[bytes], suffix: bytes,
+                     fields: Sequence[str], size_hint: int = 0
+                     ) -> Tuple[list, list]:
+        """Server-side projection: fetch only ``fields`` of each product.
+
+        For every ``prefix + suffix`` product key the provider decodes
+        the stored value and ships just the requested columns,
+        concatenated per field into one CRC-checked page
+        (:func:`repro.yokan.packed.unpack_column_page`).  Returns
+        ``(statuses, blocks)``: one status per prefix (``None`` absent,
+        row count when columnar, raw value ``memoryview`` fallback) and
+        one ``(dtype_str, payload)`` block per field.  Values without a
+        column plan travel row-wise, so projection narrows the data but
+        never changes it.
+        """
+        prefixes = [bytes(p) for p in prefixes]
+        fields = [str(f) for f in fields]
+        if not prefixes:
+            return [], [("O", memoryview(b"")) for _ in fields]
+        blob, lens = packed.pack_prefixes(prefixes)
+        capacity = size_hint or (64 * len(prefixes) * max(1, len(fields)))
+        while True:
+            buffer = bytearray(capacity)
+            bulk = self._engine.expose(buffer, Bulk.READ_WRITE)
+
+            def check(result, _buffer=buffer):
+                if isinstance(result, _Retry):
+                    return
+                _nprefixes, nbytes, crc = result
+                wire.verify_bulk(memoryview(_buffer)[:nbytes], crc,
+                                 "scan_columns landing buffer")
+
+            result = self._call(
+                "yokan.scan_columns",
+                (self.name, blob, lens, bytes(suffix), fields, bulk,
+                 capacity),
+                prefixes=len(prefixes), fields=len(fields), _validate=check,
+            )
+            if isinstance(result, _Retry):
+                capacity = result.needed
+                continue
+            nprefixes, nbytes, _crc = result
+            return packed.unpack_column_page(
+                memoryview(buffer)[:nbytes], nprefixes, len(fields))
+
     # -- non-blocking operations ------------------------------------------
 
     def _future(self, issue, finish, description: str,
@@ -406,6 +451,61 @@ class DatabaseHandle:
         return self._future(issue, finish,
                             f"load_prefix_packed[{len(prefixes)}]"
                             f"@{self.name}",
+                            dispatch=dispatch)
+
+    def scan_columns_nb(self, prefixes: Sequence[bytes], suffix: bytes,
+                        fields: Sequence[str], size_hint: int = 0,
+                        *, dispatch: bool = True) -> OperationFuture:
+        """Non-blocking :meth:`scan_columns`.
+
+        Resolves to the same ``(statuses, blocks)`` page.  The landing
+        buffer lives in the future's closure (the zero-copy column
+        views pin it); an undersized buffer re-issues with the
+        provider's requested capacity, and the page CRC is verified
+        inside the retirement loop.  The datastore issues one of these
+        per involved shard so projections fan out concurrently.
+        """
+        prefixes = [bytes(p) for p in prefixes]
+        fields = [str(f) for f in fields]
+        if not prefixes:
+            return OperationFuture.completed(
+                ([], [("O", memoryview(b"")) for _ in fields]),
+                f"scan_columns[0]@{self.name}")
+        handle = self._engine.create_handle(self.target,
+                                            "yokan.scan_columns")
+        suffix = bytes(suffix)
+        # Flat framing: hundreds of prefix keys travel as two byte
+        # strings instead of one archive value per key, and the blob
+        # doubles as the server's page-cache token.
+        blob, lens = packed.pack_prefixes(prefixes)
+        state = {"capacity":
+                 size_hint or (64 * len(prefixes) * max(1, len(fields))),
+                 "buffer": None, "bulk": None}
+
+        def issue():
+            buffer = bytearray(state["capacity"])
+            # Pin the Bulk in the closure: regions are weakly tracked,
+            # and the provider's RDMA push may land long after issue.
+            state["buffer"] = buffer
+            state["bulk"] = self._engine.expose(buffer, Bulk.READ_WRITE)
+            payload = wire.seal(dumps((self.name, blob, lens, suffix,
+                                       fields, state["bulk"],
+                                       state["capacity"])))
+            return handle.iforward(payload, self.provider_id)
+
+        def finish(raw):
+            result = _unwrap(raw)
+            if isinstance(result, _Retry):
+                state["capacity"] = result.needed
+                raise _ResizeNeeded()
+            nprefixes, nbytes, crc = result
+            wire.verify_bulk(memoryview(state["buffer"])[:nbytes], crc,
+                             "scan_columns landing buffer")
+            return packed.unpack_column_page(
+                memoryview(state["buffer"])[:nbytes], nprefixes, len(fields))
+
+        return self._future(issue, finish,
+                            f"scan_columns[{len(prefixes)}]@{self.name}",
                             dispatch=dispatch)
 
     def put_multi_nb(self, pairs: Iterable[Tuple[bytes, bytes]],

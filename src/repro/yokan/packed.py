@@ -16,6 +16,7 @@ views pin it alive.  Callers that outlive the buffer must copy.
 
 from __future__ import annotations
 
+import struct
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.errors import CorruptionError
@@ -93,4 +94,130 @@ def unpack_groups(buffer, ngroups: int) -> List[List[Tuple[bytes, memoryview]]]:
     return groups
 
 
-__all__ = ["pack_groups", "unpack_groups"]
+# -- prefix framing: the scan_columns request encoding ------------------------
+
+
+def pack_prefixes(prefixes: Sequence[bytes]) -> Tuple[bytes, bytes]:
+    """Frame many prefixes as ``(blob, lengths)`` -- one joined bytes
+    plus little-endian uint32 lengths.
+
+    A batch scan ships hundreds of prefix keys per request; framing
+    them as two flat byte strings keeps them out of the generic
+    archive (one value each instead of one per key) and gives the
+    server a hashable whole-request token for its page cache.
+    """
+    blob = b"".join(prefixes)
+    lens = struct.pack(f"<{len(prefixes)}I", *map(len, prefixes))
+    return blob, lens
+
+
+def unpack_prefixes(blob: bytes, lens: bytes) -> List[bytes]:
+    """Invert :func:`pack_prefixes`."""
+    if len(lens) % 4:
+        raise CorruptionError("prefix length table is not uint32-aligned")
+    out: List[bytes] = []
+    pos = 0
+    for i in range(0, len(lens), 4):
+        n = int.from_bytes(lens[i:i + 4], "little")
+        if pos + n > len(blob):
+            raise CorruptionError("prefix blob shorter than its lengths")
+        out.append(bytes(blob[pos:pos + n]))
+        pos += n
+    if pos != len(blob):
+        raise CorruptionError(
+            f"trailing bytes in prefix blob ({len(blob) - pos})")
+    return out
+
+
+# -- column pages: the scan_columns projection framing -----------------------
+
+#: per-prefix status bytes in a column page.
+COL_ABSENT = 0    # no product under the key
+COL_ROWS = 1      # columnar: followed by uvarint(row count)
+COL_RAW = 2       # row-wise fallback: followed by uvarint(len) + value
+
+
+def pack_column_page(statuses: Sequence, blocks: Sequence[Tuple[str, bytes]]
+                     ) -> bytes:
+    """Pack one ``scan_columns`` response page.
+
+    ``statuses`` holds one entry per requested prefix, in request
+    order: ``None`` (absent), an ``int`` row count (columnar), or raw
+    value ``bytes`` (row-wise fallback for values no column plan
+    covers).  ``blocks`` holds one ``(dtype_str, payload)`` per
+    requested field, each payload the field's rows concatenated across
+    every columnar prefix in order.
+    """
+    out = bytearray()
+    for status in statuses:
+        if status is None:
+            out.append(COL_ABSENT)
+        elif isinstance(status, int):
+            out.append(COL_ROWS)
+            _append_uvarint(out, status)
+        else:
+            out.append(COL_RAW)
+            _append_uvarint(out, len(status))
+            out += status
+    for dtype_str, payload in blocks:
+        encoded = dtype_str.encode("ascii")
+        _append_uvarint(out, len(encoded))
+        out += encoded
+        _append_uvarint(out, len(payload))
+        out += payload
+    return bytes(out)
+
+
+def unpack_column_page(buffer, nprefixes: int, nfields: int
+                       ) -> Tuple[list, List[Tuple[str, memoryview]]]:
+    """Decode a column page into per-prefix statuses and field blocks.
+
+    Statuses mirror :func:`pack_column_page` except that raw values
+    come back as zero-copy ``memoryview`` slices of ``buffer``; block
+    payloads are ``memoryview`` slices too (``np.frombuffer``-ready).
+    """
+    view = buffer if isinstance(buffer, memoryview) else memoryview(buffer)
+    end = len(view)
+    pos = 0
+    statuses: list = []
+    for _ in range(nprefixes):
+        if pos >= end:
+            raise CorruptionError("truncated status in column page")
+        tag = view[pos]
+        pos += 1
+        if tag == COL_ABSENT:
+            statuses.append(None)
+        elif tag == COL_ROWS:
+            count, pos = _read_uvarint(view, pos, end)
+            statuses.append(count)
+        elif tag == COL_RAW:
+            vlen, pos = _read_uvarint(view, pos, end)
+            if pos + vlen > end:
+                raise CorruptionError("truncated raw value in column page")
+            statuses.append(view[pos:pos + vlen])
+            pos += vlen
+        else:
+            raise CorruptionError(f"bad status tag {tag} in column page")
+    blocks: List[Tuple[str, memoryview]] = []
+    for _ in range(nfields):
+        dlen, pos = _read_uvarint(view, pos, end)
+        if pos + dlen > end:
+            raise CorruptionError("truncated dtype in column page")
+        dtype_str = bytes(view[pos:pos + dlen]).decode("ascii")
+        pos += dlen
+        plen, pos = _read_uvarint(view, pos, end)
+        if pos + plen > end:
+            raise CorruptionError("truncated column block in column page")
+        blocks.append((dtype_str, view[pos:pos + plen]))
+        pos += plen
+    if pos != end:
+        raise CorruptionError(
+            f"trailing bytes in column page ({end - pos} after "
+            f"{nprefixes} prefixes, {nfields} fields)")
+    return statuses, blocks
+
+
+__all__ = ["pack_groups", "unpack_groups",
+           "pack_prefixes", "unpack_prefixes",
+           "pack_column_page", "unpack_column_page",
+           "COL_ABSENT", "COL_RAW", "COL_ROWS"]

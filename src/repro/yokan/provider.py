@@ -9,6 +9,8 @@ their data with RDMA-style bulk transfers, matching the paper's
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Optional
 
 from repro.argobots import Pool
@@ -16,6 +18,7 @@ from repro.errors import CorruptionError, KeyNotFound, ReproError, YokanError
 from repro.mercury import Bulk, BulkOp, Engine, RPCRequest
 from repro.monitor import tracing as _tracing
 from repro.serial import dumps, loads
+from repro.serial import columnar as _columnar
 from repro.yokan import packed, wire
 from repro.yokan.backend import Backend, open_backend
 
@@ -26,6 +29,7 @@ RPC_NAMES = (
     "yokan.get",
     "yokan.get_multi",
     "yokan.load_prefix_packed",
+    "yokan.scan_columns",
     "yokan.exists",
     "yokan.erase",
     "yokan.erase_multi",
@@ -56,13 +60,38 @@ def _err(exc: BaseException) -> bytes:
 class YokanProvider:
     """Server-side provider bound to one engine + provider id."""
 
+    #: default bound on the server-side projection cache (bytes).
+    COLUMN_CACHE_BYTES = 64 * 1024 * 1024
+    #: default bound on cached, already-packed scan_columns pages.
+    PAGE_CACHE_BYTES = 16 * 1024 * 1024
+
     def __init__(self, engine: Engine, provider_id: int = 0,
                  pool: Optional[Pool] = None,
-                 databases: Optional[dict[str, Backend]] = None):
+                 databases: Optional[dict[str, Backend]] = None,
+                 column_cache_bytes: Optional[int] = None):
         self.engine = engine
         self.provider_id = provider_id
         self.pool = pool if pool is not None else engine.pool
         self.databases: dict[str, Backend] = dict(databases or {})
+        # Server-side projection cache: (db name, key) -> decoded column
+        # table (or None for values no column plan covers), so repeated
+        # scan_columns passes skip the per-object decode.  Entries are
+        # invalidated on any put/erase of their key and evicted LRU
+        # under a bytes bound.
+        self._column_cache: OrderedDict = OrderedDict()
+        self._column_cache_bytes = 0
+        self._column_cache_max = (self.COLUMN_CACHE_BYTES
+                                  if column_cache_bytes is None
+                                  else column_cache_bytes)
+        # Whole-page cache over identical scan_columns requests (an
+        # analysis re-run projects the same prefixes/fields verbatim):
+        # keyed by the full request, validated against a per-database
+        # write generation so any put/erase drops every page of that
+        # database at the cost of one integer compare.
+        self._page_cache: OrderedDict = OrderedDict()
+        self._page_cache_bytes = 0
+        self._page_gen: dict[str, int] = {}
+        self._column_lock = threading.Lock()
         for rpc_name in RPC_NAMES:
             handler = getattr(self, "_rpc_" + rpc_name.split(".", 1)[1])
             engine.register(rpc_name, self._traced(rpc_name, handler),
@@ -133,6 +162,7 @@ class YokanProvider:
             if req.trace_span is not None:
                 req.trace_span.set_tag("db", name)
             self._db(name).put(key, value)
+            self._column_invalidate(name, key)
             return _ok()
         except _HANDLED_ERRORS as exc:
             return _err(exc)
@@ -157,6 +187,8 @@ class YokanProvider:
                 req.trace_span.set_tag("db", name)
                 req.trace_span.set_tag("keys", len(pairs))
             count = self._db(name).put_multi(pairs)
+            for key, _value in pairs:
+                self._column_invalidate(name, key)
             return _ok(count)
         except _HANDLED_ERRORS as exc:
             return _err(exc)
@@ -227,6 +259,137 @@ class YokanProvider:
         except _HANDLED_ERRORS as exc:
             return _err(exc)
 
+    # -- server-side columnar projection -------------------------------------
+
+    def _column_invalidate(self, name: str, key: bytes) -> None:
+        with self._column_lock:
+            entry = self._column_cache.pop((name, bytes(key)), None)
+            if entry is not None and entry[1] is not None:
+                self._column_cache_bytes -= entry[0]
+            self._page_gen[name] = self._page_gen.get(name, 0) + 1
+
+    def _column_table(self, name: str, key: bytes, value):
+        """The cached column table for ``(name, key)``, decoding on miss.
+
+        Returns ``(count, columns)`` covering every field of the
+        element class, or ``None`` when the value is not columnar
+        (negative results are cached too, so raw values are not
+        re-decoded on every pass).
+        """
+        cache_key = (name, key)
+        with self._column_lock:
+            entry = self._column_cache.get(cache_key)
+            if entry is not None:
+                self._column_cache.move_to_end(cache_key)
+                return entry[1]
+        table = _columnar.value_to_table(value)
+        if table is None:
+            nbytes, entry_val = 0, None
+        else:
+            _tname, count, columns = table
+            entry_val = (count, columns)
+            nbytes = _columnar.table_nbytes(columns)
+        if nbytes > self._column_cache_max:
+            return entry_val
+        with self._column_lock:
+            old = self._column_cache.pop(cache_key, None)
+            if old is not None and old[1] is not None:
+                self._column_cache_bytes -= old[0]
+            self._column_cache[cache_key] = (nbytes, entry_val)
+            self._column_cache_bytes += nbytes
+            while self._column_cache_bytes > self._column_cache_max:
+                _k, (evicted, val) = self._column_cache.popitem(last=False)
+                if val is not None:
+                    self._column_cache_bytes -= evicted
+        return entry_val
+
+    def _rpc_scan_columns(self, req: RPCRequest) -> bytes:
+        """Materialize requested columns server-side; push one page back.
+
+        The request names a database, a list of container-key prefixes,
+        the product-key suffix (label + type name) and a field list.
+        For every prefix whose product decodes to a homogeneous list of
+        planned products, only the requested columns travel; anything
+        else travels row-wise in place (a per-prefix ``raw`` status) so
+        the projection can never change what the client reconstructs.
+        """
+        try:
+            name, blob, lens, suffix, fields, bulk, capacity = \
+                loads(req.payload)
+            db = self._db(name)
+            suffix = bytes(suffix)
+            fields = [str(f) for f in fields]
+            # The prefix blob doubles as the page-cache token: a hit
+            # never re-slices the individual keys.
+            page_key = (name, suffix, bytes(blob), bytes(lens),
+                        tuple(fields))
+            with self._column_lock:
+                gen = self._page_gen.get(name, 0)
+                entry = self._page_cache.get(page_key)
+                if entry is not None and entry[0] == gen:
+                    self._page_cache.move_to_end(page_key)
+                    nprefixes, buffer, crc = entry[1], entry[2], entry[3]
+                else:
+                    entry = None
+            if entry is None:
+                prefixes = packed.unpack_prefixes(blob, lens)
+                statuses: list = []
+                tables: list = []
+                for p in prefixes:
+                    key = p + suffix
+                    try:
+                        value = db.get(key)
+                    except KeyNotFound:
+                        statuses.append(None)
+                        continue
+                    table = self._column_table(name, key, value)
+                    if table is None:
+                        statuses.append(value)
+                        continue
+                    count, columns = table
+                    if any(f not in columns for f in fields):
+                        # Unknown field for this class: fall back
+                        # row-wise so the client evaluates per object
+                        # (and surfaces the same AttributeError the
+                        # object path would).
+                        statuses.append(value)
+                        continue
+                    statuses.append(count)
+                    tables.append(columns)
+                blocks = [_columnar.pack_field_column(tables, f)
+                          for f in fields]
+                buffer = packed.pack_column_page(statuses, blocks)
+                nprefixes = len(statuses)
+                crc = wire.checksum(buffer)
+                # `gen` was read before the scan: a write racing the
+                # build bumps it, so the entry is already stale and a
+                # later pass rebuilds from the new bytes.
+                nbytes = len(buffer) + len(blob) + len(lens) + 64
+                if nbytes <= self.PAGE_CACHE_BYTES:
+                    with self._column_lock:
+                        old = self._page_cache.pop(page_key, None)
+                        if old is not None:
+                            self._page_cache_bytes -= old[4]
+                        self._page_cache[page_key] = (
+                            gen, nprefixes, buffer, crc, nbytes)
+                        self._page_cache_bytes += nbytes
+                        while self._page_cache_bytes > self.PAGE_CACHE_BYTES:
+                            _k, dropped = self._page_cache.popitem(last=False)
+                            self._page_cache_bytes -= dropped[4]
+            if req.trace_span is not None:
+                req.trace_span.set_tag("db", name)
+                req.trace_span.set_tag("prefixes", nprefixes)
+                req.trace_span.set_tag("fields", len(fields))
+                req.trace_span.set_tag("bytes", len(buffer))
+                req.trace_span.set_tag("page_cached", entry is not None)
+            if len(buffer) > capacity:
+                return dumps(("retry", len(buffer)))
+            local = self.engine.expose(bytearray(buffer), Bulk.READ_ONLY)
+            req.bulk_transfer(BulkOp.PUSH, bulk, local, size=len(buffer))
+            return _ok((nprefixes, len(buffer), crc))
+        except _HANDLED_ERRORS as exc:
+            return _err(exc)
+
     def _rpc_exists(self, req: RPCRequest) -> bytes:
         try:
             name, key = loads(req.payload)
@@ -238,6 +401,7 @@ class YokanProvider:
         try:
             name, key = loads(req.payload)
             self._db(name).erase(key)
+            self._column_invalidate(name, key)
             return _ok()
         except _HANDLED_ERRORS as exc:
             return _err(exc)
@@ -245,7 +409,11 @@ class YokanProvider:
     def _rpc_erase_multi(self, req: RPCRequest) -> bytes:
         try:
             name, keys = loads(req.payload)
-            return _ok(self._db(name).erase_multi(list(keys)))
+            keys = list(keys)
+            erased = self._db(name).erase_multi(keys)
+            for key in keys:
+                self._column_invalidate(name, key)
+            return _ok(erased)
         except _HANDLED_ERRORS as exc:
             return _err(exc)
 

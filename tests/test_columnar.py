@@ -1,0 +1,412 @@
+"""Differential tests for the columnar data plane (SoA + scan_columns).
+
+The row-wise archive is the oracle throughout: a ColumnarBatch must
+round-trip back to the exact bytes of the list it was built from;
+server-projected columns must equal the corresponding object fields;
+and the vectorized Cut/Var selection must accept the *identical* event
+set as the per-event fast path -- fault-free, under the chaos schedule,
+and across a live 1 -> 4 shard rescale.
+"""
+
+import dataclasses
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bedrock import BedrockServer, default_hepnos_config
+from repro.faults.chaos import build_schedule, chaos_client_policy
+from repro.hepnos import DataStore, PEPOptions, product_type_name, vector_of
+from repro.hepnos.column_block import ABSENT
+from repro.hepnos.keys import product_key
+from repro.mercury import Fabric
+from repro.mercury.fabric import FaultModel
+from repro.nova import GeneratorConfig, generate_file_set, nue_candidate_cut
+from repro.nova.cafana import Cut
+from repro.serial import dumps, loads, register_type, serializable
+from repro.serial.columnar import (
+    ColumnarBatch,
+    column_fields,
+    column_from_block,
+    pack_field_column,
+    to_columns,
+)
+from repro.workflows import HEPnOSWorkflow
+
+
+# -- random schemas -----------------------------------------------------------
+
+KIND_TYPES = {"float": float, "int": int, "bool": bool,
+              "str": str, "bytes": bytes}
+KIND_DEFAULTS = {"float": 0.0, "int": 0, "bool": False,
+                 "str": "", "bytes": b""}
+_I64 = (1 << 63) - 1
+
+#: schema signature -> registered dataclass; ``register_type`` refuses
+#: re-registration, so classes persist across hypothesis examples.
+_SCHEMA_CLASSES = {}
+
+
+def schema_class(spec):
+    cls = _SCHEMA_CLASSES.get(spec)
+    if cls is None:
+        index = len(_SCHEMA_CLASSES)
+        cls = dataclasses.make_dataclass(
+            f"ColSchema{index}",
+            [(name, KIND_TYPES[kind],
+              dataclasses.field(default=KIND_DEFAULTS[kind]))
+             for name, kind in spec],
+        )
+        register_type(cls, f"test.columnar.Schema{index}")
+        _SCHEMA_CLASSES[spec] = cls
+    return cls
+
+
+def _values(kind):
+    # Off-kind values (an int in a float column, a bool in an int
+    # column) exercise the guard degradation to archive-encoded lists.
+    if kind == "float":
+        return st.one_of(st.floats(width=64), st.integers(-3, 3))
+    if kind == "int":
+        return st.one_of(st.integers(min_value=-_I64, max_value=_I64),
+                         st.booleans())
+    if kind == "bool":
+        return st.booleans()
+    if kind == "str":
+        return st.text(max_size=12)
+    return st.binary(max_size=12)
+
+
+_field_names = st.sampled_from(
+    ["a", "b", "c", "d", "energy", "nhit", "flag", "tag"])
+
+schemas = st.lists(
+    st.tuples(_field_names, st.sampled_from(sorted(KIND_TYPES))),
+    min_size=1, max_size=5, unique_by=lambda nk: nk[0],
+).map(tuple)
+
+
+@st.composite
+def schema_and_objects(draw):
+    spec = draw(schemas)
+    cls = schema_class(spec)
+    rows = draw(st.integers(min_value=1, max_value=8))
+    objs = [cls(**{name: draw(_values(kind)) for name, kind in spec})
+            for _ in range(rows)]
+    return spec, objs
+
+
+class TestColumnarRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(schema_and_objects())
+    def test_soa_round_trips_byte_identically(self, case):
+        """dumps(from_objects(objs).to_objects()) == dumps(objs)."""
+        _spec, objs = case
+        batch = ColumnarBatch.from_objects(objs)
+        restored = loads(dumps(batch))
+        assert dumps(restored.to_objects()) == dumps(objs)
+
+    @settings(max_examples=60, deadline=None)
+    @given(schema_and_objects())
+    def test_projected_columns_equal_object_fields(self, case):
+        spec, objs = case
+        count, columns = to_columns(objs)
+        assert count == len(objs)
+        assert set(columns) == {name for name, _ in spec}
+        for name, _kind in spec:
+            col = columns[name]
+            vals = col.tolist() if isinstance(col, np.ndarray) else col
+            # dumps-compare: NaN-safe, and catches int/float confusion.
+            assert dumps(vals) == dumps([getattr(o, name) for o in objs])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(schema_and_objects(), min_size=1, max_size=4))
+    def test_wire_blocks_round_trip(self, cases):
+        """pack_field_column + column_from_block over mixed tables."""
+        # Force one shared schema so the tables concatenate.
+        spec, _ = cases[0]
+        cls = schema_class(spec)
+        tables = []
+        expected = {name: [] for name, _ in spec}
+        for _spec, objs in cases:
+            objs = [cls(**{n: getattr(o, n, KIND_DEFAULTS[k])
+                           for n, k in spec}) for o in objs]
+            _count, columns = to_columns(objs)
+            tables.append(columns)
+            for name, _kind in spec:
+                expected[name].extend(getattr(o, name) for o in objs)
+        total = sum(len(next(iter(t.values()))) if t else 0 for t in tables)
+        for name, _kind in spec:
+            dtype_str, payload = pack_field_column(tables, name)
+            col = column_from_block(dtype_str, payload, total)
+            vals = col.tolist() if isinstance(col, np.ndarray) else col
+            assert dumps(vals) == dumps(expected[name])
+
+    def test_column_fields_matches_plan_order(self):
+        spec = (("a", "float"), ("b", "int"), ("c", "str"))
+        cls = schema_class(spec)
+        assert column_fields(cls) == ["a", "b", "c"]
+
+    def test_unplanned_list_returns_none(self):
+        assert to_columns([]) is None
+        assert to_columns([object()]) is None
+        spec = (("a", "float"),)
+        cls = schema_class(spec)
+        assert to_columns([cls(1.0), object()]) is None  # heterogeneous
+
+
+# -- server-side projection ---------------------------------------------------
+
+
+@serializable("test.columnar.Hit")
+class Hit:
+    def __init__(self, e=0.0, n=0, good=False, tag=""):
+        self.e = e
+        self.n = n
+        self.good = good
+        self.tag = tag
+
+    def serialize(self, ar):
+        self.e = ar.io(self.e)
+        self.n = ar.io(self.n)
+        self.good = ar.io(self.good)
+        self.tag = ar.io(self.tag)
+
+
+class TestServerProjection:
+    def _populate(self, datastore, events=12):
+        ds = datastore.create_dataset("columnar/proj")
+        subrun = ds.create_run(1).create_subrun(1)
+        stored = {}
+        for i in range(events):
+            event = subrun.create_event(i)
+            value = [Hit(e=float(i) + 0.5, n=i, good=(i % 3 == 0),
+                         tag=f"t{i}") for _ in range(1 + i % 3)]
+            event.store(value, label="hits")
+            stored[event.key] = value
+        return stored
+
+    def test_projection_equals_object_fields(self, datastore):
+        stored = self._populate(datastore)
+        keys = sorted(stored)
+        block = datastore.load_products_columnar(
+            keys, vector_of(Hit), ["e", "n", "good"], label="hits")
+        assert not block.raw and ABSENT not in block.present
+        assert block.rows == sum(len(v) for v in stored.values())
+        for i, key in enumerate(keys):
+            lo, hi = block.event_rows(i)
+            objs = stored[key]
+            assert block.column("e")[lo:hi].tolist() == [o.e for o in objs]
+            assert block.column("n")[lo:hi].tolist() == [o.n for o in objs]
+            assert (block.column("good")[lo:hi].tolist()
+                    == [o.good for o in objs])
+
+    def test_missing_product_reported_absent(self, datastore):
+        stored = self._populate(datastore, events=4)
+        empty = datastore.create_dataset("columnar/none") \
+            .create_run(1).create_subrun(1).create_event(0)
+        keys = sorted(stored) + [empty.key]
+        block = datastore.load_products_columnar(
+            keys, vector_of(Hit), ["e"], label="hits")
+        missing = [i for i, s in enumerate(block.present) if s is ABSENT]
+        assert missing == [len(keys) - 1]
+
+    def test_column_cache_counts_second_load(self, datastore):
+        stored = self._populate(datastore)
+        keys = sorted(stored)
+        fields = ["e", "n"]
+        datastore.load_products_columnar(
+            keys, vector_of(Hit), fields, label="hits")
+        hits0 = datastore.metrics.counter("hepnos.column_cache.hits").value
+        block = datastore.load_products_columnar(
+            keys, vector_of(Hit), fields, label="hits")
+        hits1 = datastore.metrics.counter("hepnos.column_cache.hits").value
+        assert hits1 - hits0 >= len(keys)
+        assert block.rows == sum(len(v) for v in stored.values())
+
+    def test_server_cache_invalidated_on_overwrite(self, datastore):
+        stored = self._populate(datastore, events=3)
+        keys = sorted(stored)
+        block = datastore.load_products_columnar(
+            keys, vector_of(Hit), ["e"], label="hits")
+        before = block.column("e").tolist()
+        # Overwrite one product; both the server projection cache and
+        # the client column cache must reflect the new bytes.
+        ds = datastore["columnar/proj"]
+        event = ds[1][1][0]
+        event.store([Hit(e=99.0)], label="hits")
+        assert event.key == keys[0]
+        block = datastore.load_products_columnar(
+            keys, vector_of(Hit), ["e"], label="hits")
+        after = block.column("e").tolist()
+        assert after != before
+        assert after[: block.event_rows(0)[1]] == [99.0]
+
+    def test_projection_ships_fewer_bytes(self, datastore):
+        """A 3-of-8 field projection must ship <= 25% of packed bytes."""
+        ds = datastore.create_dataset("columnar/bytes")
+        subrun = ds.create_run(1).create_subrun(1)
+        keys = []
+        from repro.nova.datamodel import SliceData as slc
+        from repro.nova.generator import NovaGenerator
+        gen = NovaGenerator()
+        for i in range(16):
+            event = subrun.create_event(i)
+            event.store(gen.slices_for_event(1, 1, i), label="")
+            keys.append(event.key)
+        packed_bytes = 0
+        for key in keys:
+            for target in {datastore.placement.product_database_for(key)}:
+                handle = datastore.handle_for_target(target)
+                value = handle.get(product_key(
+                    key, "", product_type_name(vector_of(slc))))
+                packed_bytes += len(value)
+        block = datastore.load_products_columnar(
+            keys, vector_of(slc), ["nhit", "cal_e", "cvn_e"], label="")
+        projected = sum(
+            block.column(f).nbytes for f in ["nhit", "cal_e", "cvn_e"])
+        assert not block.raw
+        assert projected <= 0.25 * packed_bytes, (projected, packed_bytes)
+
+
+# -- selection identity -------------------------------------------------------
+
+
+def _ingest(datastore, paths, tag):
+    workflow = HEPnOSWorkflow(datastore, f"columnar/{tag}",
+                              input_batch_size=64, dispatch_batch_size=8)
+    workflow.ingest(paths, num_ranks=1)
+    return workflow
+
+
+def _select(datastore, tag, columnar, cut=nue_candidate_cut, ranks=2):
+    workflow = HEPnOSWorkflow(
+        datastore, f"columnar/{tag}", cut=cut,
+        pep_options=PEPOptions(input_batch_size=64, dispatch_batch_size=8,
+                               columnar_loads=columnar),
+    )
+    return workflow.select(num_ranks=ranks)
+
+
+def _selection_bytes(result):
+    return dumps(sorted(result.accepted_ids))
+
+
+@pytest.fixture(scope="module")
+def sample(tmp_path_factory):
+    return generate_file_set(
+        str(tmp_path_factory.mktemp("columnar-files")), num_files=2,
+        mean_events_per_file=24,
+        config=GeneratorConfig(signal_fraction=0.05, events_per_subrun=16,
+                               subruns_per_run=4),
+    )
+
+
+class TestSelectionIdentity:
+    def test_vectorized_matches_per_event(self, datastore, sample):
+        _ingest(datastore, sample.paths, "ident")
+        per_event = _select(datastore, "ident", columnar=False)
+        vectorized = _select(datastore, "ident", columnar=True)
+        assert per_event.accepted_ids  # the sample must select something
+        assert _selection_bytes(vectorized) == _selection_bytes(per_event)
+        assert vectorized.events_processed == per_event.events_processed
+        assert vectorized.slices_examined == per_event.slices_examined
+
+    def test_opaque_cut_falls_back_identically(self, datastore, sample):
+        _ingest(datastore, sample.paths, "opaque")
+        opaque = Cut("opaque", lambda s: s.nhit > 20 and s.cal_e > 1.0)
+        assert opaque.columns is None
+        per_event = _select(datastore, "opaque", columnar=False, cut=opaque)
+        requested = _select(datastore, "opaque", columnar=True, cut=opaque)
+        assert _selection_bytes(requested) == _selection_bytes(per_event)
+
+    def test_identity_under_chaos(self, sample):
+        """Vectorized selection under the stock fault schedule must
+        accept the byte-identical event set of a quiet per-event run."""
+        policy = chaos_client_policy()
+
+        def deploy():
+            fabric = Fabric(threaded=True)
+            servers = [BedrockServer(fabric, default_hepnos_config(
+                f"sm://node{i}/hepnos", num_providers=2, event_databases=2,
+                product_databases=2, run_databases=1, subrun_databases=1,
+            )) for i in range(2)]
+            fabric.runtime.start()
+            return fabric, servers
+
+        fabric, servers = deploy()
+        datastore = DataStore.connect(fabric, servers, retry_policy=policy)
+        _ingest(datastore, sample.paths, "chaos")
+        baseline = _select(datastore, "chaos", columnar=False)
+        fabric.runtime.shutdown()
+
+        fabric, servers = deploy()
+        datastore = DataStore.connect(fabric, servers, retry_policy=policy)
+        _ingest(datastore, sample.paths, "chaos")
+        schedule = build_schedule(7, servers, drop=0.02, delay=0.0005,
+                                  corrupt=0.01, crash_window=(10, 30),
+                                  spike_window=(40, 44))
+        fabric.stats.reset()
+        fabric.fault_model = schedule
+        try:
+            chaos = _select(datastore, "chaos", columnar=True)
+        finally:
+            fabric.fault_model = FaultModel()
+        injected = fabric.stats
+        fabric.runtime.shutdown()
+        assert (injected.dropped + injected.corrupted + injected.delayed) > 0
+        assert _selection_bytes(chaos) == _selection_bytes(baseline)
+
+    def test_identity_across_live_rescale(self, sample):
+        """1 -> 4 shard live grow mid-selection: the vectorized path's
+        dual-read fan-out must keep the selection byte-identical."""
+        from repro.rescale import LiveRescaler, add_server
+
+        fabric = Fabric(threaded=True)
+        servers = [BedrockServer(fabric, default_hepnos_config(
+            "sm://node0/hepnos", num_providers=1, event_databases=1,
+            product_databases=1, run_databases=1, subrun_databases=1,
+        ))]
+        fabric.runtime.start()
+        datastore = DataStore.connect(fabric, servers)
+        _ingest(datastore, sample.paths, "rescale")
+        baseline = _select(datastore, "rescale", columnar=False)
+
+        joining = BedrockServer(fabric, default_hepnos_config(
+            "sm://joining/hepnos", num_providers=3, event_databases=3,
+            product_databases=3, run_databases=1, subrun_databases=1,
+        ))
+        rescaler = LiveRescaler(
+            datastore, add_server(datastore.connection, joining),
+            batch_size=16,
+        )
+        migration = {"error": None}
+
+        def migrate():
+            try:
+                rescaler.begin()
+                while rescaler.step():
+                    time.sleep(0.002)
+                rescaler.commit()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                migration["error"] = exc
+
+        thread = threading.Thread(target=migrate, daemon=True,
+                                  name="live-rescaler")
+        thread.start()
+        try:
+            during = _select(datastore, "rescale", columnar=True)
+        finally:
+            thread.join(timeout=120.0)
+        assert not thread.is_alive()
+        if migration["error"] is not None:
+            raise migration["error"]
+        assert datastore.connection.counts()["products"] == 4
+        assert not datastore.placement.migrating
+        after = _select(datastore, "rescale", columnar=True)
+        fabric.runtime.shutdown()
+        assert _selection_bytes(during) == _selection_bytes(baseline)
+        assert _selection_bytes(after) == _selection_bytes(baseline)
