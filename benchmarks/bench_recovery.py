@@ -1,0 +1,283 @@
+#!/usr/bin/env python
+"""Recovery-time benchmarks: WAL replay, failover reads, WAL overhead.
+
+Three measurements for the durability layer:
+
+1. **WAL replay time vs dataset size** -- how long a restarted
+   :class:`~repro.yokan.backends.wal.DurableBackend` takes to rebuild
+   its state from checkpoint + log, per key and per byte.
+2. **Failover read latency** -- per-event product load against a
+   healthy primary vs against its promoted backup after the primary
+   died with state loss.
+3. **Fault-free WAL overhead** (gated): ingest + selection pass on a
+   WAL-backed deployment vs a plain one, replication off.  The
+   acceptance bound is <=10% overhead plus measured noise.
+
+Run directly or through ``run_all.py``::
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from typing import Optional, Sequence
+
+from repro.bedrock import BedrockServer, default_hepnos_config
+from repro.faults.chaos import failover_client_policy
+from repro.hepnos import DataStore, ParallelEventProcessor, PEPOptions, \
+    WriteBatch, vector_of
+from repro.hepnos.failover import enable_replication
+from repro.mercury import Fabric
+from repro.serial import serializable
+from repro.yokan.backend import open_backend
+
+#: gate: fault-free WAL cost on the ingest+selection path
+WAL_OVERHEAD_GATE = 0.10
+
+QUICK = {
+    "replay_sizes": [2_000, 8_000],
+    "events": 256,
+    "rounds": 3,
+    "reads": 64,
+}
+FULL = {
+    "replay_sizes": [10_000, 40_000],
+    "events": 1_024,
+    "rounds": 5,
+    "reads": 256,
+}
+
+
+@serializable("bench.RecoverySlice")
+class RecoverySlice:
+    def __init__(self, sid=0):
+        self.sid = sid
+
+    def serialize(self, ar):
+        self.sid = ar.io(self.sid)
+
+
+# -- 1. WAL replay time vs dataset size --------------------------------------
+
+
+def bench_wal_replay(params: dict, workdir: str) -> dict:
+    """Time a cold DurableBackend restart for growing datasets."""
+    points = []
+    for size in params["replay_sizes"]:
+        wal_path = f"{workdir}/replay-{size}/db.wal"
+        backend = open_backend("map", wal_path=wal_path)
+        value = bytes(100)
+        backend.put_multi([(b"key-%08d" % i, value) for i in range(size)])
+        wal_bytes = backend.stats.wal_bytes
+        backend.crash()
+
+        t0 = time.perf_counter()
+        recovered = open_backend("map", wal_path=wal_path)
+        elapsed = time.perf_counter() - t0
+        stats = recovered.stats
+        assert stats.replayed_keys == size, (stats.replayed_keys, size)
+        recovered.close()
+        points.append({
+            "keys": size,
+            "wal_bytes": wal_bytes,
+            "replay_seconds": elapsed,
+            "keys_per_s": size / elapsed,
+            "bytes_per_s": wal_bytes / elapsed,
+        })
+        print(f"[wal-replay] {size} keys ({wal_bytes} WAL bytes): "
+              f"{elapsed * 1e3:.1f}ms "
+              f"({size / elapsed / 1e3:.0f}k keys/s)")
+    last = points[-1]
+    return {"ops_per_s": last["keys_per_s"],
+            "bytes_per_s": last["bytes_per_s"],
+            "points": points}
+
+
+# -- 2. failover read latency -------------------------------------------------
+
+
+def _replicated_world(params: dict):
+    fabric = Fabric(threaded=True)
+    servers = [BedrockServer(fabric, default_hepnos_config(
+        f"sm://node{i}/hepnos", num_providers=2, event_databases=2,
+        product_databases=2, run_databases=1, subrun_databases=1,
+        replication=2)) for i in range(2)]
+    fabric.runtime.start()
+    connection = enable_replication(servers, replication=2)
+    datastore = DataStore.connect(fabric, connection,
+                                  retry_policy=failover_client_policy())
+    return fabric, servers, datastore
+
+
+def bench_failover_latency(params: dict) -> dict:
+    """Per-event load latency: healthy primary vs promoted backup."""
+    fabric, servers, datastore = _replicated_world(params)
+    n = params["events"]
+    ds = datastore.create_dataset("bench/failover")
+    with WriteBatch(datastore) as batch:
+        subrun = ds.create_run(1, batch=batch).create_subrun(1, batch=batch)
+        for e in range(n):
+            event = subrun.create_event(e, batch=batch)
+            event.store([RecoverySlice(e)], label="s", batch=batch)
+    datastore.sync_service()
+    subrun = ds[1][1]
+    reads = min(params["reads"], n)
+    vec = vector_of(RecoverySlice)
+
+    def timed_reads() -> float:
+        t0 = time.perf_counter()
+        for e in range(reads):
+            subrun[e].load(vec, label="s")
+        return (time.perf_counter() - t0) / reads
+
+    timed_reads()  # warm-up
+    healthy = min(timed_reads() for _ in range(params["rounds"]))
+    servers[1].crash(lose_state=True)
+    timed_reads()  # first pass absorbs the giveup + promotion
+    failed_over = min(timed_reads() for _ in range(params["rounds"]))
+    activated = datastore.metrics.counter("hepnos.failover.activated").value
+    fabric.runtime.shutdown()
+    print(f"[failover-read] healthy: {healthy * 1e6:.1f}us/read, "
+          f"failed-over: {failed_over * 1e6:.1f}us/read "
+          f"(x{failed_over / healthy:.2f}, {activated} promotions)")
+    return {
+        "ops_per_s": 1.0 / failed_over,
+        "bytes_per_s": 0.0,
+        "healthy_s_per_read": healthy,
+        "failed_over_s_per_read": failed_over,
+        "slowdown": failed_over / healthy,
+        "promotions": activated,
+    }
+
+
+# -- 3. fault-free WAL overhead (gated) ---------------------------------------
+
+
+def _ingest_select_pass(durability_root: Optional[str],
+                        params: dict) -> float:
+    """One fresh deployment: timed ingest + PEP selection pass."""
+    fabric = Fabric(threaded=True)
+    servers = []
+    for i in range(2):
+        kwargs = dict(num_providers=2, event_databases=2,
+                      product_databases=2, run_databases=1,
+                      subrun_databases=1)
+        if durability_root is not None:
+            kwargs["durability_root"] = f"{durability_root}/node{i}"
+        servers.append(BedrockServer(fabric, default_hepnos_config(
+            f"sm://node{i}/hepnos", **kwargs)))
+    fabric.runtime.start()
+    datastore = DataStore.connect(fabric, servers)
+    n = params["events"]
+    t0 = time.perf_counter()
+    ds = datastore.create_dataset("bench/wal-overhead")
+    with WriteBatch(datastore) as batch:
+        run = ds.create_run(1, batch=batch)
+        for s in range(4):
+            subrun = run.create_subrun(s, batch=batch)
+            for e in range(n // 4):
+                event = subrun.create_event(e, batch=batch)
+                event.store([RecoverySlice(s * 10_000 + e)], label="s",
+                            batch=batch)
+    pep = ParallelEventProcessor(
+        datastore, options=PEPOptions(input_batch_size=64),
+        products=[(vector_of(RecoverySlice), "s")])
+    count = {"n": 0}
+    pep.process(ds, lambda ev: count.__setitem__("n", count["n"] + 1))
+    elapsed = time.perf_counter() - t0
+    assert count["n"] == (n // 4) * 4
+    fabric.runtime.shutdown()
+    return elapsed
+
+
+def bench_wal_overhead(params: dict, workdir: str) -> dict:
+    """Ingest + selection: WAL on (replication 1) vs plain backends."""
+    rounds = params["rounds"]
+    _ingest_select_pass(None, params)  # warm-up
+    plain = [_ingest_select_pass(None, params) for _ in range(rounds)]
+    durable = []
+    for i in range(rounds):
+        root = f"{workdir}/overhead-{i}"
+        durable.append(_ingest_select_pass(root, params))
+        shutil.rmtree(root, ignore_errors=True)
+    best_plain, best_durable = min(plain), min(durable)
+    # Run-to-run noise on the plain path widens the acceptance gate the
+    # same way bench_dataplane's cache gate does.
+    noise = max(plain) / best_plain - 1
+    overhead = best_durable / best_plain - 1
+    print(f"[wal-overhead] plain: {best_plain * 1e3:.1f}ms, "
+          f"wal: {best_durable * 1e3:.1f}ms "
+          f"(+{overhead * 100:.1f}%, noise {noise * 100:.1f}%)")
+    n = params["events"]
+    return {
+        "ops_per_s": n / best_durable,
+        "bytes_per_s": 0.0,
+        "plain_seconds": best_plain,
+        "durable_seconds": best_durable,
+        "overhead": overhead,
+        "noise": noise,
+    }
+
+
+# -- driver ------------------------------------------------------------------
+
+
+def run_benches(quick: bool, workdir: Optional[str] = None) -> dict:
+    params = QUICK if quick else FULL
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="hepnos-recovery-")
+    return {
+        "quick": quick,
+        "wal_overhead_gate": WAL_OVERHEAD_GATE,
+        "benches": {
+            "wal_replay": bench_wal_replay(params, workdir),
+            "failover_read": bench_failover_latency(params),
+            "wal_overhead": bench_wal_overhead(params, workdir),
+        },
+    }
+
+
+def evaluate_gates(results: dict) -> list:
+    """Return human-readable gate failures (empty == pass)."""
+    failures = []
+    bench = results["benches"]["wal_overhead"]
+    allowed = results["wal_overhead_gate"] + bench["noise"]
+    if bench["overhead"] > allowed:
+        failures.append(
+            f"wal_overhead: WAL costs {bench['overhead'] * 100:.1f}% "
+            f"fault-free, gate is {allowed * 100:.1f}% "
+            f"(10% + measured noise)")
+    if results["benches"]["failover_read"]["promotions"] < 1:
+        failures.append("failover_read: no backup promotion observed; "
+                        "the failed-over timing measured nothing")
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark WAL replay, failover reads, and the "
+                    "fault-free WAL overhead gate.")
+    parser.add_argument("--quick", action="store_true",
+                        help="small corpus (CI smoke)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the results as JSON")
+    args = parser.parse_args(argv)
+    results = run_benches(quick=args.quick)
+    failures = evaluate_gates(results)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,17 @@
 #!/usr/bin/env python
-"""Run the bench suite and write the ``BENCH_PR7.json`` baseline.
+"""Run the bench suite and write the ``BENCH_PR8.json`` baseline.
 
 Every entry under ``benches`` reports at least ``ops_per_s`` and
 ``bytes_per_s`` so successive baselines (``BENCH_*.json``) can be
 diffed mechanically; the format is documented in ``EXPERIMENTS.md``.
 The suite is the gated :mod:`bench_dataplane` measurements, the gated
 :mod:`bench_scaling` provider curves, the gated :mod:`bench_columnar`
-projection/selection measurements, and two micro-benchmarks of the
-wire-level codecs::
+projection/selection measurements, the gated :mod:`bench_fault_overhead`
+fault-path costs, the gated :mod:`bench_recovery` durability timings
+(WAL replay, failover reads, fault-free WAL overhead), and two
+micro-benchmarks of the wire-level codecs::
 
-    PYTHONPATH=src python benchmarks/run_all.py              # quick, writes BENCH_PR7.json
+    PYTHONPATH=src python benchmarks/run_all.py              # quick, writes BENCH_PR8.json
     PYTHONPATH=src python benchmarks/run_all.py --full -o /tmp/bench.json
 
 Exits nonzero if any gate fails, so the baseline can never be
@@ -27,12 +29,14 @@ from typing import Optional, Sequence
 
 import bench_columnar
 import bench_dataplane
+import bench_fault_overhead
+import bench_recovery
 import bench_scaling
 from repro.yokan import packed, wire
 
 DEFAULT_OUTPUT = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "BENCH_PR7.json")
+    "BENCH_PR8.json")
 
 
 def _best_of(fn, rounds: int = 5) -> float:
@@ -86,7 +90,7 @@ def bench_wire_seal_unseal() -> dict:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Run the bench suite and emit the BENCH_PR6.json "
+        description="Run the bench suite and emit the BENCH_PR8.json "
                     "perf baseline.")
     parser.add_argument("--full", action="store_true",
                         help="full corpus and the 2x acceptance gates "
@@ -95,7 +99,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="chaos seed for the identity check")
     parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT,
                         help="output path (default: repo-root "
-                             "BENCH_PR7.json)")
+                             "BENCH_PR8.json)")
     args = parser.parse_args(argv)
 
     results = bench_dataplane.run_benches(quick=not args.full,
@@ -108,17 +112,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     columnar = bench_columnar.run_benches(quick=not args.full,
                                           seed=args.seed)
     failures += bench_columnar.evaluate_gates(columnar)
+    fault = bench_fault_overhead.run_benches()
+    failures += bench_fault_overhead.evaluate_gates(fault)
+    recovery = bench_recovery.run_benches(quick=not args.full)
+    failures += bench_recovery.evaluate_gates(recovery)
     benches = {name: data
                for name, data in results["benches"].items()
                if name != "workflow_identity"}
     for name, data in columnar["benches"].items():
         if name != "columnar_identity":
             benches[name] = data
+    benches.update(fault["benches"])
+    benches.update(recovery["benches"])
     benches["packed_codec"] = bench_packed_codec()
     benches["wire_seal_unseal"] = bench_wire_seal_unseal()
     doc = {
         "schema": "hepnos-bench/v1",
-        "baseline": "PR7",
+        "baseline": "PR8",
         "generated_by": "benchmarks/run_all.py"
                         + (" --full" if args.full else ""),
         "quick": not args.full,
@@ -126,6 +136,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "cache_overhead_gate": results["cache_overhead_gate"],
         "columnar_speedup_gate": columnar["speedup_gate"],
         "columnar_bytes_gate": columnar["bytes_gate"],
+        "fault_overhead_gate": fault["fault_overhead_gate"],
+        "wal_overhead_gate": recovery["wal_overhead_gate"],
         "gates_passed": not failures,
         "benches": benches,
         "scaling": scaling,

@@ -143,6 +143,13 @@ def validate_config(config: Union[str, dict]) -> dict:
                 f"(known: {sorted(BACKEND_KINDS)})",
             )
 
+    replication = config.get("replication")
+    if replication is not None:
+        _require(
+            isinstance(replication, int) and replication >= 1,
+            "'replication' must be an integer >= 1",
+        )
+
     client = config.get("client")
     if client is not None:
         _require(isinstance(client, dict), "'client' section must be an object")
@@ -169,6 +176,10 @@ def default_hepnos_config(
     backend_config: Optional[dict] = None,
     storage_root: Optional[str] = None,
     client: Optional[dict] = None,
+    durability_root: Optional[str] = None,
+    wal_checkpoint_bytes: Optional[int] = None,
+    wal_sync: bool = False,
+    replication: Optional[int] = None,
 ) -> dict:
     """The paper's server layout as a Bedrock configuration.
 
@@ -179,6 +190,14 @@ def default_hepnos_config(
     optional client-settings section (e.g. ``{"retry": {...}}``) that
     :func:`~repro.hepnos.connection_from_servers` propagates to every
     connecting DataStore.
+
+    ``durability_root`` gives every database a write-ahead log at
+    ``<durability_root>/<db_name>.wal`` (checkpointed at
+    ``wal_checkpoint_bytes``): a server restarted after
+    ``crash(lose_state=True)`` then recovers its state by replaying
+    checkpoint + log.  ``replication`` (when >= 2) is recorded in the
+    config and picked up by ``connection_from_servers`` so clients and
+    the replication wiring agree on the copy count.
     """
     if backend != "map" and storage_root is None:
         raise ConfigError(f"backend {backend!r} needs a storage_root")
@@ -191,6 +210,12 @@ def default_hepnos_config(
         config = dict(backend_config or {})
         if backend != "map":
             config["path"] = f"{storage_root}/{name}"
+        if durability_root is not None:
+            config["wal_path"] = f"{durability_root}/{name}.wal"
+            if wal_checkpoint_bytes is not None:
+                config["wal_checkpoint_bytes"] = int(wal_checkpoint_bytes)
+            if wal_sync:
+                config["wal_sync"] = True
         return {"name": name, "type": backend, "config": config}
 
     databases_per_provider: list[list[dict]] = [[] for _ in range(num_providers)]
@@ -227,4 +252,6 @@ def default_hepnos_config(
     }
     if client is not None:
         config["client"] = client
+    if replication is not None:
+        config["replication"] = int(replication)
     return validate_config(config)

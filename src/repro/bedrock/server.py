@@ -6,6 +6,7 @@ import json
 from typing import Iterable, Union
 
 from repro.errors import ConfigError
+from repro.faults.retry import RetryPolicy
 from repro.margo import MargoInstance
 from repro.mercury import Fabric
 from repro.yokan import YokanProvider
@@ -22,17 +23,25 @@ class BedrockServer:
 
     Servers can :meth:`crash` (abrupt death: the engine deregisters and
     in-flight RPCs fail with retryable address errors) and
-    :meth:`restart` at the same address.  The database backends -- the
-    stand-in for durable storage -- survive the crash, so a restarted
-    server serves exactly the data it held when it died.
+    :meth:`restart` at the same address.  By default the database
+    backends -- the stand-in for durable storage -- survive the crash,
+    so a restarted server serves exactly the data it held when it died.
+    ``crash(lose_state=True)`` drops them instead: the restart rebuilds
+    every backend from its configuration, so only state a backend can
+    recover itself (WAL replay) or that a replica re-syncs comes back.
     """
 
     def __init__(self, fabric: Fabric, config: Union[str, dict]):
         self.config = validate_config(config)
         self.fabric = fabric
         #: persistent backend objects, keyed by provider id then
-        #: database name; built once and reused across restarts.
+        #: database name; built once and reused across restarts --
+        #: unless a lose-state crash dropped them.
         self._backends: dict[int, dict[str, object]] = {}
+        #: db name -> (backup address, provider id, db name) replica
+        #: wiring, re-applied to fresh providers on every (re)start.
+        self._replication: dict[str, tuple[str, int, str]] = {}
+        self._replication_window = 8
         self._generation = 0
         self.running = False
         self._start()
@@ -72,6 +81,8 @@ class BedrockServer:
             for db_name in databases:
                 self.database_directory[db_name] = pid
         self.running = True
+        if self._replication:
+            self._apply_replication()
 
     @property
     def address(self):
@@ -89,18 +100,103 @@ class BedrockServer:
         """The effective configuration as JSON (bedrock's query API)."""
         return json.dumps(self.config, indent=2)
 
-    def crash(self) -> None:
+    # -- replication wiring --------------------------------------------------
+
+    def set_replication(self, links: dict[str, tuple[str, int, str]],
+                        window: int = 8) -> None:
+        """Forward acknowledged writes of each database to its backup.
+
+        ``links`` maps a local database name to its backup's
+        ``(address, provider_id, database name)``.  The wiring is
+        remembered and re-applied after every restart (fresh providers
+        need fresh handles on the new engine).
+        """
+        self._replication = dict(links)
+        self._replication_window = window
+        if self.running:
+            self._apply_replication()
+
+    def _apply_replication(self) -> None:
+        from repro.yokan.client import YokanClient
+
+        client = YokanClient(
+            self.margo.engine,
+            retry_policy=RetryPolicy(max_attempts=4, base_delay=0.001,
+                                     max_delay=0.01, deadline=2.0,
+                                     rpc_timeout=0.25),
+        )
+        for db_name, (address, pid, backup_name) in self._replication.items():
+            owner = self.database_directory.get(db_name)
+            if owner is None:
+                continue
+            handle = client.database_handle(address, pid, backup_name)
+            self.providers[owner].set_replica(
+                db_name, handle, window=self._replication_window)
+
+    def flush_replication(self) -> int:
+        """Drain every provider's replica links; returns futures waited."""
+        return sum(p.flush_replication() for p in self.providers.values())
+
+    # -- durability ----------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Force a checkpoint on every durable backend; returns the count."""
+        count = 0
+        for backends in self._backends.values():
+            for backend in backends.values():
+                do_checkpoint = getattr(backend, "checkpoint", None)
+                if do_checkpoint is not None:
+                    do_checkpoint()
+                    count += 1
+        return count
+
+    def durability_stats(self) -> dict[str, object]:
+        """Aggregated WAL/checkpoint/replication counters (observability)."""
+        out = {"wal_records": 0, "checkpoints": 0, "replayed_records": 0,
+               "replayed_keys": 0, "replay_seconds": 0.0,
+               "replica_forwarded": 0, "replica_failures": 0}
+        for backends in self._backends.values():
+            for backend in backends.values():
+                stats = getattr(backend, "stats", None)
+                if stats is None or not hasattr(stats, "wal_records"):
+                    continue
+                out["wal_records"] += stats.wal_records
+                out["checkpoints"] += stats.checkpoints
+                out["replayed_records"] += stats.replayed_records
+                out["replayed_keys"] += stats.replayed_keys
+                out["replay_seconds"] += stats.replay_seconds
+        for provider in self.providers.values():
+            for link in provider.replica_links().values():
+                out["replica_forwarded"] += link.forwarded
+                out["replica_failures"] += link.failed
+        return out
+
+    def crash(self, lose_state: bool = False) -> None:
         """Kill the server abruptly (fault injection).
 
         The engine deregisters, so anything sent to this address raises
         a retryable :class:`~repro.errors.AddressError` until
-        :meth:`restart`.  Backends are *not* closed -- they model the
-        durable storage a real crash leaves behind.
+        :meth:`restart`.  By default backends are *not* closed -- they
+        model the durable storage a real crash leaves behind.  With
+        ``lose_state=True`` they are crashed (no flush) and dropped, so
+        the restart must rebuild them from configuration: durable
+        backends replay their WAL, volatile ones come back empty and
+        rely on a replica re-sync.
         """
         if not self.running:
             return
         self.running = False
+        # Deregister first: new RPCs fail with a retryable AddressError
+        # before the backends start refusing work.  A handler already
+        # mid-execution when the backends crash sees an AddressError
+        # from the crashed backend itself, so either way the client
+        # observes a dead server, never a half-shut-down one.
         self.margo.finalize()
+        if lose_state:
+            for backends in self._backends.values():
+                for backend in backends.values():
+                    backend.crash()
+            self._backends.clear()
 
     def restart(self) -> None:
         """Bring a crashed server back at the same address.

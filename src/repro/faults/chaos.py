@@ -399,5 +399,332 @@ def run_rescale_chaos(seed: int = 0, files: int = 2, ranks: int = 2,
     )
 
 
-__all__ = ["ChaosReport", "RescaleChaosReport", "build_schedule",
-           "chaos_client_policy", "run_nova_chaos", "run_rescale_chaos"]
+# -- durability / crash-recovery chaos ---------------------------------------
+
+
+def failover_client_policy() -> RetryPolicy:
+    """A retry policy that gives up fast against a dead address.
+
+    Replica failover only engages once the per-call retry budget is
+    exhausted (the giveup carries the failed target).  Against a
+    crashed server every attempt fails immediately with an
+    ``AddressError``, so a small budget promotes the backup within a
+    few milliseconds instead of burning the full chaos budget first.
+    """
+    return RetryPolicy(max_attempts=4, base_delay=0.001, max_delay=0.005,
+                       deadline=2.0, rpc_timeout=0.02)
+
+
+@dataclass
+class DurabilityScenario:
+    """One crash-recovery scenario's outcome vs the fault-free baseline."""
+
+    name: str
+    matches: bool
+    wall: float = 0.0
+    detail: dict = field(default_factory=dict)
+    pending_actions: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.matches and not self.pending_actions
+
+
+@dataclass
+class DurabilityChaosReport:
+    """Selection byte-parity across crash-with-state-loss scenarios.
+
+    Every scenario kills at least one server with ``lose_state=True``
+    -- the restart starts from *empty* backends -- and recovery must
+    come from WAL replay, a promoted backup, or anti-entropy re-sync.
+    The verdict is byte-identity of the serialized NOvA selection
+    against a fault-free run over the same generated files.
+    """
+
+    seed: int
+    matches: bool
+    baseline_accepted: int
+    scenarios: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        verdict = "MATCH" if self.matches else "MISMATCH"
+        lines = [
+            f"durability chaos (seed={self.seed}): {verdict}",
+            f"  baseline selected events: {self.baseline_accepted}",
+        ]
+        for s in self.scenarios:
+            mark = "ok" if s.ok else "FAIL"
+            lines.append(f"  [{mark}] {s.name}: wall={s.wall:.3f}s")
+            for key, value in sorted(s.detail.items()):
+                if value:
+                    lines.append(f"        {key}={value}")
+            if s.pending_actions:
+                lines.append(f"        NEVER FIRED: {s.pending_actions}")
+        return "\n".join(lines)
+
+
+def _durability_stats(servers) -> dict:
+    """Aggregate (and prune zero) durability counters across servers."""
+    total: dict = {}
+    for server in servers:
+        for key, value in server.durability_stats().items():
+            total[key] = total.get(key, 0) + value
+    total["replay_seconds"] = round(total.get("replay_seconds", 0.0), 4)
+    return {k: v for k, v in total.items() if v}
+
+
+def run_durability_chaos(seed: int = 0, files: int = 2, ranks: int = 2,
+                         mean_events_per_file: int = 24,
+                         quick: bool = False,
+                         retry_policy: Optional[RetryPolicy] = None,
+                         workdir: Optional[str] = None
+                         ) -> DurabilityChaosReport:
+    """NOvA selection parity across crash-with-state-loss scenarios.
+
+    Five scenarios, all against the same generated file set and the
+    same fault-free baseline selection:
+
+    - ``wal-replay-mid-write``: a primary dies (state lost) in the
+      middle of ingest and restarts; acknowledged writes must survive
+      through WAL replay.
+    - ``kill-during-checkpoint``: one server checkpoints and both then
+      die with state loss; recovery mixes checkpoint load (truncated
+      WAL) with pure WAL replay.
+    - ``failover-resync``: volatile backends with replication 2; the
+      primary dies for good mid-selection, reads fail over to the
+      backup, and after a restart + :meth:`DataStore.rejoin` the
+      re-synced primary serves an identical second selection pass.
+    - ``kill-both-then-replay``: both WAL-backed servers die with state
+      loss in staggered windows during selection and replay on restart.
+    - ``rescale-crash``: a WAL-backed server dies with state loss while
+      a live rescale (joining server, dual-read migration) runs
+      concurrently with selection.
+
+    ``quick`` shrinks the dataset for CI smoke use.  The report's
+    ``matches`` is True only if *every* scenario reproduced the
+    baseline selection byte-for-byte.
+    """
+    from repro.hepnos.failover import enable_replication
+
+    if quick:
+        files, ranks = 1, 1
+        mean_events_per_file = min(mean_events_per_file, 16)
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="hepnos-durability-")
+    # A high signal fraction keeps the baseline selection non-empty
+    # even in quick mode: byte-parity against an empty accepted set
+    # would pass vacuously and prove nothing about recovery.
+    sample = generate_file_set(
+        f"{workdir}/files", num_files=files,
+        mean_events_per_file=mean_events_per_file,
+        config=GeneratorConfig(signal_fraction=0.3, events_per_subrun=16,
+                               subruns_per_run=4),
+    )
+    policy = retry_policy or chaos_client_policy()
+    layout = dict(num_providers=2, event_databases=2, product_databases=2,
+                  run_databases=1, subrun_databases=1)
+
+    def deploy(fabric, durable_root=None, replication=None):
+        servers = []
+        for i in range(2):
+            kwargs = dict(layout)
+            if durable_root is not None:
+                kwargs["durability_root"] = f"{durable_root}/node{i}"
+            if replication is not None:
+                kwargs["replication"] = replication
+            servers.append(BedrockServer(fabric, default_hepnos_config(
+                f"sm://node{i}/hepnos", **kwargs)))
+        fabric.runtime.start()
+        return servers
+
+    # -- fault-free baseline ------------------------------------------------
+    fabric = Fabric(threaded=True)
+    servers = deploy(fabric)
+    datastore = DataStore.connect(fabric, servers, retry_policy=policy)
+    workflow = HEPnOSWorkflow(datastore, "nova/durability",
+                              input_batch_size=64, dispatch_batch_size=8)
+    baseline = workflow.run(sample.paths, num_ranks=ranks)
+    baseline_bytes = _selection_bytes(baseline)
+    fabric.runtime.shutdown()
+    if not baseline.accepted_ids:
+        raise HEPnOSError(
+            "durability-chaos baseline selected no events; byte-parity "
+            "against an empty selection is vacuous -- grow the dataset"
+        )
+
+    scenarios: list[DurabilityScenario] = []
+
+    def record(name, result, wall, servers, schedule=None, extra=None):
+        detail = _durability_stats(servers)
+        if extra:
+            detail.update(extra)
+        scenarios.append(DurabilityScenario(
+            name=name,
+            matches=(_selection_bytes(result) == baseline_bytes),
+            wall=wall,
+            detail=detail,
+            pending_actions=(schedule.pending_actions if schedule else []),
+        ))
+
+    # -- scenario: WAL replay after a mid-ingest kill -----------------------
+    fabric = Fabric(threaded=True)
+    servers = deploy(fabric, durable_root=f"{workdir}/s1")
+    datastore = DataStore.connect(fabric, servers, retry_policy=policy)
+    workflow = HEPnOSWorkflow(datastore, "nova/durability",
+                              input_batch_size=64, dispatch_batch_size=8)
+    schedule = FaultSchedule(seed).crash_restart(
+        servers[1], crash_at=10, restart_at=40, lose_state=True)
+    fabric.fault_model = schedule
+    t0 = time.perf_counter()
+    try:
+        workflow.ingest(sample.paths, num_ranks=1)
+    finally:
+        fabric.fault_model = FaultModel()
+    result = workflow.select(num_ranks=ranks)
+    record("wal-replay-mid-write", result, time.perf_counter() - t0,
+           servers, schedule)
+    fabric.runtime.shutdown()
+
+    # -- scenario: checkpoint, then lose everything -------------------------
+    fabric = Fabric(threaded=True)
+    servers = deploy(fabric, durable_root=f"{workdir}/s2")
+    datastore = DataStore.connect(fabric, servers, retry_policy=policy)
+    workflow = HEPnOSWorkflow(datastore, "nova/durability",
+                              input_batch_size=64, dispatch_batch_size=8)
+    workflow.ingest(sample.paths, num_ranks=1)
+    t0 = time.perf_counter()
+    servers[1].checkpoint()  # node1 recovers from its checkpoint ...
+    for server in servers:   # ... node0 from pure WAL replay
+        server.crash(lose_state=True)
+    for server in servers:
+        server.restart()
+    result = workflow.select(num_ranks=ranks)
+    record("kill-during-checkpoint", result, time.perf_counter() - t0,
+           servers)
+    fabric.runtime.shutdown()
+
+    # -- scenario: replica failover + rejoin re-sync ------------------------
+    fabric = Fabric(threaded=True)
+    servers = deploy(fabric, replication=2)  # volatile backends: no WAL
+    connection = enable_replication(servers, replication=2)
+    datastore = DataStore.connect(fabric, connection,
+                                  retry_policy=failover_client_policy())
+    workflow = HEPnOSWorkflow(datastore, "nova/durability",
+                              input_batch_size=64, dispatch_batch_size=8)
+    workflow.ingest(sample.paths, num_ranks=1)
+    datastore.sync_service()  # drain the replica links before the kill
+    t0 = time.perf_counter()
+    servers[1].crash(lose_state=True)
+    result = workflow.select(num_ranks=ranks)
+    failed_over = (_selection_bytes(result) == baseline_bytes)
+    activated = datastore.metrics.counter("hepnos.failover.activated").value
+    servers[1].restart()
+    resynced = datastore.rejoin(str(servers[1].address))
+    second = workflow.select(num_ranks=ranks)
+    rejoined = (_selection_bytes(second) == baseline_bytes)
+    scenarios.append(DurabilityScenario(
+        name="failover-resync",
+        matches=failed_over and rejoined,
+        wall=time.perf_counter() - t0,
+        detail={**_durability_stats(servers),
+                "failovers_activated": activated,
+                "resynced_keys": resynced,
+                "failover_pass": failed_over, "rejoin_pass": rejoined},
+    ))
+    fabric.runtime.shutdown()
+
+    # -- scenario: both servers die (staggered), WAL replay -----------------
+    fabric = Fabric(threaded=True)
+    servers = deploy(fabric, durable_root=f"{workdir}/s4")
+    datastore = DataStore.connect(fabric, servers, retry_policy=policy)
+    workflow = HEPnOSWorkflow(datastore, "nova/durability",
+                              input_batch_size=64, dispatch_batch_size=8)
+    workflow.ingest(sample.paths, num_ranks=1)
+    # Low op indices: even a small selection run crosses them, and the
+    # client's retries against the dead servers advance the op counter
+    # (every attempt is a fabric send), so the restarts always fire.
+    schedule = (FaultSchedule(seed)
+                .crash_restart(servers[0], crash_at=5, restart_at=25,
+                               lose_state=True)
+                .crash_restart(servers[1], crash_at=15, restart_at=35,
+                               lose_state=True))
+    fabric.fault_model = schedule
+    t0 = time.perf_counter()
+    try:
+        result = workflow.select(num_ranks=ranks)
+        # A small run can finish before the later op indices arrive;
+        # the counter persists across passes, so re-selecting drives
+        # the remaining kills/restarts and re-checks parity after them.
+        passes = 1
+        while schedule.pending_actions and passes < 5:
+            result = workflow.select(num_ranks=ranks)
+            passes += 1
+    finally:
+        fabric.fault_model = FaultModel()
+    record("kill-both-then-replay", result, time.perf_counter() - t0,
+           servers, schedule)
+    fabric.runtime.shutdown()
+
+    # -- scenario: state loss during a live rescale -------------------------
+    from repro.rescale import LiveRescaler, add_server
+
+    fabric = Fabric(threaded=True)
+    servers = deploy(fabric, durable_root=f"{workdir}/s5")
+    datastore = DataStore.connect(fabric, servers, retry_policy=policy)
+    workflow = HEPnOSWorkflow(datastore, "nova/durability",
+                              input_batch_size=64, dispatch_batch_size=8)
+    workflow.ingest(sample.paths, num_ranks=1)
+    joining = BedrockServer(fabric, default_hepnos_config(
+        "sm://joining/hepnos", durability_root=f"{workdir}/s5/joining",
+        **layout))
+    rescaler = LiveRescaler(
+        datastore, add_server(datastore.connection, joining), batch_size=16)
+    migration = {"stats": None, "error": None}
+
+    def migrate() -> None:
+        try:
+            rescaler.begin()
+            while rescaler.step():
+                time.sleep(0.002)
+            migration["stats"] = rescaler.commit()
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            migration["error"] = exc
+
+    schedule = FaultSchedule(seed).crash_restart(
+        servers[1], crash_at=30, restart_at=60, lose_state=True)
+    fabric.fault_model = schedule
+    thread = threading.Thread(target=migrate, daemon=True,
+                              name="durability-rescaler")
+    t0 = time.perf_counter()
+    thread.start()
+    try:
+        result = workflow.select(num_ranks=ranks)
+    finally:
+        thread.join(timeout=120.0)
+        fabric.fault_model = FaultModel()
+    if thread.is_alive():
+        raise HEPnOSError(
+            "live-rescaler thread still running after 120s join during "
+            "the durability rescale-crash scenario"
+        )
+    if migration["error"] is not None:
+        raise migration["error"]
+    record("rescale-crash", result, time.perf_counter() - t0,
+           servers + [joining], schedule,
+           extra={"keys_moved": (migration["stats"].keys_moved
+                                 if migration["stats"] else 0),
+                  "final_epoch": datastore.placement.epoch})
+    fabric.runtime.shutdown()
+
+    return DurabilityChaosReport(
+        seed=seed,
+        matches=all(s.ok for s in scenarios),
+        baseline_accepted=len(baseline.accepted_ids),
+        scenarios=scenarios,
+    )
+
+
+__all__ = ["ChaosReport", "DurabilityChaosReport", "DurabilityScenario",
+           "RescaleChaosReport", "build_schedule", "chaos_client_policy",
+           "failover_client_policy", "run_durability_chaos",
+           "run_nova_chaos", "run_rescale_chaos"]

@@ -132,6 +132,28 @@ class RetryPolicy:
             base *= 1.0 - self.jitter + 2.0 * self.jitter * self._rng.random()
         return base
 
+    def _giveup(self, attempts: int, elapsed: float, why: str,
+                exc: BaseException) -> BaseException:
+        """The exception to raise when the budget runs out.
+
+        A same-type exception whose message records how hard the policy
+        tried (attempt count, elapsed time, what gave out), chained to
+        -- and carrying the attributes of -- the last underlying
+        failure, so handlers reading tags like ``failed_address`` off a
+        giveup keep working.  Exception types that can't be rebuilt
+        from a single message fall back to the original.
+        """
+        try:
+            enriched = type(exc)(
+                f"{exc} [gave up after {attempts} attempt"
+                f"{'s' if attempts != 1 else ''} in {elapsed:.3f}s: {why}]"
+            )
+        except TypeError:
+            return exc
+        enriched.__dict__.update(exc.__dict__)
+        enriched.__cause__ = exc
+        return enriched
+
     def call(self, fn: Callable[[], object],
              on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
              on_giveup: Optional[Callable[[int, BaseException], None]] = None):
@@ -139,7 +161,10 @@ class RetryPolicy:
 
         ``on_retry(attempt, exc, delay)`` fires before each backoff
         sleep; ``on_giveup(attempts, exc)`` fires right before the final
-        exception is re-raised (exhausted attempts or deadline).
+        exception is raised (exhausted attempts or deadline).  The
+        giveup raises a same-type exception annotated with the attempt
+        count and elapsed time, explicitly chained (``from``) to the
+        last underlying failure.
         """
         start = time.monotonic()
         attempt = 0
@@ -151,13 +176,17 @@ class RetryPolicy:
                 if attempt >= self.max_attempts:
                     if on_giveup is not None:
                         on_giveup(attempt, exc)
-                    raise
+                    raise self._giveup(attempt,
+                                       time.monotonic() - start,
+                                       "attempts exhausted", exc) from exc
                 pause = self.delay(attempt - 1)
                 if self.deadline is not None and (
                         time.monotonic() - start + pause >= self.deadline):
                     if on_giveup is not None:
                         on_giveup(attempt, exc)
-                    raise
+                    raise self._giveup(attempt,
+                                       time.monotonic() - start,
+                                       "deadline exceeded", exc) from exc
                 if on_retry is not None:
                     on_retry(attempt, exc, pause)
                 if pause > 0.0:

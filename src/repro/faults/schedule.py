@@ -124,13 +124,26 @@ class FaultSchedule(FaultModel):
         return self
 
     def crash_restart(self, server, crash_at: int,
-                      restart_at: int) -> "FaultSchedule":
+                      restart_at: Optional[int] = None,
+                      lose_state: bool = False) -> "FaultSchedule":
         """Crash a :class:`~repro.bedrock.BedrockServer` at one op and
-        restart it (same address, preserved backend state) at a later op."""
-        if restart_at <= crash_at:
+        restart it at the same address at a later op.
+
+        By default the crash preserves backend state (the server comes
+        back with its data).  With ``lose_state=True`` the backends are
+        dropped too, so the restart must recover through WAL replay or
+        a replica re-sync.  ``restart_at=None`` schedules no restart --
+        the harness brings the server back itself (e.g. after a
+        failover has been observed).
+        """
+        if restart_at is not None and restart_at <= crash_at:
             raise ValueError("restart must come after the crash")
-        self.at(crash_at, server.crash, f"crash {server.address}")
-        self.at(restart_at, server.restart, f"restart {server.address}")
+        what = "crash+lose-state" if lose_state else "crash"
+        self.at(crash_at, lambda: server.crash(lose_state=lose_state),
+                f"{what} {server.address}")
+        if restart_at is not None:
+            self.at(restart_at, server.restart,
+                    f"restart {server.address}")
         return self
 
     # -- observation -------------------------------------------------------

@@ -40,10 +40,18 @@ class ConnectionInfo:
     :meth:`repro.faults.RetryPolicy.from_config`.  It round-trips
     through :meth:`to_json`/:meth:`from_json`, so operators tune retry
     behaviour in the same file that describes the deployment.
+
+    ``replication`` is the per-shard copy count (1 = no replication).
+    At 2+ every database has a backup target
+    (:meth:`repro.hepnos.placement.ShardMap.backup_for`): the provider
+    forwards acknowledged writes there and clients fail reads over to
+    it when the primary is unreachable.
     """
 
     def __init__(self, targets: dict[str, Iterable[DbTarget]],
-                 client: Optional[dict] = None):
+                 client: Optional[dict] = None,
+                 replication: int = 1):
+        self.replication = max(1, int(replication))
         self.targets: dict[str, tuple[DbTarget, ...]] = {}
         for kind in KINDS:
             kind_targets = tuple(sorted(targets.get(kind, ())))
@@ -86,6 +94,8 @@ class ConnectionInfo:
         }
         if self.client:
             payload["client"] = self.client
+        if self.replication > 1:
+            payload["replication"] = self.replication
         return json.dumps(payload, indent=2)
 
     @classmethod
@@ -97,17 +107,22 @@ class ConnectionInfo:
         client = raw.pop("client", None)
         if client is not None and not isinstance(client, dict):
             raise ConfigError("connection 'client' section must be an object")
+        replication = raw.pop("replication", 1)
+        if not isinstance(replication, int) or replication < 1:
+            raise ConfigError("connection 'replication' must be an int >= 1")
         targets: dict[str, list[DbTarget]] = {}
         for kind, entries in raw.items():
             targets[kind] = [
                 DbTarget(address=e[0], provider_id=int(e[1]), name=e[2])
                 for e in entries
             ]
-        return cls(targets, client=client)
+        return cls(targets, client=client, replication=replication)
 
 
 def connection_from_servers(servers,
-                            client: Optional[dict] = None) -> ConnectionInfo:
+                            client: Optional[dict] = None,
+                            replication: Optional[int] = None
+                            ) -> ConnectionInfo:
     """Build connection info from deployed :class:`BedrockServer` objects.
 
     Databases are classified by name prefix (``events-3`` -> kind
@@ -115,12 +130,17 @@ def connection_from_servers(servers,
     :func:`repro.bedrock.default_hepnos_config`.  A ``client`` section
     found in any server's config (or passed explicitly, which wins) is
     carried into the connection so every client picks up the same retry
-    settings.
+    settings; a top-level ``replication`` in any server's config is
+    honoured the same way.
     """
     targets: dict[str, list[DbTarget]] = {kind: [] for kind in KINDS}
     for server in servers:
         if client is None:
             client = getattr(server, "client_config", None)
+        if replication is None:
+            configured = getattr(server, "config", {}).get("replication")
+            if configured is not None:
+                replication = int(configured)
         for db_name, provider_id in server.database_directory.items():
             kind = db_name.rsplit("-", 1)[0]
             if kind not in KINDS:
@@ -130,4 +150,5 @@ def connection_from_servers(servers,
             targets[kind].append(
                 DbTarget(str(server.address), provider_id, db_name)
             )
-    return ConnectionInfo(targets, client=client)
+    return ConnectionInfo(targets, client=client,
+                          replication=replication or 1)

@@ -3,14 +3,17 @@
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from typing import Iterator, Optional
 
 from repro.errors import (
+    AddressError,
     ContainerNotFound,
     HEPnOSError,
     KeyNotFound,
     ProductNotFound,
+    RPCTimeout,
     ShardMapStale,
 )
 from repro.faults.retry import RETRYABLE_ERRORS, RetryPolicy, default_client_policy
@@ -35,6 +38,16 @@ _client_counter = itertools.count()
 #: marks a columnar slot as answered (its rows live in a group, or in
 #: the raw dict) so dual-read partners know not to answer it again
 _ANSWERED = object()
+
+
+class _FailoverRetry(HEPnOSError):
+    """Internal marker: a read failed over to a backup; re-run the op.
+
+    Raised inside :meth:`DataStore._with_shard_retry` after a shard's
+    backup was promoted, so the shard-retry loop re-issues the
+    operation against the redirected handle.  Never escapes the
+    datastore.
+    """
 
 
 class DataStore:
@@ -87,8 +100,13 @@ class DataStore:
         #: stale window is bounded by the rescaler, not the network.
         self._stale_retry = RetryPolicy(
             max_attempts=6, base_delay=0.001, max_delay=0.05,
-            retry_on=(ShardMapStale,),
+            retry_on=(ShardMapStale, _FailoverRetry),
         )
+        #: failed primary -> promoted backup read/write redirects,
+        #: populated when an operation exhausts its transport retries
+        #: against an unreachable shard and cleared by :meth:`rejoin`.
+        self._failover: dict[DbTarget, DbTarget] = {}
+        self._failover_lock = threading.Lock()
         self._handles: dict[DbTarget, DatabaseHandle] = {}
         self._uuid_cache: dict[str, bytes] = {}
         #: bounded LRU over serialized product bytes (products are
@@ -147,6 +165,14 @@ class DataStore:
     # -- database access ------------------------------------------------------
 
     def _handle(self, target: DbTarget) -> DatabaseHandle:
+        if self._failover:
+            redirected = self._failover.get(target)
+            if redirected is not None:
+                self.metrics.counter(
+                    "hepnos.failover.redirected_ops",
+                    help="operations served by a promoted backup",
+                ).inc()
+                target = redirected
         handle = self._handles.get(target)
         if handle is None:
             handle = self._client.database_handle(
@@ -154,6 +180,12 @@ class DataStore:
             )
             self._handles[target] = handle
         return handle
+
+    def _direct_handle(self, target: DbTarget) -> DatabaseHandle:
+        """A handle that ignores failover redirects (re-sync plumbing)."""
+        return self._client.database_handle(
+            target.address, target.provider_id, target.name
+        )
 
     def _db(self, kind: str, parent_key: bytes) -> DatabaseHandle:
         return self._handle(self.placement.database_for(kind, parent_key))
@@ -167,14 +199,195 @@ class DataStore:
     # -- shard map plumbing ----------------------------------------------
 
     def _with_shard_retry(self, fn):
-        """Run ``fn``, retrying if the shard map went stale under it."""
+        """Run ``fn``, retrying on epoch swaps *and* replica failover.
+
+        A :class:`ShardMapStale` re-runs under the new map.  A transport
+        giveup (``AddressError``/``RPCTimeout`` after the client policy
+        exhausted its budget) against a shard that has a backup promotes
+        the backup (see :meth:`_activate_failover`) and re-runs the
+        operation with reads redirected there; without a backup the
+        giveup propagates unchanged.
+        """
+
+        def attempt():
+            try:
+                return fn()
+            except (AddressError, RPCTimeout) as exc:
+                if not self._activate_failover(exc):
+                    raise
+                raise _FailoverRetry(
+                    f"failed over after {type(exc).__name__}: {exc}"
+                ) from exc
+
         return self._stale_retry.call(
-            fn,
+            attempt,
             on_retry=lambda n, exc, pause: self.metrics.counter(
                 "hepnos.shard.stale_retries",
-                help="operations re-run after an epoch swap",
+                help="operations re-run after an epoch swap or failover",
             ).inc(),
         )
+
+    # -- replica failover -------------------------------------------------
+
+    def _activate_failover(self, exc: BaseException) -> bool:
+        """Promote the backup of the shard ``exc`` gave up against.
+
+        The failed target is read off the exception (stamped by the
+        database handle at giveup).  Returns ``True`` when a redirect
+        was installed (or already covered the target), ``False`` when
+        no backup exists -- replication off, unknown target, or the
+        backup itself already failed.
+        """
+        address = getattr(exc, "failed_address", None)
+        db_name = getattr(exc, "failed_db", None)
+        if address is None or db_name is None:
+            return False
+        target = DbTarget(address=address,
+                          provider_id=getattr(exc, "failed_provider_id", 0),
+                          name=db_name)
+        kind = db_name.rsplit("-", 1)[0]
+        with self._failover_lock:
+            if self._failover.get(target) is not None:
+                # Already redirected; the giveup raced another thread's
+                # activation, so the re-run will use the backup.
+                return True
+            backup = self.placement.backup_for(kind, target)
+            if (backup is None or backup == target
+                    or self._failover.get(backup) is not None):
+                return False
+            self._failover[target] = backup
+            self._handles.pop(target, None)
+        self.metrics.counter(
+            "hepnos.failover.activated",
+            help="primaries replaced by their backup after a giveup",
+        ).inc()
+        with _tracing.span("hepnos.failover.activate", kind=kind,
+                           shard=self.placement.shard_id(kind, target),
+                           replica=self.placement.shard_id(kind, backup),
+                           db=db_name, error=type(exc).__name__):
+            pass
+        return True
+
+    @property
+    def failed_over(self) -> dict[DbTarget, DbTarget]:
+        """Current primary -> backup redirects (empty when healthy)."""
+        return dict(self._failover)
+
+    def rejoin(self, address: Optional[str] = None, timeout: float = 10.0,
+               poll: float = 0.01, resync: bool = True) -> int:
+        """Re-admit restarted primaries and re-sync their state.
+
+        Waits for the rejoining address(es) to answer, then runs
+        anti-entropy catch-up in both directions: every database at a
+        rejoining address pulls what it is missing from its backup
+        (covers state lost in the crash *and* writes served by the
+        backup during the failover window), and every database whose
+        *backup* lives at a rejoining address pushes what that backup
+        missed while it was down.  Finally the failover redirects for
+        those addresses are dropped.  Returns the number of keys
+        re-synced.
+        """
+        from repro.hepnos.failover import resync_missing
+
+        if address is not None:
+            addresses = {str(address)}
+        else:
+            with self._failover_lock:
+                addresses = {t.address for t in self._failover}
+        if not addresses:
+            return 0
+        self._await_addresses(sorted(addresses), timeout, poll)
+        copied = 0
+        with _tracing.span("hepnos.failover.rejoin",
+                           addresses=len(addresses)):
+            if resync:
+                for kind in self.connection.targets:
+                    for target in self.connection[kind]:
+                        backup = self.placement.backup_for(kind, target)
+                        if backup is None:
+                            continue
+                        if target.address in addresses:
+                            # Recovering primary catches up from its backup.
+                            copied += resync_missing(
+                                self._direct_handle(backup),
+                                self._direct_handle(target))
+                        elif backup.address in addresses:
+                            # Recovering backup re-learns what it missed.
+                            copied += resync_missing(
+                                self._direct_handle(target),
+                                self._direct_handle(backup))
+        with self._failover_lock:
+            for target in list(self._failover):
+                if target.address in addresses:
+                    del self._failover[target]
+        self._handles.clear()
+        self.metrics.counter(
+            "hepnos.failover.rejoined",
+            help="primaries re-admitted after restart",
+        ).inc()
+        if copied:
+            self.metrics.counter(
+                "hepnos.failover.resynced_keys",
+                help="keys copied by anti-entropy catch-up",
+            ).inc(copied)
+        return copied
+
+    def _await_addresses(self, addresses, timeout: float,
+                         poll: float) -> None:
+        """Block until every address answers a probe (or raise)."""
+        endpoints = sorted({
+            (t.address, t.provider_id)
+            for targets in self.connection.targets.values()
+            for t in targets
+            if t.address in addresses
+        })
+        probe = RetryPolicy.none()
+        deadline = time.monotonic() + timeout
+        for address, provider_id in endpoints:
+            while True:
+                try:
+                    probe_client = YokanClient(self.engine,
+                                               retry_policy=probe)
+                    probe_client.list_databases(address, provider_id)
+                    break
+                except RETRYABLE_ERRORS:
+                    if time.monotonic() >= deadline:
+                        raise HEPnOSError(
+                            f"service at {address} (provider {provider_id}) "
+                            f"did not come back within {timeout:.1f}s"
+                        ) from None
+                    time.sleep(poll)
+
+    def sync_service(self, checkpoint: bool = False,
+                     tolerate_failures: bool = True) -> int:
+        """Broadcast ``yokan.sync``: drain replica links, flush WALs.
+
+        Returns the number of providers that acknowledged.  Unreachable
+        providers are skipped when ``tolerate_failures`` (a crashed
+        server mid-rescale must not wedge the epoch swap).
+        """
+        endpoints = {
+            (t.address, t.provider_id)
+            for targets in self.connection.targets.values()
+            for t in targets
+        }
+        previous = self.placement.previous_connection
+        if previous is not None:
+            endpoints |= {
+                (t.address, t.provider_id)
+                for targets in previous.targets.values()
+                for t in targets
+            }
+        acked = 0
+        for address, provider_id in sorted(endpoints):
+            try:
+                self._client.sync(address, provider_id,
+                                  checkpoint=checkpoint)
+                acked += 1
+            except RETRYABLE_ERRORS:
+                if not tolerate_failures:
+                    raise
+        return acked
 
     def _previous_get(self, kind: str, parent_key: bytes,
                       key: bytes) -> Optional[bytes]:
@@ -209,16 +422,28 @@ class DataStore:
         the wire and the key's group moved, the value is re-sent to the
         new shard and the stale copy erased -- so a migration that
         already scanned the group cannot strand it on the old shard.
+
+        Runs under :meth:`_with_shard_retry`, so a giveup against a
+        dead primary promotes its backup and re-sends there -- writes
+        fail over exactly like reads (puts are idempotent, and the
+        rejoin re-sync later pushes the backup-absorbed writes back).
         """
-        smap = self.placement
-        target = smap.database_for(kind, parent_key)
-        self._handle(target).put(key, value)
-        current = self.placement
-        if current is not smap:
-            moved = current.database_for(kind, parent_key)
-            if moved != target:
-                self._handle(moved).put(key, value)
-                self._handle(target).erase(key)
+
+        def attempt():
+            smap = self.placement
+            target = smap.database_for(kind, parent_key)
+            self._handle(target).put(key, value)
+            current = self.placement
+            if current is not smap:
+                moved = current.database_for(kind, parent_key)
+                if moved != target:
+                    self._handle(moved).put(key, value)
+                    try:
+                        self._handle(target).erase(key)
+                    except KeyNotFound:
+                        pass  # a retried attempt already cleaned up
+
+        self._with_shard_retry(attempt)
 
     def begin_migration(self, connection: ConnectionInfo) -> int:
         """Enter a migration epoch targeting ``connection``.
@@ -238,7 +463,14 @@ class DataStore:
         return smap.epoch
 
     def commit_migration(self) -> int:
-        """Leave the migration epoch: drop the dual-read fallback."""
+        """Leave the migration epoch: drop the dual-read fallback.
+
+        Before settling, every reachable provider of the old and new
+        layouts is asked to sync: replica links drain and durable
+        backends flush, so the epoch swap never leaves acknowledged
+        writes only in a forwarding queue.
+        """
+        self.sync_service(checkpoint=False)
         smap = self.placement.settle()
         self.placement = smap
         self._handles.clear()

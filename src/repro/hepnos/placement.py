@@ -119,6 +119,48 @@ class ShardMap:
             targets.append(prev)
         return targets
 
+    # -- replica groups -----------------------------------------------------
+
+    @property
+    def replication(self) -> int:
+        """Configured copies per shard (1 = no replication)."""
+        return getattr(self.connection, "replication", 1)
+
+    def backup_for(self, kind: str, target: DbTarget) -> DbTarget | None:
+        """The backup database for ``target``, or ``None``.
+
+        The backup is the next target of the same kind in connection
+        order, preferring one at a *different address* so losing a
+        server never takes a shard's whole replica group with it.
+        Returns ``None`` when replication is off, when the kind has a
+        single database, or when ``target`` is unknown.
+        """
+        if self.replication < 2:
+            return None
+        targets = self.connection[kind]
+        if target not in targets:
+            if (self.previous_connection is not None
+                    and target in self.previous_connection[kind]):
+                targets = self.previous_connection[kind]
+            else:
+                return None
+        index = targets.index(target)
+        count = len(targets)
+        fallback = None
+        for step in range(1, count):
+            candidate = targets[(index + step) % count]
+            if candidate.address != target.address:
+                return candidate
+            if fallback is None and candidate != target:
+                fallback = candidate
+        return fallback
+
+    def replica_group(self, kind: str, parent_key: bytes) -> list[DbTarget]:
+        """Primary plus backup (when any) holding children of the key."""
+        primary = self.database_for(kind, parent_key)
+        backup = self.backup_for(kind, primary)
+        return [primary] if backup is None else [primary, backup]
+
     # -- dual-read helpers --------------------------------------------------
 
     def previous_database_for(self, kind: str, parent_key: bytes

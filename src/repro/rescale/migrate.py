@@ -94,7 +94,8 @@ def add_server(connection: ConnectionInfo, server) -> ConnectionInfo:
         if target in targets[kind]:
             raise ConfigError(f"target {target} already in the connection")
         targets[kind].append(target)
-    return ConnectionInfo(targets)
+    return ConnectionInfo(targets, client=connection.client,
+                          replication=connection.replication)
 
 
 def remove_server(connection: ConnectionInfo, address: str) -> ConnectionInfo:
@@ -112,7 +113,8 @@ def remove_server(connection: ConnectionInfo, address: str) -> ConnectionInfo:
         targets[kind] = kept
     if removed == 0:
         raise ConfigError(f"no databases at {address}")
-    return ConnectionInfo(targets)
+    return ConnectionInfo(targets, client=connection.client,
+                          replication=connection.replication)
 
 
 # -- planning ---------------------------------------------------------------

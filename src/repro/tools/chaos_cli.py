@@ -72,11 +72,32 @@ def build_parser() -> argparse.ArgumentParser:
                              "selection parity across shard counts with "
                              "a provider joining mid-selection (live "
                              "rescale under chaos)")
+    parser.add_argument("--durability", action="store_true",
+                        help="instead of the stock chaos run, kill "
+                             "servers with real state loss and verify "
+                             "the selection survives via WAL replay, "
+                             "replica failover, and rejoin re-sync")
+    parser.add_argument("--quick", action="store_true",
+                        help="with --durability: shrink the dataset for "
+                             "CI smoke use")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.durability:
+        from repro.faults.chaos import run_durability_chaos
+
+        report = run_durability_chaos(
+            seed=args.seed,
+            files=args.files,
+            ranks=args.ranks,
+            mean_events_per_file=args.events_per_file,
+            quick=args.quick,
+            workdir=args.workdir,
+        )
+        print(report.summary())
+        return 0 if report.matches else 1
     if args.rescale:
         from repro.faults.chaos import run_rescale_chaos
 

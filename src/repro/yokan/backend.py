@@ -5,7 +5,7 @@ from __future__ import annotations
 import abc
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
-from repro.errors import ConfigError, DatabaseClosed, KeyNotFound
+from repro.errors import AddressError, ConfigError, DatabaseClosed, KeyNotFound
 
 #: Registered backend kinds, populated by :func:`register_backend`.
 BACKEND_KINDS: dict[str, type] = {}
@@ -22,14 +22,33 @@ def register_backend(kind: str):
 
 
 def open_backend(kind: str, **config) -> "Backend":
-    """Instantiate a backend by kind name (``map``, ``lsm``, ``btree``)."""
+    """Instantiate a backend by kind name (``map``, ``lsm``, ``btree``).
+
+    A ``wal_path`` in the config wraps the backend in a
+    :class:`~repro.yokan.backends.wal.DurableBackend`: mutations are
+    CRC-framed into a write-ahead log (checkpointed at
+    ``wal_checkpoint_bytes``) and replayed here on reopen, so a
+    restarted server recovers state even when the inner backend is
+    volatile.
+    """
+    wal_path = config.pop("wal_path", None)
+    wal_checkpoint_bytes = config.pop("wal_checkpoint_bytes", None)
+    wal_sync = config.pop("wal_sync", False)
     try:
         cls = BACKEND_KINDS[kind]
     except KeyError:
         raise ConfigError(
             f"unknown backend kind {kind!r}; known: {sorted(BACKEND_KINDS)}"
         ) from None
-    return cls(**config)
+    backend = cls(**config)
+    if wal_path:
+        from repro.yokan.backends.wal import DurableBackend
+
+        kwargs = {"sync": bool(wal_sync)}
+        if wal_checkpoint_bytes is not None:
+            kwargs["checkpoint_bytes"] = int(wal_checkpoint_bytes)
+        backend = DurableBackend(backend, wal_path, **kwargs)
+    return backend
 
 
 def prefix_upper_bound(prefix: bytes) -> Optional[bytes]:
@@ -54,17 +73,33 @@ class Backend(abc.ABC):
 
     def __init__(self) -> None:
         self._closed = False
+        self._crashed = False
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
         self._closed = True
 
+    def crash(self) -> None:
+        """Simulate losing the process: drop state without flushing.
+
+        Unlike :meth:`close`, buffered writes are *not* made durable —
+        a durable backend must recover from its log, a volatile one
+        genuinely loses everything.
+        """
+        self._closed = True
+        self._crashed = True
+
     @property
     def closed(self) -> bool:
         return self._closed
 
     def _check_open(self) -> None:
+        if self._crashed:
+            # A crashed backend means the process died: any in-flight
+            # handler racing the crash must look like a dead server to
+            # the client (retryable), not a clean database shutdown.
+            raise AddressError("backend crashed")
         if self._closed:
             raise DatabaseClosed("backend is closed")
 

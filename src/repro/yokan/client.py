@@ -112,11 +112,22 @@ class DatabaseHandle:
 
         def on_giveup(n, exc):
             self.client._record_giveup(exc)
+            self._tag_failure(exc)
             if span is not None:
                 span.set_tag("error", type(exc).__name__)
                 span.set_tag("gave_up", True)
 
         return policy.call(attempt, on_retry=on_retry, on_giveup=on_giveup)
+
+    def _tag_failure(self, exc: BaseException) -> None:
+        """Stamp the failed target onto a given-up exception.
+
+        The datastore's failover step reads these attributes to decide
+        which shard died and which backup to promote.
+        """
+        exc.failed_address = str(self.target)
+        exc.failed_provider_id = self.provider_id
+        exc.failed_db = self.name
 
     # -- single-item operations ------------------------------------------------
 
@@ -155,6 +166,24 @@ class DatabaseHandle:
             return 0
         return self._call("yokan.erase_multi", (self.name, keys),
                           keys=len(keys))
+
+    def replicate(self, pairs: Iterable[Tuple[bytes, bytes]] = (),
+                  erase_keys: Iterable[bytes] = ()) -> Tuple[int, int]:
+        """Apply mutations *without* re-forwarding to this database's
+        own replica (the primary->backup and re-sync verb)."""
+        pairs = [(bytes(k), bytes(v)) for k, v in pairs]
+        keys = [bytes(k) for k in erase_keys]
+        if not pairs and not keys:
+            return (0, 0)
+        stored, removed = self._call(
+            "yokan.replicate", (self.name, pairs, keys),
+            keys=len(pairs) + len(keys),
+        )
+        return stored, removed
+
+    def sync(self, checkpoint: bool = False) -> dict:
+        """Drain this provider's replica links and flush its backends."""
+        return self._call("yokan.sync", {"checkpoint": checkpoint})
 
     def __len__(self) -> int:
         return self._call("yokan.length", self.name)
@@ -304,11 +333,16 @@ class DatabaseHandle:
     def _future(self, issue, finish, description: str,
                 dispatch: bool = True) -> OperationFuture:
         client = self.client
+
+        def on_giveup(n, exc):
+            client._record_giveup(exc)
+            self._tag_failure(exc)
+
         future = OperationFuture(
             self._engine.fabric, client.retry_policy, issue, finish,
             description=description,
             on_retry=lambda n, exc, pause: client._record_retry(exc),
-            on_giveup=lambda n, exc: client._record_giveup(exc),
+            on_giveup=on_giveup,
         )
         # dispatch=False leaves the future PENDING (still cancellable);
         # an AsyncEngine dispatches it when its in-flight window allows.
@@ -534,6 +568,31 @@ class DatabaseHandle:
                             f"put_multi[{len(pairs)}]@{self.name}",
                             dispatch=dispatch)
 
+    def replicate_nb(self, pairs: Iterable[Tuple[bytes, bytes]] = (),
+                     erase_keys: Iterable[bytes] = (),
+                     *, dispatch: bool = True) -> OperationFuture:
+        """Non-blocking :meth:`replicate`; resolves to (stored, removed).
+
+        This is what a primary's :class:`~repro.yokan.provider.ReplicaLink`
+        issues per acknowledged mutation: the payload is pinned in the
+        closure so policy-driven re-issues resend identical bytes.
+        """
+        pairs = [(bytes(k), bytes(v)) for k, v in pairs]
+        keys = [bytes(k) for k in erase_keys]
+        if not pairs and not keys:
+            return OperationFuture.completed((0, 0),
+                                             f"replicate[0]@{self.name}")
+        handle = self._engine.create_handle(self.target, "yokan.replicate")
+        payload = wire.seal(dumps((self.name, pairs, keys)))
+
+        def issue():
+            return handle.iforward(payload, self.provider_id)
+
+        return self._future(issue, _unwrap,
+                            f"replicate[{len(pairs) + len(keys)}]"
+                            f"@{self.name}",
+                            dispatch=dispatch)
+
     # -- iteration --------------------------------------------------------
 
     def list_keys(self, prefix: bytes = b"", start_after: bytes = b"",
@@ -636,6 +695,12 @@ class YokanClient:
                        provider_id: int = 0) -> list[str]:
         return self._admin_call(target, "yokan.list_databases", None,
                                 provider_id)
+
+    def sync(self, target: Union[str, Address], provider_id: int = 0,
+             checkpoint: bool = False) -> dict:
+        """Drain a provider's replica links and flush its backends."""
+        return self._admin_call(target, "yokan.sync",
+                                {"checkpoint": checkpoint}, provider_id)
 
     def create_database(self, target: Union[str, Address], provider_id: int,
                         name: str, kind: str = "map",

@@ -10,7 +10,7 @@ their data with RDMA-style bulk transfers, matching the paper's
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from typing import Optional
 
 from repro.argobots import Pool
@@ -39,6 +39,8 @@ RPC_NAMES = (
     "yokan.count_prefix",
     "yokan.list_databases",
     "yokan.create_database",
+    "yokan.replicate",
+    "yokan.sync",
 )
 
 
@@ -55,6 +57,63 @@ def _ok(value=None) -> bytes:
 def _err(exc: BaseException) -> bytes:
     kind = "KeyNotFound" if isinstance(exc, KeyNotFound) else type(exc).__name__
     return dumps(("err", kind, str(exc)))
+
+
+class ReplicaLink:
+    """Asynchronous write forwarding from a primary database to its backup.
+
+    Acknowledged mutations are re-sent as ``yokan.replicate`` RPCs
+    (which apply without re-forwarding, so replication can never loop).
+    Forwards are non-blocking with a bounded lag window: up to
+    ``window`` replicate futures may be in flight before the oldest is
+    retired, mirroring the :class:`~repro.hepnos.AsyncEngine`
+    submit/pump discipline.  A forward that exhausts its retry budget
+    (backup down) is dropped and counted -- the anti-entropy re-sync on
+    rejoin repairs the gap.
+    """
+
+    def __init__(self, handle, window: int = 8):
+        self.handle = handle
+        self.window = max(1, int(window))
+        self._inflight: "deque" = deque()
+        self._lock = threading.Lock()
+        self.forwarded = 0
+        self.failed = 0
+        self.flushes = 0
+
+    def _reap(self, future) -> None:
+        try:
+            future.wait()
+        except ReproError:
+            self.failed += 1
+
+    def _submit(self, future) -> None:
+        stale = []
+        with self._lock:
+            self._inflight.append(future)
+            while len(self._inflight) > self.window:
+                stale.append(self._inflight.popleft())
+        for old in stale:
+            self._reap(old)
+
+    def forward(self, pairs, erase_keys=()) -> None:
+        """Queue one replicate RPC mirroring an acknowledged mutation."""
+        self.forwarded += 1
+        self._submit(self.handle.replicate_nb(pairs, erase_keys))
+
+    def flush(self) -> int:
+        """Retire every in-flight forward; returns how many were waited."""
+        with self._lock:
+            stale = list(self._inflight)
+            self._inflight.clear()
+        for future in stale:
+            self._reap(future)
+        self.flushes += 1
+        return len(stale)
+
+    @property
+    def lag(self) -> int:
+        return len(self._inflight)
 
 
 class YokanProvider:
@@ -92,6 +151,8 @@ class YokanProvider:
         self._page_cache_bytes = 0
         self._page_gen: dict[str, int] = {}
         self._column_lock = threading.Lock()
+        #: db name -> ReplicaLink forwarding acknowledged writes.
+        self._replicas: dict[str, ReplicaLink] = {}
         for rpc_name in RPC_NAMES:
             handler = getattr(self, "_rpc_" + rpc_name.split(".", 1)[1])
             engine.register(rpc_name, self._traced(rpc_name, handler),
@@ -153,6 +214,29 @@ class YokanProvider:
         for backend in self.databases.values():
             backend.close()
 
+    # -- replication ---------------------------------------------------------
+
+    def set_replica(self, db_name: str, handle, window: int = 8) -> None:
+        """Forward acknowledged writes of ``db_name`` to ``handle``."""
+        if db_name not in self.databases:
+            raise YokanError(f"no database named {db_name!r}")
+        self._replicas[db_name] = ReplicaLink(handle, window=window)
+
+    def clear_replica(self, db_name: str) -> None:
+        self._replicas.pop(db_name, None)
+
+    def replica_links(self) -> dict[str, ReplicaLink]:
+        return dict(self._replicas)
+
+    def flush_replication(self) -> int:
+        """Drain every replica link; returns futures waited on."""
+        return sum(link.flush() for link in self._replicas.values())
+
+    def _forward(self, name: str, pairs=(), erase_keys=()) -> None:
+        link = self._replicas.get(name)
+        if link is not None:
+            link.forward(pairs, erase_keys)
+
     # -- RPC handlers --------------------------------------------------------
     # Each returns response bytes (the engine auto-responds).
 
@@ -163,6 +247,7 @@ class YokanProvider:
                 req.trace_span.set_tag("db", name)
             self._db(name).put(key, value)
             self._column_invalidate(name, key)
+            self._forward(name, pairs=[(bytes(key), bytes(value))])
             return _ok()
         except _HANDLED_ERRORS as exc:
             return _err(exc)
@@ -189,6 +274,7 @@ class YokanProvider:
             count = self._db(name).put_multi(pairs)
             for key, _value in pairs:
                 self._column_invalidate(name, key)
+            self._forward(name, pairs=pairs)
             return _ok(count)
         except _HANDLED_ERRORS as exc:
             return _err(exc)
@@ -402,6 +488,7 @@ class YokanProvider:
             name, key = loads(req.payload)
             self._db(name).erase(key)
             self._column_invalidate(name, key)
+            self._forward(name, erase_keys=[bytes(key)])
             return _ok()
         except _HANDLED_ERRORS as exc:
             return _err(exc)
@@ -413,6 +500,7 @@ class YokanProvider:
             erased = self._db(name).erase_multi(keys)
             for key in keys:
                 self._column_invalidate(name, key)
+            self._forward(name, erase_keys=[bytes(k) for k in keys])
             return _ok(erased)
         except _HANDLED_ERRORS as exc:
             return _err(exc)
@@ -447,6 +535,55 @@ class YokanProvider:
         try:
             name, prefix = loads(req.payload)
             return _ok(self._db(name).count_prefix(prefix))
+        except _HANDLED_ERRORS as exc:
+            return _err(exc)
+
+    def _rpc_replicate(self, req: RPCRequest) -> bytes:
+        """Apply mutations forwarded by a primary (or a re-sync).
+
+        Unlike ``put``/``erase`` this never re-forwards, so replica
+        chains cannot loop; erases of absent keys are skipped because a
+        forward may arrive after a re-sync already applied it.
+        """
+        try:
+            name, pairs, erase_keys = loads(req.payload)
+            db = self._db(name)
+            pairs = [(bytes(k), bytes(v)) for k, v in pairs]
+            erase_keys = [bytes(k) for k in erase_keys]
+            stored = db.put_multi(pairs) if pairs else 0
+            removed = db.erase_multi(erase_keys) if erase_keys else 0
+            for key, _value in pairs:
+                self._column_invalidate(name, key)
+            for key in erase_keys:
+                self._column_invalidate(name, key)
+            if req.trace_span is not None:
+                req.trace_span.set_tag("db", name)
+                req.trace_span.set_tag("keys", len(pairs) + len(erase_keys))
+            return _ok((stored, removed))
+        except _HANDLED_ERRORS as exc:
+            return _err(exc)
+
+    def _rpc_sync(self, req: RPCRequest) -> bytes:
+        """Make the provider durable *now*: drain replicas, flush WALs.
+
+        Options: ``{"checkpoint": true}`` additionally snapshots every
+        durable backend (truncating its WAL).  The datastore broadcasts
+        this on epoch swaps so no replicated write is still in flight
+        when a migration commits.
+        """
+        try:
+            options = loads(req.payload) or {}
+            drained = self.flush_replication()
+            checkpointed = 0
+            for backend in self.databases.values():
+                if options.get("checkpoint"):
+                    do_checkpoint = getattr(backend, "checkpoint", None)
+                    if do_checkpoint is not None:
+                        do_checkpoint()
+                        checkpointed += 1
+                        continue
+                backend.flush()
+            return _ok({"drained": drained, "checkpointed": checkpointed})
         except _HANDLED_ERRORS as exc:
             return _err(exc)
 
