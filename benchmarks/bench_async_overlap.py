@@ -150,17 +150,12 @@ def test_no_engine_overhead_is_noise(benchmark, datastore, dataset):
     _pep_pass(datastore, dataset)  # warm-up
 
     with_options, _ = _timed_pass(datastore, dataset)
-    # The legacy-kwarg construction exercises the deprecation shim on
-    # top of the identical blocking load path.
-    import warnings
 
-    def legacy_pass():
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            pep = ParallelEventProcessor(
-                datastore, input_batch_size=INPUT_BATCH,
-                products=[(vector_of(OverlapHit), "hits")],
-            )
+    def baseline_pass():
+        pep = ParallelEventProcessor(
+            datastore, options=PEPOptions(input_batch_size=INPUT_BATCH),
+            products=[(vector_of(OverlapHit), "hits")],
+        )
         count = {"n": 0}
 
         def handle(event):
@@ -172,14 +167,14 @@ def test_no_engine_overhead_is_noise(benchmark, datastore, dataset):
         pep.process(dataset, handle)
         assert count["n"] == N_EVENTS
 
-    best_legacy = float("inf")
+    best_baseline = float("inf")
     for _ in range(3):
         t0 = time.perf_counter()
-        legacy_pass()
-        best_legacy = min(best_legacy, time.perf_counter() - t0)
+        baseline_pass()
+        best_baseline = min(best_baseline, time.perf_counter() - t0)
 
-    overhead = with_options / best_legacy - 1
-    print(f"\n[no-engine] legacy path: {best_legacy * 1e3:.0f}ms/pass, "
+    overhead = with_options / best_baseline - 1
+    print(f"\n[no-engine] baseline: {best_baseline * 1e3:.0f}ms/pass, "
           f"options path: {with_options * 1e3:.0f}ms/pass "
           f"(+{overhead * 100:.1f}%)")
-    assert with_options < best_legacy * 1.25
+    assert with_options < best_baseline * 1.25

@@ -12,7 +12,12 @@ This bench sweeps both knobs:
 
 import pytest
 
-from repro.hepnos import ParallelEventProcessor, WriteBatch, vector_of
+from repro.hepnos import (
+    ParallelEventProcessor,
+    PEPOptions,
+    WriteBatch,
+    vector_of,
+)
 from repro.perf import HEPnOSModel, HEPnOSParams, LARGE
 from repro.serial import serializable
 
@@ -46,7 +51,7 @@ def test_input_batch_size_rpcs(benchmark, datastore, fabric, dataset,
                                input_batch):
     def run():
         pep = ParallelEventProcessor(
-            datastore, input_batch_size=input_batch,
+            datastore, options=PEPOptions(input_batch_size=input_batch),
             products=[(vector_of(PepSlice), "s")],
         )
         count = {"n": 0}
@@ -66,7 +71,7 @@ def test_bigger_input_batches_fewer_rpcs(benchmark, datastore, fabric, dataset):
     costs = {}
     for input_batch in (16, 256):
         pep = ParallelEventProcessor(
-            datastore, input_batch_size=input_batch,
+            datastore, options=PEPOptions(input_batch_size=input_batch),
             products=[(vector_of(PepSlice), "s")],
         )
         fabric.stats.reset()

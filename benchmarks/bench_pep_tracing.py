@@ -16,7 +16,12 @@ import time
 
 import pytest
 
-from repro.hepnos import ParallelEventProcessor, WriteBatch, vector_of
+from repro.hepnos import (
+    ParallelEventProcessor,
+    PEPOptions,
+    WriteBatch,
+    vector_of,
+)
 from repro.monitor import tracing
 from repro.monitor.tracing import install_tracer, uninstall_tracer
 from repro.serial import serializable
@@ -49,7 +54,7 @@ def dataset(datastore):
 
 def _pep_pass(datastore, dataset, input_batch=64):
     pep = ParallelEventProcessor(
-        datastore, input_batch_size=input_batch,
+        datastore, options=PEPOptions(input_batch_size=input_batch),
         products=[(vector_of(TracedPepSlice), "s")],
     )
     count = {"n": 0}

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run the bench suite and write the ``BENCH_PR8.json`` baseline.
+"""Run the bench suite and write the ``BENCH_PR9.json`` baseline.
 
 Every entry under ``benches`` reports at least ``ops_per_s`` and
 ``bytes_per_s`` so successive baselines (``BENCH_*.json``) can be
@@ -8,10 +8,11 @@ The suite is the gated :mod:`bench_dataplane` measurements, the gated
 :mod:`bench_scaling` provider curves, the gated :mod:`bench_columnar`
 projection/selection measurements, the gated :mod:`bench_fault_overhead`
 fault-path costs, the gated :mod:`bench_recovery` durability timings
-(WAL replay, failover reads, fault-free WAL overhead), and two
-micro-benchmarks of the wire-level codecs::
+(WAL replay, failover reads, fault-free WAL overhead), the gated
+:mod:`bench_multitenant` isolation and broker-idle measurements, and
+two micro-benchmarks of the wire-level codecs::
 
-    PYTHONPATH=src python benchmarks/run_all.py              # quick, writes BENCH_PR8.json
+    PYTHONPATH=src python benchmarks/run_all.py              # quick, writes BENCH_PR9.json
     PYTHONPATH=src python benchmarks/run_all.py --full -o /tmp/bench.json
 
 Exits nonzero if any gate fails, so the baseline can never be
@@ -30,13 +31,14 @@ from typing import Optional, Sequence
 import bench_columnar
 import bench_dataplane
 import bench_fault_overhead
+import bench_multitenant
 import bench_recovery
 import bench_scaling
 from repro.yokan import packed, wire
 
 DEFAULT_OUTPUT = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "BENCH_PR8.json")
+    "BENCH_PR9.json")
 
 
 def _best_of(fn, rounds: int = 5) -> float:
@@ -90,7 +92,7 @@ def bench_wire_seal_unseal() -> dict:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Run the bench suite and emit the BENCH_PR8.json "
+        description="Run the bench suite and emit the BENCH_PR9.json "
                     "perf baseline.")
     parser.add_argument("--full", action="store_true",
                         help="full corpus and the 2x acceptance gates "
@@ -99,7 +101,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="chaos seed for the identity check")
     parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT,
                         help="output path (default: repo-root "
-                             "BENCH_PR8.json)")
+                             "BENCH_PR9.json)")
     args = parser.parse_args(argv)
 
     results = bench_dataplane.run_benches(quick=not args.full,
@@ -116,6 +118,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     failures += bench_fault_overhead.evaluate_gates(fault)
     recovery = bench_recovery.run_benches(quick=not args.full)
     failures += bench_recovery.evaluate_gates(recovery)
+    multitenant = bench_multitenant.run_benches(quick=not args.full,
+                                                seed=args.seed)
+    failures += bench_multitenant.evaluate_gates(multitenant)
     benches = {name: data
                for name, data in results["benches"].items()
                if name != "workflow_identity"}
@@ -124,11 +129,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             benches[name] = data
     benches.update(fault["benches"])
     benches.update(recovery["benches"])
+    benches.update(multitenant["benches"])
     benches["packed_codec"] = bench_packed_codec()
     benches["wire_seal_unseal"] = bench_wire_seal_unseal()
     doc = {
         "schema": "hepnos-bench/v1",
-        "baseline": "PR8",
+        "baseline": "PR9",
         "generated_by": "benchmarks/run_all.py"
                         + (" --full" if args.full else ""),
         "quick": not args.full,
@@ -138,6 +144,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "columnar_bytes_gate": columnar["bytes_gate"],
         "fault_overhead_gate": fault["fault_overhead_gate"],
         "wal_overhead_gate": recovery["wal_overhead_gate"],
+        "isolation_gate": multitenant["isolation_gate"],
+        "idle_overhead_gate": multitenant["idle_overhead_gate"],
         "gates_passed": not failures,
         "benches": benches,
         "scaling": scaling,

@@ -2,14 +2,16 @@
 """Quickstart: the paper's Listing 1, in Python.
 
 Deploys a small HEPnOS service in-process (two "nodes" of Yokan
-providers bootstrapped by Bedrock), connects a DataStore, and walks the
-dataset/run/subrun/event hierarchy storing and loading products.
+providers bootstrapped by Bedrock), opens a tenant session with
+``repro.hepnos.connect`` (the single public entry point), and walks
+the dataset/run/subrun/event hierarchy storing and loading products.
 
 Run:  python examples/quickstart.py
 """
 
 from repro.bedrock import BedrockServer, default_hepnos_config
-from repro.hepnos import DataStore, vector_of
+from repro.hepnos import vector_of
+import repro.hepnos as hepnos
 from repro.mercury import Fabric
 from repro.serial import serializable
 
@@ -44,36 +46,37 @@ def main():
     print(f"deployed {len(servers)} HEPnOS server(s): "
           f"{[str(s.address) for s in servers]}")
 
-    # -- connect (the analogue of DataStore::connect("config.json")) ----
-    datastore = DataStore.connect(fabric, servers)
+    # -- connect (the analogue of DataStore::connect("config.json")).
+    # The tenant id is how a brokered service meters this client; on an
+    # unbrokered deployment like this one it is simply ignored.
+    with hepnos.connect(servers=servers, tenant="quickstart") as session:
+        # access a nested dataset
+        ds = session.create_dataset("path/to/dataset")
+        # access run 43 in the dataset
+        run = ds.create_run(43)
+        # create subrun 56 within this run
+        subrun = run.create_subrun(56)
+        # create event 25 within this subrun
+        event = subrun.create_event(25)
 
-    # access a nested dataset
-    ds = datastore.create_dataset("path/to/dataset")
-    # access run 43 in the dataset
-    run = ds.create_run(43)
-    # create subrun 56 within this run
-    subrun = run.create_subrun(56)
-    # create event 25 within this subrun
-    event = subrun.create_event(25)
+        # store data (a vector of Particle)
+        vp1 = [Particle(1.0, 2.0, 3.0), Particle(-1.0, 0.5, 9.0)]
+        event.store(vp1, label="tracker")
+        print(f"stored {len(vp1)} particles in event {event.triple()}")
 
-    # store data (a vector of Particle)
-    vp1 = [Particle(1.0, 2.0, 3.0), Particle(-1.0, 0.5, 9.0)]
-    event.store(vp1, label="tracker")
-    print(f"stored {len(vp1)} particles in event {event.triple()}")
+        # load data
+        vp2 = session["path/to/dataset"][43][56][25].load(
+            vector_of(Particle), label="tracker"
+        )
+        print(f"loaded back: {vp2}")
 
-    # load data
-    vp2 = datastore["path/to/dataset"][43][56][25].load(
-        vector_of(Particle), label="tracker"
-    )
-    print(f"loaded back: {vp2}")
+        # iterate over the subruns in a run (ascending, one database)
+        for n in (3, 99, 7):
+            run.create_subrun(n)
+        print("subruns in run 43:", [sr.number for sr in run])
 
-    # iterate over the subruns in a run (ascending order, one database)
-    for n in (3, 99, 7):
-        run.create_subrun(n)
-    print("subruns in run 43:", [sr.number for sr in run])
-
-    print("traffic:", f"{fabric.stats.rpc_count} RPCs,",
-          f"{fabric.stats.total_bytes} bytes moved")
+        print("traffic:", f"{fabric.stats.rpc_count} RPCs,",
+              f"{fabric.stats.total_bytes} bytes moved")
 
 
 if __name__ == "__main__":

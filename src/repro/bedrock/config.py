@@ -161,6 +161,19 @@ def validate_config(config: Union[str, dict]) -> dict:
                 RetryPolicy.from_config(retry)
             except (TypeError, ValueError) as exc:
                 raise ConfigError(f"bad 'client.retry' settings: {exc}") from None
+
+    tenants = config.get("tenants")
+    if tenants is not None:
+        _require(isinstance(tenants, dict),
+                 "'tenants' section must be an object")
+        from repro.broker import RequestBroker
+
+        try:
+            RequestBroker.from_config(tenants)
+        except ConfigError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"bad 'tenants' settings: {exc}") from None
     return config
 
 
@@ -180,6 +193,7 @@ def default_hepnos_config(
     wal_checkpoint_bytes: Optional[int] = None,
     wal_sync: bool = False,
     replication: Optional[int] = None,
+    tenants: Optional[dict] = None,
 ) -> dict:
     """The paper's server layout as a Bedrock configuration.
 
@@ -198,6 +212,15 @@ def default_hepnos_config(
     checkpoint + log.  ``replication`` (when >= 2) is recorded in the
     config and picked up by ``connection_from_servers`` so clients and
     the replication wiring agree on the copy count.
+
+    ``tenants`` enables the multi-tenant request broker
+    (:class:`~repro.broker.RequestBroker`): a dict with optional
+    ``slots`` / ``interactive_reserve`` / ``quantum_bytes`` /
+    ``slow_query_s`` / ``shed_retry_hint_s`` scheduler settings, a
+    ``registry`` mapping tenant ids to their service terms (rate,
+    burst, weight, priority, quotas, token), and a ``default`` spec
+    for unregistered tenants (an explicit ``None`` closes the
+    registry to registered tenants only).
     """
     if backend != "map" and storage_root is None:
         raise ConfigError(f"backend {backend!r} needs a storage_root")
@@ -254,4 +277,6 @@ def default_hepnos_config(
         config["client"] = client
     if replication is not None:
         config["replication"] = int(replication)
+    if tenants is not None:
+        config["tenants"] = tenants
     return validate_config(config)

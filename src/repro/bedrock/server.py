@@ -55,6 +55,17 @@ class BedrockServer:
             argobots_config=margo_config.get("argobots"),
             tag=tag,
         )
+        #: the multi-tenant request broker, shared by every provider of
+        #: this server; ``None`` when the config has no ``tenants``
+        #: section (admission control off, the unbrokered fast path).
+        #: Rebuilt per (re)start: admission state does not survive a
+        #: crash, exactly like the in-flight requests it tracked.
+        self.broker = None
+        tenants_config = self.config.get("tenants")
+        if tenants_config is not None:
+            from repro.broker import RequestBroker
+
+            self.broker = RequestBroker.from_config(tenants_config)
         self.providers: dict[int, YokanProvider] = {}
         #: database name -> (provider_id,) routing directory.
         self.database_directory: dict[str, int] = {}
@@ -76,6 +87,7 @@ class BedrockServer:
                 provider_id=pid,
                 pool=pool,
                 databases=databases,
+                broker=self.broker,
             )
             self.providers[pid] = provider
             for db_name in databases:
@@ -95,6 +107,12 @@ class BedrockServer:
 
     def databases(self) -> list[str]:
         return sorted(self.database_directory)
+
+    def tenant_stats(self) -> dict:
+        """Broker snapshot (per-tenant gauges + slow queries); {} if off."""
+        if self.broker is None:
+            return {}
+        return self.broker.tenant_stats()
 
     def describe(self) -> str:
         """The effective configuration as JSON (bedrock's query API)."""

@@ -104,6 +104,32 @@ class ShardMapStale(HEPnOSError):
     """
 
 
+class ServiceBusy(ReproError):
+    """The service shed this request under load (429-style).
+
+    Raised by the request broker when a tenant exceeds its token-bucket
+    rate limit or the fair-share queues are full.  Retryable: the
+    request was rejected *before* any state changed.  ``retry_after_s``
+    is the server-supplied backoff hint; :class:`~repro.faults.RetryPolicy`
+    honors it instead of its own exponential schedule when present.
+    """
+
+    def __init__(self, message: str = "service busy",
+                 retry_after_s: "float | None" = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class QuotaExceeded(ServiceBusy):
+    """A tenant hit its quota (bytes in flight, queue depth, or token).
+
+    A :class:`ServiceBusy` specialization: the broker refused the
+    request because admitting it would put the tenant over one of its
+    configured quotas.  Retryable -- earlier requests completing free
+    the quota -- with the same ``retry_after_s`` hint semantics.
+    """
+
+
 class MPIError(ReproError):
     """An error in the in-process MPI substrate."""
 
@@ -138,6 +164,8 @@ __all__ = [
     "ContainerNotFound",
     "ProductNotFound",
     "ShardMapStale",
+    "ServiceBusy",
+    "QuotaExceeded",
     "MPIError",
     "HDF5LiteError",
     "SimulationError",

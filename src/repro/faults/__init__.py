@@ -38,7 +38,9 @@ _LAZY = {
     # The chaos harness pulls in bedrock/nova/workflows; keep those out
     # of the import path of the clients that only need RetryPolicy.
     "ChaosReport": "repro.faults.chaos",
+    "TenantChaosReport": "repro.faults.chaos",
     "run_nova_chaos": "repro.faults.chaos",
+    "run_tenant_chaos": "repro.faults.chaos",
 }
 
 
@@ -67,5 +69,7 @@ __all__ = [
     "ScheduledFault",
     "default_client_policy",
     "ChaosReport",
+    "TenantChaosReport",
     "run_nova_chaos",
+    "run_tenant_chaos",
 ]

@@ -724,7 +724,168 @@ def run_durability_chaos(seed: int = 0, files: int = 2, ranks: int = 2,
     )
 
 
+# -- multi-tenant chaos ------------------------------------------------------
+
+
+@dataclass
+class TenantChaosReport:
+    """NOvA selection parity with the request broker in the path.
+
+    The tenant run is metered: its session carries a tenant envelope
+    and the service enforces a deliberately modest rate limit, so the
+    standard fault schedule *and* real 429-style sheds both hit the
+    selection.  Parity plus ``sheds > 0`` proves admission control is
+    load-bearing yet invisible in the physics result.
+    """
+
+    seed: int
+    matches: bool
+    baseline_accepted: int
+    tenant_accepted: int
+    tenant: str = ""
+    baseline_wall: float = 0.0
+    tenant_wall: float = 0.0
+    #: broker counters for the metered tenant (admitted/shed/...)
+    broker: dict = field(default_factory=dict)
+    #: fabric fault counters from the tenant run
+    dropped: int = 0
+    corrupted: int = 0
+    delayed: int = 0
+    timeouts: int = 0
+    client_retries: int = 0
+    client_giveups: int = 0
+    schedule_counts: dict = field(default_factory=dict)
+    pending_actions: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        verdict = "MATCH" if self.matches else "MISMATCH"
+        lines = [
+            f"tenant chaos (seed={self.seed}): {verdict}",
+            f"  selected events: baseline={self.baseline_accepted} "
+            f"tenant={self.tenant_accepted}",
+            f"  wall seconds: baseline={self.baseline_wall:.3f} "
+            f"tenant={self.tenant_wall:.3f}",
+            f"  broker[{self.tenant}]: "
+            f"admitted={self.broker.get('admitted', 0)} "
+            f"shed={self.broker.get('shed', 0)} "
+            f"(rate={self.broker.get('shed_rate', 0)} "
+            f"quota={self.broker.get('shed_quota', 0)} "
+            f"queue={self.broker.get('shed_queue', 0)})",
+            f"  injected: dropped={self.dropped} corrupted={self.corrupted} "
+            f"delayed={self.delayed} timeouts={self.timeouts}",
+            f"  client: retries={self.client_retries} "
+            f"giveups={self.client_giveups}",
+            f"  schedule: counts={dict(self.schedule_counts)}",
+        ]
+        if self.pending_actions:
+            lines.append(f"  NEVER FIRED: {self.pending_actions}")
+        return "\n".join(lines)
+
+
+def run_tenant_chaos(seed: int = 0, files: int = 2, ranks: int = 2,
+                     mean_events_per_file: int = 24,
+                     drop: float = 0.02, delay: float = 0.0005,
+                     corrupt: float = 0.01,
+                     crash_window: Optional[Tuple[int, int]] = (10, 30),
+                     spike_window: Optional[Tuple[int, int]] = (40, 50),
+                     rate: float = 50.0, burst: float = 5.0,
+                     quick: bool = False,
+                     workdir: Optional[str] = None) -> TenantChaosReport:
+    """NOvA selection through a metered tenant session, under chaos.
+
+    The baseline run is the stock unbrokered service, fault-free.  The
+    tenant run deploys the same layout with a request broker whose
+    registry meters the ``nova`` tenant at ``rate`` requests/s (burst
+    ``burst``) -- low enough that the selection is genuinely shed and
+    must recover through ``retry_after_s`` hints -- then installs the
+    standard fault schedule for the selection phase.  The verdict is
+    set equality of accepted event ids.
+    """
+    if quick:
+        files = min(files, 2)
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="hepnos-tenant-chaos-")
+    sample = generate_file_set(
+        f"{workdir}/files", num_files=files,
+        mean_events_per_file=mean_events_per_file,
+        config=GeneratorConfig(signal_fraction=0.1, events_per_subrun=16,
+                               subruns_per_run=4),
+    )
+    policy = chaos_client_policy()
+
+    # -- fault-free, unbrokered baseline ------------------------------------
+    fabric = Fabric(threaded=True)
+    servers = _deploy(fabric)
+    datastore = DataStore.connect(fabric, servers, retry_policy=policy)
+    workflow = HEPnOSWorkflow(datastore, "nova/tenant-chaos",
+                              input_batch_size=64, dispatch_batch_size=8)
+    baseline = workflow.run(sample.paths, num_ranks=ranks)
+    fabric.runtime.shutdown()
+
+    # -- brokered tenant run under the fault schedule -----------------------
+    import repro.hepnos as hepnos
+
+    tenant = "nova"
+    tenants_config = {
+        "slots": 8,
+        "interactive_reserve": 2,
+        "registry": [
+            {"id": tenant, "priority": "interactive",
+             "rate": rate, "burst": burst},
+        ],
+    }
+    fabric = Fabric(threaded=True)
+    servers = _deploy(fabric, tenants=tenants_config)
+    session = hepnos.connect(servers=servers, tenant=tenant,
+                             priority="interactive", retry_policy=policy)
+    workflow = HEPnOSWorkflow(session.datastore, "nova/tenant-chaos",
+                              input_batch_size=64, dispatch_batch_size=8)
+    workflow.ingest(sample.paths, num_ranks=1)
+
+    schedule = build_schedule(seed, servers, drop, delay, corrupt,
+                              crash_window, spike_window)
+    fabric.stats.reset()
+    fabric.fault_model = schedule
+    try:
+        tenant_result = workflow.select(num_ranks=ranks)
+    finally:
+        fabric.fault_model = FaultModel()
+    stats = fabric.stats
+    broker_counters: dict = {}
+    for server in servers:
+        snapshot = server.tenant_stats()
+        counters = snapshot.get("tenants", {}).get(tenant)
+        if counters:
+            for key, value in counters.items():
+                if isinstance(value, (int, float)):
+                    broker_counters[key] = broker_counters.get(key, 0) + value
+    metrics = session.datastore.metrics
+    report = TenantChaosReport(
+        seed=seed,
+        matches=(frozenset(tenant_result.accepted_ids)
+                 == frozenset(baseline.accepted_ids)),
+        baseline_accepted=len(baseline.accepted_ids),
+        tenant_accepted=len(tenant_result.accepted_ids),
+        tenant=tenant,
+        baseline_wall=baseline.wall_seconds,
+        tenant_wall=tenant_result.wall_seconds,
+        broker=broker_counters,
+        dropped=stats.dropped,
+        corrupted=stats.corrupted,
+        delayed=stats.delayed,
+        timeouts=stats.timeouts,
+        client_retries=metrics.counter("yokan.client.retries").value,
+        client_giveups=metrics.counter("yokan.client.giveups").value,
+        schedule_counts=dict(schedule.counts),
+        pending_actions=schedule.pending_actions,
+    )
+    session.close()
+    fabric.runtime.shutdown()
+    return report
+
+
 __all__ = ["ChaosReport", "DurabilityChaosReport", "DurabilityScenario",
            "RescaleChaosReport", "build_schedule", "chaos_client_policy",
            "failover_client_policy", "run_durability_chaos",
-           "run_nova_chaos", "run_rescale_chaos"]
+           "run_nova_chaos", "run_rescale_chaos", "run_tenant_chaos",
+           "TenantChaosReport"]

@@ -19,6 +19,7 @@ from repro.errors import (
     CorruptionError,
     NetworkFailure,
     RPCTimeout,
+    ServiceBusy,
     ShardMapStale,
 )
 
@@ -26,16 +27,18 @@ from repro.errors import (
 #: message (:class:`NetworkFailure`), the target engine was not
 #: registered -- e.g. a crashed provider that Bedrock will restart
 #: (:class:`AddressError`), the call timed out (:class:`RPCTimeout`),
-#: the payload was damaged in flight (:class:`CorruptionError`), or the
+#: the payload was damaged in flight (:class:`CorruptionError`), the
 #: shard map advanced mid-operation during a live rescale
-#: (:class:`ShardMapStale`).  All Yokan operations are idempotent, so
-#: re-sending is always safe.
+#: (:class:`ShardMapStale`), or the broker shed the request under load
+#: (:class:`ServiceBusy`, which covers :class:`QuotaExceeded`).  All
+#: Yokan operations are idempotent, so re-sending is always safe.
 RETRYABLE_ERRORS: Tuple[type, ...] = (
     NetworkFailure,
     AddressError,
     RPCTimeout,
     CorruptionError,
     ShardMapStale,
+    ServiceBusy,
 )
 
 
@@ -122,10 +125,23 @@ class RetryPolicy:
     def retryable(self, exc: BaseException) -> bool:
         return isinstance(exc, self.retry_on)
 
-    def delay(self, retry_index: int) -> float:
-        """Backoff before the ``retry_index``-th retry (0-based)."""
-        base = min(self.max_delay,
-                   self.base_delay * (self.multiplier ** retry_index))
+    def delay(self, retry_index: int,
+              exc: Optional[BaseException] = None) -> float:
+        """Backoff before the ``retry_index``-th retry (0-based).
+
+        When the failure carries a server-supplied ``retry_after_s``
+        hint (a :class:`~repro.errors.ServiceBusy` shed by the request
+        broker), the hint *replaces* the exponential schedule: the
+        server knows when capacity frees up, the client does not.  The
+        hint is still jittered so a herd of shed clients does not
+        return in lock-step.
+        """
+        hint = getattr(exc, "retry_after_s", None) if exc is not None else None
+        if hint is not None:
+            base = max(0.0, float(hint))
+        else:
+            base = min(self.max_delay,
+                       self.base_delay * (self.multiplier ** retry_index))
         if base <= 0.0:
             return 0.0
         if self.jitter:
@@ -179,7 +195,7 @@ class RetryPolicy:
                     raise self._giveup(attempt,
                                        time.monotonic() - start,
                                        "attempts exhausted", exc) from exc
-                pause = self.delay(attempt - 1)
+                pause = self.delay(attempt - 1, exc)
                 if self.deadline is not None and (
                         time.monotonic() - start + pause >= self.deadline):
                     if on_giveup is not None:

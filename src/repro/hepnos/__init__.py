@@ -8,7 +8,14 @@ HEPnOS organizes data the way HEP scientists do (paper section II-A):
 - any run/subrun/event holds zero or more **products**: serialized
   objects identified by a *label* and a *type*.
 
-Usage mirrors the paper's Listing 1::
+Usage mirrors the paper's Listing 1.  :func:`connect` opens a
+:class:`TenantSession` that owns the whole client side (datastore,
+async engine, tenant identity) behind one context manager::
+
+    with hepnos.connect(servers=servers, tenant="nova-prod") as session:
+        ds = session.create_dataset("fermilab/nova")
+
+The lower-level constructors remain public and unchanged::
 
     datastore = DataStore.connect(fabric, connection)
     ds = datastore.create_dataset("fermilab/nova")
@@ -34,7 +41,9 @@ This module is the complete public client surface: handle types
 :class:`Event`, :class:`ProductID`), the async layer
 (:class:`AsyncEngine`, :class:`OperationFuture`, :class:`FutureGroup`),
 the performance objects, and their configuration dataclasses
-(:class:`PEPOptions`, :class:`PrefetchOptions`).  Application code
+(:class:`PEPOptions`, :class:`PrefetchOptions`,
+:class:`ProductCacheOptions`, :class:`QuotaOptions` -- all living in
+the :mod:`repro.hepnos.options` namespace).  Application code
 never needs raw ``container_key`` bytes: store and load products
 through the typed handles (``event.store(obj, label)``,
 ``event.load(Type, label)``).  The exception hierarchy is importable
@@ -56,11 +65,14 @@ from repro.hepnos.placement import (
 from repro.hepnos.containers import DataSet, Run, SubRun, Event
 from repro.hepnos.product import ProductID, product_type_name, vector_of
 from repro.hepnos.async_engine import AsyncEngine, AsyncEngineStats, FutureGroup
+from repro.hepnos import options
 from repro.hepnos.options import (
     PEPOptions,
     PrefetchOptions,
     ProductCacheOptions,
+    QuotaOptions,
 )
+from repro.hepnos.session import TenantSession, connect
 from repro.hepnos.product_cache import ProductCache
 from repro.hepnos.write_batch import WriteBatch, AsynchronousWriteBatch
 from repro.hepnos.prefetcher import Prefetcher, PrefetchedEvent
@@ -78,6 +90,9 @@ from repro.hepnos.exporter import DatasetExporter, ExportStats
 from repro.yokan.nonblocking import OperationFuture
 
 __all__ = [
+    "connect",
+    "TenantSession",
+    "options",
     "ConnectionInfo",
     "DbTarget",
     "connection_from_servers",
@@ -101,6 +116,7 @@ __all__ = [
     "PEPOptions",
     "PrefetchOptions",
     "ProductCacheOptions",
+    "QuotaOptions",
     "ProductCache",
     "WriteBatch",
     "AsynchronousWriteBatch",

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.hepnos.column_block import PRESENT, ColumnBlock
 from repro.hepnos.connection import ConnectionInfo, DbTarget, connection_from_servers
-from repro.hepnos.options import ProductCacheOptions
+from repro.hepnos.options import ProductCacheOptions, QuotaOptions
 from repro.hepnos.placement import ParentHashPlacement, ShardMap
 from repro.hepnos.product import product_type_name
 from repro.hepnos.product_cache import ProductCache
@@ -69,7 +69,8 @@ class DataStore:
                  retry_policy: Optional[RetryPolicy] = None,
                  metrics: Optional[MetricRegistry] = None,
                  async_engine=None,
-                 product_cache: Optional[ProductCacheOptions] = None):
+                 product_cache: Optional[ProductCacheOptions] = None,
+                 quota: Optional[QuotaOptions] = None):
         self.fabric = fabric
         self.connection = connection
         if client_address is None:
@@ -82,8 +83,12 @@ class DataStore:
         self.metrics = metrics if metrics is not None else MetricRegistry(
             f"datastore:{client_address}"
         )
+        #: tenant identity every RPC of this datastore is accounted
+        #: under; ``None`` sends untagged traffic (no admission control).
+        self.quota = quota
+        tenant = quota.envelope() if quota is not None else None
         self._client = YokanClient(self.engine, retry_policy=retry_policy,
-                                   metrics=self.metrics)
+                                   metrics=self.metrics, tenant=tenant)
         #: the versioned shard map every lookup goes through.  A raw
         #: strategy (e.g. ParentHashPlacement) is wrapped at epoch 0.
         strategy = placement or ParentHashPlacement(connection)
@@ -140,7 +145,8 @@ class DataStore:
                 retry_policy: Optional[RetryPolicy] = None,
                 metrics: Optional[MetricRegistry] = None,
                 async_engine=None,
-                product_cache: Optional[ProductCacheOptions] = None
+                product_cache: Optional[ProductCacheOptions] = None,
+                quota: Optional[QuotaOptions] = None
                 ) -> "DataStore":
         """Connect using a :class:`ConnectionInfo`, JSON text, or a list
         of deployed :class:`~repro.bedrock.BedrockServer` objects."""
@@ -152,7 +158,8 @@ class DataStore:
             info = connection_from_servers(connection)
         return cls(fabric, info, client_address=client_address,
                    retry_policy=retry_policy, metrics=metrics,
-                   async_engine=async_engine, product_cache=product_cache)
+                   async_engine=async_engine, product_cache=product_cache,
+                   quota=quota)
 
     @property
     def retry_policy(self) -> RetryPolicy:

@@ -1,19 +1,32 @@
-"""Client-side configuration dataclasses (PEPOptions, PrefetchOptions).
+"""The consolidated client options namespace (``repro.hepnos.options``).
 
-The ParallelEventProcessor and the Prefetcher accumulated a grab-bag of
-tuning keyword arguments over time.  These keyword-only dataclasses are
-now the public way to configure them::
+Every client-side configuration dataclass lives here, importable from
+one documented place::
 
+    from repro.hepnos import options
+
+    session = hepnos.connect(
+        servers=servers,
+        quota=options.QuotaOptions(tenant="nova-prod"),
+        product_cache=options.ProductCacheOptions(max_bytes=1 << 28),
+    )
     pep = ParallelEventProcessor(
-        datastore, options=PEPOptions(input_batch_size=4096),
+        session.datastore, options=options.PEPOptions(input_batch_size=4096),
         products=[(Hit, "reco")],
     )
 
-The legacy keyword arguments are still accepted for one release and
-forward into the corresponding options field, with a
-``DeprecationWarning`` naming the replacement.  ``products`` and
-``comm`` are not configuration -- they describe *what* to process, not
-*how* -- and remain first-class parameters.
+- :class:`PEPOptions` -- the ParallelEventProcessor;
+- :class:`PrefetchOptions` -- the Prefetcher;
+- :class:`ProductCacheOptions` -- the DataStore product cache;
+- :class:`QuotaOptions` -- the tenant identity of a session
+  (:func:`repro.hepnos.connect`).
+
+``products`` and ``comm`` are not configuration -- they describe *what*
+to process, not *how* -- and remain first-class parameters.
+
+The legacy tuning keyword arguments deprecated in PR 3 are no longer
+accepted: :func:`resolve_options` raises ``TypeError`` naming the
+replacement spelling.
 
 Validation lives here (``__post_init__``) so a bad value fails at
 construction whichever spelling the caller used, with the same
@@ -22,7 +35,6 @@ exception types the processors historically raised.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, fields
 from typing import Optional
 
@@ -119,12 +131,46 @@ class ProductCacheOptions:
             raise HEPnOSError("max_entries must be positive")
 
 
+@dataclass(frozen=True)
+class QuotaOptions:
+    """Tenant identity and service terms of one session.
+
+    Carried by every RPC the session issues (as a wire-level tenant
+    envelope) so the server-side request broker can meter the session
+    against its registered rate limits and quotas.  The default --
+    an empty tenant id -- sends untagged traffic that bypasses
+    admission control, preserving the unbrokered fast path.
+    """
+
+    #: tenant id the service accounts this session under
+    tenant: str = ""
+    #: ``"interactive"`` (preempts batch) or ``"batch"``
+    priority: str = "batch"
+    #: quota token proving the session may use the tenant's terms
+    token: str = ""
+
+    def __post_init__(self) -> None:
+        from repro.yokan import wire
+        wire.priority_code(self.priority)  # validates the class name
+
+    def envelope(self):
+        """The :class:`~repro.yokan.wire.TenantEnvelope` equivalent."""
+        from repro.yokan import wire
+        if not self.tenant:
+            return None
+        return wire.TenantEnvelope(self.tenant,
+                                   wire.priority_code(self.priority),
+                                   self.token)
+
+
 def resolve_options(options, legacy: dict, options_type, owner: str):
-    """Merge legacy kwargs into an options dataclass, warning once.
+    """Reject the pre-PR3 tuning kwargs with a migration message.
 
     ``legacy`` maps field names to caller-supplied values; unknown names
-    raise ``TypeError`` like any bad keyword argument would.  Passing
-    both ``options`` and legacy kwargs is ambiguous and rejected.
+    raise ``TypeError`` like any bad keyword argument would.  Known
+    names raise ``TypeError`` too: they were deprecated in PR 3 and the
+    grace release has passed -- the message names the exact
+    ``options=...`` spelling to migrate to.
     """
     known = {f.name for f in fields(options_type)}
     unknown = set(legacy) - known
@@ -139,9 +185,18 @@ def resolve_options(options, legacy: dict, options_type, owner: str):
             f"pass either options= or the legacy keyword arguments "
             f"{sorted(legacy)}, not both"
         )
-    warnings.warn(
-        f"the {sorted(legacy)} keyword arguments of {owner} are "
-        f"deprecated; pass options={options_type.__name__}(...) instead",
-        DeprecationWarning, stacklevel=3,
+    raise TypeError(
+        f"the {sorted(legacy)} keyword arguments of {owner} were removed "
+        f"(deprecated since PR 3); pass "
+        f"options={options_type.__name__}({', '.join(sorted(legacy))}=...) "
+        f"instead"
     )
-    return options_type(**legacy)
+
+
+__all__ = [
+    "PEPOptions",
+    "PrefetchOptions",
+    "ProductCacheOptions",
+    "QuotaOptions",
+    "resolve_options",
+]

@@ -8,6 +8,10 @@ chaos smoke test::
 
     repro-chaos --seed 7
     repro-chaos --seed 3 --files 4 --ranks 4 --drop 0.05
+    repro-chaos --tenants --quick --seed 5 --json
+
+Shares the ``--quick`` / ``--json`` / ``--seed`` flag conventions with
+``repro-hepnos`` via :mod:`repro.tools.common`.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ import sys
 from typing import Optional, Sequence, Tuple
 
 from repro.faults.chaos import run_nova_chaos
+from repro.tools.common import common_parser, emit_report
 
 
 def _window(text: str) -> Optional[Tuple[int, int]]:
@@ -39,9 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Chaos-test the HEPnOS selection workflow: inject "
                     "faults during selection and verify the physics "
                     "result is unchanged.",
+        parents=[common_parser()],
     )
-    parser.add_argument("--seed", type=int, default=0,
-                        help="fault-schedule seed (default: 0)")
     parser.add_argument("--files", type=int, default=2,
                         help="synthetic input files (default: 2)")
     parser.add_argument("--ranks", type=int, default=2,
@@ -77,14 +81,36 @@ def build_parser() -> argparse.ArgumentParser:
                              "servers with real state loss and verify "
                              "the selection survives via WAL replay, "
                              "replica failover, and rejoin re-sync")
-    parser.add_argument("--quick", action="store_true",
-                        help="with --durability: shrink the dataset for "
-                             "CI smoke use")
+    parser.add_argument("--tenants", action="store_true",
+                        help="instead of the stock chaos run, route the "
+                             "selection through a metered tenant session "
+                             "(request broker + rate-limit sheds) and "
+                             "verify parity")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.tenants:
+        from repro.faults.chaos import run_tenant_chaos
+
+        report = run_tenant_chaos(
+            seed=args.seed,
+            files=args.files,
+            ranks=args.ranks,
+            mean_events_per_file=args.events_per_file,
+            drop=args.drop,
+            delay=args.delay,
+            corrupt=args.corrupt,
+            crash_window=args.crash_window,
+            spike_window=args.spike_window,
+            quick=args.quick,
+            workdir=args.workdir,
+        )
+        emit_report(report, args.json)
+        ok = (report.matches and not report.pending_actions
+              and report.broker.get("shed", 0) > 0)
+        return 0 if ok else 1
     if args.durability:
         from repro.faults.chaos import run_durability_chaos
 
@@ -96,7 +122,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             quick=args.quick,
             workdir=args.workdir,
         )
-        print(report.summary())
+        emit_report(report, args.json)
         return 0 if report.matches else 1
     if args.rescale:
         from repro.faults.chaos import run_rescale_chaos
@@ -112,7 +138,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             crash_window=args.crash_window,
             workdir=args.workdir,
         )
-        print(report.summary())
+        emit_report(report, args.json)
         return 0 if report.matches and not report.pending_actions else 1
     report = run_nova_chaos(
         seed=args.seed,
@@ -126,7 +152,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         spike_window=args.spike_window,
         workdir=args.workdir,
     )
-    print(report.summary())
+    emit_report(report, args.json)
     return 0 if report.matches and not report.pending_actions else 1
 
 

@@ -9,6 +9,9 @@ Subcommands that work standalone (no live service needed):
   sample, run the selection, and print the store tree;
 - ``scaling``   -- regenerate the paper's Figure 2/3 series on the
   platform simulator;
+- ``tenants``   -- demo the multi-tenant request broker: metered
+  tenant sessions against one service, then the ops surface
+  (per-tenant admitted/shed/queued table + slow-query log);
 - ``tune``      -- autotune the deployable configuration on the
   simulator.
 """
@@ -210,6 +213,93 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_tenants(args) -> int:
+    """Drive a brokered in-process service; print the ops surface."""
+    from repro.bedrock import BedrockServer, default_hepnos_config
+    from repro.errors import ServiceBusy
+    from repro.mercury import Fabric
+    from repro.tools.common import emit_report
+    import repro.hepnos as hepnos
+
+    rounds = 4 if args.quick else 12
+    fabric = Fabric(threaded=True)
+    server = BedrockServer(fabric, default_hepnos_config(
+        "sm://node0/hepnos", num_providers=2, event_databases=2,
+        product_databases=2, run_databases=1, subrun_databases=1,
+        tenants={
+            "slots": 4,
+            "interactive_reserve": 1,
+            "slow_query_s": 0.0,  # log everything for the demo
+            "registry": [
+                {"id": "nova-interactive", "priority": "interactive",
+                 "weight": 2.0},
+                {"id": "dune-batch", "priority": "batch"},
+                {"id": "abusive-batch", "priority": "batch",
+                 "rate": args.rate, "burst": 2},
+            ],
+        },
+    ))
+    fabric.runtime.start()
+
+    def drive(tenant: str, priority: str, dataset: str) -> None:
+        with hepnos.connect(servers=[server], tenant=tenant,
+                            priority=priority) as session:
+            ds = session.create_dataset(dataset)
+            for r in range(rounds):
+                run = ds.create_run(r)
+                subrun = run.create_subrun(0)
+                event = subrun.create_event(r)
+                try:
+                    event.store([float(r)] * 8, label="payload")
+                except ServiceBusy:
+                    pass  # the demo tolerates giveups past the budget
+
+    import threading
+
+    threads = [
+        threading.Thread(target=drive, args=spec)
+        for spec in (
+            ("nova-interactive", "interactive", "tenants/nova"),
+            ("dune-batch", "batch", "tenants/dune"),
+            ("abusive-batch", "batch", "tenants/abuse"),
+        )
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    stats = server.tenant_stats()
+    server.shutdown()
+    if args.json:
+        emit_report(stats, True)
+        return 0
+    columns = ("admitted", "shed", "completed", "queued",
+               "bytes_in_flight", "bytes_served")
+    width = max(len(t) for t in stats["tenants"]) + 2
+    header = "tenant".ljust(width) + "".join(
+        c.rjust(len(c) + 3) for c in columns)
+    print(header)
+    print("-" * len(header))
+    for tenant, counters in stats["tenants"].items():
+        row = tenant.ljust(width) + "".join(
+            str(counters.get(c, 0)).rjust(len(c) + 3) for c in columns)
+        print(row)
+    sched = stats["scheduler"]
+    print(f"\nscheduler: granted={sched['granted_total']} "
+          f"preemptions={sched['preemptions']} "
+          f"max_queued={sched['max_queued']} slots={sched['slots']} "
+          f"(interactive reserve {sched['interactive_reserve']})")
+    slow = stats["slow_queries"]
+    print(f"\nslow queries ({len(slow)} logged, slowest last):")
+    for entry in slow[-args.slow:]:
+        print(f"  {entry['elapsed_s'] * 1e3:8.2f}ms "
+              f"(queued {entry['queued_s'] * 1e3:6.2f}ms) "
+              f"{entry['tenant']:<18} {entry['op']:<22} "
+              f"{entry['bytes']}B")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-hepnos",
@@ -249,6 +339,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dataset scale factor (1.0 = paper size)")
     p.add_argument("--repeats", type=int, default=1)
     p.set_defaults(fn=_cmd_scaling)
+
+    from repro.tools.common import common_parser
+
+    p = sub.add_parser("tenants",
+                       help="demo the request broker's ops surface",
+                       parents=[common_parser()])
+    p.add_argument("--rate", type=float, default=40.0,
+                   help="rate limit for the abusive tenant (default: 40)")
+    p.add_argument("--slow", type=int, default=8,
+                   help="slow-query log entries to show (default: 8)")
+    p.set_defaults(fn=_cmd_tenants)
 
     p = sub.add_parser("tune", help="autotune the configuration")
     p.add_argument("--nodes", type=int, default=64)

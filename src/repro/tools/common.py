@@ -1,0 +1,59 @@
+"""Shared command-line conventions for the ``repro-*`` tools.
+
+Every repro CLI spells the common flags the same way:
+
+- ``--quick``  shrink the workload for CI smoke use;
+- ``--json``   emit a machine-readable report on stdout;
+- ``--seed N`` seed for any randomized schedule or workload.
+
+:func:`common_parser` builds an ``add_help=False`` parent parser
+carrying whichever of the three a tool supports; pass it via
+``parents=[...]`` so ``repro-chaos`` and ``repro-hepnos`` subcommands
+stay flag-compatible by construction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+from typing import Any
+
+
+def common_parser(quick: bool = True, json_flag: bool = True,
+                  seed: bool = True) -> argparse.ArgumentParser:
+    """A parent parser with the shared ``--quick/--json/--seed`` flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    if quick:
+        parent.add_argument("--quick", action="store_true",
+                            help="shrink the workload for CI smoke use")
+    if json_flag:
+        parent.add_argument("--json", action="store_true",
+                            help="emit a machine-readable JSON report")
+    if seed:
+        parent.add_argument("--seed", type=int, default=0,
+                            help="schedule/workload seed (default: 0)")
+    return parent
+
+
+def emit_report(report: Any, as_json: bool) -> None:
+    """Print ``report`` as its human summary or as one JSON object.
+
+    Reports follow the repo convention: dataclasses with a
+    ``summary()`` method.  Plain dicts are accepted too.
+    """
+    if as_json:
+        if dataclasses.is_dataclass(report) and not isinstance(report, type):
+            payload = dataclasses.asdict(report)
+        elif isinstance(report, dict):
+            payload = report
+        else:  # pragma: no cover - defensive
+            payload = {"report": str(report)}
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    elif isinstance(report, dict):
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    else:
+        print(report.summary())
+
+
+__all__ = ["common_parser", "emit_report"]

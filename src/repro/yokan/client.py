@@ -17,7 +17,9 @@ from repro.errors import (
     CorruptionError,
     KeyNotFound,
     NetworkFailure,
+    QuotaExceeded,
     RPCTimeout,
+    ServiceBusy,
     YokanError,
 )
 from repro.faults.retry import RetryPolicy
@@ -36,6 +38,8 @@ _ERROR_KINDS = {
     "NetworkFailure": NetworkFailure,
     "RPCTimeout": RPCTimeout,
     "AddressError": AddressError,
+    "ServiceBusy": ServiceBusy,
+    "QuotaExceeded": QuotaExceeded,
 }
 
 
@@ -49,7 +53,12 @@ def _unwrap(response: bytes):
     kind, message = decoded[1], decoded[2]
     exc_type = _ERROR_KINDS.get(kind)
     if exc_type is not None:
-        raise exc_type(message)
+        exc = exc_type(message)
+        # 429-style sheds append the server's Retry-After hint; the
+        # retry policy prefers it over its exponential schedule.
+        if len(decoded) > 3 and decoded[3] is not None:
+            exc.retry_after_s = float(decoded[3])
+        raise exc
     raise YokanError(f"{kind}: {message}")
 
 
@@ -75,6 +84,18 @@ class DatabaseHandle:
         self.name = name
         self._engine = client.engine
 
+    def _seal(self, body) -> bytes:
+        """Seal a payload, adding the tenant envelope inside a session.
+
+        Clients without a tenant context (system traffic, legacy
+        callers) produce byte-identical envelopes to previous releases.
+        """
+        envelope = wire.seal(body)
+        prefix = self.client._tenant_prefix
+        if prefix is not None:
+            return prefix + envelope
+        return envelope
+
     def _call(self, rpc: str, payload,
               _validate: Optional[Callable] = None, **trace_tags) -> object:
         """Forward one RPC under the client's retry policy.
@@ -94,7 +115,7 @@ class DatabaseHandle:
     def _call_inner(self, rpc: str, payload, span,
                     validate: Optional[Callable] = None) -> object:
         handle = self._engine.create_handle(self.target, rpc)
-        encoded = wire.seal(dumps(payload))
+        encoded = self._seal(dumps(payload))
         policy = self.client.retry_policy
 
         def attempt():
@@ -365,16 +386,16 @@ class DatabaseHandle:
 
         def issue():
             if state["mode"] == "inline":
-                payload = wire.seal(dumps((self.name, key,
-                                           self.BULK_THRESHOLD)))
+                payload = self._seal(dumps((self.name, key,
+                                            self.BULK_THRESHOLD)))
                 return h_inline.iforward(payload, self.provider_id)
             buffer = bytearray(state["capacity"])
             # The Bulk object must outlive the RPC: regions are tracked
             # weakly (see repro.mercury.bulk), so pin it in the closure.
             state["buffer"] = buffer
             state["bulk"] = self._engine.expose(buffer, Bulk.READ_WRITE)
-            payload = wire.seal(dumps((self.name, [key], state["bulk"],
-                                       state["capacity"])))
+            payload = self._seal(dumps((self.name, [key], state["bulk"],
+                                        state["capacity"])))
             return h_bulk.iforward(payload, self.provider_id)
 
         def finish(raw):
@@ -422,8 +443,8 @@ class DatabaseHandle:
             # and the provider's RDMA push may land long after issue.
             state["buffer"] = buffer
             state["bulk"] = self._engine.expose(buffer, Bulk.READ_WRITE)
-            payload = wire.seal(dumps((self.name, keys, state["bulk"],
-                                       state["capacity"])))
+            payload = self._seal(dumps((self.name, keys, state["bulk"],
+                                        state["capacity"])))
             return handle.iforward(payload, self.provider_id)
 
         def finish(raw):
@@ -467,8 +488,8 @@ class DatabaseHandle:
             # and the provider's RDMA push may land long after issue.
             state["buffer"] = buffer
             state["bulk"] = self._engine.expose(buffer, Bulk.READ_WRITE)
-            payload = wire.seal(dumps((self.name, prefixes, state["bulk"],
-                                       state["capacity"])))
+            payload = self._seal(dumps((self.name, prefixes, state["bulk"],
+                                        state["capacity"])))
             return handle.iforward(payload, self.provider_id)
 
         def finish(raw):
@@ -522,9 +543,9 @@ class DatabaseHandle:
             # and the provider's RDMA push may land long after issue.
             state["buffer"] = buffer
             state["bulk"] = self._engine.expose(buffer, Bulk.READ_WRITE)
-            payload = wire.seal(dumps((self.name, blob, lens, suffix,
-                                       fields, state["bulk"],
-                                       state["capacity"])))
+            payload = self._seal(dumps((self.name, blob, lens, suffix,
+                                        fields, state["bulk"],
+                                        state["capacity"])))
             return handle.iforward(payload, self.provider_id)
 
         def finish(raw):
@@ -556,8 +577,8 @@ class DatabaseHandle:
         handle = self._engine.create_handle(self.target, "yokan.put_multi")
         packed = bytearray(dumps(pairs))
         bulk = self._engine.expose(packed, Bulk.READ_ONLY)
-        payload = wire.seal(dumps((self.name, bulk, len(packed),
-                                   wire.checksum(packed))))
+        payload = self._seal(dumps((self.name, bulk, len(packed),
+                                    wire.checksum(packed))))
 
         def issue(_pinned=(packed, bulk)):
             # Default arg pins the packed buffer and its (weakly
@@ -583,7 +604,7 @@ class DatabaseHandle:
             return OperationFuture.completed((0, 0),
                                              f"replicate[0]@{self.name}")
         handle = self._engine.create_handle(self.target, "yokan.replicate")
-        payload = wire.seal(dumps((self.name, pairs, keys)))
+        payload = self._seal(dumps((self.name, pairs, keys)))
 
         def issue():
             return handle.iforward(payload, self.provider_id)
@@ -639,16 +660,28 @@ class YokanClient:
     ``metrics`` (a :class:`~repro.monitor.MetricRegistry`) receives
     ``yokan.client.retries`` / ``yokan.client.giveups`` counters plus
     per-error-kind breakdowns when provided.
+
+    ``tenant`` (a :class:`~repro.yokan.wire.TenantEnvelope`) tags every
+    request this client issues with a tenant identity, priority class,
+    and quota token, so the server-side request broker can meter it.
+    ``None`` (the default) sends untagged system traffic that bypasses
+    admission control -- byte-identical to previous releases.
     """
 
     def __init__(self, engine: Engine, retries: int = 0,
                  retry_policy: Optional[RetryPolicy] = None,
-                 metrics=None):
+                 metrics=None,
+                 tenant: Optional[wire.TenantEnvelope] = None):
         self.engine = engine
         if retry_policy is None:
             retry_policy = RetryPolicy.from_retries(max(0, retries))
         self.retry_policy = retry_policy
         self.metrics = metrics
+        self.tenant = tenant
+        #: the identity's constant wire prefix, encoded once per client
+        self._tenant_prefix = (
+            wire.tenant_prefix(tenant.tenant, tenant.priority, tenant.token)
+            if tenant is not None else None)
 
     @property
     def retries(self) -> int:

@@ -13,8 +13,14 @@ import threading
 from collections import OrderedDict, deque
 from typing import Optional
 
-from repro.argobots import Pool
-from repro.errors import CorruptionError, KeyNotFound, ReproError, YokanError
+from repro.argobots import Pool, ult_yield
+from repro.errors import (
+    CorruptionError,
+    KeyNotFound,
+    ReproError,
+    ServiceBusy,
+    YokanError,
+)
 from repro.mercury import Bulk, BulkOp, Engine, RPCRequest
 from repro.monitor import tracing as _tracing
 from repro.serial import dumps, loads
@@ -56,6 +62,11 @@ def _ok(value=None) -> bytes:
 
 def _err(exc: BaseException) -> bytes:
     kind = "KeyNotFound" if isinstance(exc, KeyNotFound) else type(exc).__name__
+    # 429-style sheds carry their server-supplied backoff hint as a
+    # fourth element; older decoders index only the first three.
+    retry_after = getattr(exc, "retry_after_s", None)
+    if retry_after is not None:
+        return dumps(("err", kind, str(exc), float(retry_after)))
     return dumps(("err", kind, str(exc)))
 
 
@@ -127,10 +138,14 @@ class YokanProvider:
     def __init__(self, engine: Engine, provider_id: int = 0,
                  pool: Optional[Pool] = None,
                  databases: Optional[dict[str, Backend]] = None,
-                 column_cache_bytes: Optional[int] = None):
+                 column_cache_bytes: Optional[int] = None,
+                 broker=None):
         self.engine = engine
         self.provider_id = provider_id
         self.pool = pool if pool is not None else engine.pool
+        #: optional :class:`repro.broker.RequestBroker` interposing
+        #: admission control + fair-share on tenant-tagged requests.
+        self.broker = broker
         self.databases: dict[str, Backend] = dict(databases or {})
         # Server-side projection cache: (db name, key) -> decoded column
         # table (or None for values no column plan covers), so repeated
@@ -155,7 +170,10 @@ class YokanProvider:
         self._replicas: dict[str, ReplicaLink] = {}
         for rpc_name in RPC_NAMES:
             handler = getattr(self, "_rpc_" + rpc_name.split(".", 1)[1])
-            engine.register(rpc_name, self._traced(rpc_name, handler),
+            wrapped = (self._brokered(rpc_name, handler)
+                       if broker is not None
+                       else self._traced(rpc_name, handler))
+            engine.register(rpc_name, wrapped,
                             provider_id=provider_id, pool=self.pool)
 
     def _traced(self, rpc_name: str, handler):
@@ -175,7 +193,11 @@ class YokanProvider:
 
         def serve(req: RPCRequest) -> bytes:
             try:
-                req.payload = wire.unseal(req.payload)
+                # An unbrokered server still accepts (and ignores) the
+                # tenant envelope, so tenant sessions work against any
+                # deployment; the magic check is four byte compares.
+                _meta, envelope = wire.unwrap_tenant(req.payload)
+                req.payload = wire.unseal(envelope)
             except CorruptionError as exc:
                 if req.trace_span is not None:
                     req.trace_span.set_tag("error", "CorruptionError")
@@ -196,6 +218,82 @@ class YokanProvider:
                 return serve(req)
 
         return traced_handler
+
+    def _brokered(self, rpc_name: str, handler):
+        """Wrap a handler in admission control + fair-share scheduling.
+
+        The wrapper is a *generator* handler: after the broker admits a
+        tenant-tagged request, the ULT cooperatively yields until the
+        fair-share scheduler grants it a service slot, so queued
+        requests occupy no execution stream.  Sheds happen before the
+        payload is unsealed and travel back as sealed 429-style errors
+        with their ``retry_after_s`` hint.  Untagged (system/legacy)
+        traffic bypasses the broker entirely.
+        """
+        op = rpc_name.split(".", 1)[1]
+        provider_id = self.provider_id
+        engine_address = str(self.engine.address)
+
+        def serve(req: RPCRequest):
+            broker = self.broker
+            try:
+                meta, envelope = wire.unwrap_tenant(req.payload)
+            except CorruptionError as exc:
+                if req.trace_span is not None:
+                    req.trace_span.set_tag("error", "CorruptionError")
+                return wire.seal(_err(exc))
+            if broker is None or meta is None or not meta.tenant:
+                try:
+                    req.payload = wire.unseal(envelope)
+                except CorruptionError as exc:
+                    if req.trace_span is not None:
+                        req.trace_span.set_tag("error", "CorruptionError")
+                    return wire.seal(_err(exc))
+                return wire.seal(handler(req))
+            try:
+                admission = broker.admit(meta, op, len(envelope))
+            except ServiceBusy as exc:
+                if req.trace_span is not None:
+                    req.trace_span.set_tag("error", type(exc).__name__)
+                    req.trace_span.set_tag("tenant", meta.tenant)
+                return wire.seal(_err(exc))
+            if req.trace_span is not None:
+                req.trace_span.set_tag("tenant", meta.tenant)
+            response = None
+            queued = 0.0
+            try:
+                while not admission.ticket.granted:
+                    yield ult_yield()
+                queued = broker.begin(admission)
+                try:
+                    req.payload = wire.unseal(envelope)
+                    response = handler(req)
+                except CorruptionError as exc:
+                    if req.trace_span is not None:
+                        req.trace_span.set_tag("error", "CorruptionError")
+                    response = _err(exc)
+                return wire.seal(response)
+            finally:
+                broker.finish(
+                    admission,
+                    response_bytes=len(response) if response is not None
+                    else 0,
+                    queued_s=queued)
+
+        def brokered_handler(req: RPCRequest):
+            if not _tracing.enabled:
+                return (yield from serve(req))
+            parent = req.trace_context
+            if parent is None:
+                parent = _tracing.NO_PARENT
+            with _tracing.span(f"yokan.provider.{op}",
+                               parent=parent,
+                               provider=provider_id,
+                               address=engine_address) as sp:
+                req.trace_span = sp
+                return (yield from serve(req))
+
+        return brokered_handler
 
     # -- database management -----------------------------------------------
 

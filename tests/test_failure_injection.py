@@ -22,7 +22,7 @@ from repro.faults import (
     RetryPolicy,
     run_nova_chaos,
 )
-from repro.hepnos import DataStore, ParallelEventProcessor
+from repro.hepnos import PEPOptions, DataStore, ParallelEventProcessor
 from repro.hepnos.write_batch import AsynchronousWriteBatch
 from repro.mercury import Engine, Fabric, FaultModel, InjectionFaultModel
 from repro.mercury.address import Address
@@ -383,8 +383,8 @@ class TestDegradation:
 
         fabric.fault_model = PartitionFault(group_a={"hepnos-client"},
                                             group_b={"node1"})
-        pep = ParallelEventProcessor(datastore, load_retries=1,
-                                     on_load_failure="skip")
+        pep = ParallelEventProcessor(datastore, options=PEPOptions(
+            load_retries=1, on_load_failure="skip"))
         seen = []
         stats = pep.process(ds, seen.append)
         fabric.fault_model = FaultModel()
@@ -406,7 +406,8 @@ class TestDegradation:
         for e in range(5):
             subrun.create_event(e)
         fabric.fault_model = FlakyModel(1_000_000)
-        pep = ParallelEventProcessor(datastore, load_retries=1)
+        pep = ParallelEventProcessor(
+            datastore, options=PEPOptions(load_retries=1))
         with pytest.raises(NetworkFailure):
             pep.process(ds, lambda ev: None)
         fabric.fault_model = FaultModel()
@@ -415,7 +416,8 @@ class TestDegradation:
         fabric, server = _hepnos_world()
         datastore = DataStore.connect(fabric, [server])
         with pytest.raises(HEPnOSError):
-            ParallelEventProcessor(datastore, on_load_failure="explode")
+            ParallelEventProcessor(
+                datastore, options=PEPOptions(on_load_failure="explode"))
 
 
 class TestCrashRestart:

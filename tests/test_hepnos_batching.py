@@ -3,7 +3,13 @@
 import pytest
 
 from repro.errors import HEPnOSError, ProductNotFound
-from repro.hepnos import AsynchronousWriteBatch, Prefetcher, WriteBatch, vector_of
+from repro.hepnos import (
+    AsynchronousWriteBatch,
+    Prefetcher,
+    PrefetchOptions,
+    WriteBatch,
+    vector_of,
+)
 from repro.serial import serializable
 
 
@@ -135,13 +141,14 @@ class TestPrefetcher:
         return subrun
 
     def test_iterates_all_events_in_order(self, datastore, populated):
-        prefetcher = Prefetcher(datastore, batch_size=16)
+        prefetcher = Prefetcher(
+            datastore, options=PrefetchOptions(batch_size=16))
         numbers = [ev.number for ev in prefetcher.events(populated)]
         assert numbers == list(range(100))
 
     def test_products_prefetched(self, fabric, datastore, populated):
         prefetcher = Prefetcher(
-            datastore, batch_size=32,
+            datastore, options=PrefetchOptions(batch_size=32),
             products=[(vector_of(Hit), "hits")],
         )
         fabric.stats.reset()
@@ -157,8 +164,9 @@ class TestPrefetcher:
         assert fabric.stats.rpc_count < 40
 
     def test_missing_prefetched_product_raises(self, datastore, populated):
-        prefetcher = Prefetcher(datastore, batch_size=32,
-                                products=[(Hit, "flag")])
+        prefetcher = Prefetcher(
+            datastore, options=PrefetchOptions(batch_size=32),
+            products=[(Hit, "flag")])
         seen = 0
         for ev in prefetcher.events(populated):
             if ev.number % 3 == 0:
@@ -170,20 +178,24 @@ class TestPrefetcher:
         assert seen == 100
 
     def test_prefetched_accessor_no_fallback(self, datastore, populated):
-        prefetcher = Prefetcher(datastore, batch_size=32,
-                                products=[(Hit, "flag")])
+        prefetcher = Prefetcher(
+            datastore, options=PrefetchOptions(batch_size=32),
+            products=[(Hit, "flag")])
         for ev in prefetcher.events(populated):
             value = ev.prefetched(Hit, label="flag")
             assert (value is not None) == (ev.number % 3 == 0)
 
     def test_fallback_load_for_unprefetched(self, datastore, populated):
-        prefetcher = Prefetcher(datastore, batch_size=32)
+        prefetcher = Prefetcher(
+            datastore, options=PrefetchOptions(batch_size=32))
         first = next(prefetcher.events(populated))
         assert first.load(vector_of(Hit), label="hits") == [Hit(0.0)]
 
     def test_batch_size_validation(self, datastore):
         with pytest.raises(ValueError):
-            Prefetcher(datastore, batch_size=0)
+            Prefetcher(datastore, options=PrefetchOptions(batch_size=0))
+        with pytest.raises(TypeError, match="PrefetchOptions"):
+            Prefetcher(datastore, batch_size=16)
 
     def test_empty_subrun(self, datastore):
         ds = datastore.create_dataset("pf-empty")

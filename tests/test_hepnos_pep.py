@@ -5,7 +5,12 @@ import threading
 import pytest
 
 from repro.errors import HEPnOSError
-from repro.hepnos import ParallelEventProcessor, WriteBatch, vector_of
+from repro.hepnos import (
+    ParallelEventProcessor,
+    PEPOptions,
+    WriteBatch,
+    vector_of,
+)
 from repro.minimpi import SUM, mpirun
 from repro.serial import serializable
 
@@ -47,7 +52,8 @@ class TestSequential:
     def test_visits_every_event_once(self, datastore, populated):
         ds, expected = populated
         seen = []
-        pep = ParallelEventProcessor(datastore, input_batch_size=16)
+        pep = ParallelEventProcessor(
+            datastore, options=PEPOptions(input_batch_size=16))
         stats = pep.process(ds, lambda ev: seen.append(ev.triple()))
         assert sorted(seen) == expected
         assert stats.events_processed == len(expected)
@@ -56,7 +62,7 @@ class TestSequential:
     def test_products_available(self, datastore, populated):
         ds, expected = populated
         pep = ParallelEventProcessor(
-            datastore, input_batch_size=16,
+            datastore, options=PEPOptions(input_batch_size=16),
             products=[(vector_of(Slice), "slices")],
         )
         ids = []
@@ -69,14 +75,15 @@ class TestSequential:
     def test_prefetch_reduces_rpcs(self, fabric, datastore, populated):
         ds, expected = populated
         pep = ParallelEventProcessor(
-            datastore, input_batch_size=64,
+            datastore, options=PEPOptions(input_batch_size=64),
             products=[(vector_of(Slice), "slices")],
         )
         fabric.stats.reset()
         pep.process(ds, lambda ev: ev.load(vector_of(Slice), label="slices"))
         with_prefetch = fabric.stats.rpc_count
 
-        pep_naive = ParallelEventProcessor(datastore, input_batch_size=64)
+        pep_naive = ParallelEventProcessor(
+            datastore, options=PEPOptions(input_batch_size=64))
         fabric.stats.reset()
         pep_naive.process(ds, lambda ev: ev.load(vector_of(Slice), label="slices"))
         without_prefetch = fabric.stats.rpc_count
@@ -92,12 +99,18 @@ class TestSequential:
 
     def test_option_validation(self, datastore):
         with pytest.raises(HEPnOSError):
-            ParallelEventProcessor(datastore, input_batch_size=0)
+            ParallelEventProcessor(
+                datastore, options=PEPOptions(input_batch_size=0))
         with pytest.raises(HEPnOSError):
-            ParallelEventProcessor(datastore, dispatch_batch_size=-1)
+            ParallelEventProcessor(
+                datastore, options=PEPOptions(dispatch_batch_size=-1))
+        # The removed legacy spelling fails loudly with the migration.
+        with pytest.raises(TypeError, match="PEPOptions"):
+            ParallelEventProcessor(datastore, input_batch_size=8)
         # Dispatch batches are clamped to the input batch size.
-        pep = ParallelEventProcessor(datastore, input_batch_size=8,
-                                     dispatch_batch_size=16)
+        pep = ParallelEventProcessor(
+            datastore, options=PEPOptions(input_batch_size=8,
+                                          dispatch_batch_size=16))
         assert pep.dispatch_batch_size == 8
 
 
@@ -120,14 +133,14 @@ class TestParallel:
 
     def test_exactly_once_delivery(self, datastore, populated):
         ds, expected = populated
-        seen, stats = self._run(datastore, ds, 4, input_batch_size=16,
-                                dispatch_batch_size=4)
+        seen, stats = self._run(datastore, ds, 4, options=PEPOptions(
+            input_batch_size=16, dispatch_batch_size=4))
         assert sorted(seen) == expected
 
     def test_work_split_across_workers(self, datastore, populated):
         ds, expected = populated
-        seen, stats = self._run(datastore, ds, 5, input_batch_size=16,
-                                dispatch_batch_size=4, num_readers=1)
+        seen, stats = self._run(datastore, ds, 5, options=PEPOptions(
+            input_batch_size=16, dispatch_batch_size=4, num_readers=1))
         workers = [s for s in stats if s.role == "worker"]
         readers = [s for s in stats if s.role == "reader"]
         assert len(readers) == 1
@@ -138,8 +151,8 @@ class TestParallel:
 
     def test_reader_serving_accounting(self, datastore, populated):
         ds, expected = populated
-        seen, stats = self._run(datastore, ds, 3, input_batch_size=32,
-                                dispatch_batch_size=8, num_readers=1)
+        seen, stats = self._run(datastore, ds, 3, options=PEPOptions(
+            input_batch_size=32, dispatch_batch_size=8, num_readers=1))
         reader = next(s for s in stats if s.role == "reader")
         assert reader.events_loaded == len(expected)
         assert sum(reader.served.values()) == len(expected)
@@ -151,8 +164,9 @@ class TestParallel:
 
         def body(comm):
             pep = ParallelEventProcessor(
-                datastore, comm=comm, input_batch_size=16,
-                dispatch_batch_size=4,
+                datastore, comm=comm,
+                options=PEPOptions(input_batch_size=16,
+                                   dispatch_batch_size=4),
                 products=[(vector_of(Slice), "slices")],
             )
 
@@ -169,8 +183,8 @@ class TestParallel:
 
     def test_multiple_readers(self, datastore, populated):
         ds, expected = populated
-        seen, stats = self._run(datastore, ds, 6, input_batch_size=16,
-                                dispatch_batch_size=4, num_readers=2)
+        seen, stats = self._run(datastore, ds, 6, options=PEPOptions(
+            input_batch_size=16, dispatch_batch_size=4, num_readers=2))
         readers = [s for s in stats if s.role == "reader"]
         assert len(readers) == 2
         assert sorted(seen) == expected
@@ -181,8 +195,9 @@ class TestParallel:
 
         def body(comm):
             pep = ParallelEventProcessor(
-                datastore, comm=comm, input_batch_size=16,
-                dispatch_batch_size=4,
+                datastore, comm=comm,
+                options=PEPOptions(input_batch_size=16,
+                                   dispatch_batch_size=4),
                 products=[(vector_of(Slice), "slices")],
             )
             selected: list = []
@@ -200,8 +215,8 @@ class TestParallel:
 
     def test_two_ranks_minimum(self, datastore, populated):
         ds, expected = populated
-        seen, _ = self._run(datastore, ds, 2, input_batch_size=16,
-                            dispatch_batch_size=4)
+        seen, _ = self._run(datastore, ds, 2, options=PEPOptions(
+            input_batch_size=16, dispatch_batch_size=4))
         assert sorted(seen) == expected
 
 
@@ -213,8 +228,9 @@ class TestWorkerPipeline:
 
         def body(comm):
             pep = ParallelEventProcessor(
-                datastore, comm=comm, input_batch_size=16,
-                dispatch_batch_size=4, num_readers=2, worker_pipeline=2,
+                datastore, comm=comm,
+                options=PEPOptions(input_batch_size=16, dispatch_batch_size=4,
+                                   num_readers=2, worker_pipeline=2),
             )
 
             def handle(ev):
@@ -235,8 +251,9 @@ class TestWorkerPipeline:
 
         def body(comm):
             pep = ParallelEventProcessor(
-                datastore, comm=comm, input_batch_size=16,
-                dispatch_batch_size=4, num_readers=1, worker_pipeline=8,
+                datastore, comm=comm,
+                options=PEPOptions(input_batch_size=16, dispatch_batch_size=4,
+                                   num_readers=1, worker_pipeline=8),
             )
 
             def handle(ev):
@@ -250,4 +267,5 @@ class TestWorkerPipeline:
 
     def test_invalid_pipeline(self, datastore):
         with pytest.raises(HEPnOSError):
-            ParallelEventProcessor(datastore, worker_pipeline=0)
+            ParallelEventProcessor(
+                datastore, options=PEPOptions(worker_pipeline=0))

@@ -5,7 +5,12 @@ import json
 
 import pytest
 
-from repro.hepnos import ParallelEventProcessor, WriteBatch, vector_of
+from repro.hepnos import (
+    ParallelEventProcessor,
+    PEPOptions,
+    WriteBatch,
+    vector_of,
+)
 from repro.mercury import Engine, Fabric
 from repro.monitor import MetricRegistry
 from repro.monitor import tracing
@@ -226,7 +231,7 @@ def test_pep_emits_batch_and_event_spans(datastore):
             event.store([TracedSlice(e)], label="s", batch=batch)
     with trace_session() as tracer:
         pep = ParallelEventProcessor(
-            datastore, input_batch_size=8,
+            datastore, options=PEPOptions(input_batch_size=8),
             products=[(vector_of(TracedSlice), "s")],
         )
         seen = []
