@@ -1,15 +1,75 @@
+#!/usr/bin/env python
 """A-backend ablation: Yokan storage backends head-to-head.
 
-Measures put / get / ordered-scan rates of the in-memory map, the LSM
-tree (RocksDB stand-in), and the copy-on-write B+tree (BerkeleyDB
-stand-in) -- the backend choice behind Figure 2's mem-vs-RocksDB pair.
+Two layers:
+
+1. **pytest-benchmark micro-tests** (run under pytest): put / get /
+   ordered-scan / prefix-listing rates of the in-memory map, the LSM
+   tree (RocksDB stand-in), and the copy-on-write B+tree (BerkeleyDB
+   stand-in) -- the backend choice behind Figure 2's mem-vs-RocksDB
+   pair -- plus a compaction-trigger ablation.
+
+2. **The gated write/read-amplification suite** (``run_benches`` /
+   ``evaluate_gates``, wired into ``run_all.py``): a fill ->
+   point-read -> scan pipeline per backend, reporting sustained-write
+   throughput, point-read p50/p99, write-amp and read-amp factors, and
+   block-cache hit rates.  Two gates:
+
+   - the production LSM engine (background immutable-memtable pipeline
+     + size-tiered compaction) must ingest at >= 1.5x the seed engine
+     (inline flush, merge-everything compaction) under the sustained
+     write phase;
+   - warm-block-cache point-read p99 must beat the same table layout
+     read with the cache disabled.
+
+Run directly or through ``run_all.py``::
+
+    PYTHONPATH=src python benchmarks/bench_yokan_backends.py --quick
 """
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import tempfile
+import time
+from typing import Optional, Sequence
 
 import pytest
 
 from repro.yokan import BTreeBackend, LSMBackend, MemoryBackend
 
 N_ITEMS = 2000
+
+#: production engine vs seed engine ingest ratio (sustained writes)
+INGEST_GATE = 1.5
+
+QUICK = {
+    "n_items": 12_000,
+    "value_bytes": 256,
+    "reads": 2_000,
+    "warm_rounds": 3,
+}
+FULL = {
+    "n_items": 20_000,
+    "value_bytes": 256,
+    "reads": 8_000,
+    "warm_rounds": 3,
+}
+
+#: the production engine under test (background pipeline, tiered
+#: compaction, block cache) -- small memtable so the fill phase
+#: exercises many rotations
+LSM_TUNING = dict(memtable_bytes=64 * 1024, compaction_trigger=4,
+                  max_immutables=8, block_cache_bytes=8 * 1024 * 1024,
+                  bits_per_key=10)
+#: the seed engine, reconstructed from config: inline flushes on the
+#: writing thread, merge-everything compaction, no block cache
+SEED_TUNING = dict(memtable_bytes=64 * 1024, compaction_trigger=4,
+                   background=False, compaction="full",
+                   block_cache_bytes=0, bits_per_key=10)
 
 
 def make_backend(kind: str, tmp_path):
@@ -87,12 +147,14 @@ def test_prefix_listing(benchmark, kind, tmp_path):
 class TestCompactionAblation:
     """LSM compaction-trigger sweep: fewer tables -> faster reads,
     more rewrite (write amplification) -- the RocksDB trade-off behind
-    the paper's backend choice."""
+    the paper's backend choice.  Inline mode pins the flush/compaction
+    schedule, so the counters are deterministic."""
 
     @pytest.mark.parametrize("trigger", [2, 8, 32])
     def test_compaction_trigger(self, benchmark, tmp_path, trigger):
         db = LSMBackend(str(tmp_path / f"lsm{trigger}"),
-                        memtable_bytes=4096, compaction_trigger=trigger)
+                        memtable_bytes=4096, compaction_trigger=trigger,
+                        background=False, compaction="full")
         for i in range(3000):
             db.put(f"key-{i % 500:06d}-{i}".encode(), b"v" * 64)
         counter = {"i": 0}
@@ -114,7 +176,8 @@ class TestCompactionAblation:
         for trigger in (2, 32):
             db = LSMBackend(str(tmp_path / f"wa{trigger}"),
                             memtable_bytes=4096,
-                            compaction_trigger=trigger)
+                            compaction_trigger=trigger,
+                            background=False, compaction="full")
             for i in range(2000):
                 db.put(f"{i:08d}".encode(), b"v" * 64)
             results[trigger] = (db.stats.write_amplification,
@@ -127,3 +190,229 @@ class TestCompactionAblation:
               f"write_amp={amp_lazy:.1f}, tables={tables_lazy}")
         assert amp_eager > amp_lazy      # eager compaction rewrites more
         assert tables_eager < tables_lazy  # ...but keeps fewer tables
+
+
+# -- the gated write/read-amplification suite --------------------------------
+
+
+def _percentile(samples: list, q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _open_backend(kind: str, workdir: str, name: str):
+    if kind == "map":
+        return MemoryBackend()
+    if kind == "btree":
+        return BTreeBackend(f"{workdir}/{name}", order=64, commit_every=64)
+    if kind == "lsm":
+        return LSMBackend(f"{workdir}/{name}", **LSM_TUNING)
+    if kind == "lsm_seed":
+        return LSMBackend(f"{workdir}/{name}", **SEED_TUNING)
+    raise ValueError(kind)
+
+
+def _quiesce(backend) -> float:
+    """Flush + drain an LSM backend; returns the time spent waiting."""
+    t0 = time.perf_counter()
+    if hasattr(backend, "flush_memtable"):
+        backend.flush_memtable()
+        backend.drain()
+    return time.perf_counter() - t0
+
+
+def _fill_phase(backend, keys: list, value: bytes) -> dict:
+    """Sustained single-put writes; throughput counts acknowledged
+    puts (the background engine keeps flushing after the last ack --
+    that drain is reported separately, not hidden)."""
+    t0 = time.perf_counter()
+    for key in keys:
+        backend.put(key, value)
+    wall = time.perf_counter() - t0
+    drain_s = _quiesce(backend)
+    nbytes = sum(len(k) for k in keys) + len(value) * len(keys)
+    out = {
+        "ops_per_s": len(keys) / wall,
+        "bytes_per_s": nbytes / wall,
+        "wall_s": round(wall, 4),
+        "drain_s": round(drain_s, 4),
+        "items": len(keys),
+    }
+    stats = getattr(backend, "stats", None)
+    if stats is not None and hasattr(stats, "write_amplification"):
+        out["write_amplification"] = round(stats.write_amplification, 3)
+        out["flushes"] = stats.flushes
+        out["compactions"] = stats.compactions
+        out["throttle_waits"] = stats.throttle_waits
+        out["backpressure_waits"] = stats.backpressure_waits
+    return out
+
+
+def _read_phase(backend, sample: list, value_bytes: int,
+                warm_rounds: int) -> dict:
+    """Point reads: one cold pass (populates any cache), then
+    ``warm_rounds`` measured passes; percentiles come from the best
+    warm pass."""
+
+    def one_pass() -> list:
+        latencies = []
+        for key in sample:
+            t0 = time.perf_counter()
+            backend.get(key)
+            latencies.append(time.perf_counter() - t0)
+        return latencies
+
+    cold = one_pass()
+    best_wall = float("inf")
+    best: list = cold
+    for _ in range(warm_rounds):
+        latencies = one_pass()
+        wall = sum(latencies)
+        if wall < best_wall:
+            best_wall, best = wall, latencies
+    wall = sum(best)
+    out = {
+        "ops_per_s": len(sample) / wall,
+        "bytes_per_s": len(sample) * value_bytes / wall,
+        "p50_us": round(_percentile(best, 0.50) * 1e6, 3),
+        "p99_us": round(_percentile(best, 0.99) * 1e6, 3),
+        "p99_cold_us": round(_percentile(cold, 0.99) * 1e6, 3),
+        "reads": len(sample),
+    }
+    stats = getattr(backend, "stats", None)
+    if stats is not None and hasattr(stats, "read_amplification"):
+        out["read_amplification"] = round(stats.read_amplification, 3)
+        out["block_cache_hit_rate"] = round(stats.block_cache_hit_rate, 4)
+        out["bloom_skips"] = stats.bloom_skips
+        out["sstable_reads"] = stats.sstable_reads
+    return out
+
+
+def _scan_phase(backend, n_items: int, value_bytes: int) -> dict:
+    t0 = time.perf_counter()
+    count = sum(1 for _ in backend.scan())
+    wall = time.perf_counter() - t0
+    assert count == n_items, f"scan saw {count} of {n_items} keys"
+    return {
+        "ops_per_s": count / wall,
+        "bytes_per_s": count * value_bytes / wall,
+        "entries": count,
+    }
+
+
+def run_benches(quick: bool, seed: int = 7,
+                workdir: Optional[str] = None) -> dict:
+    params = QUICK if quick else FULL
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="hepnos-backends-")
+    rng = random.Random(seed)
+    n = params["n_items"]
+    value = bytes(range(256)) * (params["value_bytes"] // 256 + 1)
+    value = value[:params["value_bytes"]]
+    keys = [f"key-{i:08d}".encode() for i in range(n)]
+    sample = [keys[rng.randrange(n)] for _ in range(params["reads"])]
+
+    benches: dict = {}
+    backends: dict = {}
+    for kind in ("map", "btree", "lsm", "lsm_seed"):
+        backend = _open_backend(kind, workdir, kind)
+        fill_result = _fill_phase(backend, keys, value)
+        print(f"[fill:{kind}] {fill_result['ops_per_s']:,.0f} puts/s"
+              + (f", write_amp={fill_result['write_amplification']}"
+                 if "write_amplification" in fill_result else ""))
+        benches[f"backend_fill_{kind}"] = fill_result
+        backends[kind] = backend
+
+    for kind, backend in backends.items():
+        read_result = _read_phase(backend, sample, params["value_bytes"],
+                                  params["warm_rounds"])
+        print(f"[read:{kind}] p50={read_result['p50_us']}us "
+              f"p99={read_result['p99_us']}us"
+              + (f", cache_hit={read_result['block_cache_hit_rate']:.1%}"
+                 if "block_cache_hit_rate" in read_result else ""))
+        benches[f"backend_point_read_{kind}"] = read_result
+        scan_result = _scan_phase(backend, n, params["value_bytes"])
+        print(f"[scan:{kind}] {scan_result['ops_per_s']:,.0f} entries/s")
+        benches[f"backend_scan_{kind}"] = scan_result
+
+    # The warm-cache comparison: the exact same table layout, reopened
+    # with the block cache disabled -- every point read decodes its
+    # block from the mmap.
+    backends["lsm"].close()
+    nocache = LSMBackend(f"{workdir}/lsm",
+                         **{**LSM_TUNING, "block_cache_bytes": 0,
+                            "background": False})
+    nocache_result = _read_phase(nocache, sample, params["value_bytes"],
+                                 params["warm_rounds"])
+    print(f"[read:lsm-nocache] p50={nocache_result['p50_us']}us "
+          f"p99={nocache_result['p99_us']}us")
+    benches["backend_point_read_lsm_nocache"] = nocache_result
+    nocache.close()
+    for kind, backend in backends.items():
+        if kind != "lsm":
+            backend.close()
+
+    warm = benches["backend_point_read_lsm"]
+    ratio = (benches["backend_fill_lsm"]["ops_per_s"]
+             / benches["backend_fill_lsm_seed"]["ops_per_s"])
+    print(f"[ingest-gate] background/tiered vs inline/full: {ratio:.2f}x "
+          f"(need >= {INGEST_GATE}x)")
+    print(f"[read-gate] warm p99 {warm['p99_us']}us vs nocache "
+          f"{nocache_result['p99_us']}us")
+    return {
+        "quick": quick,
+        "seed": seed,
+        "ingest_gate": INGEST_GATE,
+        "benches": benches,
+        "ingest_ratio": round(ratio, 3),
+        "warm_p99_us": warm["p99_us"],
+        "nocache_p99_us": nocache_result["p99_us"],
+    }
+
+
+def evaluate_gates(results: dict) -> list:
+    """Return human-readable gate failures (empty == pass)."""
+    failures = []
+    if results["ingest_ratio"] < results["ingest_gate"]:
+        failures.append(
+            f"backend_ingest: background LSM ingest is only "
+            f"{results['ingest_ratio']:.2f}x the inline seed engine, "
+            f"gate is {results['ingest_gate']}x")
+    if results["warm_p99_us"] >= results["nocache_p99_us"]:
+        failures.append(
+            f"backend_point_read: warm-cache p99 "
+            f"({results['warm_p99_us']}us) is not better than the "
+            f"cache-disabled p99 ({results['nocache_p99_us']}us)")
+    warm = results["benches"]["backend_point_read_lsm"]
+    if warm.get("block_cache_hit_rate", 0) <= 0.5:
+        failures.append(
+            f"backend_point_read: block cache hit rate "
+            f"{warm.get('block_cache_hit_rate', 0):.1%} leaves the warm "
+            "p99 measuring the uncached path")
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the Yokan backends: sustained-write "
+                    "throughput, point-read p99s, write/read "
+                    "amplification, and the LSM engine gates.")
+    parser.add_argument("--quick", action="store_true",
+                        help="small corpus (CI smoke)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the results as JSON")
+    args = parser.parse_args(argv)
+    results = run_benches(quick=args.quick, seed=args.seed)
+    failures = evaluate_gates(results)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run the bench suite and write the ``BENCH_PR9.json`` baseline.
+"""Run the bench suite and write the ``BENCH_PR10.json`` baseline.
 
 Every entry under ``benches`` reports at least ``ops_per_s`` and
 ``bytes_per_s`` so successive baselines (``BENCH_*.json``) can be
@@ -9,10 +9,12 @@ The suite is the gated :mod:`bench_dataplane` measurements, the gated
 projection/selection measurements, the gated :mod:`bench_fault_overhead`
 fault-path costs, the gated :mod:`bench_recovery` durability timings
 (WAL replay, failover reads, fault-free WAL overhead), the gated
-:mod:`bench_multitenant` isolation and broker-idle measurements, and
-two micro-benchmarks of the wire-level codecs::
+:mod:`bench_multitenant` isolation and broker-idle measurements, the
+gated :mod:`bench_yokan_backends` storage-engine suite (sustained-write
+throughput, point-read p99s, write/read amplification, block-cache
+warm-vs-cold), and two micro-benchmarks of the wire-level codecs::
 
-    PYTHONPATH=src python benchmarks/run_all.py              # quick, writes BENCH_PR9.json
+    PYTHONPATH=src python benchmarks/run_all.py              # quick, writes BENCH_PR10.json
     PYTHONPATH=src python benchmarks/run_all.py --full -o /tmp/bench.json
 
 Exits nonzero if any gate fails, so the baseline can never be
@@ -34,11 +36,12 @@ import bench_fault_overhead
 import bench_multitenant
 import bench_recovery
 import bench_scaling
+import bench_yokan_backends
 from repro.yokan import packed, wire
 
 DEFAULT_OUTPUT = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "BENCH_PR9.json")
+    "BENCH_PR10.json")
 
 
 def _best_of(fn, rounds: int = 5) -> float:
@@ -92,7 +95,7 @@ def bench_wire_seal_unseal() -> dict:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Run the bench suite and emit the BENCH_PR9.json "
+        description="Run the bench suite and emit the BENCH_PR10.json "
                     "perf baseline.")
     parser.add_argument("--full", action="store_true",
                         help="full corpus and the 2x acceptance gates "
@@ -121,6 +124,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     multitenant = bench_multitenant.run_benches(quick=not args.full,
                                                 seed=args.seed)
     failures += bench_multitenant.evaluate_gates(multitenant)
+    backends = bench_yokan_backends.run_benches(quick=not args.full,
+                                                seed=args.seed)
+    failures += bench_yokan_backends.evaluate_gates(backends)
     benches = {name: data
                for name, data in results["benches"].items()
                if name != "workflow_identity"}
@@ -130,11 +136,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     benches.update(fault["benches"])
     benches.update(recovery["benches"])
     benches.update(multitenant["benches"])
+    benches.update(backends["benches"])
     benches["packed_codec"] = bench_packed_codec()
     benches["wire_seal_unseal"] = bench_wire_seal_unseal()
     doc = {
         "schema": "hepnos-bench/v1",
-        "baseline": "PR9",
+        "baseline": "PR10",
         "generated_by": "benchmarks/run_all.py"
                         + (" --full" if args.full else ""),
         "quick": not args.full,
@@ -146,6 +153,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "wal_overhead_gate": recovery["wal_overhead_gate"],
         "isolation_gate": multitenant["isolation_gate"],
         "idle_overhead_gate": multitenant["idle_overhead_gate"],
+        "backend_ingest_gate": backends["ingest_gate"],
+        "backend_ingest_ratio": backends["ingest_ratio"],
+        "backend_warm_p99_us": backends["warm_p99_us"],
+        "backend_nocache_p99_us": backends["nocache_p99_us"],
         "gates_passed": not failures,
         "benches": benches,
         "scaling": scaling,

@@ -187,6 +187,27 @@ class BedrockServer:
             for link in provider.replica_links().values():
                 out["replica_forwarded"] += link.forwarded
                 out["replica_failures"] += link.failed
+        lsm = {"flushes": 0, "compactions": 0, "compaction_backlog": 0,
+               "throttle_waits": 0, "backpressure_waits": 0}
+        any_lsm = False
+        for stats in self.storage_stats().values():
+            any_lsm = True
+            for key in lsm:
+                lsm[key] += stats[key]
+        if any_lsm:
+            out["lsm"] = lsm
+        return out
+
+    def storage_stats(self) -> dict[str, dict]:
+        """Per-database storage-engine stats, for databases whose
+        backend exposes ``lsm_stats()`` (the LSM engine, possibly
+        wrapped in a :class:`DurableBackend`)."""
+        out: dict[str, dict] = {}
+        for backends in self._backends.values():
+            for name, backend in backends.items():
+                lsm_stats = getattr(backend, "lsm_stats", None)
+                if callable(lsm_stats):
+                    out[name] = lsm_stats()
         return out
 
     def crash(self, lose_state: bool = False) -> None:

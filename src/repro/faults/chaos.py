@@ -468,9 +468,15 @@ def _durability_stats(servers) -> dict:
     total: dict = {}
     for server in servers:
         for key, value in server.durability_stats().items():
-            total[key] = total.get(key, 0) + value
+            if isinstance(value, dict):  # nested group (e.g. "lsm")
+                group = total.setdefault(key, {})
+                for sub, count in value.items():
+                    group[sub] = group.get(sub, 0) + count
+            else:
+                total[key] = total.get(key, 0) + value
     total["replay_seconds"] = round(total.get("replay_seconds", 0.0), 4)
-    return {k: v for k, v in total.items() if v}
+    return {k: v for k, v in total.items()
+            if (any(v.values()) if isinstance(v, dict) else v)}
 
 
 def run_durability_chaos(seed: int = 0, files: int = 2, ranks: int = 2,
@@ -481,7 +487,7 @@ def run_durability_chaos(seed: int = 0, files: int = 2, ranks: int = 2,
                          ) -> DurabilityChaosReport:
     """NOvA selection parity across crash-with-state-loss scenarios.
 
-    Five scenarios, all against the same generated file set and the
+    Six scenarios, all against the same generated file set and the
     same fault-free baseline selection:
 
     - ``wal-replay-mid-write``: a primary dies (state lost) in the
@@ -499,6 +505,10 @@ def run_durability_chaos(seed: int = 0, files: int = 2, ranks: int = 2,
     - ``rescale-crash``: a WAL-backed server dies with state loss while
       a live rescale (joining server, dual-read migration) runs
       concurrently with selection.
+    - ``lsm-crash-mid-compaction``: the service runs on the LSM engine
+      tuned so background flushes/compactions are continuously in
+      flight, and a server dies with state loss mid-ingest; recovery
+      replays the engine's segmented WAL and drops orphan tables.
 
     ``quick`` shrinks the dataset for CI smoke use.  The report's
     ``matches`` is True only if *every* scenario reproduced the
@@ -714,6 +724,39 @@ def run_durability_chaos(seed: int = 0, files: int = 2, ranks: int = 2,
            extra={"keys_moved": (migration["stats"].keys_moved
                                  if migration["stats"] else 0),
                   "final_epoch": datastore.placement.epoch})
+    fabric.runtime.shutdown()
+
+    # -- scenario: LSM engine killed with flush/compaction in flight --------
+    # Tiny memtables + an aggressive trigger keep the background worker
+    # continuously flushing and compacting during ingest, so the
+    # mid-ingest state-loss crash lands on a half-written SSTable with
+    # high probability.  Recovery replays the engine's own segmented
+    # WAL and discards any orphan table the manifest never published.
+    fabric = Fabric(threaded=True)
+    servers = []
+    for i in range(2):
+        servers.append(BedrockServer(fabric, default_hepnos_config(
+            f"sm://node{i}/hepnos", backend="lsm",
+            storage_root=f"{workdir}/s6/node{i}",
+            backend_config=dict(memtable_bytes=512, compaction_trigger=2,
+                                max_immutables=2,
+                                block_cache_bytes=256 * 1024),
+            **layout)))
+    fabric.runtime.start()
+    datastore = DataStore.connect(fabric, servers, retry_policy=policy)
+    workflow = HEPnOSWorkflow(datastore, "nova/durability",
+                              input_batch_size=64, dispatch_batch_size=8)
+    schedule = FaultSchedule(seed).crash_restart(
+        servers[1], crash_at=10, restart_at=40, lose_state=True)
+    fabric.fault_model = schedule
+    t0 = time.perf_counter()
+    try:
+        workflow.ingest(sample.paths, num_ranks=1)
+    finally:
+        fabric.fault_model = FaultModel()
+    result = workflow.select(num_ranks=ranks)
+    record("lsm-crash-mid-compaction", result, time.perf_counter() - t0,
+           servers, schedule)
     fabric.runtime.shutdown()
 
     return DurabilityChaosReport(

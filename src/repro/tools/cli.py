@@ -12,6 +12,9 @@ Subcommands that work standalone (no live service needed):
 - ``tenants``   -- demo the multi-tenant request broker: metered
   tenant sessions against one service, then the ops surface
   (per-tenant admitted/shed/queued table + slow-query log);
+- ``storage``   -- demo the LSM storage engine: ingest + select on an
+  LSM-backed service, then the per-database engine stats (memtable
+  pipeline, tiers, cache hit rate, write/read amplification);
 - ``tune``      -- autotune the deployable configuration on the
   simulator.
 """
@@ -300,6 +303,78 @@ def _cmd_tenants(args) -> int:
     return 0
 
 
+def _cmd_storage(args) -> int:
+    """Drive an LSM-backed service; print per-database engine stats."""
+    from repro.bedrock import BedrockServer, default_hepnos_config
+    from repro.hepnos import DataStore
+    from repro.mercury import Fabric
+    from repro.nova import GeneratorConfig, generate_file_set
+    from repro.tools.common import emit_report
+    from repro.workflows import HEPnOSWorkflow
+
+    workdir = tempfile.mkdtemp(prefix="hepnos-storage-")
+    sample = generate_file_set(
+        f"{workdir}/files", num_files=1 if args.quick else 4,
+        mean_events_per_file=16 if args.quick else 48,
+        config=GeneratorConfig(signal_fraction=0.1, events_per_subrun=16,
+                               subruns_per_run=4),
+    )
+    fabric = Fabric(threaded=True)
+    servers = [
+        BedrockServer(fabric, default_hepnos_config(
+            f"sm://node{i}/hepnos", num_providers=2, event_databases=2,
+            product_databases=2, run_databases=1, subrun_databases=1,
+            backend="lsm", storage_root=f"{workdir}/node{i}",
+            backend_config={
+                "memtable_bytes": args.memtable_bytes,
+                "compaction_trigger": 2,
+                "block_cache_bytes": 1 << 20,
+            },
+        ))
+        for i in range(2)
+    ]
+    fabric.runtime.start()
+    datastore = DataStore.connect(fabric, servers)
+    workflow = HEPnOSWorkflow(datastore, "nova/storage", input_batch_size=64,
+                              dispatch_batch_size=8)
+    result = workflow.run(sample.paths, num_ranks=2)
+    stats = {f"node{i}": server.storage_stats()
+             for i, server in enumerate(servers)}
+    fabric.runtime.shutdown()
+    if args.json:
+        emit_report({"selected": len(result.accepted_ids),
+                     "databases": stats}, True)
+        return 0
+    print(f"ingested {sample.total_events} events, selected "
+          f"{len(result.accepted_ids)} of {result.slices_examined} slices\n")
+    columns = ("memtable_entries", "immutables", "sstables", "flushes",
+               "compactions", "compaction_backlog")
+    width = max(
+        (len(f"{node}/{name}") for node, dbs in stats.items() for name in dbs),
+        default=8) + 2
+    header = "database".ljust(width) + "".join(
+        c.rjust(len(c) + 3) for c in columns) \
+        + "   cache_hit   w-amp   r-amp   tiers"
+    print(header)
+    print("-" * len(header))
+    for node, dbs in sorted(stats.items()):
+        for name, db in sorted(dbs.items()):
+            row = f"{node}/{name}".ljust(width) + "".join(
+                str(db[c]).rjust(len(c) + 3) for c in columns)
+            tiers = ",".join(f"{k}:{v}" for k, v in db["tiers"].items()) \
+                or "-"
+            row += (f"   {db['block_cache_hit_rate']:9.2%}"
+                    f"   {db['write_amplification']:5.2f}"
+                    f"   {db['read_amplification']:5.2f}   {tiers}")
+            print(row)
+    totals = [sum(db[c] for dbs in stats.values() for db in dbs.values())
+              for c in columns]
+    print("-" * len(header))
+    print("total".ljust(width) + "".join(
+        str(t).rjust(len(c) + 3) for t, c in zip(totals, columns)))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-hepnos",
@@ -350,6 +425,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slow", type=int, default=8,
                    help="slow-query log entries to show (default: 8)")
     p.set_defaults(fn=_cmd_tenants)
+
+    p = sub.add_parser("storage",
+                       help="demo the LSM storage engine's ops surface",
+                       parents=[common_parser()])
+    p.add_argument("--memtable-bytes", type=int, default=4096,
+                   help="rotation threshold; small values keep the "
+                        "background pipeline busy (default: 4096)")
+    p.set_defaults(fn=_cmd_storage)
 
     p = sub.add_parser("tune", help="autotune the configuration")
     p.add_argument("--nodes", type=int, default=64)

@@ -1,46 +1,113 @@
 """A log-structured merge-tree backend: the paper's RocksDB stand-in.
 
-Design (classic LSM, size-tiered full compaction):
+Production-shaped engine (PR 10), replacing the seed's inline design:
 
-- writes append to a checksummed write-ahead log, then land in a
-  skip-list *memtable*;
-- when the memtable exceeds ``memtable_bytes`` it is flushed to an
-  immutable, sorted *SSTable* file with a sparse index and a bloom
-  filter;
-- reads consult the memtable, then SSTables newest-to-oldest, skipping
-  tables whose bloom filter excludes the key;
-- deletes write *tombstones*, dropped at compaction;
-- when more than ``compaction_trigger`` SSTables accumulate they are
-  merged into one.
+- writes append to a checksummed, *segmented* write-ahead log and land
+  in a skip-list *memtable*; acknowledged writes always reach the OS
+  (flush per record), so a simulated process crash loses nothing that
+  was acked;
+- when the active memtable exceeds ``memtable_bytes`` it is *rotated*
+  onto an immutable-memtable list and a **background worker** (the
+  Argobots-xstream stand-in) flushes it to an SSTable -- puts never
+  stall on disk.  Reads consult active -> immutables -> SSTables;
+- SSTables are **block-based** (``block_bytes`` entries per block, an
+  optional per-block zlib/zstd codec) and read through an ``mmap``:
+  a block fetch is a zero-copy slice of the map, decoded once and kept
+  in a bytes-bounded **block LRU cache** shared across all tables of
+  the backend;
+- a tunable ``bits_per_key`` bloom filter per table skips tables that
+  cannot hold a key;
+- deletes write *tombstones*, dropped when a compaction includes the
+  oldest table;
+- compaction is **size-tiered**: contiguous age-runs of similarly
+  sized tables merge into one (never the seed's merge-everything), on
+  the same background worker, with a backlog gauge and a write
+  throttle when the backlog grows.  ``compaction="full"`` restores the
+  seed's merge-everything policy, and ``background=False`` restores
+  inline flushes -- together they are the benchmark's seed baseline.
 
-The backend tracks read/write amplification counters so benchmarks can
+Crash-safety contract (composes with ``BedrockServer.crash(
+lose_state=True)`` and, when configured, an outer ``DurableBackend``):
+a WAL segment is deleted only *after* the SSTable holding its data is
+durable (fsynced, renamed, and referenced by the fsynced MANIFEST).
+A crash mid-flush or mid-compaction leaves either orphan files (not in
+the manifest: removed on recovery) or undeleted segments (replayed
+idempotently) -- never a hole.
+
+The backend tracks write/read-amplification counters so benchmarks can
 show *why* the in-memory backend wins at scale in Figure 2.
 """
 
 from __future__ import annotations
 
+import bisect
+import hashlib
 import heapq
 import json
+import mmap
 import os
 import struct
+import threading
+import time
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Tuple
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple
 
-from repro.errors import CorruptionError, KeyNotFound
-from repro.utils import SkipListMap, fnv1a_64, mix64
+from repro.errors import ConfigError, CorruptionError, KeyNotFound
+from repro.monitor import tracing as _tracing
+from repro.utils import SkipListMap
 from repro.yokan.backend import Backend, prefix_upper_bound, register_backend
 
 _WAL_HEADER = struct.Struct("<II")  # payload length, crc32
-_SST_MAGIC = b"SSTB0001"
+_U32 = struct.Struct("<I")
+_ENTRY = struct.Struct("<II")  # key length, value length
+_SST_MAGIC = b"SSTB0002"
 _FOOTER_LEN = struct.Struct("<Q")
+_TOMBSTONE_LEN = 0xFFFFFFFF
 
 #: Sentinel stored in the memtable for deleted keys.
 _TOMBSTONE = object()
 
+#: Tables smaller than this all land in size tier 0.
+_TIER_BASE_BYTES = 64 * 1024
+
+try:  # gated optional dependency -- never required
+    import zstandard as _zstd
+except ImportError:  # pragma: no cover - environment-dependent
+    _zstd = None
+
+
+def _codec_funcs(name: Optional[str]):
+    """(compress, decompress) for a block codec name (None = raw)."""
+    if name is None or name == "none":
+        return None, None
+    if name == "zlib":
+        return (lambda b: zlib.compress(b, 1)), zlib.decompress
+    if name == "zstd":
+        if _zstd is None:
+            raise ConfigError(
+                "lsm compression 'zstd' requested but the zstandard "
+                "module is not installed; use 'zlib' or None")
+        cctx = _zstd.ZstdCompressor(level=1)
+        dctx = _zstd.ZstdDecompressor()
+        return cctx.compress, dctx.decompress
+    raise ConfigError(f"unknown lsm compression {name!r}; "
+                      "known: None, 'zlib', 'zstd'")
+
+
+class _FlushAborted(Exception):
+    """A background file build observed a crash and abandoned its work."""
+
 
 class BloomFilter:
-    """A fixed-size bloom filter over byte keys."""
+    """A fixed-size bloom filter over byte keys.
+
+    Hashing is one ``blake2b`` digest split into two 64-bit halves
+    (double hashing ``h1 + i*h2``), so probing *many* tables for one
+    key pays the digest once via :meth:`hash_pair` +
+    :meth:`contains_hashed`.
+    """
 
     def __init__(self, num_bits: int, num_hashes: int = 4,
                  bits: Optional[bytearray] = None):
@@ -54,10 +121,15 @@ class BloomFilter:
     def for_capacity(cls, n: int, bits_per_key: int = 10) -> "BloomFilter":
         return cls(max(64, n * bits_per_key))
 
+    @staticmethod
+    def hash_pair(key: bytes) -> Tuple[int, int]:
+        digest = hashlib.blake2b(key, digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:], "little") | 1
+        return h1, h2
+
     def _positions(self, key: bytes) -> Iterator[int]:
-        # Double hashing: h1 + i*h2 simulates k independent hashes.
-        h1 = fnv1a_64(key)
-        h2 = mix64(h1) | 1
+        h1, h2 = self.hash_pair(key)
         for i in range(self.num_hashes):
             yield (h1 + i * h2) % self.num_bits
 
@@ -70,6 +142,15 @@ class BloomFilter:
             self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key)
         )
 
+    def contains_hashed(self, h1: int, h2: int) -> bool:
+        bits = self._bits
+        num_bits = self.num_bits
+        for i in range(self.num_hashes):
+            pos = (h1 + i * h2) % num_bits
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
+
     def to_bytes(self) -> bytes:
         return struct.pack("<QI", self.num_bits, self.num_hashes) + bytes(self._bits)
 
@@ -81,17 +162,38 @@ class BloomFilter:
 
 @dataclass
 class LSMStats:
-    """Amplification and hit-rate counters."""
+    """Amplification, pipeline, and cache counters."""
 
+    #: bytes framed into the WAL (the logical write stream)
     wal_bytes: int = 0
+    #: user payload bytes acknowledged (keys + values)
+    logical_bytes: int = 0
     flushes: int = 0
     flushed_bytes: int = 0
     compactions: int = 0
     compacted_bytes: int = 0
+    #: memtable rotations (active -> immutable list)
+    rotations: int = 0
+    flush_seconds: float = 0.0
+    compaction_seconds: float = 0.0
+    #: lookups served (``get`` + ``exists`` -- the unified read path)
     gets: int = 0
     memtable_hits: int = 0
+    immutable_hits: int = 0
+    #: SSTable probes that passed the bloom filter (point lookups)
     sstable_reads: int = 0
     bloom_skips: int = 0
+    #: data blocks decoded from disk (block-cache misses)
+    blocks_read: int = 0
+    block_cache_hits: int = 0
+    block_cache_misses: int = 0
+    block_cache_evictions: int = 0
+    #: soft write throttles (backlog over ``throttle_backlog``)
+    throttle_waits: int = 0
+    #: hard write stalls (immutable list at ``max_immutables``)
+    backpressure_waits: int = 0
+    #: background tasks that failed (surfaced via ``drain``)
+    worker_errors: int = 0
     #: entries pulled through the scan merge heap (bounded prefix scans
     #: should keep this proportional to the prefix range, not the store)
     scan_entries: int = 0
@@ -101,192 +203,498 @@ class LSMStats:
         logical = self.wal_bytes or 1
         return (self.wal_bytes + self.flushed_bytes + self.compacted_bytes) / logical
 
+    @property
+    def read_amplification(self) -> float:
+        """Disk blocks decoded per lookup (cache hits cost nothing)."""
+        return self.blocks_read / (self.gets or 1)
+
+    @property
+    def block_cache_hit_rate(self) -> float:
+        total = self.block_cache_hits + self.block_cache_misses
+        return self.block_cache_hits / total if total else 0.0
+
+
+class BlockCache:
+    """Bytes-bounded LRU over decoded SSTable blocks.
+
+    Shared by every table of one backend; keys are ``(table_uid,
+    block_index)`` so recycled file names can never alias.  A
+    ``max_bytes`` of 0 disables caching (every read decodes its
+    block).
+    """
+
+    def __init__(self, max_bytes: int, stats: LSMStats):
+        self.max_bytes = max(0, int(max_bytes))
+        self.stats = stats
+        self._entries: OrderedDict = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    def get(self, key):
+        if self.max_bytes == 0:
+            self.stats.block_cache_misses += 1
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.block_cache_misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.block_cache_hits += 1
+            return entry[0]
+
+    def put(self, key, block, nbytes: int) -> None:
+        if self.max_bytes == 0 or nbytes > self.max_bytes:
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (block, nbytes)
+            self._bytes += nbytes
+            while self._bytes > self.max_bytes:
+                _k, (_b, dropped) = self._entries.popitem(last=False)
+                self._bytes -= dropped
+                self.stats.block_cache_evictions += 1
+
+    def drop_table(self, uid: int) -> None:
+        """Evict every block of a compacted-away table."""
+        with self._lock:
+            stale = [k for k in self._entries if k[0] == uid]
+            for k in stale:
+                _b, nbytes = self._entries.pop(k)
+                self._bytes -= nbytes
+
+    @property
+    def used_bytes(self) -> int:
+        return self._bytes
+
+
+def _parse_block(buf) -> Tuple[list, list]:
+    """Decode one block's entries into parallel (keys, values) lists.
+
+    ``values`` holds ``None`` for tombstones.  Entries are copied out
+    of the (possibly mmap-backed) buffer so cached blocks never pin a
+    dead table's mapping.
+    """
+    keys: list = []
+    values: list = []
+    offset = 0
+    end = len(buf)
+    while offset < end:
+        klen, vlen = _ENTRY.unpack_from(buf, offset)
+        offset += 8
+        keys.append(bytes(buf[offset:offset + klen]))
+        offset += klen
+        if vlen == _TOMBSTONE_LEN:
+            values.append(None)
+        else:
+            values.append(bytes(buf[offset:offset + vlen]))
+            offset += vlen
+    return keys, values
+
 
 class SSTable:
-    """One immutable sorted table on disk."""
+    """One immutable, block-based sorted table on disk.
 
-    #: Every ``INDEX_INTERVAL``-th key lands in the sparse index.
-    INDEX_INTERVAL = 16
+    The file is mapped read-only once; block reads are zero-copy
+    slices of the map, decoded on first touch and served from the
+    shared :class:`BlockCache` afterwards.
+    """
 
-    def __init__(self, path: str):
+    _next_uid = 0
+    _uid_lock = threading.Lock()
+
+    def __init__(self, path: str, cache: Optional[BlockCache] = None,
+                 stats: Optional[LSMStats] = None):
         self.path = path
+        self.cache = cache
+        self.stats = stats
+        with SSTable._uid_lock:
+            self.uid = SSTable._next_uid
+            SSTable._next_uid += 1
         with open(path, "rb") as f:
-            magic = f.read(len(_SST_MAGIC))
-            if magic != _SST_MAGIC:
+            if f.read(len(_SST_MAGIC)) != _SST_MAGIC:
                 raise CorruptionError(f"{path}: bad SSTable magic")
-            f.seek(-_FOOTER_LEN.size, os.SEEK_END)
-            end_of_footer = f.tell()
-            (footer_size,) = _FOOTER_LEN.unpack(f.read(_FOOTER_LEN.size))
-            f.seek(end_of_footer - footer_size)
-            footer = json.loads(f.read(footer_size).decode())
+            self._mm = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+        view = memoryview(self._mm)
+        (footer_size,) = _FOOTER_LEN.unpack(view[-_FOOTER_LEN.size:])
+        footer_start = len(view) - _FOOTER_LEN.size - footer_size
+        footer = json.loads(bytes(view[footer_start:footer_start + footer_size]))
+        self._view = view
         self.num_entries: int = footer["n"]
         self.data_end: int = footer["data_end"]
-        self.index: list[tuple[bytes, int]] = [
-            (bytes.fromhex(k), off) for k, off in footer["index"]
+        self.codec: Optional[str] = footer.get("codec")
+        _compress, self._decompress = _codec_funcs(self.codec)
+        #: per block: (offset, stored length, compressed flag)
+        self.blocks: list[tuple[int, int, int]] = [
+            (off, stored, flag) for _first, off, stored, flag
+            in footer["blocks"]
+        ]
+        self.block_firsts: list[bytes] = [
+            bytes.fromhex(b[0]) for b in footer["blocks"]
         ]
         self.bloom = BloomFilter.from_bytes(bytes.fromhex(footer["bloom"]))
         self.min_key = bytes.fromhex(footer["min"]) if footer["min"] else b""
         self.max_key = bytes.fromhex(footer["max"]) if footer["max"] else b""
 
+    @property
+    def size_bytes(self) -> int:
+        """Data bytes (pre-footer) -- the size-tiering measure."""
+        return self.data_end - len(_SST_MAGIC)
+
+    def close(self) -> None:
+        view, self._view = self._view, memoryview(b"")
+        view.release()
+        self._mm.close()
+
     @staticmethod
-    def write(path: str, entries: Iterator[Tuple[bytes, Optional[bytes]]],
-              expected_count: int) -> int:
+    def write(path: str, entries: Iterable[Tuple[bytes, Optional[bytes]]],
+              expected_count: int, *, block_bytes: int = 4096,
+              bits_per_key: int = 10, codec: Optional[str] = None,
+              should_abort: Optional[Callable[[], bool]] = None,
+              on_block: Optional[Callable[[int], None]] = None) -> int:
         """Write sorted ``entries`` (value ``None`` = tombstone) to ``path``.
+
+        Entries are grouped into blocks of ~``block_bytes``; each block
+        is compressed with ``codec`` when that actually shrinks it.
+        ``should_abort`` is polled at every block boundary so a
+        simulated crash can abandon a half-written table (the ``.tmp``
+        never becomes visible).  ``on_block`` is a test hook invoked
+        with the block ordinal after each block lands.
 
         Returns the number of data bytes written.
         """
-        bloom = BloomFilter.for_capacity(max(expected_count, 1))
-        index: list[tuple[str, int]] = []
+        compress, _decompress = _codec_funcs(codec)
+        bloom = BloomFilter.for_capacity(max(expected_count, 1), bits_per_key)
+        blocks: list[tuple[str, int, int, int]] = []
         n = 0
         min_key = max_key = None
         tmp = path + ".tmp"
-        with open(tmp, "wb") as f:
-            f.write(_SST_MAGIC)
-            for key, value in entries:
-                offset = f.tell()
-                if n % SSTable.INDEX_INTERVAL == 0:
-                    index.append((key.hex(), offset))
-                bloom.add(key)
-                if min_key is None:
-                    min_key = key
-                max_key = key
-                if value is None:
-                    f.write(struct.pack("<II", len(key), 0xFFFFFFFF))
-                    f.write(key)
-                else:
-                    f.write(struct.pack("<II", len(key), len(value)))
-                    f.write(key)
-                    f.write(value)
-                n += 1
-            data_end = f.tell()
-            footer = json.dumps({
-                "n": n,
-                "data_end": data_end,
-                "index": index,
-                "bloom": bloom.to_bytes().hex(),
-                "min": min_key.hex() if min_key is not None else "",
-                "max": max_key.hex() if max_key is not None else "",
-            }).encode()
-            f.write(footer)
-            f.write(_FOOTER_LEN.pack(len(footer)))
-            f.flush()
-            os.fsync(f.fileno())
+        buf = bytearray()
+        first_key: Optional[bytes] = None
+        try:
+            with open(tmp, "wb") as f:
+                f.write(_SST_MAGIC)
+
+                def emit_block() -> None:
+                    nonlocal buf, first_key
+                    if not buf:
+                        return
+                    if should_abort is not None and should_abort():
+                        raise _FlushAborted(path)
+                    raw = bytes(buf)
+                    stored, flag = raw, 0
+                    if compress is not None:
+                        packed = compress(raw)
+                        if len(packed) < len(raw):
+                            stored, flag = packed, 1
+                    offset = f.tell()
+                    f.write(stored)
+                    blocks.append((first_key.hex(), offset, len(stored), flag))
+                    if on_block is not None:
+                        on_block(len(blocks) - 1)
+                    buf = bytearray()
+                    first_key = None
+
+                for key, value in entries:
+                    if first_key is None:
+                        first_key = key
+                    bloom.add(key)
+                    if min_key is None:
+                        min_key = key
+                    max_key = key
+                    if value is None:
+                        buf += _ENTRY.pack(len(key), _TOMBSTONE_LEN)
+                        buf += key
+                    else:
+                        buf += _ENTRY.pack(len(key), len(value))
+                        buf += key
+                        buf += value
+                    n += 1
+                    if len(buf) >= block_bytes:
+                        emit_block()
+                emit_block()
+                data_end = f.tell()
+                footer = json.dumps({
+                    "n": n,
+                    "data_end": data_end,
+                    "codec": codec,
+                    "blocks": blocks,
+                    "bloom": bloom.to_bytes().hex(),
+                    "min": min_key.hex() if min_key is not None else "",
+                    "max": max_key.hex() if max_key is not None else "",
+                }).encode()
+                f.write(footer)
+                f.write(_FOOTER_LEN.pack(len(footer)))
+                f.flush()
+                os.fsync(f.fileno())
+        except _FlushAborted:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         os.replace(tmp, path)
-        return data_end
+        return data_end - len(_SST_MAGIC)
 
-    def _read_entry(self, f) -> Optional[Tuple[bytes, Optional[bytes]]]:
-        header = f.read(8)
-        if len(header) < 8:
-            return None
-        klen, vlen = struct.unpack("<II", header)
-        key = f.read(klen)
-        if vlen == 0xFFFFFFFF:
-            return key, None
-        return key, f.read(vlen)
+    # -- block access --------------------------------------------------------
 
-    def get(self, key: bytes) -> Tuple[bool, Optional[bytes]]:
+    def _block_entries(self, index: int) -> Tuple[list, list]:
+        cache_key = (self.uid, index)
+        if self.cache is not None:
+            block = self.cache.get(cache_key)
+            if block is not None:
+                return block
+        offset, stored, flag = self.blocks[index]
+        raw = self._view[offset:offset + stored]
+        if flag:
+            raw = self._decompress(bytes(raw))
+        block = _parse_block(raw)
+        if self.stats is not None:
+            self.stats.blocks_read += 1
+        if self.cache is not None:
+            keys, values = block
+            nbytes = 64 + sum(len(k) for k in keys) + sum(
+                len(v) for v in values if v is not None) + 16 * len(keys)
+            self.cache.put(cache_key, block, nbytes)
+        return block
+
+    def get(self, key: bytes,
+            hashes: Optional[Tuple[int, int]] = None
+            ) -> Tuple[bool, Optional[bytes]]:
         """(found, value) -- value ``None`` with found=True is a tombstone."""
         if self.num_entries == 0 or not self.min_key <= key <= self.max_key:
             return False, None
-        if key not in self.bloom:
+        if hashes is not None:
+            if not self.bloom.contains_hashed(*hashes):
+                return False, None
+        elif key not in self.bloom:
             return False, None
-        # Bisect the sparse index for the last offset whose key <= key.
-        lo, hi = 0, len(self.index) - 1
-        start = self.index[0][1]
-        while lo <= hi:
-            mid = (lo + hi) // 2
-            if self.index[mid][0] <= key:
-                start = self.index[mid][1]
-                lo = mid + 1
-            else:
-                hi = mid - 1
-        with open(self.path, "rb") as f:
-            f.seek(start)
-            for _ in range(self.INDEX_INTERVAL):
-                if f.tell() >= self.data_end:
-                    break
-                entry = self._read_entry(f)
-                if entry is None:
-                    break
-                ekey, value = entry
-                if ekey == key:
-                    return True, value
-                if ekey > key:
-                    break
+        index = bisect.bisect_right(self.block_firsts, key) - 1
+        if index < 0:
+            return False, None
+        keys, values = self._block_entries(index)
+        i = bisect.bisect_left(keys, key)
+        if i < len(keys) and keys[i] == key:
+            return True, values[i]
         return False, None
 
     def scan(self, start: bytes = b"", end: Optional[bytes] = None
              ) -> Iterator[Tuple[bytes, Optional[bytes]]]:
         """Ordered iteration including tombstones, from ``start``.
 
-        With ``end``, iteration (and the underlying file reads) stop at
-        the first key ``>= end`` -- prefix-bounded scans never pay for
-        the rest of the sorted run.
+        With ``end``, iteration (and the underlying block decodes) stop
+        at the first key ``>= end`` -- prefix-bounded scans never pay
+        for the rest of the sorted run.
         """
-        if self.num_entries == 0:
+        if self.num_entries == 0 or self.max_key < start:
             return
         if end is not None and self.min_key >= end:
             return
-        # Seek via the sparse index.
-        offset = self.index[0][1]
-        for ikey, ioff in self.index:
-            if ikey <= start:
-                offset = ioff
-            else:
-                break
-        with open(self.path, "rb") as f:
-            f.seek(offset)
-            while f.tell() < self.data_end:
-                entry = self._read_entry(f)
-                if entry is None:
-                    break
-                key, value = entry
-                if key < start:
-                    continue
+        index = max(0, bisect.bisect_right(self.block_firsts, start) - 1)
+        for b in range(index, len(self.blocks)):
+            if end is not None and self.block_firsts[b] >= end:
+                return
+            keys, values = self._block_entries(b)
+            i = bisect.bisect_left(keys, start) if b == index else 0
+            for j in range(i, len(keys)):
+                key = keys[j]
                 if end is not None and key >= end:
                     return
-                yield key, value
+                yield key, values[j]
+
+
+class _Immutable:
+    """A sealed memtable queued for flush, plus its WAL segments."""
+
+    __slots__ = ("memtable", "nbytes", "segments")
+
+    def __init__(self, memtable: SkipListMap, nbytes: int,
+                 segments: list[str]):
+        self.memtable = memtable
+        self.nbytes = nbytes
+        self.segments = segments
 
 
 @register_backend("lsm")
 class LSMBackend(Backend):
-    """The persistent LSM backend (``"lsm"``, standing in for RocksDB)."""
+    """The persistent LSM backend (``"lsm"``, standing in for RocksDB).
+
+    All knobs flow from the bedrock database config
+    (``{"type": "lsm", "config": {...}}``):
+
+    - ``memtable_bytes`` -- rotation threshold for the active memtable;
+    - ``background`` -- flush/compact on the dedicated worker thread
+      (default); ``False`` restores the seed's inline behaviour;
+    - ``compaction`` -- ``"tiered"`` (size-tiered runs, default) or
+      ``"full"`` (the seed's merge-everything policy);
+    - ``compaction_trigger`` -- tables per size tier (or total tables,
+      for ``"full"``) before a merge is scheduled;
+    - ``tier_ratio`` -- size ratio separating tiers;
+    - ``max_immutables`` -- hard bound on unflushed sealed memtables
+      (writers stall at the bound -- backpressure);
+    - ``throttle_backlog`` / ``throttle_sleep_s`` -- soft write
+      throttle once the flush+compaction backlog passes the threshold;
+    - ``block_bytes`` / ``block_cache_bytes`` -- SSTable block size and
+      the shared decoded-block LRU budget (0 disables the cache);
+    - ``bits_per_key`` -- bloom filter budget per table;
+    - ``compression`` -- per-block codec: ``None``, ``"zlib"`` or
+      ``"zstd"`` (gated on the module being available);
+    - ``sync_wal`` -- fsync the WAL on every append (records always
+      reach the OS regardless, so acked writes survive process death).
+    """
 
     def __init__(self, path: str, memtable_bytes: int = 4 * 1024 * 1024,
-                 compaction_trigger: int = 4, sync_wal: bool = False, **_unused):
+                 compaction_trigger: int = 4, sync_wal: bool = False,
+                 background: bool = True, compaction: str = "tiered",
+                 tier_ratio: int = 4, max_immutables: int = 4,
+                 throttle_backlog: int = 8, throttle_sleep_s: float = 0.002,
+                 block_bytes: int = 4096,
+                 block_cache_bytes: int = 8 * 1024 * 1024,
+                 bits_per_key: int = 10, compression: Optional[str] = None,
+                 **_unused):
         super().__init__()
+        if compaction not in ("tiered", "full"):
+            raise ConfigError(
+                f"unknown lsm compaction policy {compaction!r}; "
+                "known: 'tiered', 'full'")
+        _codec_funcs(compression)  # validate (and gate zstd) eagerly
         self.path = path
         self.memtable_bytes = memtable_bytes
-        self.compaction_trigger = compaction_trigger
+        self.compaction_trigger = max(2, int(compaction_trigger))
         self.sync_wal = sync_wal
+        self.background = bool(background)
+        self.compaction_policy = compaction
+        self.tier_ratio = max(2, int(tier_ratio))
+        self.max_immutables = max(1, int(max_immutables))
+        self.throttle_backlog = max(1, int(throttle_backlog))
+        self.throttle_sleep_s = float(throttle_sleep_s)
+        self.block_bytes = max(256, int(block_bytes))
+        self.bits_per_key = max(1, int(bits_per_key))
+        self.compression = compression
         self.stats = LSMStats()
+        self.block_cache = BlockCache(block_cache_bytes, self.stats)
         os.makedirs(path, exist_ok=True)
         self._manifest_path = os.path.join(path, "MANIFEST.json")
-        self._wal_path = os.path.join(path, "wal.log")
+        self._lock = threading.RLock()
+        self._work = threading.Condition(self._lock)
         self._memtable = SkipListMap()
         self._mem_bytes = 0
+        self._immutables: list[_Immutable] = []  # oldest first
         self._sstables: list[SSTable] = []  # oldest first
         self._next_table_id = 0
-        # Live-key count is recomputed lazily: keeping it exact on every
-        # put would force a read-before-write (which RocksDB avoids too).
+        self._wal_seq = 0
         self._live_keys: Optional[int] = None
+        self._closing = False
+        self._worker_busy = False
+        self._worker_error: Optional[BaseException] = None
+        #: test hooks: name -> callable, invoked at named worker points
+        #: ('flush_block', 'flush_installed', 'compact_block',
+        #: 'compact_installed'); see tests/test_durability.py.
+        self._test_hooks: dict[str, Callable] = {}
         self._recover()
+        self._open_new_segment(fresh_ownership=False)
+        self._worker: Optional[threading.Thread] = None
+        if self.background:
+            self._worker = threading.Thread(
+                target=self._worker_loop, daemon=True,
+                name=f"lsm-worker:{os.path.basename(path)}")
+            self._worker.start()
+        with self._lock:
+            if self._mem_bytes >= self.memtable_bytes:
+                self._seal_memtable_locked()
+        if not self.background:
+            self._drain_inline()
+
+    # -- WAL segments -------------------------------------------------------
+
+    def _segment_name(self, seq: int) -> str:
+        return f"wal-{seq:06d}.log"
+
+    @property
+    def active_wal_path(self) -> str:
+        """Path of the WAL segment currently taking appends."""
+        return self._wal_path
+
+    def _open_new_segment(self, fresh_ownership: bool = True) -> None:
+        """Open the next WAL segment as the active one.
+
+        With ``fresh_ownership`` the new segment starts a new ownership
+        list (post-rotation); at recovery the replayed segments stay
+        owned by the rebuilt memtable, so they are deleted only once
+        that memtable's SSTable is durable.
+        """
+        name = self._segment_name(self._wal_seq)
+        self._wal_seq += 1
+        self._wal_path = os.path.join(self.path, name)
         self._wal = open(self._wal_path, "ab")
+        if fresh_ownership:
+            self._active_segments = [name]
+        else:
+            self._active_segments.append(name)
+
+    def _wal_append(self, payload: bytes, flush: bool = True) -> None:
+        self._wal.write(_WAL_HEADER.pack(len(payload), zlib.crc32(payload)))
+        self._wal.write(payload)
+        if flush:
+            # Reach the OS on every record: a simulated process crash
+            # (file object abandoned, never closed) still finds every
+            # acknowledged write on disk.
+            self._wal.flush()
+            if self.sync_wal:
+                os.fsync(self._wal.fileno())
+        self.stats.wal_bytes += len(payload)
 
     # -- recovery ---------------------------------------------------------
 
     def _recover(self) -> None:
+        tables: list[str] = []
         if os.path.exists(self._manifest_path):
             with open(self._manifest_path) as f:
                 manifest = json.load(f)
             self._next_table_id = manifest["next_table_id"]
-            for name in manifest["tables"]:
-                self._sstables.append(SSTable(os.path.join(self.path, name)))
-        if os.path.exists(self._wal_path):
-            self._replay_wal()
+            tables = list(manifest["tables"])
+        known = set(tables)
+        for name in sorted(os.listdir(self.path)):
+            # Orphans: tables a crash never published in the manifest,
+            # and abandoned half-written temporaries.
+            if name.endswith(".tmp") or (
+                    name.startswith("sst-") and name.endswith(".tbl")
+                    and name not in known):
+                try:
+                    os.unlink(os.path.join(self.path, name))
+                except OSError:
+                    pass
+        for name in tables:
+            self._sstables.append(SSTable(os.path.join(self.path, name),
+                                          cache=self.block_cache,
+                                          stats=self.stats))
+        segments = sorted(
+            name for name in os.listdir(self.path)
+            if name.startswith("wal-") and name.endswith(".log"))
+        self._active_segments: list[str] = []
+        replayed_any = False
+        for name in segments:
+            if self._replay_segment(os.path.join(self.path, name)):
+                replayed_any = True
+                self._active_segments.append(name)
+            else:
+                # Empty segment: nothing owned, drop it now.
+                try:
+                    os.unlink(os.path.join(self.path, name))
+                except OSError:
+                    pass
+        if segments:
+            last = segments[-1]
+            self._wal_seq = int(last[4:-4]) + 1
+        if replayed_any:
+            self._live_keys = None
 
-    def _replay_wal(self) -> None:
-        with open(self._wal_path, "rb") as f:
+    def _replay_segment(self, path: str) -> bool:
+        """Replay one WAL segment into the memtable; True if non-empty."""
+        replayed = False
+        with open(path, "rb") as f:
             while True:
                 header = f.read(_WAL_HEADER.size)
                 if len(header) < _WAL_HEADER.size:
@@ -296,14 +704,31 @@ class LSMBackend(Backend):
                 if len(payload) < length or zlib.crc32(payload) != crc:
                     # Torn tail write: everything before it is intact.
                     break
-                op = payload[0:1]
-                klen = struct.unpack_from("<I", payload, 1)[0]
-                key = payload[5 : 5 + klen]
-                if op == b"P":
-                    value = payload[5 + klen :]
-                    self._memtable_put(key, value)
-                elif op == b"D":
-                    self._memtable_put(key, _TOMBSTONE)
+                self._apply_record(payload)
+                replayed = True
+        return replayed
+
+    def _apply_record(self, payload: bytes) -> None:
+        op = payload[0:1]
+        if op == b"P":
+            (klen,) = _U32.unpack_from(payload, 1)
+            key = payload[5:5 + klen]
+            self._memtable_put(key, payload[5 + klen:])
+        elif op == b"D":
+            (klen,) = _U32.unpack_from(payload, 1)
+            self._memtable_put(payload[5:5 + klen], _TOMBSTONE)
+        elif op == b"M":
+            (count,) = _U32.unpack_from(payload, 1)
+            offset = 5
+            for _ in range(count):
+                klen, vlen = _ENTRY.unpack_from(payload, offset)
+                offset += 8
+                key = payload[offset:offset + klen]
+                offset += klen
+                self._memtable_put(key, payload[offset:offset + vlen])
+                offset += vlen
+        else:
+            raise CorruptionError(f"unknown LSM WAL opcode {op!r}")
 
     # -- memtable ---------------------------------------------------------
 
@@ -314,42 +739,115 @@ class LSMBackend(Backend):
         self._memtable[key] = value
         self._mem_bytes += len(key) + (0 if value is _TOMBSTONE else len(value))
 
-    def _wal_append(self, op: bytes, key: bytes, value: bytes = b"") -> None:
-        payload = op + struct.pack("<I", len(key)) + key + value
-        self._wal.write(_WAL_HEADER.pack(len(payload), zlib.crc32(payload)))
-        self._wal.write(payload)
-        if self.sync_wal:
-            self._wal.flush()
-            os.fsync(self._wal.fileno())
-        self.stats.wal_bytes += len(payload)
-
-    def _maybe_flush(self) -> None:
-        if self._mem_bytes >= self.memtable_bytes:
-            self.flush_memtable()
-
-    def flush_memtable(self) -> None:
-        """Write the memtable out as a new SSTable and truncate the WAL."""
-        self._check_open()
+    def _seal_memtable_locked(self) -> None:
+        """Rotate the active memtable onto the immutable list."""
         if len(self._memtable) == 0:
             return
+        self._wal.flush()
+        self._wal.close()
+        self._immutables.append(_Immutable(
+            self._memtable, self._mem_bytes, self._active_segments))
+        self._memtable = SkipListMap()
+        self._mem_bytes = 0
+        self.stats.rotations += 1
+        self._open_new_segment()
+        self._work.notify_all()
+
+    # -- background worker ---------------------------------------------------
+
+    def _has_work_locked(self) -> bool:
+        return bool(self._immutables) or self._candidate_locked() is not None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work:
+                while not (self._closing or self._crashed
+                           or self._has_work_locked()):
+                    self._work.wait(0.1)
+                if self._crashed or (self._closing
+                                     and not self._has_work_locked()):
+                    return
+                if self._immutables:
+                    task, payload = "flush", self._immutables[0]
+                else:
+                    run = self._candidate_locked()
+                    if run is None:
+                        continue
+                    task, payload = "compact", run
+                self._worker_busy = True
+            try:
+                if task == "flush":
+                    self._flush_immutable(payload)
+                else:
+                    start, end = payload
+                    self._compact_run(start, end)
+            except _FlushAborted:
+                return  # crash observed mid-build; files cleaned up
+            except Exception as exc:  # noqa: BLE001 - surfaced via drain()
+                with self._lock:
+                    self.stats.worker_errors += 1
+                    self._worker_error = exc
+            finally:
+                with self._work:
+                    self._worker_busy = False
+                    self._work.notify_all()
+            if self._closing and not self.background:
+                return
+
+    def _should_abort(self) -> bool:
+        return self._crashed
+
+    def _flush_immutable(self, imm: _Immutable) -> None:
+        """Write one sealed memtable out as an SSTable, then retire it.
+
+        Ordering is the crash-safety contract: the table is fsynced and
+        renamed, the manifest referencing it is fsynced and renamed,
+        and only then are the memtable's WAL segments deleted.
+        """
+        t0 = time.perf_counter()
         name = f"sst-{self._next_table_id:06d}.tbl"
         self._next_table_id += 1
         entries = (
-            (k, None if v is _TOMBSTONE else v) for k, v in self._memtable.scan()
+            (k, None if v is _TOMBSTONE else v)
+            for k, v in imm.memtable.scan()
         )
-        written = SSTable.write(os.path.join(self.path, name), entries,
-                                len(self._memtable))
-        self.stats.flushes += 1
-        self.stats.flushed_bytes += written
-        self._sstables.append(SSTable(os.path.join(self.path, name)))
-        self._memtable = SkipListMap()
-        self._mem_bytes = 0
-        self._write_manifest()
-        # WAL content is now durable in the SSTable.
-        self._wal.close()
-        self._wal = open(self._wal_path, "wb")
-        if len(self._sstables) > self.compaction_trigger:
-            self.compact()
+        span = (_tracing.span("lsm.flush", parent=_tracing.NO_PARENT,
+                              path=os.path.basename(self.path),
+                              entries=len(imm.memtable))
+                if _tracing.enabled else None)
+        try:
+            written = SSTable.write(
+                os.path.join(self.path, name), entries, len(imm.memtable),
+                block_bytes=self.block_bytes, bits_per_key=self.bits_per_key,
+                codec=self.compression, should_abort=self._should_abort,
+                on_block=self._test_hooks.get("flush_block"))
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
+        with self._lock:
+            if self._crashed:
+                raise _FlushAborted(name)
+            self._sstables.append(SSTable(os.path.join(self.path, name),
+                                          cache=self.block_cache,
+                                          stats=self.stats))
+            try:
+                self._immutables.remove(imm)
+            except ValueError:
+                pass
+            self.stats.flushes += 1
+            self.stats.flushed_bytes += written
+            self.stats.flush_seconds += time.perf_counter() - t0
+            self._write_manifest()
+            self._work.notify_all()
+        hook = self._test_hooks.get("flush_installed")
+        if hook is not None:
+            hook()
+        # The segments' content is now durable in the SSTable.
+        for segment in imm.segments:
+            try:
+                os.unlink(os.path.join(self.path, segment))
+            except OSError:
+                pass
 
     def _write_manifest(self) -> None:
         manifest = {
@@ -365,31 +863,115 @@ class LSMBackend(Backend):
 
     # -- compaction ---------------------------------------------------------
 
-    def compact(self) -> None:
-        """Merge every SSTable into one, dropping tombstones and shadowed keys."""
-        self._check_open()
-        if len(self._sstables) <= 1:
-            return
-        name = f"sst-{self._next_table_id:06d}.tbl"
-        self._next_table_id += 1
-        merged = list(self._merge_tables(include_tombstones=False))
-        written = SSTable.write(os.path.join(self.path, name),
-                                iter(merged), len(merged))
-        self.stats.compactions += 1
-        self.stats.compacted_bytes += written
-        old = self._sstables
-        self._sstables = [SSTable(os.path.join(self.path, name))]
-        self._write_manifest()
-        for table in old:
-            os.unlink(table.path)
+    def _size_bucket(self, size: int) -> int:
+        bucket = 0
+        size = max(size, 1)
+        while size > _TIER_BASE_BYTES:
+            size //= self.tier_ratio
+            bucket += 1
+        return bucket
 
-    def _merge_tables(self, include_tombstones: bool
+    def _candidate_locked(self) -> Optional[Tuple[int, int]]:
+        """The next compaction run as ``(start, end)`` indices, or None.
+
+        Size-tiered selection over contiguous *age* runs: merging only
+        adjacent-in-age tables preserves newest-wins semantics without
+        tracking per-key sequence numbers.  Prefers the oldest eligible
+        run (which can drop tombstones).  When the table count grows
+        far past the trigger without any same-tier run forming, the
+        oldest ``compaction_trigger`` tables merge regardless, so the
+        count stays bounded for any size distribution.
+        """
+        if self.compaction_policy == "full":
+            if len(self._sstables) > self.compaction_trigger:
+                return (0, len(self._sstables))
+            return None
+        tables = self._sstables
+        if len(tables) < self.compaction_trigger:
+            return None
+        buckets = [self._size_bucket(t.size_bytes) for t in tables]
+        start = 0
+        while start < len(tables):
+            end = start + 1
+            while end < len(tables) and buckets[end] == buckets[start]:
+                end += 1
+            if end - start >= self.compaction_trigger:
+                return (start, end)
+            start = end
+        if len(tables) >= self.compaction_trigger * 6:
+            return (0, self.compaction_trigger)
+        return None
+
+    def _compact_run(self, start: int, end: int) -> None:
+        """Merge ``_sstables[start:end]`` into one table.
+
+        Tombstones are dropped only when the run includes the oldest
+        table -- otherwise an older table may still hold the deleted
+        key, and dropping the tombstone would resurrect it.
+        """
+        with self._lock:
+            if self._crashed:
+                return
+            run = self._sstables[start:end]
+            if len(run) <= 1:
+                return
+            name = f"sst-{self._next_table_id:06d}.tbl"
+            self._next_table_id += 1
+        drop_tombstones = start == 0
+        t0 = time.perf_counter()
+        span = (_tracing.span("lsm.compaction", parent=_tracing.NO_PARENT,
+                              path=os.path.basename(self.path),
+                              tables=len(run))
+                if _tracing.enabled else None)
+        merged = self._merge_tables(run, include_tombstones=not drop_tombstones)
+        expected = sum(t.num_entries for t in run)
+        try:
+            written = SSTable.write(
+                os.path.join(self.path, name), merged, expected,
+                block_bytes=self.block_bytes, bits_per_key=self.bits_per_key,
+                codec=self.compression, should_abort=self._should_abort,
+                on_block=self._test_hooks.get("compact_block"))
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
+        new_table = SSTable(os.path.join(self.path, name),
+                            cache=self.block_cache, stats=self.stats)
+        with self._lock:
+            if self._crashed:
+                raise _FlushAborted(name)
+            # The run is still contiguous at the same position: only
+            # this worker (or the exclusive manual compact) reorders
+            # the list, and flushes strictly append.
+            assert self._sstables[start:end] == run
+            if new_table.num_entries == 0:
+                # Everything merged away (all tombstones): drop the run.
+                self._sstables[start:end] = []
+            else:
+                self._sstables[start:end] = [new_table]
+            self.stats.compactions += 1
+            self.stats.compacted_bytes += written
+            self.stats.compaction_seconds += time.perf_counter() - t0
+            self._write_manifest()
+            self._work.notify_all()
+        hook = self._test_hooks.get("compact_installed")
+        if hook is not None:
+            hook()
+        if new_table.num_entries == 0:
+            os.unlink(new_table.path)
+        for table in run:
+            self.block_cache.drop_table(table.uid)
+            try:
+                os.unlink(table.path)
+            except OSError:
+                pass
+
+    def _merge_tables(self, tables: Sequence[SSTable],
+                      include_tombstones: bool
                       ) -> Iterator[Tuple[bytes, Optional[bytes]]]:
-        """K-way merge over SSTables only (not the memtable), newest wins."""
-        # Heap items: (key, -age, seq, value). Lower age = older table.
-        iters = [table.scan() for table in self._sstables]
+        """K-way merge over ``tables`` (oldest first), newest wins."""
         heap = []
-        for age, it in enumerate(iters):
+        for age, table in enumerate(tables):
+            it = table.scan()
             first = next(it, None)
             if first is not None:
                 heap.append((first[0], -age, first[1], it))
@@ -407,91 +989,298 @@ class LSMBackend(Backend):
                 continue
             yield key, value
 
+    # -- backlog & synchronous maintenance ------------------------------------
+
+    def compaction_backlog(self) -> int:
+        """Unflushed memtables + tables beyond the next quiescent state."""
+        with self._lock:
+            backlog = len(self._immutables)
+            run = self._candidate_locked()
+            if run is not None:
+                backlog += run[1] - run[0]
+            return backlog
+
+    def _apply_write_pressure(self) -> None:
+        # Unlocked emptiness probe: while the worker keeps up (no
+        # sealed memtable waiting) writes pay nothing here.  The gauge
+        # scan and any stall run only once a flush is actually queued.
+        if not self._immutables:
+            return
+        with self._work:
+            while (len(self._immutables) >= self.max_immutables
+                   and not self._closed and self.background):
+                self.stats.backpressure_waits += 1
+                self._work.wait(0.05)
+        backlog = self.compaction_backlog()
+        if backlog > self.throttle_backlog:
+            self.stats.throttle_waits += 1
+            time.sleep(self.throttle_sleep_s *
+                       min(4, backlog - self.throttle_backlog))
+
+    def _drain_inline(self) -> None:
+        """Inline mode: run every pending flush/compaction to quiescence."""
+        while True:
+            with self._lock:
+                if self._immutables:
+                    task, payload = "flush", self._immutables[0]
+                else:
+                    run = self._candidate_locked()
+                    if run is None:
+                        return
+                    task, payload = "compact", run
+            if task == "flush":
+                self._flush_immutable(payload)
+            else:
+                self._compact_run(*payload)
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Block until the engine is quiescent (tests & benchmarks).
+
+        Raises the first background-worker error, if any occurred.
+        """
+        self._check_open()
+        if not self.background:
+            self._drain_inline()
+        else:
+            deadline = time.monotonic() + timeout
+            with self._work:
+                while (self._has_work_locked() or self._worker_busy):
+                    if self._worker_error is not None:
+                        break
+                    if time.monotonic() >= deadline:
+                        raise TimeoutError("lsm drain timed out")
+                    self._work.wait(0.05)
+        with self._lock:
+            error, self._worker_error = self._worker_error, None
+        if error is not None:
+            raise error
+
+    def flush_memtable(self) -> None:
+        """Rotate the active memtable and wait until it is on disk."""
+        self._check_open()
+        with self._lock:
+            self._seal_memtable_locked()
+        if self.background:
+            deadline = time.monotonic() + 60.0
+            with self._work:
+                while self._immutables or self._worker_busy:
+                    if self._worker_error is not None:
+                        break
+                    if time.monotonic() >= deadline:
+                        raise TimeoutError("lsm flush_memtable timed out")
+                    self._work.wait(0.05)
+            with self._lock:
+                error, self._worker_error = self._worker_error, None
+            if error is not None:
+                raise error
+        else:
+            self._drain_inline()
+
+    def compact(self) -> None:
+        """Merge every SSTable into one, dropping tombstones and
+        shadowed keys (explicit full maintenance; the background policy
+        normally merges tier-sized runs instead)."""
+        self._check_open()
+        # Wait out any in-flight background task so the full merge sees
+        # a stable table list (flushes appending mid-merge are fine --
+        # the run splice is position-checked).
+        if self.background:
+            with self._work:
+                while self._worker_busy:
+                    self._work.wait(0.05)
+        with self._lock:
+            count = len(self._sstables)
+        if count <= 1:
+            return
+        self._compact_run(0, count)
+
+    # -- unified lookup path -------------------------------------------------
+
+    def _lookup(self, key: bytes, record: bool = True
+                ) -> Tuple[bool, Optional[bytes]]:
+        """(present, value) through active -> immutables -> SSTables.
+
+        ``present`` is False for both missing keys and tombstones.
+        ``record=False`` skips the read-amplification counters -- used
+        by internal pre-image probes (live-key accounting, erase
+        checks) so the benchmark's read-path stats only count client
+        lookups.
+        """
+        stats = self.stats
+        if record:
+            stats.gets += 1
+        with self._lock:
+            value = self._memtable.get(key)
+            if value is not None:
+                if record:
+                    stats.memtable_hits += 1
+                return value is not _TOMBSTONE, \
+                    None if value is _TOMBSTONE else value
+            for imm in reversed(self._immutables):
+                value = imm.memtable.get(key)
+                if value is not None:
+                    if record:
+                        stats.immutable_hits += 1
+                    return value is not _TOMBSTONE, \
+                        None if value is _TOMBSTONE else value
+            tables = tuple(self._sstables)
+        hashes = None
+        for table in reversed(tables):
+            if hashes is None:
+                hashes = BloomFilter.hash_pair(key)
+            if not table.bloom.contains_hashed(*hashes):
+                if record:
+                    stats.bloom_skips += 1
+                continue
+            if record:
+                stats.sstable_reads += 1
+            found, tvalue = table.get(key, hashes)
+            if found:
+                return tvalue is not None, tvalue
+        return False, None
+
     # -- Backend API --------------------------------------------------------
 
     def put(self, key: bytes, value: bytes) -> None:
         self._check_open()
+        key = bytes(key)
         value = bytes(value)
-        self._live_keys = None
-        self._wal_append(b"P", key, value)
-        self._memtable_put(key, value)
-        self._maybe_flush()
+        if self.background:
+            self._apply_write_pressure()
+        with self._lock:
+            self._check_open()
+            self._wal_append(b"P" + _U32.pack(len(key)) + key + value)
+            self._account_put_locked(key)
+            self._memtable_put(key, value)
+            self.stats.logical_bytes += len(key) + len(value)
+            if self._mem_bytes >= self.memtable_bytes:
+                self._seal_memtable_locked()
+        if not self.background:
+            self._drain_inline()
+
+    def put_multi(self, pairs: Iterable[Tuple[bytes, bytes]]) -> int:
+        """Batched insert: one WAL record, one lock acquisition."""
+        self._check_open()
+        pairs = [(bytes(k), bytes(v)) for k, v in pairs]
+        if not pairs:
+            return 0
+        if self.background:
+            self._apply_write_pressure()
+        parts = [b"M", _U32.pack(len(pairs))]
+        for key, value in pairs:
+            parts.append(_ENTRY.pack(len(key), len(value)))
+            parts.append(key)
+            parts.append(value)
+        with self._lock:
+            self._check_open()
+            self._wal_append(b"".join(parts))
+            for key, value in pairs:
+                self._account_put_locked(key)
+                self._memtable_put(key, value)
+                self.stats.logical_bytes += len(key) + len(value)
+            if self._mem_bytes >= self.memtable_bytes:
+                self._seal_memtable_locked()
+        if not self.background:
+            self._drain_inline()
+        return len(pairs)
+
+    def _account_put_locked(self, key: bytes) -> None:
+        """Keep ``_live_keys`` exact using the cheapest pre-image probe.
+
+        The memtable/immutable probe is free; only keys unseen in
+        memory pay a (bloom-guarded, unrecorded) SSTable probe -- and
+        only while a count is actually being maintained.
+        """
+        if self._live_keys is None:
+            return
+        value = self._memtable.get(key)
+        if value is None:
+            for imm in reversed(self._immutables):
+                value = imm.memtable.get(key)
+                if value is not None:
+                    break
+        if value is not None:
+            if value is _TOMBSTONE:
+                self._live_keys += 1
+            return
+        present, _ = self._lookup(key, record=False)
+        if not present:
+            self._live_keys += 1
 
     def get(self, key: bytes) -> bytes:
         self._check_open()
-        self.stats.gets += 1
-        value = self._memtable.get(key)
-        if value is not None:
-            self.stats.memtable_hits += 1
-            if value is _TOMBSTONE:
-                raise KeyNotFound(repr(key))
-            return value
-        for table in reversed(self._sstables):
-            if key in table.bloom:
-                self.stats.sstable_reads += 1
-                found, tvalue = table.get(key)
-                if found:
-                    if tvalue is None:
-                        raise KeyNotFound(repr(key))
-                    return tvalue
-            else:
-                self.stats.bloom_skips += 1
-        raise KeyNotFound(repr(key))
-
-    def _exists_internal(self, key: bytes) -> bool:
-        value = self._memtable.get(key)
-        if value is not None:
-            return value is not _TOMBSTONE
-        for table in reversed(self._sstables):
-            if key in table.bloom:
-                found, tvalue = table.get(key)
-                if found:
-                    return tvalue is not None
-        return False
+        present, value = self._lookup(bytes(key))
+        if not present:
+            raise KeyNotFound(repr(key))
+        return value
 
     def exists(self, key: bytes) -> bool:
         self._check_open()
-        return self._exists_internal(key)
+        present, _ = self._lookup(bytes(key))
+        return present
+
+    def _exists_internal(self, key: bytes) -> bool:
+        """Unrecorded presence probe (write-path bookkeeping only)."""
+        present, _ = self._lookup(key, record=False)
+        return present
 
     def erase(self, key: bytes) -> None:
         self._check_open()
-        if not self._exists_internal(key):
-            raise KeyNotFound(repr(key))
-        self._live_keys = None
-        self._wal_append(b"D", key)
-        self._memtable_put(key, _TOMBSTONE)
-        self._maybe_flush()
+        key = bytes(key)
+        if self.background:
+            self._apply_write_pressure()
+        with self._lock:
+            self._check_open()
+            if not self._exists_internal(key):
+                raise KeyNotFound(repr(key))
+            self._wal_append(b"D" + _U32.pack(len(key)) + key)
+            if self._live_keys is not None:
+                self._live_keys -= 1
+            self._memtable_put(key, _TOMBSTONE)
+            self.stats.logical_bytes += len(key)
+            if self._mem_bytes >= self.memtable_bytes:
+                self._seal_memtable_locked()
+        if not self.background:
+            self._drain_inline()
 
     def __len__(self) -> int:
-        if self._live_keys is None:
-            self._live_keys = sum(1 for _ in self.scan())
-        return self._live_keys
+        with self._lock:
+            if self._live_keys is None:
+                self._live_keys = sum(1 for _ in self.scan())
+            return self._live_keys
 
     def scan(self, start: bytes = b"", inclusive: bool = True,
              end: Optional[bytes] = None) -> Iterator[Tuple[bytes, bytes]]:
         """Merged ordered iteration from ``start``.
 
+        The source set (active memtable, immutables, tables) is
+        snapshotted under the lock, so a flush or compaction landing
+        mid-scan never changes what this iteration sees: sealed
+        memtables stay readable after their SSTable lands, and
+        compacted-away tables stay readable through their mmap until
+        the iterator drops them.
+
         With ``end``, the merge stops at the first key ``>= end`` and
         every source iterator is bounded too: a prefix-bounded scan
-        reads only the prefix's slice of each sorted run, not the tail
-        of the store (tombstone and shadowed-key runs past the bound
-        are never pulled through the heap).
+        reads only the prefix's slice of each sorted run.
         """
         self._check_open()
-        # Merge memtable (age -1: newest) with all sstables.
+        with self._lock:
+            sources: list = [table.scan(start, end=end)
+                             for table in self._sstables]
+            for imm in self._immutables:
+                sources.append(imm.memtable.scan(start, inclusive=True))
+            sources.append(self._memtable.scan(start, inclusive=True))
         heap: list = []
-        mem_iter = self._memtable.scan(start, inclusive=inclusive)
-        first = next(mem_iter, None)
-        if first is not None and (end is None or first[0] < end):
-            heap.append((first[0], -len(self._sstables) - 1,
-                         None if first[1] is _TOMBSTONE else first[1], mem_iter))
-        for age, table in enumerate(self._sstables):
-            it = table.scan(start, end=end)
+        for age, it in enumerate(sources):
             entry = next(it, None)
             while entry is not None and not inclusive and entry[0] == start:
                 entry = next(it, None)
-            if entry is not None:
-                heap.append((entry[0], -age, entry[1], it))
+            if entry is not None and (end is None or entry[0] < end):
+                value = entry[1]
+                if value is _TOMBSTONE:
+                    value = None
+                heap.append((entry[0], -age, value, it))
         heapq.heapify(heap)
         current_key = None
         while heap:
@@ -535,15 +1324,77 @@ class LSMBackend(Backend):
                 break
         return out
 
+    # -- observability -------------------------------------------------------
+
+    def lsm_stats(self) -> dict:
+        """Counters + live gauges for ``durability_stats()`` / the CLI."""
+        with self._lock:
+            tiers: dict[int, int] = {}
+            for table in self._sstables:
+                bucket = self._size_bucket(table.size_bytes)
+                tiers[bucket] = tiers.get(bucket, 0) + 1
+            stats = self.stats
+            return {
+                "memtable_bytes": self._mem_bytes,
+                "memtable_entries": len(self._memtable),
+                "immutables": len(self._immutables),
+                "immutable_bytes": sum(i.nbytes for i in self._immutables),
+                "sstables": len(self._sstables),
+                "tiers": {str(k): v for k, v in sorted(tiers.items())},
+                "table_bytes": sum(t.size_bytes for t in self._sstables),
+                "compaction_backlog": self.compaction_backlog(),
+                "block_cache_bytes": self.block_cache.used_bytes,
+                "block_cache_hit_rate": round(stats.block_cache_hit_rate, 4),
+                "write_amplification": round(stats.write_amplification, 3),
+                "read_amplification": round(stats.read_amplification, 3),
+                "flushes": stats.flushes,
+                "compactions": stats.compactions,
+                "rotations": stats.rotations,
+                "flush_seconds": round(stats.flush_seconds, 4),
+                "compaction_seconds": round(stats.compaction_seconds, 4),
+                "throttle_waits": stats.throttle_waits,
+                "backpressure_waits": stats.backpressure_waits,
+                "worker_errors": stats.worker_errors,
+            }
+
     # -- lifecycle ---------------------------------------------------------
 
     def flush(self) -> None:
         self._check_open()
-        self._wal.flush()
-        os.fsync(self._wal.fileno())
+        with self._lock:
+            self._wal.flush()
+            os.fsync(self._wal.fileno())
 
     def close(self) -> None:
         if not self.closed:
-            self._wal.flush()
-            self._wal.close()
+            with self._lock:
+                self._closing = True
+                self._wal.flush()
+                self._work.notify_all()
+            if self._worker is not None:
+                self._worker.join(timeout=30.0)
+            with self._lock:
+                self._wal.close()
+                for table in self._sstables:
+                    table.close()
             super().close()
+
+    def crash(self) -> None:
+        """Simulate losing the process: the worker abandons any
+        half-written table at the next block boundary; nothing buffered
+        is flushed beyond what each append already pushed to the OS."""
+        with self._lock:
+            self._closed = True
+            self._crashed = True
+            self._closing = True
+            self._work.notify_all()
+            try:
+                self._wal.close()
+            except OSError:
+                pass
+        if self._worker is not None:
+            # The dying process takes its xstreams with it: wait for
+            # the worker to observe the crash so a restarted backend
+            # over the same directory never races its file writes.
+            self._worker.join(timeout=30.0)
+        super().crash()

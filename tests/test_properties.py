@@ -43,9 +43,9 @@ def test_lsm_torn_wal_recovers_prefix(tmp_path_factory, ops, cut_fraction):
         model[key] = value
         model_states.append(dict(model))
     db.flush()
+    wal_path = db.active_wal_path
     db._wal.close()  # simulate a crash without close-time flushing
 
-    wal_path = os.path.join(path, "wal.log")
     size = os.path.getsize(wal_path)
     cut = int(size * cut_fraction)
     with open(wal_path, "r+b") as f:

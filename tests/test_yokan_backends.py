@@ -226,8 +226,9 @@ class TestLSMInternals:
         db = LSMBackend(path)
         db.put(b"good", b"1")
         db.flush()
+        wal_path = db.active_wal_path
         db.close()
-        with open(tmp_path / "db" / "wal.log", "ab") as f:
+        with open(wal_path, "ab") as f:
             f.write(b"\x40\x00\x00\x00garbage")  # truncated record
         db2 = LSMBackend(path)
         assert db2.get(b"good") == b"1"
@@ -410,3 +411,227 @@ def test_btree_matches_model(tmp_path_factory, ops):
     assert sorted(model.items()) == list(db.scan())
     assert len(db) == len(model)
     db.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["put", "put", "put", "erase", "scan", "len",
+                             "flush", "compact", "drain"]),
+            st.binary(min_size=1, max_size=6),
+            st.binary(max_size=12),
+        ),
+        max_size=60,
+    )
+)
+def test_lsm_background_matches_memory_model(tmp_path_factory, ops):
+    """Differential suite: the full engine (background worker, tiny
+    memtable, aggressive tiering, tiny blocks + cache) vs the in-memory
+    backend through random put/erase/scan/flush/compact interleavings.
+    Every observation point must agree while flushes and compactions
+    land concurrently with the driving thread."""
+    tmp = tmp_path_factory.mktemp("lsm-bg-prop")
+    db = LSMBackend(str(tmp / "db"), memtable_bytes=512,
+                    compaction_trigger=2, block_bytes=512,
+                    block_cache_bytes=4096, max_immutables=2)
+    model = MemoryBackend()
+    try:
+        for op, key, value in ops:
+            if op == "put":
+                db.put(key, value)
+                model.put(key, value)
+            elif op == "erase":
+                if model.exists(key):
+                    db.erase(key)
+                    model.erase(key)
+                else:
+                    assert not db.exists(key)
+            elif op == "scan":
+                assert list(db.scan(key)) == list(model.scan(key))
+            elif op == "len":
+                assert len(db) == len(model)
+            elif op == "flush":
+                db.flush_memtable()
+            elif op == "compact":
+                db.compact()
+            else:
+                db.drain()
+        db.drain()
+        assert list(db.scan()) == list(model.scan())
+        assert len(db) == len(model)
+        for key in list(model.list_keys())[:20]:
+            assert db.get(key) == model.get(key)
+    finally:
+        db.close()
+
+
+class TestLSMProductionEngine:
+    """The PR 10 engine features: incremental key counting, unified
+    lookup stats, the block cache, compression, and backpressure."""
+
+    def test_len_maintained_incrementally(self, tmp_path):
+        db = LSMBackend(str(tmp_path / "db"), memtable_bytes=512,
+                        compaction_trigger=2)
+        for i in range(50):
+            db.put(b"k%03d" % i, b"v")
+        assert len(db) == 50          # first call counts...
+        assert db._live_keys == 50
+        db.put(b"k000", b"v2")        # overwrite: no change
+        db.put(b"new", b"v")          # insert: +1
+        db.erase(b"k001")             # delete: -1
+        assert db._live_keys == 50    # ...then mutations adjust in place
+        assert len(db) == 50
+        db.flush_memtable()
+        db.compact()
+        assert len(db) == 50          # maintenance never changes the count
+        db.close()
+
+    def test_exists_records_read_stats(self, tmp_path):
+        db = LSMBackend(str(tmp_path / "db"))
+        db.put(b"present", b"1")
+        assert db.exists(b"present")
+        assert db.stats.memtable_hits == 1
+        db.flush_memtable()
+        assert db.exists(b"present")
+        assert db.stats.sstable_reads == 1
+        assert not db.exists(b"absent")
+        assert db.stats.bloom_skips >= 1
+        assert db.stats.gets == 3     # exists and get share the path
+        db.close()
+
+    def test_reads_consult_immutable_memtables(self, tmp_path):
+        db = LSMBackend(str(tmp_path / "db"), memtable_bytes=1 << 20)
+        db.put(b"sealed", b"1")
+        with db._lock:
+            db._seal_memtable_locked()
+            # Racing the worker: the sealed memtable must serve reads
+            # until its SSTable is installed.
+            assert db.get(b"sealed") == b"1"
+        db.drain()
+        assert db.get(b"sealed") == b"1"
+        assert db.stats.rotations == 1
+        db.close()
+
+    def test_block_cache_serves_repeat_reads(self, tmp_path):
+        db = LSMBackend(str(tmp_path / "db"), block_bytes=512,
+                        block_cache_bytes=1 << 20)
+        for i in range(200):
+            db.put(b"k%04d" % i, b"v" * 50)
+        db.flush_memtable()
+        for i in range(200):
+            db.get(b"k%04d" % i)      # cold: decode each block once
+        cold_reads = db.stats.blocks_read
+        for i in range(200):
+            db.get(b"k%04d" % i)      # warm: served from the cache
+        assert db.stats.blocks_read == cold_reads
+        assert db.stats.block_cache_hits >= 200
+        assert db.lsm_stats()["block_cache_hit_rate"] > 0.4
+        db.close()
+
+    def test_block_cache_bytes_bounded(self, tmp_path):
+        db = LSMBackend(str(tmp_path / "db"), block_bytes=512,
+                        block_cache_bytes=2048)
+        for i in range(400):
+            db.put(b"k%04d" % i, b"v" * 60)
+        db.flush_memtable()
+        for i in range(400):
+            db.get(b"k%04d" % i)
+        assert db.block_cache.used_bytes <= 2048
+        assert db.stats.block_cache_evictions > 0
+        db.close()
+
+    def test_zlib_compression_roundtrip(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = LSMBackend(path, compression="zlib", block_bytes=1024)
+        payload = {b"k%03d" % i: bytes(40) + b"%d" % i for i in range(100)}
+        for key, value in payload.items():
+            db.put(key, value)
+        db.flush_memtable()
+        assert dict(db.scan()) == payload
+        db.close()
+        reopened = LSMBackend(path, compression="zlib")
+        assert dict(reopened.scan()) == payload
+        assert reopened._sstables[0].codec == "zlib"
+        reopened.close()
+
+    def test_unknown_compression_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            LSMBackend(str(tmp_path / "db"), compression="lz99")
+
+    def test_zstd_gated_on_module(self, tmp_path):
+        from repro.yokan.backends import lsm as lsm_mod
+
+        if lsm_mod._zstd is None:
+            with pytest.raises(ConfigError):
+                LSMBackend(str(tmp_path / "db"), compression="zstd")
+        else:
+            db = LSMBackend(str(tmp_path / "db"), compression="zstd")
+            db.put(b"k", b"v" * 100)
+            db.flush_memtable()
+            assert db.get(b"k") == b"v" * 100
+            db.close()
+
+    def test_tiered_compaction_merges_runs_not_everything(self, tmp_path):
+        db = LSMBackend(str(tmp_path / "db"), memtable_bytes=1 << 20,
+                        compaction_trigger=2, background=False,
+                        compaction="tiered")
+        # Two big tables, then two small ones: the tiered policy merges
+        # the small same-bucket run without rewriting the big tables.
+        for start in (0, 4096):
+            for i in range(start, start + 3500):
+                db.put(b"k%08d" % i, b"x" * 28)
+            db.flush_memtable()
+        big = len(db._sstables)
+        compactions_before = db.stats.compactions
+        for start in (20000, 20100):
+            for i in range(start, start + 50):
+                db.put(b"k%08d" % i, b"x" * 8)
+            db.flush_memtable()
+        assert db.stats.compactions > compactions_before
+        # The small run merged into one table; the big tables survive.
+        tiers = db.lsm_stats()["tiers"]
+        assert len(db._sstables) == big + 1
+        assert sum(tiers.values()) == big + 1
+        db.close()
+
+    def test_backpressure_stalls_instead_of_unbounded_queueing(self,
+                                                               tmp_path):
+        db = LSMBackend(str(tmp_path / "db"), memtable_bytes=256,
+                        max_immutables=1)
+        for i in range(300):
+            db.put(b"k%05d" % i, b"v" * 40)
+        db.drain()
+        assert db.stats.backpressure_waits > 0
+        assert len(db._immutables) <= 1
+        assert dict(db.scan()) == {b"k%05d" % i: b"v" * 40
+                                   for i in range(300)}
+        db.close()
+
+    def test_put_multi_single_wal_record_recovers(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = LSMBackend(path, memtable_bytes=1 << 20)
+        wal_before = db.stats.wal_bytes
+        db.put_multi([(b"a", b"1"), (b"b", b"2"), (b"c", b"3")])
+        assert db.stats.wal_bytes > wal_before
+        db._wal.close()  # crash: nothing flushed beyond the appends
+        recovered = LSMBackend(path)
+        assert dict(recovered.scan()) == {b"a": b"1", b"b": b"2",
+                                          b"c": b"3"}
+        recovered.close()
+
+    def test_stats_surface(self, tmp_path):
+        db = LSMBackend(str(tmp_path / "db"), memtable_bytes=512)
+        for i in range(60):
+            db.put(b"k%03d" % i, b"v" * 20)
+        db.drain()
+        db.get(b"k000")
+        stats = db.lsm_stats()
+        for gauge in ("memtable_bytes", "immutables", "sstables", "tiers",
+                      "compaction_backlog", "block_cache_hit_rate",
+                      "write_amplification", "read_amplification",
+                      "flush_seconds", "flushes", "rotations"):
+            assert gauge in stats
+        assert stats["flushes"] > 0
+        assert db.stats.write_amplification >= 1.0
+        db.close()
